@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the reproduction harness binaries.
+ */
+
+#ifndef RFH_BENCH_BENCH_UTIL_H
+#define RFH_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace rfh::bench {
+
+/** Print a section header for one reproduced artifact. */
+inline void
+header(const char *artifact, const char *claim)
+{
+    std::printf("=============================================================="
+                "==\n");
+    std::printf("%s\n", artifact);
+    std::printf("Paper: %s\n", claim);
+    std::printf("--------------------------------------------------------------"
+                "--\n");
+}
+
+/** Print a paper-vs-measured comparison line. */
+inline void
+compare(const char *what, double paper, double measured)
+{
+    std::printf("  %-44s paper %6.2f   measured %6.2f\n", what, paper,
+                measured);
+}
+
+} // namespace rfh::bench
+
+#endif // RFH_BENCH_BENCH_UTIL_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Figure 2: register value usage patterns.
+ *
+ * (a) Percentage of all values read 0, 1, 2, or >2 times per suite.
+ * (b) Lifetime (instructions) of values that are read exactly once.
+ *
+ * Paper headline: up to 70% of values are read at most once, and ~50%
+ * of all values are read exactly once within three instructions of
+ * being produced. These short-lived values motivate the LRF/ORF.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "sim/baseline_exec.h"
+#include "workloads/registry.h"
+
+using namespace rfh;
+
+int
+main()
+{
+    bench::header("Figure 2: register usage patterns",
+                  "most values read <=1 time, usually within 3 "
+                  "instructions");
+
+    TextTable a({"Suite", "Read 0", "Read 1", "Read 2", "Read >2"});
+    TextTable b({"Suite", "Life 1", "Life 2", "Life 3", "Life >3"});
+    UsageStats total;
+    for (const std::string &suite : suiteNames()) {
+        UsageStats us;
+        for (const Workload *w : suiteWorkloads(suite))
+            us.add(collectUsageStats(w->kernel, w->run));
+        total.add(us);
+        a.addRow({suite, pct(us.fracRead(0)), pct(us.fracRead(1)),
+                  pct(us.fracRead(2)), pct(us.fracRead(3))});
+        double r1 = static_cast<double>(us.read1);
+        b.addRow({suite, pct(us.life1 / r1), pct(us.life2 / r1),
+                  pct(us.life3 / r1), pct(us.lifeMore / r1)});
+    }
+
+    std::printf("\n(a) Times each produced value is read\n%s",
+                a.str().c_str());
+    std::printf("\n(b) Lifetime of read-once values (instructions)\n%s\n",
+                b.str().c_str());
+
+    double read_le1 = total.fracRead(0) + total.fracRead(1);
+    double once_within3 = total.totalValues
+        ? static_cast<double>(total.life1 + total.life2 + total.life3) /
+            total.totalValues
+        : 0.0;
+    bench::compare("values read <=1 time (%)", 70.0, 100.0 * read_le1);
+    bench::compare("read once within 3 instructions (% of all)", 50.0,
+                   100.0 * once_within3);
+    std::printf("  %-44s paper %6.2f   measured %6.2f\n",
+                "values consumed by shared datapath (%)", 7.0,
+                100.0 * total.sharedConsumed / total.totalValues);
+    std::printf("  %-44s paper %6.2f   measured %6.2f\n",
+                "shared-consumed values produced privately (%)", 70.0,
+                total.sharedConsumed
+                    ? 100.0 * total.sharedConsumedPrivateProduced /
+                        total.sharedConsumed
+                    : 0.0);
+    std::printf("  %-44s paper %6.2f   measured %6.2f\n",
+                "register reads per instruction", 1.6,
+                static_cast<double>(total.regReads) / total.instructions);
+    std::printf("  %-44s paper %6.2f   measured %6.2f\n",
+                "register writes per instruction", 0.8,
+                static_cast<double>(total.regWrites) /
+                    total.instructions);
+    std::printf("  %-44s paper %6s   measured %5.1f%%\n",
+                "multi-read values read in bursts (gap<=3)", "most",
+                total.multiReads
+                    ? 100.0 * total.burstyMultiReads / total.multiReads
+                    : 0.0);
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Figure 11: reads and writes of the two-level hierarchy
+ * (hardware RFC vs software ORF), normalised to the single-level
+ * register file, as the upper level grows from 1 to 8 entries/thread.
+ *
+ * Also prints the Section 6.1 deltas: the RFC's writeback read
+ * overhead, the software scheme's write reduction, and the gains of
+ * partial-range + read-operand allocation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "core/sweep.h"
+
+using namespace rfh;
+
+int
+main()
+{
+    bench::header("Figure 11: two-level hierarchy access breakdown",
+                  "SW ORF eliminates RFC writeback reads (~20% extra "
+                  "reads) and ~20% of upper-level writes");
+
+    AccessCounts base = aggregateBaselineCounts();
+    ExperimentConfig cfg;
+    auto points = sweepEntries({Scheme::HW_TWO_LEVEL,
+                                Scheme::SW_TWO_LEVEL}, cfg);
+
+    TextTable reads({"Entries", "HW RFC rd", "HW MRF rd", "HW total",
+                     "SW ORF rd", "SW MRF rd", "SW total"});
+    TextTable writes({"Entries", "HW RFC wr", "HW MRF wr", "HW total",
+                      "SW ORF wr", "SW MRF wr", "SW total"});
+    for (int e = 1; e <= kMaxOrfEntries; e++) {
+        AccessBreakdown hw, sw;
+        for (const auto &p : points) {
+            if (p.entries != e)
+                continue;
+            AccessBreakdown b = normalizeAccesses(p.outcome.counts, base);
+            if (p.scheme == Scheme::HW_TWO_LEVEL)
+                hw = b;
+            else
+                sw = b;
+        }
+        reads.addRow({std::to_string(e), pct(hw.orfReads),
+                      pct(hw.mrfReads), pct(hw.totalReads()),
+                      pct(sw.orfReads), pct(sw.mrfReads),
+                      pct(sw.totalReads())});
+        writes.addRow({std::to_string(e), pct(hw.orfWrites),
+                       pct(hw.mrfWrites), pct(hw.totalWrites()),
+                       pct(sw.orfWrites), pct(sw.mrfWrites),
+                       pct(sw.totalWrites())});
+    }
+    std::printf("\n(a) Reads, normalised to baseline\n%s",
+                reads.str().c_str());
+    std::printf("\n(b) Writes, normalised to baseline\n%s\n",
+                writes.str().c_str());
+
+    // Section 6.1 deltas at the paper's preferred sizes.
+    AccessBreakdown hw3, sw3, sw3plain;
+    for (const auto &p : points) {
+        if (p.entries == 3 && p.scheme == Scheme::HW_TWO_LEVEL)
+            hw3 = normalizeAccesses(p.outcome.counts, base);
+        if (p.entries == 3 && p.scheme == Scheme::SW_TWO_LEVEL)
+            sw3 = normalizeAccesses(p.outcome.counts, base);
+    }
+    {
+        ExperimentConfig plain = cfg;
+        plain.scheme = Scheme::SW_TWO_LEVEL;
+        plain.entries = 3;
+        plain.partialRanges = false;
+        plain.readOperands = false;
+        sw3plain = normalizeAccesses(runAllWorkloads(plain).counts, base);
+    }
+    bench::compare("HW extra reads vs SW (writebacks, %)", 20.0,
+                   100.0 * (hw3.totalReads() - sw3.totalReads()));
+    bench::compare("SW upper-level write reduction vs HW (%)", 20.0,
+                   100.0 * (hw3.orfWrites - sw3.orfWrites) /
+                       (hw3.orfWrites > 0 ? hw3.orfWrites : 1.0));
+    bench::compare("partial+read-operand MRF read cut (rel %)", 20.0,
+                   100.0 * (sw3plain.mrfReads - sw3.mrfReads) /
+                       (sw3plain.mrfReads > 0 ? sw3plain.mrfReads : 1.0));
+    bench::compare("partial+read-operand ORF write increase (rel %)",
+                   8.0,
+                   100.0 * (sw3.orfWrites - sw3plain.orfWrites) /
+                       (sw3plain.orfWrites > 0 ? sw3plain.orfWrites
+                                               : 1.0));
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Figure 12: reads and writes of the three-level hierarchy
+ * (hardware LRF+RFC+MRF vs software LRF+ORF+MRF), normalised to the
+ * single-level register file. Also prints the Section 6.2/6.3
+ * headlines: the LRF captures ~30% of reads despite its single entry,
+ * software cuts overhead writes from ~40% to <10%, and a split LRF
+ * serves ~20% more reads than a unified one.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "core/sweep.h"
+
+using namespace rfh;
+
+int
+main()
+{
+    bench::header("Figure 12: three-level hierarchy access breakdown",
+                  "the 1-entry LRF captures ~30% of all reads under "
+                  "software control");
+
+    AccessCounts base = aggregateBaselineCounts();
+    ExperimentConfig cfg;
+    auto points = sweepEntries({Scheme::HW_THREE_LEVEL,
+                                Scheme::SW_THREE_LEVEL}, cfg);
+
+    TextTable reads({"Entries", "HW LRF", "HW RFC", "HW MRF",
+                     "SW LRF", "SW ORF", "SW MRF"});
+    TextTable writes({"Entries", "HW LRF", "HW RFC", "HW MRF",
+                      "SW LRF", "SW ORF", "SW MRF"});
+    for (int e = 1; e <= kMaxOrfEntries; e++) {
+        AccessBreakdown hw, sw;
+        for (const auto &p : points) {
+            if (p.entries != e)
+                continue;
+            AccessBreakdown b = normalizeAccesses(p.outcome.counts, base);
+            if (p.scheme == Scheme::HW_THREE_LEVEL)
+                hw = b;
+            else
+                sw = b;
+        }
+        reads.addRow({std::to_string(e), pct(hw.lrfReads),
+                      pct(hw.orfReads), pct(hw.mrfReads),
+                      pct(sw.lrfReads), pct(sw.orfReads),
+                      pct(sw.mrfReads)});
+        writes.addRow({std::to_string(e), pct(hw.lrfWrites),
+                       pct(hw.orfWrites), pct(hw.mrfWrites),
+                       pct(sw.lrfWrites), pct(sw.orfWrites),
+                       pct(sw.mrfWrites)});
+    }
+    std::printf("\n(a) Reads, normalised to baseline\n%s",
+                reads.str().c_str());
+    std::printf("\n(b) Writes, normalised to baseline\n%s\n",
+                writes.str().c_str());
+
+    // Headline comparisons at 3 ORF entries per thread.
+    AccessBreakdown sw3, hw3;
+    AccessCounts sw3_counts, hw3_counts;
+    for (const auto &p : points) {
+        if (p.entries != 3)
+            continue;
+        if (p.scheme == Scheme::SW_THREE_LEVEL) {
+            sw3 = normalizeAccesses(p.outcome.counts, base);
+            sw3_counts = p.outcome.counts;
+        } else {
+            hw3 = normalizeAccesses(p.outcome.counts, base);
+            hw3_counts = p.outcome.counts;
+        }
+    }
+    bench::compare("SW LRF share of all reads (%)", 30.0,
+                   100.0 * sw3.lrfReads / sw3.totalReads());
+    bench::compare("HW overhead writes (% of baseline)", 40.0,
+                   100.0 * (hw3.totalWrites() - 1.0));
+    bench::compare("SW overhead writes (% of baseline)", 10.0,
+                   100.0 * (sw3.totalWrites() - 1.0));
+
+    // Section 6.3: split vs unified LRF read capture.
+    ExperimentConfig unified = cfg;
+    unified.scheme = Scheme::SW_THREE_LEVEL;
+    unified.entries = 3;
+    unified.splitLRF = false;
+    AccessBreakdown uni = normalizeAccesses(runAllWorkloads(unified).counts,
+                                            base);
+    bench::compare("split-LRF read increase over unified (rel %)", 20.0,
+                   uni.lrfReads > 0
+                       ? 100.0 * (sw3.lrfReads - uni.lrfReads) /
+                           uni.lrfReads
+                       : 0.0);
+    return 0;
+}

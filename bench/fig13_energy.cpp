@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces Figure 13: access + wire energy of every register file
+ * organisation, normalised to the single-level baseline, versus
+ * entries per thread. This is the paper's headline chart: the best
+ * software three-level design (3-entry ORF + split LRF) saves ~54% of
+ * register file energy, versus ~34% for the hardware RFC and ~41% for
+ * a three-level hardware design (best at 6 entries).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "core/sweep.h"
+#include "energy/encoding_overhead.h"
+
+using namespace rfh;
+
+int
+main()
+{
+    bench::header("Figure 13: normalised register file energy",
+                  "SW LRF split @3 entries saves 54%; HW RFC saves 34%; "
+                  "HW LRF saves 41% @6");
+
+    ExperimentConfig cfg;
+    std::vector<Scheme> schemes = {Scheme::HW_TWO_LEVEL,
+                                   Scheme::HW_THREE_LEVEL,
+                                   Scheme::SW_TWO_LEVEL,
+                                   Scheme::SW_THREE_LEVEL};
+    auto points = sweepEntries(schemes, cfg);
+
+    TextTable t({"Entries", "HW", "HW LRF", "SW", "SW LRF split"});
+    for (int e = 1; e <= kMaxOrfEntries; e++) {
+        std::vector<std::string> row = {std::to_string(e)};
+        for (Scheme s : schemes) {
+            for (const auto &p : points)
+                if (p.scheme == s && p.entries == e)
+                    row.push_back(fmt(p.outcome.normalizedEnergy(), 3));
+        }
+        t.addRow(row);
+    }
+    std::printf("\n%s\n", t.str().c_str());
+
+    const SweepPoint *hw = bestPoint(points, Scheme::HW_TWO_LEVEL);
+    const SweepPoint *hw3 = bestPoint(points, Scheme::HW_THREE_LEVEL);
+    const SweepPoint *sw = bestPoint(points, Scheme::SW_TWO_LEVEL);
+    const SweepPoint *sw3 = bestPoint(points, Scheme::SW_THREE_LEVEL);
+
+    bench::compare("HW RFC best savings (%)", 34.0,
+                   100.0 * (1 - hw->outcome.normalizedEnergy()));
+    bench::compare("HW three-level best savings (%)", 41.0,
+                   100.0 * (1 - hw3->outcome.normalizedEnergy()));
+    bench::compare("SW two-level best savings (%)", 45.0,
+                   100.0 * (1 - sw->outcome.normalizedEnergy()));
+    bench::compare("SW LRF split best savings (%)", 54.0,
+                   100.0 * (1 - sw3->outcome.normalizedEnergy()));
+    std::printf("  best sizes: HW=%d HW-LRF=%d SW=%d SW-LRF=%d "
+                "(paper: 3 / 6 / 3 / 3)\n",
+                hw->entries, hw3->entries, sw->entries, sw3->entries);
+
+    // Split vs unified LRF (Section 6.4: ~4% energy apart).
+    ExperimentConfig uni;
+    uni.scheme = Scheme::SW_THREE_LEVEL;
+    uni.entries = sw3->entries;
+    uni.splitLRF = false;
+    double uni_e = runAllWorkloads(uni).normalizedEnergy();
+    bench::compare("split-LRF gain over unified (rel %)", 4.0,
+                   100.0 * (uni_e - sw3->outcome.normalizedEnergy()) /
+                       uni_e);
+
+    // Partial-range + read-operand allocation gain (Section 6.4: 3-4%).
+    ExperimentConfig plain;
+    plain.scheme = Scheme::SW_THREE_LEVEL;
+    plain.entries = sw3->entries;
+    plain.partialRanges = false;
+    plain.readOperands = false;
+    double plain_e = runAllWorkloads(plain).normalizedEnergy();
+    bench::compare("partial+read-operand energy gain (pp)", 3.5,
+                   100.0 * (plain_e - sw3->outcome.normalizedEnergy()));
+
+    // SW improvement over HW (Section 6.4: 44% better at best points,
+    // 22% for two-level vs RFC).
+    bench::compare("SW-3L improvement over HW RFC (rel %)", 44.0,
+                   100.0 * (hw->outcome.normalizedEnergy() -
+                            sw3->outcome.normalizedEnergy()) /
+                       (1 - hw->outcome.normalizedEnergy()));
+    bench::compare("SW-2L improvement over HW RFC (rel %)", 22.0,
+                   100.0 * (hw->outcome.normalizedEnergy() -
+                            sw->outcome.normalizedEnergy()) /
+                       hw->outcome.normalizedEnergy());
+
+    // Chip-level impact (Section 6.4: 8.3% of SM power, 5.8% chip).
+    EncodingOverheadModel eo;
+    double savings = 1 - sw3->outcome.normalizedEnergy();
+    bench::compare("chip-wide dynamic power saved (%)", 5.8,
+                   100.0 * eo.registerFileShare * savings);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Figure 14: energy breakdown (storage access vs wire, per
+ * hierarchy level) of the most energy-efficient configuration — the
+ * software three-level design with a 3-entry ORF and split LRF — as
+ * the ORF size sweeps 1..8.
+ *
+ * Paper headline: about two thirds of the remaining energy is spent on
+ * the MRF, split roughly evenly between access and wire energy; the
+ * LRF serves a third of reads yet costs almost nothing (<1% wire).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "core/sweep.h"
+
+using namespace rfh;
+
+int
+main()
+{
+    bench::header("Figure 14: energy breakdown of the best design",
+                  "~2/3 of residual energy is MRF, split evenly between "
+                  "access and wire");
+
+    ExperimentConfig cfg;
+    cfg.scheme = Scheme::SW_THREE_LEVEL;
+
+    TextTable t({"Entries", "MRF wire", "MRF acc", "ORF wire", "ORF acc",
+                 "LRF wire", "LRF acc", "Total"});
+    double mrf_share = 0, mrf_acc = 0, mrf_wire = 0, lrf_wire = 0;
+    for (int e = 1; e <= kMaxOrfEntries; e++) {
+        cfg.entries = e;
+        RunOutcome o = runAllWorkloads(cfg);
+        EnergyModel em(cfg.energy, e, true);
+        const AccessCounts &c = o.counts;
+        double base = o.baselineEnergyPJ;
+        double vals[6] = {
+            c.wireEnergyPJ(em, Level::MRF) / base,
+            c.accessEnergyPJ(em, Level::MRF) / base,
+            c.wireEnergyPJ(em, Level::ORF) / base,
+            c.accessEnergyPJ(em, Level::ORF) / base,
+            c.wireEnergyPJ(em, Level::LRF) / base,
+            c.accessEnergyPJ(em, Level::LRF) / base,
+        };
+        double total = 0;
+        for (double v : vals)
+            total += v;
+        t.addRow({std::to_string(e), pct(vals[0]), pct(vals[1]),
+                  pct(vals[2]), pct(vals[3]), pct(vals[4]), pct(vals[5]),
+                  pct(total)});
+        if (e == 3) {
+            mrf_wire = vals[0];
+            mrf_acc = vals[1];
+            mrf_share = (vals[0] + vals[1]) / total;
+            lrf_wire = vals[4];
+        }
+    }
+    std::printf("\nShare of baseline energy by component\n%s\n",
+                t.str().c_str());
+
+    bench::compare("MRF share of residual energy (%)", 66.0,
+                   100.0 * mrf_share);
+    bench::compare("MRF access/wire balance (acc % of MRF)", 50.0,
+                   100.0 * mrf_acc / (mrf_acc + mrf_wire));
+    bench::compare("LRF wire energy (% of baseline)", 1.0,
+                   100.0 * lrf_wire);
+    return 0;
+}

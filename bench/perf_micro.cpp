@@ -1,0 +1,120 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the toolchain itself: allocator
+ * throughput, simulator throughput, and analysis costs. These guard
+ * against performance regressions in the library (the figure harnesses
+ * re-run every workload many times).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/allocator.h"
+#include "ir/cfg_analysis.h"
+#include "ir/liveness.h"
+#include "ir/reaching_defs.h"
+#include "sim/baseline_exec.h"
+#include "sim/hw_cache.h"
+#include "sim/sw_exec.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace rfh;
+
+const Kernel &
+bigKernel()
+{
+    return workloadByName("nbody").kernel;
+}
+
+void
+BM_CfgAndLiveness(benchmark::State &state)
+{
+    const Kernel &k = bigKernel();
+    for (auto _ : state) {
+        Cfg cfg(k);
+        Liveness live(k, cfg);
+        benchmark::DoNotOptimize(live.liveIn(0));
+    }
+}
+BENCHMARK(BM_CfgAndLiveness);
+
+void
+BM_ReachingDefs(benchmark::State &state)
+{
+    const Kernel &k = bigKernel();
+    Cfg cfg(k);
+    for (auto _ : state) {
+        ReachingDefs rd(k, cfg);
+        benchmark::DoNotOptimize(rd.numDefs());
+    }
+}
+BENCHMARK(BM_ReachingDefs);
+
+void
+BM_AllocatorThreeLevel(benchmark::State &state)
+{
+    Kernel k = bigKernel();
+    AllocOptions opts;
+    opts.orfEntries = static_cast<int>(state.range(0));
+    opts.useLRF = true;
+    opts.splitLRF = true;
+    HierarchyAllocator alloc(EnergyParams{}, opts);
+    for (auto _ : state) {
+        AllocStats stats = alloc.run(k);
+        benchmark::DoNotOptimize(stats.orfValuesFull);
+    }
+    state.SetItemsProcessed(state.iterations() * k.numInstrs());
+}
+BENCHMARK(BM_AllocatorThreeLevel)->Arg(1)->Arg(3)->Arg(8);
+
+void
+BM_BaselineExec(benchmark::State &state)
+{
+    const Kernel &k = bigKernel();
+    RunConfig run;
+    for (auto _ : state) {
+        AccessCounts c = runBaseline(k, run);
+        benchmark::DoNotOptimize(c.instructions);
+        state.SetItemsProcessed(state.items_processed() +
+                                c.instructions);
+    }
+}
+BENCHMARK(BM_BaselineExec);
+
+void
+BM_HwCacheExec(benchmark::State &state)
+{
+    const Kernel &k = bigKernel();
+    HwCacheConfig cfg;
+    cfg.useLRF = true;
+    for (auto _ : state) {
+        AccessCounts c = runHwCache(k, cfg);
+        benchmark::DoNotOptimize(c.instructions);
+        state.SetItemsProcessed(state.items_processed() +
+                                c.instructions);
+    }
+}
+BENCHMARK(BM_HwCacheExec);
+
+void
+BM_SwExec(benchmark::State &state)
+{
+    Kernel k = bigKernel();
+    AllocOptions opts;
+    opts.useLRF = true;
+    opts.splitLRF = true;
+    HierarchyAllocator alloc(EnergyParams{}, opts);
+    alloc.run(k);
+    for (auto _ : state) {
+        SwExecResult r = runSwHierarchy(k, opts);
+        benchmark::DoNotOptimize(r.counts.instructions);
+        state.SetItemsProcessed(state.items_processed() +
+                                r.counts.instructions);
+    }
+}
+BENCHMARK(BM_SwExec);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces the Section 7 limit study: how much energy headroom
+ * remains beyond the realistic three-level software design.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compiler/limit_study.h"
+#include "core/report.h"
+
+using namespace rfh;
+
+int
+main()
+{
+    bench::header("Section 7: register hierarchy limit study",
+                  "ideal all-LRF -87%; all-ORF(5) -61%; oracle variable "
+                  "allocation -6%; resident-past-backward ~5%; "
+                  "rescheduling ideals -6..-9%; never-flush -8%");
+
+    LimitStudyResults r = runLimitStudy();
+
+    TextTable t({"Experiment", "Normalised energy", "Savings"});
+    auto row = [&](const char *name, double v) {
+        t.addRow({name, fmt(v, 3), pct(1 - v)});
+    };
+    row("realistic best (3-entry ORF + split LRF)", r.realistic);
+    row("ideal: every access in the LRF", r.idealAllLrf);
+    row("ideal: every access in a 5-entry ORF", r.idealAllOrf5);
+    row("oracle variable ORF allocation", r.variableOracle);
+    row("variable + 6 active warps (4 entries @3 cost)",
+        r.fewerActiveWarps);
+    row("HW RFC resident past backward branches",
+        r.hwResidentPastBackward);
+    row("HW RFC flushed at backward branches", r.hwFlushAtBackward);
+    row("ideal rescheduling: 8 entries @3-entry cost",
+        r.sched8EntriesAt3);
+    row("realistic rescheduling: 5 entries @3-entry cost",
+        r.sched5EntriesAt3);
+    row("never flush ORF/LRF across deschedules", r.neverFlush);
+    std::printf("\n%s\n", t.str().c_str());
+
+    bench::compare("ideal all-LRF savings (%)", 87.0,
+                   100.0 * (1 - r.idealAllLrf));
+    bench::compare("ideal all-ORF(5) savings (%)", 61.0,
+                   100.0 * (1 - r.idealAllOrf5));
+    bench::compare("HW resident-vs-flush backward delta (rel %)", 5.0,
+                   100.0 * (r.hwFlushAtBackward -
+                            r.hwResidentPastBackward) /
+                       r.hwFlushAtBackward);
+    bench::compare("never-flush gain over realistic (rel %)", 8.0,
+                   100.0 * (r.realistic - r.neverFlush) / r.realistic);
+    std::printf("\nNote: the oracle experiment grants per-kernel (not "
+                "per-strand) size choice;\nsee EXPERIMENTS.md for the "
+                "granularity discussion.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Section 7 follow-through: the paper only *estimates* the value of
+ * reordering instructions to shorten producer-consumer distances
+ * (idealised: -9%; realistic guess: -6%). This harness runs our actual
+ * lifetime-shortening list scheduler (compiler/scheduler.*) and the
+ * linear-scan pre-allocator on every workload and measures the real
+ * effect on hierarchy energy.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compiler/allocator.h"
+#include "compiler/regalloc.h"
+#include "compiler/scheduler.h"
+#include "core/report.h"
+#include "sim/baseline_exec.h"
+#include "sim/sw_exec.h"
+#include "workloads/registry.h"
+
+using namespace rfh;
+
+namespace {
+
+double
+energyOf(const Kernel &kernel, const RunConfig &run,
+         const AllocOptions &opts, const EnergyParams &params,
+         double *base_out)
+{
+    Kernel k = kernel;
+    HierarchyAllocator alloc(params, opts);
+    alloc.run(k);
+    SwExecConfig sc;
+    sc.run = run;
+    SwExecResult res = runSwHierarchy(k, opts, sc);
+    if (!res.ok()) {
+        std::fprintf(stderr, "verification failure: %s\n",
+                     res.error.c_str());
+        std::exit(1);
+    }
+    EnergyModel em(params, opts.orfEntries, opts.splitLRF);
+    if (base_out)
+        *base_out = runBaseline(kernel, run).totalEnergyPJ(em);
+    return res.counts.totalEnergyPJ(em);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Section 7: real instruction scheduling & regalloc",
+                  "paper estimates -6..-9% from rescheduling; this runs "
+                  "an actual lifetime-shortening scheduler");
+
+    EnergyParams params;
+    AllocOptions opts;
+    opts.orfEntries = 3;
+    opts.useLRF = true;
+    opts.splitLRF = true;
+
+    double e_plain = 0, e_sched = 0, e_regalloc = 0, base = 0;
+    long lifetime_reduction = 0;
+    int moved = 0, spilled_kernels = 0;
+    for (const Workload &w : allWorkloads()) {
+        double b = 0;
+        e_plain += energyOf(w.kernel, w.run, opts, params, &b);
+        base += b;
+
+        Kernel sched = w.kernel;
+        ScheduleStats ss = scheduleKernel(sched);
+        lifetime_reduction += ss.lifetimeReduction;
+        moved += ss.instructionsMoved;
+        e_sched += energyOf(sched, w.run, opts, params, nullptr);
+
+        // Tight architectural budget: how much hierarchy benefit
+        // survives register pressure and spill code?
+        Kernel tight = w.kernel;
+        RegAllocOptions ro;
+        ro.numRegs = 12;
+        RegAllocStats rs = allocateRegisters(tight, ro);
+        if (rs.anySpills())
+            spilled_kernels++;
+        // Normalise against the *transformed* kernel's own baseline so
+        // spill traffic affects both sides equally.
+        double tb = 0;
+        double te = energyOf(tight, w.run, opts, params, &tb);
+        e_regalloc += te / tb * b;
+    }
+
+    TextTable t({"Pipeline", "Normalised energy", "Savings"});
+    t.addRow({"as written (scheduled by hand/generator)",
+              fmt(e_plain / base, 3), pct(1 - e_plain / base)});
+    t.addRow({"+ lifetime-shortening list scheduler",
+              fmt(e_sched / base, 3), pct(1 - e_sched / base)});
+    t.addRow({"12-register linear-scan budget (with spills)",
+              fmt(e_regalloc / base, 3), pct(1 - e_regalloc / base)});
+    std::printf("\n%s\n", t.str().c_str());
+    std::printf("Scheduler moved %d instructions; total "
+                "producer-consumer distance reduced by %ld slots; "
+                "%d/36 kernels spilled under the tight budget.\n\n",
+                moved, lifetime_reduction, spilled_kernels);
+
+    bench::compare("rescheduling energy gain (rel %)", 6.0,
+                   100.0 * (e_plain - e_sched) / e_plain);
+    return 0;
+}

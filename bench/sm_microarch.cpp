@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SM microarchitecture context (Section 2 / Figure 1): SIMT divergence
+ * behaviour and MRF bank-conflict pressure across the workload suite.
+ *
+ * These numbers motivate two of the paper's design choices:
+ *  - the MRF needs 32 banks plus multi-cycle operand buffering, while
+ *    the 3R/1W ORF and LRF read all operands in one cycle and drop the
+ *    distribution logic (Section 3.2);
+ *  - register file access counting happens per warp instruction, so
+ *    SIMD efficiency quantifies how faithfully warp-level counts model
+ *    the divergent per-thread reality.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "sim/mrf_banks.h"
+#include "sim/simt.h"
+#include "workloads/registry.h"
+
+using namespace rfh;
+
+int
+main()
+{
+    bench::header("Section 2 / Figure 1: SM microarchitecture context",
+                  "32-bank MRF with multi-cycle operand collection; "
+                  "SIMT warps with active masks");
+
+    TextTable t({"Benchmark", "SIMD eff", "Divergences",
+                 "MRF conflict rate", "Fetch cyc/instr"});
+    double eff_sum = 0, conf_sum = 0, fetch_sum = 0;
+    int n = 0;
+    for (const Workload &w : allWorkloads()) {
+        SimtStats ss = runSimt(w.kernel, 2, 8);
+        MrfBankConfig bc;
+        bc.run = w.run;
+        bc.run.numWarps = 4;
+        MrfBankStats bs = measureBankConflicts(w.kernel, bc);
+        t.addRow({w.name, pct(ss.simdEfficiency),
+                  std::to_string(ss.divergences),
+                  pct(bs.conflictRate()), fmt(bs.avgFetchCycles(), 2)});
+        eff_sum += ss.simdEfficiency;
+        conf_sum += bs.conflictRate();
+        fetch_sum += bs.avgFetchCycles();
+        n++;
+    }
+    std::printf("\n%s\n", t.str().c_str());
+    std::printf("Averages: SIMD efficiency %s, MRF conflict rate %s, "
+                "%.2f operand-fetch cycles/instr.\n",
+                pct(eff_sum / n).c_str(), pct(conf_sum / n).c_str(),
+                fetch_sum / n);
+
+    // With one bank, every multi-operand instruction conflicts — the
+    // banking requirement the paper's Figure 1(c) addresses.
+    MrfBankConfig one;
+    one.numBanks = 1;
+    MrfBankStats worst = measureBankConflicts(
+        workloadByName("nbody").kernel, one);
+    MrfBankConfig full;
+    MrfBankStats best = measureBankConflicts(
+        workloadByName("nbody").kernel, full);
+    std::printf("\nnbody operand fetch: %d bank(s) -> %.2f cyc/instr, "
+                "32 banks -> %.2f cyc/instr\n", 1,
+                worst.avgFetchCycles(), best.avgFetchCycles());
+    bench::compare("32-bank conflict rate, suite average (%)", 5.0,
+                   100.0 * conf_sum / n);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Tables 3 and 4: the energy model constants and the
+ * derived per-32-bit-operand costs the allocator actually works with.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "energy/energy_model.h"
+
+using namespace rfh;
+
+int
+main()
+{
+    bench::header("Tables 3 & 4: energy model",
+                  "ORF access energy by size; wire energy by distance");
+
+    EnergyParams p;
+    TextTable t3({"Entries", "Read pJ/128b", "Write pJ/128b"});
+    for (int e = 1; e <= kMaxOrfEntries; e++)
+        t3.addRow({std::to_string(e), fmt(EnergyParams::orfReadPJ(e), 1),
+                   fmt(EnergyParams::orfWritePJ(e), 1)});
+    std::printf("\nTable 3: ORF access energy\n%s\n", t3.str().c_str());
+
+    TextTable t4({"Parameter", "Value"});
+    t4.addRow({"MRF read / write (pJ per 128b)",
+               fmt(p.mrfReadPJ, 1) + " / " + fmt(p.mrfWritePJ, 1)});
+    t4.addRow({"LRF read / write (pJ per 128b)",
+               fmt(p.lrfReadPJ, 1) + " / " + fmt(p.lrfWritePJ, 1)});
+    t4.addRow({"wire energy (pJ/mm per 32b)", fmt(p.wirePJPerMM, 1)});
+    t4.addRow({"MRF distance to private / shared (mm)",
+               fmt(p.mrfDistPrivateMM, 2) + " / " +
+                   fmt(p.mrfDistSharedMM, 2)});
+    t4.addRow({"ORF distance to private / shared (mm)",
+               fmt(p.orfDistPrivateMM, 2) + " / " +
+                   fmt(p.orfDistSharedMM, 2)});
+    t4.addRow({"LRF distance to private (mm)",
+               fmt(p.lrfDistPrivateMM, 2)});
+    std::printf("Table 4: modelling parameters\n%s\n", t4.str().c_str());
+
+    TextTable d({"Level", "Datapath", "Read pJ/32b", "Write pJ/32b"});
+    EnergyModel em(p, 3);
+    d.addRow({"MRF", "private",
+              fmt(em.readEnergy(Level::MRF, Datapath::PRIVATE)),
+              fmt(em.writeEnergy(Level::MRF, Datapath::PRIVATE))});
+    d.addRow({"MRF", "shared",
+              fmt(em.readEnergy(Level::MRF, Datapath::SHARED)),
+              fmt(em.writeEnergy(Level::MRF, Datapath::SHARED))});
+    d.addRow({"ORF(3)", "private",
+              fmt(em.readEnergy(Level::ORF, Datapath::PRIVATE)),
+              fmt(em.writeEnergy(Level::ORF, Datapath::PRIVATE))});
+    d.addRow({"ORF(3)", "shared",
+              fmt(em.readEnergy(Level::ORF, Datapath::SHARED)),
+              fmt(em.writeEnergy(Level::ORF, Datapath::SHARED))});
+    d.addRow({"LRF", "private",
+              fmt(em.readEnergy(Level::LRF, Datapath::PRIVATE)),
+              fmt(em.writeEnergy(Level::LRF, Datapath::PRIVATE))});
+    std::printf("Derived per-operand costs (access + wire)\n%s\n",
+                d.str().c_str());
+
+    double mrf_wire_priv = em.wireEnergy(Level::MRF, Datapath::PRIVATE);
+    bench::compare("MRF/ORF private wire ratio", 5.0,
+                   mrf_wire_priv / em.wireEnergy(Level::ORF,
+                                                 Datapath::PRIVATE));
+    bench::compare("MRF/LRF private wire ratio", 20.0,
+                   mrf_wire_priv /
+                       EnergyModel(p, 3, false).wireEnergy(
+                           Level::LRF, Datapath::PRIVATE));
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Design-space exploration: find the most energy-efficient register
+ * file hierarchy for a workload (or the whole suite).
+ *
+ * Usage:
+ *   ./build/examples/design_space [workload-name]
+ *
+ * Sweeps ORF/RFC size 1..8 for all four organisations, reports the
+ * energy of each point, and recommends a configuration — the workflow
+ * a GPU architect would run when re-targeting the hierarchy to a new
+ * workload mix (Section 6.4).
+ */
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/sweep.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rfh;
+
+    std::optional<std::string> name;
+    if (argc > 1)
+        name = argv[1];
+    std::printf("Design-space sweep over %s\n\n",
+                name ? name->c_str() : "the full benchmark suite");
+
+    std::vector<Scheme> schemes = {Scheme::HW_TWO_LEVEL,
+                                   Scheme::HW_THREE_LEVEL,
+                                   Scheme::SW_TWO_LEVEL,
+                                   Scheme::SW_THREE_LEVEL};
+
+    TextTable t({"Entries", "HW", "HW LRF", "SW", "SW LRF split"});
+    double best = 1e300;
+    Scheme best_scheme = Scheme::BASELINE;
+    int best_entries = 0;
+    for (int e = 1; e <= kMaxOrfEntries; e++) {
+        std::vector<std::string> row = {std::to_string(e)};
+        for (Scheme s : schemes) {
+            ExperimentConfig cfg;
+            cfg.scheme = s;
+            cfg.entries = e;
+            RunOutcome o = name ? runScheme(workloadByName(*name), cfg)
+                                : runAllWorkloads(cfg);
+            if (!o.ok()) {
+                std::fprintf(stderr, "verification failure: %s\n",
+                             o.error.c_str());
+                return 1;
+            }
+            row.push_back(fmt(o.normalizedEnergy(), 3));
+            if (o.normalizedEnergy() < best) {
+                best = o.normalizedEnergy();
+                best_scheme = s;
+                best_entries = e;
+            }
+        }
+        t.addRow(row);
+    }
+    std::printf("Normalised register file energy\n%s\n",
+                t.str().c_str());
+    std::printf("Recommended configuration: %s with %d entries/thread "
+                "(saves %s)\n",
+                std::string(schemeName(best_scheme)).c_str(),
+                best_entries, pct(1 - best).c_str());
+    return 0;
+}

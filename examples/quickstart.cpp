@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Quickstart: compile a small kernel for the three-level register file
+ * hierarchy and inspect what the allocator did.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "compiler/allocator.h"
+#include "energy/energy_model.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "sim/sw_exec.h"
+
+int
+main()
+{
+    using namespace rfh;
+
+    // An axpy-style kernel written in RPTX assembly. R0 is the thread
+    // id, R63 the parameter base.
+    const char *source = R"(.kernel axpy
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #8
+loop:
+    ld.global R5, [R3]
+    ld.global R6, [R3+4]
+    fmul      R7, R5, #1069547520
+    fadd      R8, R7, R6
+    st.global [R3], R8
+    iadd      R3, R3, #128
+    isub      R4, R4, #1
+    setgt     R9, R4, #0
+    @R9 bra   loop
+done:
+    exit
+)";
+
+    ParseResult parsed = parseKernel(source);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+        return 1;
+    }
+    Kernel kernel = std::move(parsed.kernel);
+
+    // Configure a three-level hierarchy: 3-entry ORF + split LRF (the
+    // paper's most efficient design) and run the allocator.
+    AllocOptions opts;
+    opts.orfEntries = 3;
+    opts.useLRF = true;
+    opts.splitLRF = true;
+    HierarchyAllocator allocator(EnergyParams{}, opts);
+    AllocStats stats = allocator.run(kernel);
+
+    PrintOptions po;
+    po.annotations = true;
+    po.strands = true;
+    std::printf("Annotated kernel (operand {level} tags, strand "
+                "marks):\n\n%s\n", printKernel(kernel, po).c_str());
+
+    std::printf("Allocation: %d strands, %d values (%d ORF, %d LRF, "
+                "%d partial), %d read operands, %d MRF writes elided\n",
+                stats.strands, stats.valueInstances,
+                stats.orfValuesFull, stats.lrfValues,
+                stats.orfValuesPartial,
+                stats.orfReadsFull + stats.orfReadsPartial,
+                stats.mrfWritesElided);
+
+    // Execute through the hierarchy; the executor verifies every access
+    // bit-exactly against a flat register file.
+    SwExecResult result = runSwHierarchy(kernel, opts);
+    if (!result.ok()) {
+        std::fprintf(stderr, "verification failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+
+    EnergyModel em(EnergyParams{}, opts.orfEntries, opts.splitLRF);
+    const AccessCounts &c = result.counts;
+    std::printf("\nExecuted %llu instructions, %llu deschedules\n",
+                static_cast<unsigned long long>(c.instructions),
+                static_cast<unsigned long long>(c.deschedules));
+    std::printf("Reads:  MRF %llu  ORF %llu  LRF %llu\n",
+                static_cast<unsigned long long>(c.totalReads(Level::MRF)),
+                static_cast<unsigned long long>(c.totalReads(Level::ORF)),
+                static_cast<unsigned long long>(
+                    c.totalReads(Level::LRF)));
+    std::printf("Writes: MRF %llu  ORF %llu  LRF %llu\n",
+                static_cast<unsigned long long>(
+                    c.totalWrites(Level::MRF)),
+                static_cast<unsigned long long>(
+                    c.totalWrites(Level::ORF)),
+                static_cast<unsigned long long>(
+                    c.totalWrites(Level::LRF)));
+    std::printf("Register file energy: %.1f pJ\n", c.totalEnergyPJ(em));
+    return 0;
+}

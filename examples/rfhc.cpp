@@ -1,0 +1,242 @@
+/**
+ * @file
+ * rfhc — command-line driver for the register file hierarchy compiler.
+ *
+ * Usage:
+ *   rfhc annotate <file.rptx> [options]   print the allocated kernel
+ *   rfhc run      <file.rptx> [options]   execute + report accesses
+ *   rfhc stats    <file.rptx>             strand / usage statistics
+ *
+ * Options:
+ *   --entries N        ORF entries per thread (default 3)
+ *   --no-lrf           two-level hierarchy (ORF + MRF only)
+ *   --unified-lrf      one LRF bank instead of one per operand slot
+ *   --no-partial       disable partial-range allocation
+ *   --no-readops       disable read-operand allocation
+ *   --schedule         run the lifetime-shortening scheduler first
+ *   --regalloc N       linear-scan onto N architectural registers
+ *   --warps N          warps to execute (run; default 8)
+ *
+ * The tool lets users drive the full pipeline on their own RPTX
+ * kernels without writing any C++.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "compiler/allocator.h"
+#include "core/json.h"
+#include "compiler/regalloc.h"
+#include "compiler/scheduler.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "sim/baseline_exec.h"
+#include "sim/sw_exec.h"
+
+using namespace rfh;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: rfhc <annotate|run|stats> <file.rptx> "
+                 "[--entries N] [--no-lrf]\n"
+                 "            [--unified-lrf] [--no-partial] "
+                 "[--no-readops] [--schedule]\n"
+                 "            [--regalloc N] [--warps N]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string cmd = argv[1];
+    std::string path = argv[2];
+
+    AllocOptions opts;
+    opts.useLRF = true;
+    opts.splitLRF = true;
+    bool do_schedule = false;
+    bool json = false;
+    int regalloc_budget = 0;
+    int warps = 8;
+    for (int i = 3; i < argc; i++) {
+        std::string a = argv[i];
+        auto next_int = [&](int &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = std::atoi(argv[++i]);
+            return out > 0;
+        };
+        if (a == "--entries") {
+            if (!next_int(opts.orfEntries) ||
+                opts.orfEntries > kMaxOrfEntries)
+                return usage();
+        } else if (a == "--no-lrf") {
+            opts.useLRF = opts.splitLRF = false;
+        } else if (a == "--unified-lrf") {
+            opts.splitLRF = false;
+        } else if (a == "--no-partial") {
+            opts.partialRanges = false;
+        } else if (a == "--no-readops") {
+            opts.readOperands = false;
+        } else if (a == "--schedule") {
+            do_schedule = true;
+        } else if (a == "--json") {
+            json = true;
+        } else if (a == "--regalloc") {
+            if (!next_int(regalloc_budget))
+                return usage();
+        } else if (a == "--warps") {
+            if (!next_int(warps))
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "rfhc: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    ParseResult parsed = parseKernel(text.str());
+    if (!parsed.ok) {
+        std::fprintf(stderr, "rfhc: %s: %s\n", path.c_str(),
+                     parsed.error.c_str());
+        return 1;
+    }
+    Kernel kernel = std::move(parsed.kernel);
+
+    if (do_schedule) {
+        ScheduleStats ss = scheduleKernel(kernel);
+        std::fprintf(stderr,
+                     "rfhc: scheduler moved %d instructions "
+                     "(lifetime -%ld)\n",
+                     ss.instructionsMoved, ss.lifetimeReduction);
+    }
+    if (regalloc_budget > 0) {
+        RegAllocOptions ro;
+        ro.numRegs = regalloc_budget;
+        RegAllocStats rs = allocateRegisters(kernel, ro);
+        std::fprintf(stderr,
+                     "rfhc: regalloc used %d regs, spilled %d ranges "
+                     "(%d loads, %d stores)\n",
+                     rs.regsUsed, rs.spilledRanges, rs.spillLoads,
+                     rs.spillStores);
+    }
+
+    if (cmd == "stats") {
+        Cfg cfg(kernel);
+        StrandAnalysis sa(kernel, cfg, opts.strandOptions);
+        RunConfig rc;
+        rc.numWarps = warps;
+        UsageStats us = collectUsageStats(kernel, rc);
+        std::printf("kernel %s: %d blocks, %d instructions, %d "
+                    "registers\n",
+                    kernel.name.c_str(),
+                    static_cast<int>(kernel.blocks.size()),
+                    kernel.numInstrs(), kernel.numRegs());
+        std::printf("strands: %d\n", sa.numStrands());
+        for (int s = 0; s < sa.numStrands(); s++) {
+            const Strand &st = sa.strand(s);
+            const char *why = "";
+            switch (st.endReason) {
+              case StrandEndReason::LONG_LATENCY:
+                why = "long-latency dependence"; break;
+              case StrandEndReason::BACKWARD_BRANCH:
+                why = "backward branch"; break;
+              case StrandEndReason::BACKWARD_TARGET:
+                why = "backward-branch target"; break;
+              case StrandEndReason::MERGE_UNCERTAIN:
+                why = "uncertain merge"; break;
+              case StrandEndReason::KERNEL_END:
+                why = "kernel end"; break;
+            }
+            std::printf("  strand %d: lin [%d, %d]  ends: %s\n", s,
+                        st.firstLin, st.lastLin, why);
+        }
+        std::printf("dynamic values: %llu (read0 %.1f%%, read1 %.1f%%, "
+                    "read2 %.1f%%, more %.1f%%)\n",
+                    static_cast<unsigned long long>(us.totalValues),
+                    100 * us.fracRead(0), 100 * us.fracRead(1),
+                    100 * us.fracRead(2), 100 * us.fracRead(3));
+        return 0;
+    }
+
+    HierarchyAllocator alloc(EnergyParams{}, opts);
+    AllocStats stats = alloc.run(kernel);
+
+    if (cmd == "annotate") {
+        PrintOptions po;
+        po.annotations = true;
+        po.strands = true;
+        std::printf("%s", printKernel(kernel, po).c_str());
+        std::fprintf(stderr,
+                     "rfhc: %d strands; %d ORF values (%d partial), "
+                     "%d LRF values, %d read operands, %d MRF writes "
+                     "elided\n",
+                     stats.strands, stats.orfValuesFull,
+                     stats.orfValuesPartial, stats.lrfValues,
+                     stats.orfReadsFull + stats.orfReadsPartial,
+                     stats.mrfWritesElided);
+        return 0;
+    }
+
+    if (cmd == "run") {
+        SwExecConfig sc;
+        sc.run.numWarps = warps;
+        SwExecResult r = runSwHierarchy(kernel, opts, sc);
+        if (!r.ok()) {
+            std::fprintf(stderr, "rfhc: verification failed: %s\n",
+                         r.error.c_str());
+            return 1;
+        }
+        EnergyModel em(EnergyParams{}, opts.orfEntries, opts.splitLRF);
+        AccessCounts base = runBaseline(kernel, sc.run);
+        if (json) {
+            RunOutcome o;
+            o.counts = r.counts;
+            o.energyPJ = r.counts.totalEnergyPJ(em);
+            o.baselineEnergyPJ = base.totalEnergyPJ(em);
+            std::printf("%s\n", outcomeToJson(o).c_str());
+            return 0;
+        }
+        const AccessCounts &c = r.counts;
+        std::printf("instructions: %llu   deschedules: %llu\n",
+                    static_cast<unsigned long long>(c.instructions),
+                    static_cast<unsigned long long>(c.deschedules));
+        std::printf("reads:  MRF %llu  ORF %llu  LRF %llu\n",
+                    static_cast<unsigned long long>(
+                        c.totalReads(Level::MRF)),
+                    static_cast<unsigned long long>(
+                        c.totalReads(Level::ORF)),
+                    static_cast<unsigned long long>(
+                        c.totalReads(Level::LRF)));
+        std::printf("writes: MRF %llu  ORF %llu  LRF %llu\n",
+                    static_cast<unsigned long long>(
+                        c.totalWrites(Level::MRF)),
+                    static_cast<unsigned long long>(
+                        c.totalWrites(Level::ORF)),
+                    static_cast<unsigned long long>(
+                        c.totalWrites(Level::LRF)));
+        double e = c.totalEnergyPJ(em);
+        double be = base.totalEnergyPJ(em);
+        std::printf("energy: %.1f pJ (flat register file: %.1f pJ, "
+                    "saved %.1f%%)\n", e, be, 100.0 * (1 - e / be));
+        return 0;
+    }
+
+    return usage();
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Two-level warp scheduler study on one benchmark.
+ *
+ * Usage:
+ *   ./build/examples/scheduler_study [workload-name]
+ *
+ * Sweeps the active-set size of the two-level scheduler (Section 2.2)
+ * and prints IPC, so the "no performance loss with 8 active warps"
+ * tradeoff can be inspected per workload. A smaller active set means a
+ * smaller ORF/LRF (only active warps hold entries), so this sweep is
+ * the performance half of the hierarchy sizing decision.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/report.h"
+#include "sim/perf_sim.h"
+#include "workloads/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rfh;
+
+    std::string name = argc > 1 ? argv[1] : "scalarprod";
+    const Workload &w = workloadByName(name);
+    std::printf("Two-level scheduler study: %s\n\n", w.name.c_str());
+
+    PerfConfig base;
+    PerfResult flat;
+    TextTable t({"Active warps", "IPC", "vs flat", "Deschedules"});
+    for (int a : {1, 2, 4, 6, 8, 12, 16, 24, 32}) {
+        PerfConfig cfg = base;
+        cfg.activeWarps = a;
+        PerfResult r = runPerfSim(w.kernel, cfg);
+        if (a == 32)
+            flat = r;
+        t.addRow({std::to_string(a), fmt(r.ipc(), 3), "",
+                  std::to_string(r.deschedules)});
+    }
+    // Fill in the ratio column now that the flat result is known.
+    TextTable t2({"Active warps", "IPC", "vs flat", "Deschedules"});
+    for (int a : {1, 2, 4, 6, 8, 12, 16, 24, 32}) {
+        PerfConfig cfg = base;
+        cfg.activeWarps = a;
+        PerfResult r = runPerfSim(w.kernel, cfg);
+        t2.addRow({std::to_string(a), fmt(r.ipc(), 3),
+                   pct(flat.ipc() > 0 ? r.ipc() / flat.ipc() : 0),
+                   std::to_string(r.deschedules)});
+    }
+    std::printf("%s\n", t2.str().c_str());
+    std::printf("32 resident warps; ALU %d cy, shared mem %d cy, "
+                "DRAM %d cy (Table 2).\n", base.aluLatency,
+                base.sharedMemLatency, base.dramLatency);
+    return 0;
+}

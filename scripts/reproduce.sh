@@ -1,0 +1,21 @@
+#!/bin/sh
+# Build everything, run the full test suite, and regenerate every
+# table and figure of the paper, capturing the outputs at the repo root.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "### $b" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "Done. See test_output.txt and bench_output.txt, and compare the"
+echo "paper-vs-measured lines against EXPERIMENTS.md."

@@ -1,0 +1,154 @@
+#include "compiler/allocation.h"
+
+#include <algorithm>
+
+namespace rfh {
+
+EntryTimeline::EntryTimeline(int num_entries) : busy_(num_entries)
+{
+}
+
+bool
+EntryTimeline::available(int e, int begin, int end) const
+{
+    for (const Interval &iv : busy_[e])
+        if (begin < iv.end && iv.begin < end)
+            return false;
+    return true;
+}
+
+void
+EntryTimeline::allocate(int e, int begin, int end)
+{
+    busy_[e].push_back(Interval{begin, end});
+}
+
+int
+EntryTimeline::findFree(int begin, int end, int limit) const
+{
+    int cap = limit < 0 ? numEntries() : std::min(limit, numEntries());
+    for (int e = 0; e < cap; e++)
+        if (available(e, begin, end))
+            return e;
+    return -1;
+}
+
+int
+EntryTimeline::findFreePair(int begin, int end, int limit) const
+{
+    int cap = limit < 0 ? numEntries() : std::min(limit, numEntries());
+    for (int e = 0; e + 1 < cap; e++)
+        if (available(e, begin, end) && available(e + 1, begin, end))
+            return e;
+    return -1;
+}
+
+namespace {
+
+Datapath
+useDp(const InstanceUse &u)
+{
+    return u.shared ? Datapath::SHARED : Datapath::PRIVATE;
+}
+
+} // namespace
+
+double
+orfValueSavings(const ValueInstance &vi, const EnergyModel &em, int num_uses)
+{
+    double savings = 0.0;
+    int n = 0;
+    for (const auto &u : vi.uses) {
+        if (n++ >= num_uses)
+            break;
+        savings += em.readEnergy(Level::MRF, useDp(u)) -
+            em.readEnergy(Level::ORF, useDp(u));
+    }
+    Datapath prod = vi.sharedProducer ? Datapath::SHARED
+                                      : Datapath::PRIVATE;
+    int writes = static_cast<int>(vi.defLins.size()) * vi.width();
+    savings -= writes * em.writeEnergy(Level::ORF, prod);
+    bool mrf_write = vi.needsMrfWrite() ||
+        num_uses < static_cast<int>(vi.uses.size());
+    if (!mrf_write)
+        savings += writes * em.writeEnergy(Level::MRF, prod);
+    return savings;
+}
+
+double
+orfReadSavings(const ReadInstance &ri, const EnergyModel &em, int num_uses)
+{
+    // The first read still comes from the MRF; the deposit into the ORF
+    // is pure overhead (Figure 9). Reads in the same instruction as the
+    // depositing read cannot see the deposit (it lands in the write
+    // phase) and stay on the MRF.
+    double savings = 0.0;
+    int first_lin = ri.firstUseLin();
+    int n = 0;
+    for (const auto &u : ri.uses) {
+        if (n++ >= num_uses)
+            break;
+        if (u.lin == first_lin)
+            continue;
+        savings += em.readEnergy(Level::MRF, useDp(u)) -
+            em.readEnergy(Level::ORF, useDp(u));
+    }
+    savings -= em.writeEnergy(Level::ORF, useDp(ri.uses.front()));
+    return savings;
+}
+
+double
+lrfValueSavings(const ValueInstance &vi, const EnergyModel &em)
+{
+    double savings = 0.0;
+    for (const auto &u : vi.uses) {
+        savings += em.readEnergy(Level::MRF, useDp(u)) -
+            em.readEnergy(Level::LRF, useDp(u));
+    }
+    Datapath prod = vi.sharedProducer ? Datapath::SHARED
+                                      : Datapath::PRIVATE;
+    int writes = static_cast<int>(vi.defLins.size());
+    savings -= writes * em.writeEnergy(Level::LRF, prod);
+    if (!vi.needsMrfWrite())
+        savings += writes * em.writeEnergy(Level::MRF, prod);
+    return savings;
+}
+
+bool
+lrfEligible(const ValueInstance &vi, const Kernel &k, bool split_lrf,
+            bool allow_shared_producers)
+{
+    if (vi.wide)
+        return false;
+    // By default producers must be private ALUs: the LRF write path
+    // hangs off the ALU result bus (Figure 4). Long-latency producers
+    // are never eligible (their strand ends before the first read).
+    for (int dl : vi.defLins) {
+        const Instruction &din = k.instr(dl);
+        if (din.longLatency())
+            return false;
+        if (!allow_shared_producers &&
+            unitClass(din.op) != UnitClass::ALU)
+            return false;
+        if (unitClass(din.op) == UnitClass::CTRL)
+            return false;
+    }
+    // Consumers must be private ALUs too (the shared datapath cannot
+    // reach the LRF, Section 3.2).
+    for (const auto &u : vi.uses) {
+        if (u.shared || u.slot == kPredSlot)
+            return false;
+        if (unitClass(k.instr(u.lin).op) != UnitClass::ALU)
+            return false;
+    }
+    if (split_lrf) {
+        // With one bank per operand slot, all reads must come through
+        // the same slot (Section 3.2).
+        for (const auto &u : vi.uses)
+            if (u.slot != vi.uses.front().slot)
+                return false;
+    }
+    return true;
+}
+
+} // namespace rfh

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The compile-time register file hierarchy allocator (Section 4).
+ *
+ * Implements the paper's greedy allocation algorithm (Figure 7) with
+ * all its extensions: partial-range allocation (Section 4.3),
+ * read-operand allocation (Section 4.4), forward-branch handling
+ * (Section 4.5), and the three-level LRF/ORF/MRF hierarchy with an
+ * optional split LRF (Section 4.6). The allocator mutates only the
+ * annotation fields of the kernel's instructions.
+ */
+
+#ifndef RFH_COMPILER_ALLOCATOR_H
+#define RFH_COMPILER_ALLOCATOR_H
+
+#include "compiler/allocation.h"
+#include "energy/energy_params.h"
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Compile-time allocator over the LRF/ORF/MRF hierarchy. */
+class HierarchyAllocator
+{
+  public:
+    HierarchyAllocator(const EnergyParams &params, const AllocOptions &opts);
+
+    /**
+     * Run strand formation and allocation over @p k.
+     *
+     * Clears any existing annotations, recomputes strands (setting the
+     * end-of-strand bits), and annotates every operand with the level
+     * it is read from / written to.
+     */
+    AllocStats run(Kernel &k) const;
+
+    const AllocOptions &
+    options() const
+    {
+        return opts_;
+    }
+
+  private:
+    EnergyParams params_;
+    AllocOptions opts_;
+};
+
+} // namespace rfh
+
+#endif // RFH_COMPILER_ALLOCATOR_H

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Value-instance analysis: the allocator's view of register dataflow.
+ *
+ * For each strand this analysis builds:
+ *
+ *  - **Value instances** — each value produced in the strand, together
+ *    with its in-strand reads, whether it must also be written to the
+ *    MRF (live out of the strand, or read at a merge point where the
+ *    value's location would be ambiguous, Section 4.5), and the
+ *    datapaths of its producer and consumers. Hammock definitions of
+ *    the same register that merge at a common read (Figure 10(c)) are
+ *    grouped into one instance so they can share an ORF entry.
+ *
+ *  - **Read instances** — registers that are live into the strand and
+ *    read there (candidates for read-operand allocation, Section 4.4).
+ *
+ * In-strand reads are computed by an intra-strand reaching-definition
+ * scan that treats every strand entry point as "value lives in the MRF";
+ * a read reachable both from an in-strand definition and from a strand
+ * entry (Figure 10(a)) is ambiguous and is pinned to the MRF.
+ */
+
+#ifndef RFH_COMPILER_INSTANCES_H
+#define RFH_COMPILER_INSTANCES_H
+
+#include <vector>
+
+#include "compiler/strand.h"
+#include "ir/cfg_analysis.h"
+#include "ir/kernel.h"
+#include "ir/reaching_defs.h"
+
+namespace rfh {
+
+/** One in-strand read of an instance. */
+struct InstanceUse
+{
+    int lin = -1;       ///< Reading instruction (linear index).
+    int slot = 0;       ///< Operand slot, or kPredSlot.
+    bool shared = false; ///< Consumer is on the shared datapath.
+};
+
+/**
+ * A value produced in a strand: one definition, or a group of hammock
+ * definitions of the same register that merge (Figure 10(c)).
+ */
+struct ValueInstance
+{
+    int strand = -1;
+    Reg reg = 0;
+    /** Defining instructions (linear indices), ascending. */
+    std::vector<int> defLins;
+    /** In-strand reads servable from an upper level. */
+    std::vector<InstanceUse> uses;
+    /** In-strand reads pinned to the MRF (ambiguous location). */
+    std::vector<InstanceUse> mrfPinnedUses;
+    /** Value is read after the strand (or via paths leaving it). */
+    bool liveOut = false;
+    /** Producer executes on the shared datapath (SFU/MEM/TEX). */
+    bool sharedProducer = false;
+    /** 64-bit value occupying registers {reg, reg+1}. */
+    bool wide = false;
+
+    /** @return true if any servable use is on the shared datapath. */
+    bool
+    hasSharedConsumer() const
+    {
+        for (const auto &u : uses)
+            if (u.shared)
+                return true;
+        return false;
+    }
+
+    /** @return true if the value must reach the MRF. */
+    bool
+    needsMrfWrite() const
+    {
+        return liveOut || !mrfPinnedUses.empty();
+    }
+
+    /** First definition (occupancy interval start). */
+    int
+    firstDefLin() const
+    {
+        return defLins.front();
+    }
+
+    /** Last servable read, or the definition if never read. */
+    int
+    lastUseLin() const
+    {
+        int last = defLins.back();
+        for (const auto &u : uses)
+            last = std::max(last, u.lin);
+        return last;
+    }
+
+    /** Number of 32-bit ORF entries the value occupies. */
+    int
+    width() const
+    {
+        return wide ? 2 : 1;
+    }
+};
+
+/**
+ * A register live into a strand and read there: a candidate for
+ * read-operand allocation (Section 4.4). The first read always comes
+ * from the MRF and deposits the value into the ORF.
+ */
+struct ReadInstance
+{
+    int strand = -1;
+    Reg reg = 0;
+    /** Reads, ascending by (lin, slot); at least one. */
+    std::vector<InstanceUse> uses;
+
+    int
+    firstUseLin() const
+    {
+        return uses.front().lin;
+    }
+
+    int
+    lastUseLin() const
+    {
+        return uses.back().lin;
+    }
+};
+
+/** Instance analysis over a whole kernel. */
+class InstanceAnalysis
+{
+  public:
+    /**
+     * @param allow_long_latency_upper permit long-latency results to
+     *        be treated as allocatable (only valid under the
+     *        Section 7 "never flush" idealisation, where upper levels
+     *        survive deschedules).
+     */
+    InstanceAnalysis(const Kernel &k, const Cfg &cfg,
+                     const StrandAnalysis &strands,
+                     const ReachingDefs &global,
+                     bool allow_long_latency_upper = false);
+
+    /** All value instances, grouped, in ascending strand order. */
+    const std::vector<ValueInstance> &
+    values() const
+    {
+        return values_;
+    }
+
+    /** All read instances, in ascending strand order. */
+    const std::vector<ReadInstance> &
+    readInstances() const
+    {
+        return reads_;
+    }
+
+  private:
+    std::vector<ValueInstance> values_;
+    std::vector<ReadInstance> reads_;
+};
+
+} // namespace rfh
+
+#endif // RFH_COMPILER_INSTANCES_H

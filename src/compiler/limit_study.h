@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Register-hierarchy limit study (Section 7).
+ *
+ * Quantifies how much headroom remains beyond the realistic three-level
+ * software design:
+ *
+ *  - ideal systems where every access hits the LRF (paper: -87%) or a
+ *    5-entry ORF (paper: -61%);
+ *  - an oracle scheduler that assigns each strand its most profitable
+ *    number of ORF entries (paper: additional -6%), optionally running
+ *    fewer active warps so each gets more entries (another -6%);
+ *  - keeping hardware-cache contents resident across backward branches
+ *    versus flushing (paper: ~5% apart);
+ *  - idealised instruction scheduling: a larger ORF at a small ORF's
+ *    access energy (8 entries at 3-entry cost: -9%; 5 at 3: -6%);
+ *  - never flushing the ORF/LRF on deschedules (paper: -8%).
+ *
+ * All results are normalised to the flat single-level register file,
+ * aggregated over every workload.
+ */
+
+#ifndef RFH_COMPILER_LIMIT_STUDY_H
+#define RFH_COMPILER_LIMIT_STUDY_H
+
+#include "energy/energy_params.h"
+
+namespace rfh {
+
+/** Normalised energies of the Section 7 experiments. */
+struct LimitStudyResults
+{
+    /** Realistic best design: 3-entry ORF + split LRF. */
+    double realistic = 1.0;
+    /** Every access serviced by the LRF. */
+    double idealAllLrf = 1.0;
+    /** Every access serviced by a 5-entry ORF. */
+    double idealAllOrf5 = 1.0;
+    /** Oracle per-strand variable ORF size (static estimate). */
+    double variableOracle = 1.0;
+    /** Variable sizing plus 6 active warps sharing the 8-warp ORF. */
+    double fewerActiveWarps = 1.0;
+    /** Hardware RFC kept resident across backward branches. */
+    double hwResidentPastBackward = 1.0;
+    /** Hardware RFC flushed at every backward branch. */
+    double hwFlushAtBackward = 1.0;
+    /** Idealised rescheduling: 8-entry ORF at 3-entry energy. */
+    double sched8EntriesAt3 = 1.0;
+    /** Realistic rescheduling estimate: 5 entries at 3-entry energy. */
+    double sched5EntriesAt3 = 1.0;
+    /** Never flushing the ORF/LRF across deschedules. */
+    double neverFlush = 1.0;
+};
+
+/** Run every Section 7 experiment over all workloads. */
+LimitStudyResults runLimitStudy(const EnergyParams &params = {});
+
+} // namespace rfh
+
+#endif // RFH_COMPILER_LIMIT_STUDY_H

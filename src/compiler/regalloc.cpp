@@ -1,0 +1,238 @@
+#include "compiler/regalloc.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "ir/cfg_analysis.h"
+#include "ir/liveness.h"
+
+namespace rfh {
+
+namespace {
+
+struct LiveInterval
+{
+    Reg vreg = 0;
+    int start = 0;
+    int end = 0;
+    int phys = -1;      ///< Assigned architectural register.
+    int spillSlot = -1; ///< Spill slot index when phys < 0.
+};
+
+/** Scratch registers reserved for spill code (one per operand slot). */
+constexpr int kNumScratch = kMaxSrcs;
+
+} // namespace
+
+RegAllocStats
+allocateRegisters(Kernel &k, const RegAllocOptions &opts)
+{
+    RegAllocStats stats;
+    Cfg cfg(k);
+    Liveness liveness(k, cfg);
+    int n = k.numInstrs();
+
+    // Registers that keep their names: live into the kernel (inputs
+    // such as the thread id and parameter base) or halves of wide
+    // (64-bit) definitions, which would need consecutive physical
+    // pairs.
+    RegSet pinned = liveness.liveIn(0);
+    for (int lin = 0; lin < n; lin++) {
+        const Instruction &in = k.instr(lin);
+        if (in.dst && in.wide) {
+            pinned.set(*in.dst);
+            pinned.set(*in.dst + 1);
+        }
+    }
+
+    // Live intervals over the linear order (liveness already accounts
+    // for loop back edges, so intervals are loop-safe).
+    std::vector<LiveInterval> intervals;
+    {
+        std::vector<int> first(kMaxRegs, -1), last(kMaxRegs, -1);
+        for (int lin = 0; lin < n; lin++) {
+            RegSet live = usedRegs(k.instr(lin)) |
+                definedRegs(k.instr(lin)) | liveness.liveAfter(lin);
+            for (int r = 0; r < kMaxRegs; r++) {
+                if (!live.test(r))
+                    continue;
+                if (first[r] < 0)
+                    first[r] = lin;
+                last[r] = lin;
+            }
+        }
+        for (int r = 0; r < kMaxRegs; r++) {
+            if (first[r] < 0 || pinned.test(r))
+                continue;
+            intervals.push_back(LiveInterval{static_cast<Reg>(r),
+                                             first[r], last[r], -1, -1});
+        }
+    }
+    stats.liveRanges = static_cast<int>(intervals.size());
+    std::sort(intervals.begin(), intervals.end(),
+              [](const LiveInterval &a, const LiveInterval &b) {
+                  return std::tie(a.start, a.vreg) <
+                      std::tie(b.start, b.vreg);
+              });
+
+    // The allocatable pool: the configured window minus pinned names.
+    auto build_pool = [&](bool reserve_scratch) {
+        std::vector<int> pool;
+        for (int r = opts.firstReg;
+             r < opts.firstReg + opts.numRegs && r < kMaxRegs; r++)
+            if (!pinned.test(r))
+                pool.push_back(r);
+        if (reserve_scratch) {
+            for (int i = 0; i < kNumScratch &&
+                 static_cast<int>(pool.size()) > 1; i++)
+                pool.pop_back();
+        }
+        return pool;
+    };
+
+    // Linear scan (Poletto & Sarkar): returns true if no spills needed.
+    auto run_scan = [&](const std::vector<int> &pool) {
+        int next_slot = 0;
+        for (auto &iv : intervals) {
+            iv.phys = -1;
+            iv.spillSlot = -1;
+        }
+        std::vector<LiveInterval *> active;
+        std::vector<bool> in_use(kMaxRegs, false);
+        bool spilled = false;
+        for (auto &iv : intervals) {
+            // Expire old intervals.
+            active.erase(std::remove_if(active.begin(), active.end(),
+                [&](LiveInterval *a) {
+                    if (a->end < iv.start) {
+                        if (a->phys >= 0)
+                            in_use[a->phys] = false;
+                        return true;
+                    }
+                    return false;
+                }), active.end());
+            int phys = -1;
+            for (int r : pool) {
+                if (!in_use[r]) {
+                    phys = r;
+                    break;
+                }
+            }
+            if (phys >= 0) {
+                iv.phys = phys;
+                in_use[phys] = true;
+                active.push_back(&iv);
+            } else {
+                // Spill the active interval with the furthest end (or
+                // this one).
+                LiveInterval *victim = &iv;
+                for (LiveInterval *a : active)
+                    if (a->end > victim->end)
+                        victim = a;
+                if (victim != &iv) {
+                    iv.phys = victim->phys;
+                    victim->spillSlot = next_slot++;
+                    victim->phys = -1;
+                    *std::find(active.begin(), active.end(), victim) =
+                        &iv;
+                } else {
+                    iv.spillSlot = next_slot++;
+                }
+                spilled = true;
+            }
+        }
+        return !spilled;
+    };
+
+    bool fits = run_scan(build_pool(false));
+    std::vector<int> scratch;
+    if (!fits) {
+        // Re-run with scratch registers reserved for spill code.
+        std::vector<int> full = build_pool(false);
+        std::vector<int> pool = build_pool(true);
+        run_scan(pool);
+        for (std::size_t i = pool.size(); i < full.size(); i++)
+            scratch.push_back(full[i]);
+    }
+
+    // Build the rename map and spill table.
+    std::vector<int> rename(kMaxRegs);
+    std::vector<int> spill_slot(kMaxRegs, -1);
+    for (int r = 0; r < kMaxRegs; r++)
+        rename[r] = r;
+    RegSet used_phys;
+    for (const auto &iv : intervals) {
+        if (iv.phys >= 0) {
+            rename[iv.vreg] = iv.phys;
+            used_phys.set(iv.phys);
+        } else {
+            spill_slot[iv.vreg] = iv.spillSlot;
+            stats.spilledRanges++;
+        }
+    }
+    stats.regsUsed = static_cast<int>(used_phys.count());
+
+    // The parameter-base register anchors spill addressing; it must
+    // not be renamed or redefined (true for all RPTX conventions).
+    const Reg spill_base_reg = kMaxRegs - 1;
+
+    // Rewrite each block, renaming operands and inserting spill code.
+    for (auto &bb : k.blocks) {
+        std::vector<Instruction> out;
+        out.reserve(bb.instrs.size());
+        for (Instruction in : bb.instrs) {
+            int next_scratch = 0;
+            auto scratch_reg = [&]() {
+                return static_cast<Reg>(
+                    scratch[next_scratch++ % scratch.size()]);
+            };
+            auto fix_read = [&](Reg r) -> Reg {
+                if (spill_slot[r] >= 0) {
+                    Reg s = scratch_reg();
+                    out.push_back(makeLoad(
+                        Opcode::LD_SHARED, s, spill_base_reg,
+                        opts.spillBase + 4 * spill_slot[r]));
+                    stats.spillLoads++;
+                    return s;
+                }
+                return static_cast<Reg>(rename[r]);
+            };
+            for (int s = 0; s < in.numSrcs; s++)
+                if (in.srcs[s].isReg)
+                    in.srcs[s].reg = fix_read(in.srcs[s].reg);
+            if (in.pred)
+                in.pred = fix_read(*in.pred);
+            if (in.dst && !in.wide && spill_slot[*in.dst] >= 0) {
+                // Use a scratch register the operand loads above did
+                // not claim, so a spilled predicate/source survives
+                // until this instruction reads it.
+                Reg s = scratch.empty()
+                    ? *in.dst
+                    : static_cast<Reg>(
+                          scratch[next_scratch % scratch.size()]);
+                int slot = spill_slot[*in.dst];
+                in.dst = s;
+                out.push_back(in);
+                Instruction store = makeStore(Opcode::ST_SHARED,
+                                              spill_base_reg, s,
+                                              opts.spillBase + 4 * slot);
+                // A predicated definition must also predicate its
+                // spill store (inactive threads keep the old value).
+                store.pred = in.pred;
+                out.push_back(store);
+                stats.spillStores++;
+                continue;
+            }
+            if (in.dst)
+                in.dst = static_cast<Reg>(rename[*in.dst]);
+            out.push_back(in);
+        }
+        bb.instrs = std::move(out);
+    }
+    k.finalize();
+    k.clearAnnotations();
+    return stats;
+}
+
+} // namespace rfh

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Linear-scan register allocation (the compilation stage the paper's
+ * input has already been through: "PTX assembly code which has been
+ * scheduled and register allocated", Section 4.2; algorithm after
+ * Poletto & Sarkar, the paper's reference [21]).
+ *
+ * Kernels may be written with up to kMaxRegs pseudo-registers; this
+ * pass renames them onto a smaller architectural budget (Table 2
+ * allows 32 per thread) and spills what does not fit to per-thread
+ * local memory (modelled as shared-memory slots). The hierarchy
+ * allocator then runs on the result, so register pressure effects on
+ * the ORF/LRF can be studied end to end.
+ */
+
+#ifndef RFH_COMPILER_REGALLOC_H
+#define RFH_COMPILER_REGALLOC_H
+
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Configuration of the linear-scan pass. */
+struct RegAllocOptions
+{
+    /**
+     * Architectural registers available to renamed values. Registers
+     * [firstReg, firstReg + numRegs) are used; everything outside the
+     * live-range analysis (the conventional R0 thread id and R63
+     * parameter base) keeps its name.
+     */
+    int numRegs = 24;
+    int firstReg = 1;
+    /** Byte base of the per-thread spill area in shared memory. */
+    std::uint32_t spillBase = 0xf000;
+};
+
+/** Outcome of one linear-scan run. */
+struct RegAllocStats
+{
+    int liveRanges = 0;
+    int spilledRanges = 0;
+    int spillLoads = 0;   ///< ld.shared instructions inserted.
+    int spillStores = 0;  ///< st.shared instructions inserted.
+    int regsUsed = 0;     ///< Distinct architectural registers used.
+
+    bool
+    anySpills() const
+    {
+        return spillLoads + spillStores > 0;
+    }
+};
+
+/**
+ * Rename @p k onto the architectural budget in @p opts, inserting
+ * spill code where needed. The transformed kernel computes bit-exactly
+ * the same values (the spill slots live in the shared-memory address
+ * space above @c spillBase, which well-formed kernels do not touch).
+ */
+RegAllocStats allocateRegisters(Kernel &k,
+                                const RegAllocOptions &opts = {});
+
+} // namespace rfh
+
+#endif // RFH_COMPILER_REGALLOC_H

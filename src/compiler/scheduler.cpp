@@ -1,0 +1,197 @@
+#include "compiler/scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ir/liveness.h"
+
+namespace rfh {
+
+namespace {
+
+/** True if the instruction has memory or synchronisation side effects. */
+bool
+hasSideEffects(const Instruction &in)
+{
+    switch (in.op) {
+      case Opcode::ST_GLOBAL:
+      case Opcode::ST_SHARED:
+      case Opcode::LD_GLOBAL:
+      case Opcode::LD_SHARED:
+      case Opcode::LD_PARAM:
+      case Opcode::TEX:
+      case Opcode::BAR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Average distance from each def to its in-block consumers. */
+long
+lifetimeCost(const std::vector<Instruction> &instrs)
+{
+    long cost = 0;
+    int n = static_cast<int>(instrs.size());
+    for (int i = 0; i < n; i++) {
+        RegSet defs = definedRegs(instrs[i]);
+        if (defs.none())
+            continue;
+        for (int j = i + 1; j < n; j++) {
+            if ((usedRegs(instrs[j]) & defs).any())
+                cost += j - i;
+            defs &= ~definedRegs(instrs[j]);
+            if (defs.none())
+                break;
+        }
+    }
+    return cost;
+}
+
+/** List-schedule one block body (terminator excluded). */
+std::vector<int>
+scheduleBody(const std::vector<Instruction> &instrs, int n)
+{
+    // Dependence edges: j depends on i (i must precede j).
+    std::vector<std::vector<int>> succs(n);
+    std::vector<int> pred_count(n, 0);
+    int last_side_effect = -1;
+    for (int j = 0; j < n; j++) {
+        RegSet uses_j = usedRegs(instrs[j]);
+        RegSet defs_j = definedRegs(instrs[j]);
+        for (int i = j - 1; i >= 0; i--) {
+            RegSet defs_i = definedRegs(instrs[i]);
+            RegSet uses_i = usedRegs(instrs[i]);
+            bool raw = (defs_i & uses_j).any();
+            bool waw = (defs_i & defs_j).any();
+            bool war = (uses_i & defs_j).any();
+            if (raw || waw || war) {
+                // Correctness needs every conflict edge; blocks are
+                // small enough that the dense graph is cheap.
+                succs[i].push_back(j);
+                pred_count[j]++;
+            }
+        }
+        if (hasSideEffects(instrs[j])) {
+            if (last_side_effect >= 0) {
+                succs[last_side_effect].push_back(j);
+                pred_count[j]++;
+            }
+            last_side_effect = j;
+        }
+    }
+
+    // Backward list scheduling: fill positions n-1..0, choosing among
+    // the instructions whose in-block consumers are all placed. The
+    // priority places each producer as close as possible to its
+    // nearest consumer:
+    //   1. smallest nearest-consumer position (tightest lifetime);
+    //   2. smallest dependence height (shallow chains go late, leaving
+    //      room for deep chains to start early);
+    //   3. largest original index (stability).
+    std::vector<std::vector<int>> preds(n);
+    for (int i = 0; i < n; i++)
+        for (int j : succs[i])
+            preds[j].push_back(i);
+    std::vector<int> height(n, 0);
+    for (int j = 0; j < n; j++)
+        for (int i : preds[j])
+            height[j] = std::max(height[j], height[i] + 1);
+
+    std::vector<int> succ_count(n, 0);
+    for (int i = 0; i < n; i++)
+        succ_count[i] = static_cast<int>(succs[i].size());
+
+    std::vector<int> order(n, -1);
+    std::vector<bool> placed(n, false);
+    // Position each register's nearest placed consumer.
+    std::vector<int> consumer_pos(kMaxRegs, n + 1);
+    for (int pos = n - 1; pos >= 0; pos--) {
+        int best = -1;
+        int best_consumer = 0;
+        int best_height = 0;
+        for (int j = 0; j < n; j++) {
+            if (placed[j] || succ_count[j] > 0)
+                continue;
+            RegSet defs = definedRegs(instrs[j]);
+            int nearest = n + 1;
+            for (int r = 0; r < kMaxRegs; r++)
+                if (defs.test(r))
+                    nearest = std::min(nearest, consumer_pos[r]);
+            bool better;
+            if (best < 0) {
+                better = true;
+            } else if (nearest != best_consumer) {
+                better = nearest < best_consumer;
+            } else if (height[j] != best_height) {
+                better = height[j] < best_height;
+            } else {
+                better = j > best;
+            }
+            if (better) {
+                best = j;
+                best_consumer = nearest;
+                best_height = height[j];
+            }
+        }
+        order[pos] = best;
+        placed[best] = true;
+        for (int i : preds[best])
+            succ_count[i]--;
+        RegSet uses = usedRegs(instrs[best]);
+        for (int r = 0; r < kMaxRegs; r++)
+            if (uses.test(r))
+                consumer_pos[r] = pos;
+        // Values this instruction redefines hide earlier consumers.
+        RegSet defs = definedRegs(instrs[best]);
+        for (int r = 0; r < kMaxRegs; r++)
+            if (defs.test(r) && !uses.test(r))
+                consumer_pos[r] = n + 1;
+    }
+    return order;
+}
+
+} // namespace
+
+ScheduleStats
+scheduleKernel(Kernel &k)
+{
+    ScheduleStats stats;
+    for (auto &bb : k.blocks) {
+        int n = static_cast<int>(bb.instrs.size());
+        if (n <= 1)
+            continue;
+        // Keep the terminator pinned at the end.
+        int body = n;
+        const Instruction &last = bb.instrs.back();
+        if (last.op == Opcode::BRA || last.op == Opcode::EXIT)
+            body = n - 1;
+        if (body <= 1)
+            continue;
+
+        long before = lifetimeCost(bb.instrs);
+        std::vector<int> order = scheduleBody(bb.instrs, body);
+        std::vector<Instruction> scheduled;
+        scheduled.reserve(n);
+        for (int idx : order)
+            scheduled.push_back(bb.instrs[idx]);
+        for (int i = body; i < n; i++)
+            scheduled.push_back(bb.instrs[i]);
+        long after = lifetimeCost(scheduled);
+
+        // Only keep the new order if it actually shortens lifetimes.
+        if (after < before) {
+            for (int i = 0; i < body; i++)
+                if (order[i] != i)
+                    stats.instructionsMoved++;
+            stats.lifetimeReduction += before - after;
+            bb.instrs = std::move(scheduled);
+            stats.blocksScheduled++;
+        }
+    }
+    k.finalize();
+    k.clearAnnotations();
+    return stats;
+}
+
+} // namespace rfh

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Strand formation (Section 4.1).
+ *
+ * A strand is a sequence of instructions in which every dependence on a
+ * long-latency instruction comes from an operation issued in a previous
+ * strand. Strand endpoints are placed:
+ *
+ *  - before the first instruction that consumes (or overwrites) a value
+ *    produced by a long-latency operation issued in the current strand
+ *    (the warp will be descheduled there by the two-level scheduler);
+ *  - after every backward branch;
+ *  - at the start of every basic block targeted by a backward branch;
+ *  - at the start of merge blocks where the set of pending long-latency
+ *    operations differs between incoming paths (Figure 5(b)).
+ *
+ * Values may never be communicated through the ORF or LRF across a
+ * strand endpoint. Strands are contiguous ranges of the kernel's layout
+ * order; all control flow inside a strand is forward.
+ *
+ * markEndOfStrand() sets the ISA-visible end-of-strand bit on the last
+ * instruction of every strand. Dynamically, a warp synchronises
+ * whenever control passes from one strand into another — for layout
+ * fallthrough that is exactly the marked instruction; a branch that
+ * jumps between strands synchronises as part of the transfer. At a
+ * synchronisation point the ORF and LRF become invalid for the warp,
+ * and the two-level scheduler deschedules it if any long-latency
+ * operation is outstanding.
+ */
+
+#ifndef RFH_COMPILER_STRAND_H
+#define RFH_COMPILER_STRAND_H
+
+#include <vector>
+
+#include "ir/cfg_analysis.h"
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Why a strand ended (statistics / debugging). */
+enum class StrandEndReason : std::uint8_t {
+    LONG_LATENCY,      ///< Dependence on an in-strand long-latency op.
+    BACKWARD_BRANCH,   ///< The strand ends with a backward branch.
+    BACKWARD_TARGET,   ///< Next block is a backward-branch target.
+    MERGE_UNCERTAIN,   ///< Pending long-latency state differs at a merge.
+    KERNEL_END,        ///< Kernel exit.
+};
+
+/** One strand: a contiguous range of linear instruction indices. */
+struct Strand
+{
+    int firstLin = 0;
+    int lastLin = 0;  ///< Inclusive.
+    StrandEndReason endReason = StrandEndReason::KERNEL_END;
+
+    int
+    size() const
+    {
+        return lastLin - firstLin + 1;
+    }
+};
+
+/** Strand-formation options. */
+struct StrandOptions
+{
+    /**
+     * Insert an endpoint at merge blocks whose incoming paths disagree
+     * about which long-latency operations are pending (the paper's
+     * Figure 5(b) rule). Always safe to disable: the consuming
+     * instruction still forces an endpoint.
+     */
+    bool cutAtUncertainMerge = true;
+
+    /**
+     * Treat backward branches as strand endpoints (Section 4.1). The
+     * Section 7 limit study disables this to measure the value of
+     * allocating past backward branches.
+     */
+    bool cutAtBackwardBranch = true;
+
+    /**
+     * End a strand before the first consumer of an in-strand
+     * long-latency result (Section 4.1). The Section 7 "never flush"
+     * idealisation disables this (upper levels survive deschedules).
+     */
+    bool cutAtLongLatency = true;
+};
+
+/** Computes the strand partition of a kernel. */
+class StrandAnalysis
+{
+  public:
+    StrandAnalysis(const Kernel &k, const Cfg &cfg,
+                   const StrandOptions &opts = {});
+
+    /** Set the end-of-strand bit on each strand's last instruction. */
+    void markEndOfStrand(Kernel &k) const;
+
+    int
+    numStrands() const
+    {
+        return static_cast<int>(strands_.size());
+    }
+
+    const Strand &
+    strand(int s) const
+    {
+        return strands_[s];
+    }
+
+    /** Strand containing linear instruction @p lin. */
+    int
+    strandOf(int lin) const
+    {
+        return strandOf_[lin];
+    }
+
+    /** All strands. */
+    const std::vector<Strand> &
+    strands() const
+    {
+        return strands_;
+    }
+
+  private:
+    std::vector<Strand> strands_;
+    std::vector<int> strandOf_;
+};
+
+} // namespace rfh
+
+#endif // RFH_COMPILER_STRAND_H

@@ -1,0 +1,100 @@
+#include "core/experiment.h"
+
+#include "compiler/allocator.h"
+#include "sim/baseline_exec.h"
+#include "sim/hw_cache.h"
+#include "sim/sw_exec.h"
+
+namespace rfh {
+
+std::string_view
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::BASELINE: return "Baseline";
+      case Scheme::HW_TWO_LEVEL: return "HW";
+      case Scheme::HW_THREE_LEVEL: return "HW LRF";
+      case Scheme::SW_TWO_LEVEL: return "SW";
+      case Scheme::SW_THREE_LEVEL: return "SW LRF";
+    }
+    return "?";
+}
+
+AllocOptions
+ExperimentConfig::allocOptions() const
+{
+    AllocOptions a;
+    a.orfEntries = entries;
+    a.orfPriceEntries = orfPriceEntries;
+    a.useLRF = scheme == Scheme::SW_THREE_LEVEL;
+    a.splitLRF = a.useLRF && splitLRF;
+    a.lrfAllowSharedProducers = lrfAllowSharedProducers;
+    a.partialRanges = partialRanges;
+    a.readOperands = readOperands;
+    a.strandOptions = strandOptions;
+    return a;
+}
+
+RunOutcome
+runScheme(const Workload &w, const ExperimentConfig &cfg)
+{
+    RunOutcome out;
+    bool split = cfg.scheme == Scheme::SW_THREE_LEVEL && cfg.splitLRF;
+    int price = cfg.orfPriceEntries ? cfg.orfPriceEntries : cfg.entries;
+    EnergyModel em(cfg.energy, price, split);
+
+    AccessCounts base = runBaseline(w.kernel, w.run);
+    out.baselineEnergyPJ = base.totalEnergyPJ(em);
+
+    switch (cfg.scheme) {
+      case Scheme::BASELINE:
+        out.counts = base;
+        break;
+      case Scheme::HW_TWO_LEVEL:
+      case Scheme::HW_THREE_LEVEL: {
+        HwCacheConfig hc;
+        hc.rfcEntries = cfg.entries;
+        hc.useLRF = cfg.scheme == Scheme::HW_THREE_LEVEL;
+        hc.flushOnBackwardBranch = cfg.hwFlushOnBackwardBranch;
+        hc.run = w.run;
+        out.counts = runHwCache(w.kernel, hc);
+        break;
+      }
+      case Scheme::SW_TWO_LEVEL:
+      case Scheme::SW_THREE_LEVEL: {
+        // The allocator annotates a private copy of the kernel.
+        Kernel annotated = w.kernel;
+        HierarchyAllocator alloc(cfg.energy, cfg.allocOptions());
+        out.alloc = alloc.run(annotated);
+        SwExecConfig sc;
+        sc.run = w.run;
+        sc.idealNoFlush = cfg.idealNoFlush;
+        SwExecResult res = runSwHierarchy(annotated, cfg.allocOptions(),
+                                          sc);
+        out.counts = res.counts;
+        out.error = res.error;
+        break;
+      }
+    }
+
+    out.energyPJ = out.counts.totalEnergyPJ(em);
+    return out;
+}
+
+RunOutcome
+runAllWorkloads(const ExperimentConfig &cfg)
+{
+    RunOutcome agg;
+    for (const Workload &w : allWorkloads()) {
+        RunOutcome one = runScheme(w, cfg);
+        agg.counts.add(one.counts);
+        agg.alloc.add(one.alloc);
+        agg.energyPJ += one.energyPJ;
+        agg.baselineEnergyPJ += one.baselineEnergyPJ;
+        if (!one.ok() && agg.ok())
+            agg.error = w.name + ": " + one.error;
+    }
+    return agg;
+}
+
+} // namespace rfh

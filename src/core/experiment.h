@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Top-level experiment API: configure a register-file organisation,
+ * run a workload through it, and obtain access counts and energy.
+ *
+ * This is the library's primary entry point; the examples and the
+ * benchmark harness are thin layers over it.
+ */
+
+#ifndef RFH_CORE_EXPERIMENT_H
+#define RFH_CORE_EXPERIMENT_H
+
+#include <string>
+
+#include "compiler/allocation.h"
+#include "energy/energy_params.h"
+#include "sim/access_counters.h"
+#include "workloads/registry.h"
+
+namespace rfh {
+
+/** Register file organisations evaluated in the paper. */
+enum class Scheme
+{
+    BASELINE,        ///< Flat single-level MRF.
+    HW_TWO_LEVEL,    ///< RFC + MRF, hardware managed (Section 2.2).
+    HW_THREE_LEVEL,  ///< LRF + RFC + MRF, hardware managed (Section 6.2).
+    SW_TWO_LEVEL,    ///< ORF + MRF, compiler managed (Section 3.1).
+    SW_THREE_LEVEL,  ///< LRF + ORF + MRF, compiler managed (Section 3.2).
+};
+
+/** @return a short display name ("HW", "SW LRF", ...). */
+std::string_view schemeName(Scheme s);
+
+/** Full experiment configuration. */
+struct ExperimentConfig
+{
+    Scheme scheme = Scheme::SW_THREE_LEVEL;
+    /** RFC or ORF entries per thread (1..8). */
+    int entries = 3;
+    /**
+     * Price ORF accesses as if the ORF had this many entries
+     * (0 = entries). Used by the Section 7 idealisations.
+     */
+    int orfPriceEntries = 0;
+    /**
+     * Section 7 "never flush" idealisation: ORF/LRF contents survive
+     * deschedules and strand boundaries.
+     */
+    bool idealNoFlush = false;
+    /** Split the LRF per operand slot (SW three-level only). */
+    bool splitLRF = true;
+    /** Let SFU/MEM/TEX results enter the LRF (non-Figure-4 variant). */
+    bool lrfAllowSharedProducers = false;
+    /** Partial-range allocation (Section 4.3). */
+    bool partialRanges = true;
+    /** Read-operand allocation (Section 4.4). */
+    bool readOperands = true;
+    /** Strand-formation rules (Section 4.1 / Section 7 variants). */
+    StrandOptions strandOptions;
+    /** Hardware variant: flush the RFC at backward branches. */
+    bool hwFlushOnBackwardBranch = false;
+    /** Technology constants. */
+    EnergyParams energy;
+
+    /** The allocator options implied by this configuration. */
+    AllocOptions allocOptions() const;
+};
+
+/** Outcome of running one workload under one configuration. */
+struct RunOutcome
+{
+    AccessCounts counts;
+    AllocStats alloc;              ///< Software schemes only.
+    double energyPJ = 0.0;         ///< Access + wire energy.
+    double baselineEnergyPJ = 0.0; ///< Flat-MRF energy, same workload.
+    std::string error;             ///< Non-empty on verification failure.
+
+    bool
+    ok() const
+    {
+        return error.empty();
+    }
+
+    /** Energy normalised to the flat register file (Figure 13). */
+    double
+    normalizedEnergy() const
+    {
+        return baselineEnergyPJ > 0 ? energyPJ / baselineEnergyPJ : 0.0;
+    }
+};
+
+/** Run @p w under configuration @p cfg. */
+RunOutcome runScheme(const Workload &w, const ExperimentConfig &cfg);
+
+/**
+ * Run every workload of every suite and aggregate the counts (summed
+ * across workloads before normalisation, matching the paper's
+ * all-benchmark averages).
+ */
+RunOutcome runAllWorkloads(const ExperimentConfig &cfg);
+
+} // namespace rfh
+
+#endif // RFH_CORE_EXPERIMENT_H

@@ -1,0 +1,206 @@
+#include "core/json.h"
+
+#include <cstdio>
+
+namespace rfh {
+
+void
+JsonWriter::separator()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            out_ += ",";
+        needComma_.back() = true;
+    }
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    out_ += "{";
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += "}";
+    needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    out_ += "[";
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += "]";
+    needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separator();
+    out_ += "\"" + escape(k) + "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    out_ += "\"" + escape(v) + "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    separator();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+void
+writeJson(JsonWriter &w, const AccessCounts &counts)
+{
+    w.beginObject();
+    for (Level level : {Level::MRF, Level::ORF, Level::LRF}) {
+        std::string name(levelName(level));
+        w.key(name);
+        w.beginObject();
+        w.key("reads").value(counts.totalReads(level));
+        w.key("writes").value(counts.totalWrites(level));
+        w.key("sharedReads").value(
+            counts.reads[static_cast<int>(level)][
+                static_cast<int>(Datapath::SHARED)]);
+        w.key("sharedWrites").value(
+            counts.writes[static_cast<int>(level)][
+                static_cast<int>(Datapath::SHARED)]);
+        w.endObject();
+    }
+    w.key("writebackReads").value(counts.wbReads);
+    w.key("writebackWrites").value(counts.wbWrites);
+    w.key("instructions").value(counts.instructions);
+    w.key("deschedules").value(counts.deschedules);
+    w.endObject();
+}
+
+void
+writeJson(JsonWriter &w, const RunOutcome &outcome)
+{
+    w.beginObject();
+    w.key("ok").value(outcome.ok());
+    if (!outcome.ok())
+        w.key("error").value(outcome.error);
+    w.key("energyPJ").value(outcome.energyPJ);
+    w.key("baselineEnergyPJ").value(outcome.baselineEnergyPJ);
+    w.key("normalizedEnergy").value(outcome.normalizedEnergy());
+    w.key("accesses");
+    writeJson(w, outcome.counts);
+    w.key("allocation");
+    w.beginObject();
+    w.key("strands").value(outcome.alloc.strands);
+    w.key("valueInstances").value(outcome.alloc.valueInstances);
+    w.key("readInstances").value(outcome.alloc.readInstances);
+    w.key("lrfValues").value(outcome.alloc.lrfValues);
+    w.key("orfValuesFull").value(outcome.alloc.orfValuesFull);
+    w.key("orfValuesPartial").value(outcome.alloc.orfValuesPartial);
+    w.key("orfReadsFull").value(outcome.alloc.orfReadsFull);
+    w.key("orfReadsPartial").value(outcome.alloc.orfReadsPartial);
+    w.key("mrfWritesElided").value(outcome.alloc.mrfWritesElided);
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+sweepToJson(const std::vector<SweepPoint> &points)
+{
+    JsonWriter w;
+    w.beginArray();
+    for (const SweepPoint &pt : points) {
+        w.beginObject();
+        w.key("scheme").value(std::string(schemeName(pt.scheme)));
+        w.key("entries").value(pt.entries);
+        w.key("normalizedEnergy").value(
+            pt.outcome.normalizedEnergy());
+        w.endObject();
+    }
+    w.endArray();
+    return w.str();
+}
+
+std::string
+outcomeToJson(const RunOutcome &outcome)
+{
+    JsonWriter w;
+    writeJson(w, outcome);
+    return w.str();
+}
+
+} // namespace rfh

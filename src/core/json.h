@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal JSON emission for machine-readable results (the library's
+ * equivalent of a stats dump): access counts, run outcomes, and sweep
+ * series serialise to stable, ordered JSON for downstream tooling.
+ */
+
+#ifndef RFH_CORE_JSON_H
+#define RFH_CORE_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+
+namespace rfh {
+
+/** Tiny ordered JSON writer (objects, arrays, scalars). */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    /** Emit a key inside an object (must be followed by a value). */
+    JsonWriter &key(const std::string &k);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    const std::string &
+    str() const
+    {
+        return out_;
+    }
+
+  private:
+    void separator();
+    static std::string escape(const std::string &s);
+
+    std::string out_;
+    std::vector<bool> needComma_;
+    bool afterKey_ = false;
+};
+
+/** Serialise access counts (per-level reads/writes, overheads). */
+void writeJson(JsonWriter &w, const AccessCounts &counts);
+
+/** Serialise a run outcome (counts, energy, allocation stats). */
+void writeJson(JsonWriter &w, const RunOutcome &outcome);
+
+/** Serialise an entries sweep (Figure 13 style series). */
+std::string sweepToJson(const std::vector<SweepPoint> &points);
+
+/** One-call helper: outcome as a JSON document. */
+std::string outcomeToJson(const RunOutcome &outcome);
+
+} // namespace rfh
+
+#endif // RFH_CORE_JSON_H

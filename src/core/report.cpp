@@ -1,0 +1,82 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rfh {
+
+AccessBreakdown
+normalizeAccesses(const AccessCounts &counts, const AccessCounts &baseline)
+{
+    AccessBreakdown b;
+    double r = static_cast<double>(baseline.allReads());
+    double w = static_cast<double>(baseline.allWrites());
+    if (r > 0) {
+        b.mrfReads = counts.totalReads(Level::MRF) / r;
+        b.orfReads = counts.totalReads(Level::ORF) / r;
+        b.lrfReads = counts.totalReads(Level::LRF) / r;
+    }
+    if (w > 0) {
+        b.mrfWrites = counts.totalWrites(Level::MRF) / w;
+        b.orfWrites = counts.totalWrites(Level::ORF) / w;
+        b.lrfWrites = counts.totalWrites(Level::LRF) / w;
+    }
+    return b;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> width;
+    for (const auto &row : rows_) {
+        if (width.size() < row.size())
+            width.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); c++)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    std::ostringstream os;
+    for (std::size_t r = 0; r < rows_.size(); r++) {
+        for (std::size_t c = 0; c < rows_[r].size(); c++) {
+            os << rows_[r][c];
+            if (c + 1 < rows_[r].size())
+                os << std::string(width[c] - rows_[r][c].size() + 2, ' ');
+        }
+        os << "\n";
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < width.size(); c++)
+                total += width[c] + (c + 1 < width.size() ? 2 : 0);
+            os << std::string(total, '-') << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+pct(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+    return buf;
+}
+
+std::string
+fmt(double v, int digits)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+} // namespace rfh

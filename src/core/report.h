@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reporting helpers: normalised access breakdowns and plain-text table
+ * rendering for the benchmark harness.
+ */
+
+#ifndef RFH_CORE_REPORT_H
+#define RFH_CORE_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "sim/access_counters.h"
+
+namespace rfh {
+
+/**
+ * Reads/writes per level as a fraction of the baseline totals
+ * (the y-axes of Figures 11 and 12).
+ */
+struct AccessBreakdown
+{
+    double mrfReads = 0, orfReads = 0, lrfReads = 0;
+    double mrfWrites = 0, orfWrites = 0, lrfWrites = 0;
+
+    double
+    totalReads() const
+    {
+        return mrfReads + orfReads + lrfReads;
+    }
+
+    double
+    totalWrites() const
+    {
+        return mrfWrites + orfWrites + lrfWrites;
+    }
+};
+
+/** Normalise @p counts against the flat-MRF @p baseline. */
+AccessBreakdown normalizeAccesses(const AccessCounts &counts,
+                                  const AccessCounts &baseline);
+
+/** Minimal aligned-column text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns (two-space separator). */
+    std::string str() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v as a percentage with one decimal ("54.0%"). */
+std::string pct(double v);
+
+/** Format @p v with @p digits decimals. */
+std::string fmt(double v, int digits = 2);
+
+} // namespace rfh
+
+#endif // RFH_CORE_REPORT_H

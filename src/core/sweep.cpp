@@ -1,0 +1,50 @@
+#include "core/sweep.h"
+
+#include "sim/baseline_exec.h"
+
+namespace rfh {
+
+std::vector<SweepPoint>
+sweepEntries(const std::vector<Scheme> &schemes,
+             const ExperimentConfig &base)
+{
+    std::vector<SweepPoint> points;
+    for (Scheme s : schemes) {
+        for (int e = 1; e <= kMaxOrfEntries; e++) {
+            ExperimentConfig cfg = base;
+            cfg.scheme = s;
+            cfg.entries = e;
+            SweepPoint pt;
+            pt.scheme = s;
+            pt.entries = e;
+            pt.outcome = runAllWorkloads(cfg);
+            points.push_back(std::move(pt));
+        }
+    }
+    return points;
+}
+
+AccessCounts
+aggregateBaselineCounts()
+{
+    AccessCounts agg;
+    for (const Workload &w : allWorkloads())
+        agg.add(runBaseline(w.kernel, w.run));
+    return agg;
+}
+
+const SweepPoint *
+bestPoint(const std::vector<SweepPoint> &points, Scheme scheme)
+{
+    const SweepPoint *best = nullptr;
+    for (const auto &pt : points) {
+        if (pt.scheme != scheme)
+            continue;
+        if (!best || pt.outcome.normalizedEnergy() <
+            best->outcome.normalizedEnergy())
+            best = &pt;
+    }
+    return best;
+}
+
+} // namespace rfh

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Design-space sweeps over the hierarchy size (the x-axes of
+ * Figures 11, 12, and 13: entries per thread from 1 to 8).
+ */
+
+#ifndef RFH_CORE_SWEEP_H
+#define RFH_CORE_SWEEP_H
+
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace rfh {
+
+/** One point of an entries-per-thread sweep. */
+struct SweepPoint
+{
+    Scheme scheme;
+    int entries = 0;
+    RunOutcome outcome;  ///< Aggregated over all workloads.
+};
+
+/**
+ * Sweep @p schemes over entries 1..kMaxOrfEntries, aggregating across
+ * all workloads. @p base supplies every other configuration knob.
+ */
+std::vector<SweepPoint> sweepEntries(const std::vector<Scheme> &schemes,
+                                     const ExperimentConfig &base);
+
+/** Aggregate flat-MRF counts over all workloads (for normalisation). */
+AccessCounts aggregateBaselineCounts();
+
+/**
+ * @return the sweep point with the lowest normalised energy for
+ * @p scheme, or nullptr if absent.
+ */
+const SweepPoint *bestPoint(const std::vector<SweepPoint> &points,
+                            Scheme scheme);
+
+} // namespace rfh
+
+#endif // RFH_CORE_SWEEP_H

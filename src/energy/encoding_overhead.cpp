@@ -1,0 +1,3 @@
+// Header-only model; this translation unit exists so the target has a
+// corresponding object and the header stays self-contained.
+#include "energy/encoding_overhead.h"

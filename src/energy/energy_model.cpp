@@ -1,0 +1,57 @@
+#include "energy/energy_model.h"
+
+#include <cassert>
+
+namespace rfh {
+
+EnergyModel::EnergyModel(const EnergyParams &params, int orf_entries,
+                         bool split_lrf)
+    : params_(params), orfEntries_(orf_entries), splitLrf_(split_lrf)
+{
+    assert(orf_entries >= 1 && orf_entries <= kMaxOrfEntries);
+}
+
+double
+EnergyModel::accessEnergy(Level level, bool write) const
+{
+    // Storage arrays are 128 bits wide (one register for 4 lanes);
+    // charge one quarter per 32-bit operand.
+    switch (level) {
+      case Level::MRF:
+        return (write ? params_.mrfWritePJ : params_.mrfReadPJ) / 4.0;
+      case Level::ORF:
+        return (write ? EnergyParams::orfWritePJ(orfEntries_)
+                      : EnergyParams::orfReadPJ(orfEntries_)) / 4.0;
+      case Level::LRF:
+        return (write ? params_.lrfWritePJ : params_.lrfReadPJ) / 4.0;
+    }
+    return 0.0;
+}
+
+double
+EnergyModel::wireEnergy(Level level, Datapath dp) const
+{
+    double dist = 0.0;
+    switch (level) {
+      case Level::MRF:
+        dist = dp == Datapath::PRIVATE ? params_.mrfDistPrivateMM
+                                       : params_.mrfDistSharedMM;
+        break;
+      case Level::ORF:
+        dist = dp == Datapath::PRIVATE ? params_.orfDistPrivateMM
+                                       : params_.orfDistSharedMM;
+        break;
+      case Level::LRF:
+        // LRF reads only come from the private datapath (Section 3.2);
+        // shared-side traffic exists only for writes when shared
+        // producers are allowed into the LRF.
+        dist = dp == Datapath::PRIVATE
+            ? params_.lrfDistPrivateMM *
+                  (splitLrf_ ? params_.splitLrfWireFactor : 1.0)
+            : params_.lrfDistSharedMM;
+        break;
+    }
+    return dist * params_.wirePJPerMM;
+}
+
+} // namespace rfh

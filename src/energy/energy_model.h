@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-operand energy model for the register file hierarchy.
+ *
+ * Given the technology parameters and a configured ORF size, computes
+ * the energy of reading/writing one 32-bit operand at each level, split
+ * into storage-access and wire components, for both the private (ALU)
+ * and shared (SFU/MEM/TEX) datapaths. The compiler's allocation savings
+ * functions (Figures 6 and 9) and the evaluation harness both consume
+ * this model so that allocation decisions and reported results are
+ * always consistent.
+ */
+
+#ifndef RFH_ENERGY_ENERGY_MODEL_H
+#define RFH_ENERGY_ENERGY_MODEL_H
+
+#include "energy/energy_params.h"
+#include "ir/instruction.h"
+
+namespace rfh {
+
+/** Which datapath an operand travels to/from (Section 3.2). */
+enum class Datapath : int {
+    PRIVATE = 0,  ///< Per-lane ALUs (may access the LRF).
+    SHARED = 1,   ///< SFU / MEM / TEX units (ORF and MRF only).
+};
+
+/** @return the datapath of a function-unit class. */
+inline Datapath
+datapathOf(UnitClass uc)
+{
+    return isSharedUnit(uc) ? Datapath::SHARED : Datapath::PRIVATE;
+}
+
+/** Energy model for one hierarchy configuration. */
+class EnergyModel
+{
+  public:
+    /**
+     * @param params technology constants.
+     * @param orf_entries ORF entries per thread (1..8); a configuration
+     *        without an ORF may pass 1 (the value is only used for ORF
+     *        accesses, which then never occur).
+     * @param split_lrf apply the split-LRF wire factor to LRF accesses.
+     */
+    EnergyModel(const EnergyParams &params, int orf_entries,
+                bool split_lrf = false);
+
+    /** Storage-array energy of one 32-bit access (pJ). */
+    double accessEnergy(Level level, bool write) const;
+
+    /** Wire energy of moving one 32-bit operand (pJ). */
+    double wireEnergy(Level level, Datapath dp) const;
+
+    /** Total (access + wire) read energy per 32-bit operand (pJ). */
+    double
+    readEnergy(Level level, Datapath dp) const
+    {
+        return accessEnergy(level, false) + wireEnergy(level, dp);
+    }
+
+    /** Total (access + wire) write energy per 32-bit operand (pJ). */
+    double
+    writeEnergy(Level level, Datapath dp) const
+    {
+        return accessEnergy(level, true) + wireEnergy(level, dp);
+    }
+
+    const EnergyParams &
+    params() const
+    {
+        return params_;
+    }
+
+    int
+    orfEntries() const
+    {
+        return orfEntries_;
+    }
+
+  private:
+    EnergyParams params_;
+    int orfEntries_;
+    bool splitLrf_;
+};
+
+} // namespace rfh
+
+#endif // RFH_ENERGY_ENERGY_MODEL_H

@@ -1,0 +1,33 @@
+#include "energy/energy_params.h"
+
+#include <cassert>
+
+namespace rfh {
+
+namespace {
+
+// Table 3: per-128-bit ORF access energy vs entries per thread, pJ.
+constexpr double orfRead[kMaxOrfEntries + 1] = {
+    0.0, 0.7, 1.2, 1.2, 1.9, 2.0, 2.0, 2.4, 3.4,
+};
+constexpr double orfWrite[kMaxOrfEntries + 1] = {
+    0.0, 2.0, 3.8, 4.4, 6.1, 6.0, 6.7, 7.7, 10.9,
+};
+
+} // namespace
+
+double
+EnergyParams::orfReadPJ(int entries_per_thread)
+{
+    assert(entries_per_thread >= 1 && entries_per_thread <= kMaxOrfEntries);
+    return orfRead[entries_per_thread];
+}
+
+double
+EnergyParams::orfWritePJ(int entries_per_thread)
+{
+    assert(entries_per_thread >= 1 && entries_per_thread <= kMaxOrfEntries);
+    return orfWrite[entries_per_thread];
+}
+
+} // namespace rfh

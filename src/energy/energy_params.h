@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Energy-model constants from the paper (Tables 3 and 4).
+ *
+ * All storage-access energies are per 128-bit access (one register for
+ * four SIMT lanes); the model divides by four to charge per 32-bit
+ * operand. Wire energy is charged per 32-bit operand transported over
+ * the distance between a register-file level and the consuming or
+ * producing datapath (Section 5.2).
+ */
+
+#ifndef RFH_ENERGY_ENERGY_PARAMS_H
+#define RFH_ENERGY_ENERGY_PARAMS_H
+
+namespace rfh {
+
+/** Maximum ORF entries per thread modelled (Table 3). */
+inline constexpr int kMaxOrfEntries = 8;
+
+/** Tunable energy/technology parameters (defaults = paper values). */
+struct EnergyParams
+{
+    // Table 4: MRF SRAM banks, per 128-bit access (pJ).
+    double mrfReadPJ = 8.0;
+    double mrfWritePJ = 11.0;
+
+    // Table 4: LRF flip-flop array, per 128-bit access (pJ). These equal
+    // the 1-entry ORF row of Table 3.
+    double lrfReadPJ = 0.7;
+    double lrfWritePJ = 2.0;
+
+    // Table 4: wire energy for a 32-bit operand (pJ/mm) and distances
+    // (mm) between each level and the private / shared datapaths.
+    double wirePJPerMM = 1.9;
+    double mrfDistPrivateMM = 1.0;
+    double mrfDistSharedMM = 1.0;
+    double orfDistPrivateMM = 0.2;
+    double orfDistSharedMM = 0.4;
+    double lrfDistPrivateMM = 0.05;
+    /**
+     * Wire distance for writing the LRF from the shared datapath.
+     * Only used when the allocator is configured to let SFU/MEM/TEX
+     * results enter the LRF (not the paper's Figure 4 organisation,
+     * where the LRF hangs off the ALU result bus); modelled like the
+     * ORF's shared-side distance.
+     */
+    double lrfDistSharedMM = 0.4;
+
+    /**
+     * Wire-distance multiplier applied to the LRF when it is split into
+     * per-operand-slot banks (Section 6.4 evaluates this tradeoff; the
+     * paper finds the effect is under 1% of baseline energy).
+     */
+    double splitLrfWireFactor = 1.5;
+
+    /** Table 3: ORF read energy (pJ / 128 bits) for a given size. */
+    static double orfReadPJ(int entries_per_thread);
+
+    /** Table 3: ORF write energy (pJ / 128 bits) for a given size. */
+    static double orfWritePJ(int entries_per_thread);
+};
+
+} // namespace rfh
+
+#endif // RFH_ENERGY_ENERGY_PARAMS_H

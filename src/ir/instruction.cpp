@@ -1,0 +1,103 @@
+#include "ir/instruction.h"
+
+namespace rfh {
+
+std::string_view
+levelName(Level level)
+{
+    switch (level) {
+      case Level::MRF: return "MRF";
+      case Level::ORF: return "ORF";
+      case Level::LRF: return "LRF";
+    }
+    return "?";
+}
+
+Instruction
+makeALU(Opcode op, Reg dst, SrcOperand a, SrcOperand b)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.srcs[0] = a;
+    i.srcs[1] = b;
+    i.numSrcs = 2;
+    return i;
+}
+
+Instruction
+makeALU3(Opcode op, Reg dst, SrcOperand a, SrcOperand b, SrcOperand c)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.srcs[0] = a;
+    i.srcs[1] = b;
+    i.srcs[2] = c;
+    i.numSrcs = 3;
+    return i;
+}
+
+Instruction
+makeUnary(Opcode op, Reg dst, SrcOperand a)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.srcs[0] = a;
+    i.numSrcs = 1;
+    return i;
+}
+
+Instruction
+makeLoad(Opcode op, Reg dst, Reg addr, std::uint32_t offset)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.srcs[0] = SrcOperand::makeReg(addr);
+    i.numSrcs = 1;
+    i.memOffset = offset;
+    return i;
+}
+
+Instruction
+makeStore(Opcode op, Reg addr, Reg value, std::uint32_t offset)
+{
+    Instruction i;
+    i.op = op;
+    i.srcs[0] = SrcOperand::makeReg(addr);
+    i.srcs[1] = SrcOperand::makeReg(value);
+    i.numSrcs = 2;
+    i.memOffset = offset;
+    return i;
+}
+
+Instruction
+makeBranch(int target)
+{
+    Instruction i;
+    i.op = Opcode::BRA;
+    i.branchTarget = target;
+    return i;
+}
+
+Instruction
+makeCondBranch(Reg pred, int target)
+{
+    Instruction i;
+    i.op = Opcode::BRA;
+    i.pred = pred;
+    i.branchTarget = target;
+    return i;
+}
+
+Instruction
+makeExit()
+{
+    Instruction i;
+    i.op = Opcode::EXIT;
+    return i;
+}
+
+} // namespace rfh

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * RPTX instructions, operands, and register-file-level annotations.
+ *
+ * An instruction carries both its architectural semantics (opcode,
+ * destination, sources, branch target, predicate) and the compiler
+ * annotations produced by the hierarchy allocator: for each read operand
+ * the level (and entry) it is fetched from, for the written value the set
+ * of levels it is written to, and an end-of-strand bit (Section 4.1).
+ */
+
+#ifndef RFH_IR_INSTRUCTION_H
+#define RFH_IR_INSTRUCTION_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "ir/opcode.h"
+
+namespace rfh {
+
+/** Architectural register index into the per-thread MRF allocation. */
+using Reg = std::uint8_t;
+
+/** Maximum architectural registers per thread (32 per Table 2). */
+inline constexpr int kMaxRegs = 64;
+
+/** Maximum source operands of any instruction. */
+inline constexpr int kMaxSrcs = 3;
+
+/** Register-file hierarchy level (Section 3). */
+enum class Level : std::uint8_t {
+    MRF,  ///< Main register file.
+    ORF,  ///< Operand register file.
+    LRF,  ///< Last result file.
+};
+
+/** @return a short display name ("MRF" etc.). */
+std::string_view levelName(Level level);
+
+/**
+ * A source operand: either an architectural register or a 32-bit
+ * immediate.
+ */
+struct SrcOperand
+{
+    bool isReg = false;
+    Reg reg = 0;
+    std::uint32_t imm = 0;
+
+    static SrcOperand
+    makeReg(Reg r)
+    {
+        SrcOperand s;
+        s.isReg = true;
+        s.reg = r;
+        return s;
+    }
+
+    static SrcOperand
+    makeImm(std::uint32_t v)
+    {
+        SrcOperand s;
+        s.imm = v;
+        return s;
+    }
+
+    bool
+    operator==(const SrcOperand &o) const
+    {
+        return isReg == o.isReg && (isReg ? reg == o.reg : imm == o.imm);
+    }
+};
+
+/**
+ * Allocator annotation for one read operand: which level the value is
+ * fetched from. For ORF reads, @c entry names the physical ORF entry;
+ * for LRF reads with a split LRF, @c lrfBank names the per-operand-slot
+ * bank (Section 3.2).
+ */
+struct ReadAnnotation
+{
+    Level level = Level::MRF;
+    std::uint8_t entry = 0;
+    std::uint8_t lrfBank = 0;
+    /**
+     * Read-operand allocation (Section 4.4): this MRF read also
+     * deposits the fetched value into ORF entry @c entry, from which
+     * later instructions read it.
+     */
+    bool depositToORF = false;
+
+    bool
+    operator==(const ReadAnnotation &o) const
+    {
+        return level == o.level && entry == o.entry &&
+            lrfBank == o.lrfBank && depositToORF == o.depositToORF;
+    }
+};
+
+/**
+ * Allocator annotation for the written value: the set of levels the
+ * result is written to. A value may be written to the MRF together with
+ * either the ORF or the LRF, but never to both the ORF and LRF
+ * (Section 4.6).
+ */
+struct WriteAnnotation
+{
+    bool toMRF = true;
+    bool toORF = false;
+    bool toLRF = false;
+    std::uint8_t orfEntry = 0;
+    std::uint8_t lrfBank = 0;
+
+    bool
+    anyUpper() const
+    {
+        return toORF || toLRF;
+    }
+};
+
+/**
+ * One RPTX instruction.
+ *
+ * Branches may be predicated by a register (taken iff the register value
+ * is non-zero). Wide (64-bit) results are modelled by @c wide, which
+ * makes the destination occupy registers {dst, dst+1}.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::EXIT;
+    std::optional<Reg> dst;
+    std::array<SrcOperand, kMaxSrcs> srcs = {};
+    int numSrcs = 0;
+    /** Predicate register for conditional branches. */
+    std::optional<Reg> pred;
+    /** Target basic-block index for BRA. */
+    int branchTarget = -1;
+    /** Destination occupies two consecutive registers (64-bit value). */
+    bool wide = false;
+    /**
+     * Immediate byte offset folded into the address operand of memory
+     * and texture instructions (PTX-style "[Rn+imm]" addressing).
+     */
+    std::uint32_t memOffset = 0;
+
+    // ---- Compiler annotations (filled by the allocator) ----
+    std::array<ReadAnnotation, kMaxSrcs> readAnno = {};
+    /** Annotation for the predicate read of a conditional branch. */
+    ReadAnnotation predAnno;
+    WriteAnnotation writeAnno;
+    /** End-of-strand marker bit (Section 4.1). */
+    bool endOfStrand = false;
+
+    /** @return the function-unit class of this instruction. */
+    UnitClass
+    unit() const
+    {
+        return unitClass(op);
+    }
+
+    /** @return true if this instruction ends with a long-latency op. */
+    bool
+    longLatency() const
+    {
+        return isLongLatency(op);
+    }
+
+    /** @return number of register read operands (incl. predicate). */
+    int
+    numRegReads() const
+    {
+        int n = 0;
+        for (int i = 0; i < numSrcs; i++)
+            n += srcs[i].isReg ? 1 : 0;
+        n += pred.has_value() ? 1 : 0;
+        return n;
+    }
+
+    /** @return number of registers written (0, 1, or 2 when wide). */
+    int
+    numRegWrites() const
+    {
+        if (!dst)
+            return 0;
+        return wide ? 2 : 1;
+    }
+
+    /** Reset all allocator annotations to MRF-only defaults. */
+    void
+    clearAnnotations()
+    {
+        for (auto &ra : readAnno)
+            ra = ReadAnnotation();
+        predAnno = ReadAnnotation();
+        writeAnno = WriteAnnotation();
+        endOfStrand = false;
+    }
+};
+
+/** Convenience builders for tests and generated code. */
+Instruction makeALU(Opcode op, Reg dst, SrcOperand a, SrcOperand b);
+Instruction makeALU3(Opcode op, Reg dst, SrcOperand a, SrcOperand b,
+                     SrcOperand c);
+Instruction makeUnary(Opcode op, Reg dst, SrcOperand a);
+Instruction makeLoad(Opcode op, Reg dst, Reg addr,
+                     std::uint32_t offset = 0);
+Instruction makeStore(Opcode op, Reg addr, Reg value,
+                      std::uint32_t offset = 0);
+Instruction makeBranch(int target);
+Instruction makeCondBranch(Reg pred, int target);
+Instruction makeExit();
+
+} // namespace rfh
+
+#endif // RFH_IR_INSTRUCTION_H

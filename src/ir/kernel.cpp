@@ -1,0 +1,180 @@
+#include "ir/kernel.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rfh {
+
+void
+Kernel::finalize()
+{
+    linear_.clear();
+    blockStart_.clear();
+    for (int b = 0; b < static_cast<int>(blocks.size()); b++) {
+        blockStart_.push_back(static_cast<int>(linear_.size()));
+        for (int i = 0; i < static_cast<int>(blocks[b].instrs.size()); i++)
+            linear_.push_back(InstrRef{b, i});
+    }
+}
+
+int
+Kernel::numRegs() const
+{
+    int hi = -1;
+    for (const auto &bb : blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.dst)
+                hi = std::max(hi, static_cast<int>(*in.dst) +
+                              (in.wide ? 1 : 0));
+            for (int s = 0; s < in.numSrcs; s++)
+                if (in.srcs[s].isReg)
+                    hi = std::max(hi, static_cast<int>(in.srcs[s].reg));
+            if (in.pred)
+                hi = std::max(hi, static_cast<int>(*in.pred));
+        }
+    }
+    return hi + 1;
+}
+
+std::vector<int>
+Kernel::successors(int b) const
+{
+    std::vector<int> out;
+    const auto &instrs = blocks[b].instrs;
+    bool fallthrough = true;
+    if (!instrs.empty()) {
+        const Instruction &last = instrs.back();
+        if (last.op == Opcode::EXIT) {
+            fallthrough = false;
+        } else if (last.op == Opcode::BRA) {
+            out.push_back(last.branchTarget);
+            // Unconditional branch has no fallthrough.
+            fallthrough = last.pred.has_value();
+        }
+    }
+    if (fallthrough && b + 1 < static_cast<int>(blocks.size())) {
+        if (std::find(out.begin(), out.end(), b + 1) == out.end())
+            out.push_back(b + 1);
+    }
+    return out;
+}
+
+std::vector<int>
+Kernel::predecessors(int b) const
+{
+    std::vector<int> out;
+    for (int p = 0; p < static_cast<int>(blocks.size()); p++) {
+        for (int s : successors(p)) {
+            if (s == b) {
+                out.push_back(p);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+void
+Kernel::clearAnnotations()
+{
+    for (auto &bb : blocks)
+        for (auto &in : bb.instrs)
+            in.clearAnnotations();
+}
+
+std::string
+Kernel::validate() const
+{
+    std::ostringstream err;
+    if (blocks.empty())
+        return "kernel has no blocks";
+    int nblocks = static_cast<int>(blocks.size());
+    for (int b = 0; b < nblocks; b++) {
+        const auto &bb = blocks[b];
+        if (bb.instrs.empty()) {
+            err << "block " << b << " is empty";
+            return err.str();
+        }
+        for (int i = 0; i < static_cast<int>(bb.instrs.size()); i++) {
+            const Instruction &in = bb.instrs[i];
+            bool is_term = in.op == Opcode::BRA || in.op == Opcode::EXIT;
+            bool is_last = i == static_cast<int>(bb.instrs.size()) - 1;
+            if (is_term && !is_last) {
+                err << "block " << b << " instr " << i
+                    << ": terminator not at end of block";
+                return err.str();
+            }
+            if (in.op == Opcode::BRA &&
+                (in.branchTarget < 0 || in.branchTarget >= nblocks)) {
+                err << "block " << b << " instr " << i
+                    << ": branch target " << in.branchTarget
+                    << " out of range";
+                return err.str();
+            }
+            if (in.numSrcs != numSrcOperands(in.op) &&
+                in.op != Opcode::BRA) {
+                err << "block " << b << " instr " << i << " ("
+                    << mnemonic(in.op) << "): expected "
+                    << numSrcOperands(in.op) << " sources, got "
+                    << in.numSrcs;
+                return err.str();
+            }
+            if (in.dst.has_value() != hasDest(in.op)) {
+                err << "block " << b << " instr " << i << " ("
+                    << mnemonic(in.op) << "): destination mismatch";
+                return err.str();
+            }
+            if (in.dst && static_cast<int>(*in.dst) + (in.wide ? 1 : 0) >=
+                kMaxRegs) {
+                err << "block " << b << " instr " << i
+                    << ": register out of range";
+                return err.str();
+            }
+        }
+    }
+    // The last block must not fall off the end of the kernel.
+    if (!successors(nblocks - 1).empty() ||
+        blocks[nblocks - 1].instrs.empty() ||
+        (blocks[nblocks - 1].instrs.back().op != Opcode::EXIT &&
+         blocks[nblocks - 1].instrs.back().op != Opcode::BRA)) {
+        // Falling off the end is only legal if an EXIT terminates it;
+        // successors() already returns empty for EXIT.
+        if (blocks[nblocks - 1].instrs.empty() ||
+            blocks[nblocks - 1].instrs.back().op != Opcode::EXIT) {
+            return "last block must end with exit or unconditional branch";
+        }
+    }
+    return "";
+}
+
+KernelBuilder::KernelBuilder(std::string name)
+{
+    kernel_.name = std::move(name);
+}
+
+int
+KernelBuilder::block(std::string label)
+{
+    BasicBlock bb;
+    if (label.empty())
+        label = "BB" + std::to_string(kernel_.blocks.size());
+    bb.label = std::move(label);
+    kernel_.blocks.push_back(std::move(bb));
+    return static_cast<int>(kernel_.blocks.size()) - 1;
+}
+
+KernelBuilder &
+KernelBuilder::add(Instruction instr)
+{
+    kernel_.blocks.back().instrs.push_back(instr);
+    return *this;
+}
+
+Kernel
+KernelBuilder::take()
+{
+    kernel_.finalize();
+    return std::move(kernel_);
+}
+
+} // namespace rfh

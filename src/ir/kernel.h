@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Kernels and basic blocks: the unit of compilation and simulation.
+ *
+ * A kernel is a list of basic blocks in layout order. Control flow is
+ * implied by each block's terminator: a block ends either with an
+ * unconditional branch, EXIT, or falls through to the next block in
+ * layout order (optionally after a conditional branch). Backward
+ * branches (target index <= source index) delimit strands (Section 4.1).
+ */
+
+#ifndef RFH_IR_KERNEL_H
+#define RFH_IR_KERNEL_H
+
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace rfh {
+
+/** Position of an instruction inside a kernel. */
+struct InstrRef
+{
+    int block = -1;  ///< Basic-block index.
+    int idx = -1;    ///< Instruction index within the block.
+
+    bool
+    operator==(const InstrRef &o) const
+    {
+        return block == o.block && idx == o.idx;
+    }
+};
+
+/** A basic block: straight-line instructions plus an implied terminator. */
+struct BasicBlock
+{
+    std::string label;
+    std::vector<Instruction> instrs;
+};
+
+/**
+ * An RPTX kernel: named CFG of basic blocks in layout order.
+ *
+ * Instructions are also addressable through a flat linear numbering
+ * (layout order), which the allocator uses for occupancy intervals.
+ */
+class Kernel
+{
+  public:
+    std::string name;
+    std::vector<BasicBlock> blocks;
+
+    /** Rebuild the linear index after structural changes. */
+    void finalize();
+
+    /** @return total instruction count. */
+    int
+    numInstrs() const
+    {
+        return static_cast<int>(linear_.size());
+    }
+
+    /** @return the position of linear instruction @p lin. */
+    const InstrRef &
+    ref(int lin) const
+    {
+        return linear_[lin];
+    }
+
+    /** @return the linear index of the first instruction of block @p b. */
+    int
+    blockStart(int b) const
+    {
+        return blockStart_[b];
+    }
+
+    const Instruction &
+    instr(int lin) const
+    {
+        const InstrRef &r = linear_[lin];
+        return blocks[r.block].instrs[r.idx];
+    }
+
+    Instruction &
+    instr(int lin)
+    {
+        const InstrRef &r = linear_[lin];
+        return blocks[r.block].instrs[r.idx];
+    }
+
+    /** @return the highest register number referenced, plus one. */
+    int numRegs() const;
+
+    /**
+     * Successor block indices of block @p b, derived from its
+     * terminator. An empty vector means the kernel exits.
+     */
+    std::vector<int> successors(int b) const;
+
+    /** Predecessor block indices of block @p b. */
+    std::vector<int> predecessors(int b) const;
+
+    /** Reset all allocator annotations in every instruction. */
+    void clearAnnotations();
+
+    /**
+     * Structural validation; returns an empty string if the kernel is
+     * well formed, otherwise a description of the first problem found.
+     * Checks branch targets, terminator placement, operand counts, and
+     * register bounds.
+     */
+    std::string validate() const;
+
+  private:
+    std::vector<InstrRef> linear_;
+    std::vector<int> blockStart_;
+};
+
+/**
+ * Fluent helper for building kernels in tests and generators.
+ *
+ * Usage:
+ * @code
+ *   KernelBuilder b("axpy");
+ *   b.block("entry");
+ *   b.add(makeLoad(Opcode::LD_GLOBAL, 1, 0));
+ *   ...
+ *   Kernel k = b.take();
+ * @endcode
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    /** Start a new basic block; @return its index. */
+    int block(std::string label = "");
+
+    /** Append an instruction to the current block. */
+    KernelBuilder &add(Instruction instr);
+
+    /** Finalize and return the kernel (builder becomes empty). */
+    Kernel take();
+
+  private:
+    Kernel kernel_;
+};
+
+} // namespace rfh
+
+#endif // RFH_IR_KERNEL_H

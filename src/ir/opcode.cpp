@@ -1,0 +1,120 @@
+#include "ir/opcode.h"
+
+#include <array>
+#include <unordered_map>
+
+namespace rfh {
+
+namespace {
+
+struct OpInfo
+{
+    std::string_view name;
+    UnitClass unit;
+    LatencyClass latency;
+    bool dest;
+    int srcs;
+};
+
+constexpr std::array<OpInfo, kNumOpcodes> opTable = {{
+    // name          unit             latency                dest  srcs
+    {"iadd",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"isub",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"imul",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"imad",      UnitClass::ALU,  LatencyClass::SHORT,  true,  3},
+    {"imin",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"imax",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"and",       UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"or",        UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"xor",       UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"not",       UnitClass::ALU,  LatencyClass::SHORT,  true,  1},
+    {"shl",       UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"shr",       UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"fadd",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"fsub",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"fmul",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"ffma",      UnitClass::ALU,  LatencyClass::SHORT,  true,  3},
+    {"fmin",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"fmax",      UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"setlt",     UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"setle",     UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"seteq",     UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"setne",     UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"setgt",     UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"setge",     UnitClass::ALU,  LatencyClass::SHORT,  true,  2},
+    {"sel",       UnitClass::ALU,  LatencyClass::SHORT,  true,  3},
+    {"mov",       UnitClass::ALU,  LatencyClass::SHORT,  true,  1},
+    {"cvt",       UnitClass::ALU,  LatencyClass::SHORT,  true,  1},
+    {"rcp",       UnitClass::SFU,  LatencyClass::MEDIUM, true,  1},
+    {"sqrt",      UnitClass::SFU,  LatencyClass::MEDIUM, true,  1},
+    {"rsqrt",     UnitClass::SFU,  LatencyClass::MEDIUM, true,  1},
+    {"sin",       UnitClass::SFU,  LatencyClass::MEDIUM, true,  1},
+    {"cos",       UnitClass::SFU,  LatencyClass::MEDIUM, true,  1},
+    {"lg2",       UnitClass::SFU,  LatencyClass::MEDIUM, true,  1},
+    {"ex2",       UnitClass::SFU,  LatencyClass::MEDIUM, true,  1},
+    {"ld.global", UnitClass::MEM,  LatencyClass::LONG,   true,  1},
+    {"ld.shared", UnitClass::MEM,  LatencyClass::MEDIUM, true,  1},
+    {"ld.param",  UnitClass::MEM,  LatencyClass::MEDIUM, true,  1},
+    {"st.global", UnitClass::MEM,  LatencyClass::SHORT,  false, 2},
+    {"st.shared", UnitClass::MEM,  LatencyClass::SHORT,  false, 2},
+    {"tex",       UnitClass::TEX,  LatencyClass::LONG,   true,  1},
+    {"bra",       UnitClass::CTRL, LatencyClass::SHORT,  false, 0},
+    {"bar",       UnitClass::CTRL, LatencyClass::MEDIUM, false, 0},
+    {"exit",      UnitClass::CTRL, LatencyClass::SHORT,  false, 0},
+}};
+
+const OpInfo &
+info(Opcode op)
+{
+    return opTable[static_cast<int>(op)];
+}
+
+} // namespace
+
+UnitClass
+unitClass(Opcode op)
+{
+    return info(op).unit;
+}
+
+LatencyClass
+latencyClass(Opcode op)
+{
+    return info(op).latency;
+}
+
+bool
+hasDest(Opcode op)
+{
+    return info(op).dest;
+}
+
+int
+numSrcOperands(Opcode op)
+{
+    return info(op).srcs;
+}
+
+std::string_view
+mnemonic(Opcode op)
+{
+    return info(op).name;
+}
+
+bool
+parseOpcode(std::string_view s, Opcode &out)
+{
+    static const std::unordered_map<std::string_view, Opcode> lookup = [] {
+        std::unordered_map<std::string_view, Opcode> m;
+        for (int i = 0; i < kNumOpcodes; i++)
+            m.emplace(opTable[i].name, static_cast<Opcode>(i));
+        return m;
+    }();
+    auto it = lookup.find(s);
+    if (it == lookup.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+} // namespace rfh

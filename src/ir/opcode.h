@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Opcode definitions for the RPTX intermediate representation.
+ *
+ * RPTX is a small PTX-like assembly language sufficient to express the
+ * register dataflow, control flow, and function-unit mix of the GPU
+ * compute kernels evaluated in the paper. Each opcode carries the
+ * function-unit class that executes it (which determines operand wire
+ * distances and LRF accessibility) and a latency class (which determines
+ * strand boundaries and two-level scheduler behaviour).
+ */
+
+#ifndef RFH_IR_OPCODE_H
+#define RFH_IR_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace rfh {
+
+/** Function-unit class that executes an instruction (Figure 1(c)). */
+enum class UnitClass : std::uint8_t {
+    ALU,   ///< Private per-lane ALU; may read/write the LRF.
+    SFU,   ///< Shared special-function unit (transcendentals).
+    MEM,   ///< Shared memory/load-store port.
+    TEX,   ///< Shared texture unit.
+    CTRL,  ///< Branch / barrier / exit; executes on the private datapath.
+};
+
+/** Latency class of an instruction (Table 2). */
+enum class LatencyClass : std::uint8_t {
+    SHORT,        ///< ALU (8 cycles) — hidden by the active warp set.
+    MEDIUM,       ///< SFU / shared memory (20 cycles).
+    LONG,         ///< Global loads / texture (400 cycles); ends strands.
+};
+
+/** RPTX opcodes. */
+enum class Opcode : std::uint8_t {
+    // Integer ALU.
+    IADD, ISUB, IMUL, IMAD, IMIN, IMAX,
+    AND, OR, XOR, NOT, SHL, SHR,
+    // Floating-point ALU.
+    FADD, FSUB, FMUL, FFMA, FMIN, FMAX,
+    // Comparison and select (predicate values live in regular registers).
+    SETLT, SETLE, SETEQ, SETNE, SETGT, SETGE, SEL,
+    // Data movement.
+    MOV, CVT,
+    // Special-function unit.
+    RCP, SQRT, RSQRT, SIN, COS, LG2, EX2,
+    // Memory. Loads produce a value from an address register; stores
+    // consume an address register and a data register.
+    LD_GLOBAL, LD_SHARED, LD_PARAM,
+    ST_GLOBAL, ST_SHARED,
+    // Texture fetch.
+    TEX,
+    // Control.
+    BRA,   ///< Branch to a block label; optionally predicated.
+    BAR,   ///< Barrier (synchronises warps; no register effects).
+    EXIT,  ///< Kernel exit.
+};
+
+/** Number of distinct opcodes (for table sizing). */
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::EXIT) + 1;
+
+/** @return the function-unit class executing @p op. */
+UnitClass unitClass(Opcode op);
+
+/** @return the latency class of @p op. */
+LatencyClass latencyClass(Opcode op);
+
+/** @return true if @p op has a long latency (ends strands). */
+inline bool
+isLongLatency(Opcode op)
+{
+    return latencyClass(op) == LatencyClass::LONG;
+}
+
+/** @return true if @p op writes a destination register. */
+bool hasDest(Opcode op);
+
+/** @return the number of source register/immediate operands of @p op. */
+int numSrcOperands(Opcode op);
+
+/** @return true if the unit class is part of the shared datapath. */
+inline bool
+isSharedUnit(UnitClass uc)
+{
+    return uc == UnitClass::SFU || uc == UnitClass::MEM ||
+        uc == UnitClass::TEX;
+}
+
+/** @return the lower-case mnemonic for @p op (e.g. "ld.global"). */
+std::string_view mnemonic(Opcode op);
+
+/**
+ * Parse a mnemonic into an opcode.
+ *
+ * @param s lower-case mnemonic.
+ * @param out parsed opcode on success.
+ * @return true on success.
+ */
+bool parseOpcode(std::string_view s, Opcode &out);
+
+} // namespace rfh
+
+#endif // RFH_IR_OPCODE_H

@@ -1,0 +1,297 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+namespace rfh {
+
+namespace {
+
+/** Cursor over one line of text. */
+class LineCursor
+{
+  public:
+    explicit LineCursor(std::string_view s) : s_(s) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == ','))
+            pos_++;
+    }
+
+    bool
+    done()
+    {
+        skipWs();
+        return pos_ >= s_.size();
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    /** Read a token of [A-Za-z0-9_.$%]. */
+    std::string_view
+    token()
+    {
+        skipWs();
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '_' || s_[pos_] == '.' || s_[pos_] == '$' ||
+                s_[pos_] == '%' || s_[pos_] == '-'))
+            pos_++;
+        return s_.substr(start, pos_ - start);
+    }
+
+  private:
+    std::string_view s_;
+    size_t pos_ = 0;
+};
+
+std::string_view
+stripComment(std::string_view line)
+{
+    for (size_t i = 0; i < line.size(); i++) {
+        if (line[i] == ';' ||
+            (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/'))
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+bool
+parseRegToken(std::string_view tok, Reg &out)
+{
+    if (tok.size() < 2 || (tok[0] != 'R' && tok[0] != 'r'))
+        return false;
+    int v = 0;
+    for (size_t i = 1; i < tok.size(); i++) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+        v = v * 10 + (tok[i] - '0');
+    }
+    if (v >= kMaxRegs)
+        return false;
+    out = static_cast<Reg>(v);
+    return true;
+}
+
+bool
+parseImmToken(std::string_view tok, std::uint32_t &out)
+{
+    if (tok.empty())
+        return false;
+    std::string tmp(tok);
+    char *end = nullptr;
+    long long v = std::strtoll(tmp.c_str(), &end, 0);
+    if (end != tmp.c_str() + tmp.size())
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+} // namespace
+
+ParseResult
+parseKernel(std::string_view text)
+{
+    ParseResult result;
+    Kernel &k = result.kernel;
+    std::map<std::string, int, std::less<>> label_to_block;
+    // (block, instr, line, label) for branch fixups.
+    struct Fixup { int block; int instr; int line; std::string label; };
+    std::vector<Fixup> fixups;
+
+    auto fail = [&](int line, const std::string &msg) {
+        result.ok = false;
+        result.error = "line " + std::to_string(line) + ": " + msg;
+        return result;
+    };
+
+    int line_no = 0;
+    size_t pos = 0;
+    bool in_block = false;
+    while (pos <= text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        std::string_view raw = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        line_no++;
+        std::string_view line = trim(stripComment(raw));
+        if (line.empty())
+            continue;
+
+        if (line.substr(0, 7) == ".kernel") {
+            k.name = std::string(trim(line.substr(7)));
+            continue;
+        }
+        if (line.back() == ':') {
+            std::string label(trim(line.substr(0, line.size() - 1)));
+            if (label_to_block.count(label))
+                return fail(line_no, "duplicate label '" + label + "'");
+            k.blocks.push_back(BasicBlock{label, {}});
+            label_to_block.emplace(label,
+                                   static_cast<int>(k.blocks.size()) - 1);
+            in_block = true;
+            continue;
+        }
+        if (!in_block) {
+            // Implicit entry block.
+            k.blocks.push_back(BasicBlock{"entry", {}});
+            label_to_block.emplace("entry", 0);
+            in_block = true;
+        }
+
+        LineCursor cur(line);
+        Instruction instr;
+
+        // Optional predicate: @Rn.
+        if (cur.consume('@')) {
+            Reg p;
+            if (!parseRegToken(cur.token(), p))
+                return fail(line_no, "bad predicate register");
+            instr.pred = p;
+        }
+
+        std::string_view mnem = cur.token();
+        if (mnem.empty())
+            return fail(line_no, "expected mnemonic");
+        bool wide = false;
+        if (mnem.size() > 5 && mnem.substr(mnem.size() - 5) == ".wide") {
+            wide = true;
+            mnem = mnem.substr(0, mnem.size() - 5);
+        }
+        if (!parseOpcode(mnem, instr.op))
+            return fail(line_no, "unknown opcode '" + std::string(mnem) +
+                        "'");
+        instr.wide = wide;
+
+        if (instr.op == Opcode::BRA) {
+            std::string_view tgt = cur.token();
+            if (tgt.empty())
+                return fail(line_no, "branch needs a target label");
+            fixups.push_back({static_cast<int>(k.blocks.size()) - 1,
+                              static_cast<int>(
+                                  k.blocks.back().instrs.size()),
+                              line_no, std::string(tgt)});
+            k.blocks.back().instrs.push_back(instr);
+            continue;
+        }
+        bool is_store = instr.op == Opcode::ST_GLOBAL ||
+            instr.op == Opcode::ST_SHARED;
+        bool is_load = instr.op == Opcode::LD_GLOBAL ||
+            instr.op == Opcode::LD_SHARED || instr.op == Opcode::LD_PARAM;
+
+        if (hasDest(instr.op)) {
+            Reg d;
+            if (!parseRegToken(cur.token(), d))
+                return fail(line_no, "expected destination register");
+            instr.dst = d;
+        }
+
+        int want = numSrcOperands(instr.op);
+        for (int s = 0; s < want; s++) {
+            bool bracket = cur.consume('[');
+            std::string_view tok;
+            if (cur.consume('#')) {
+                tok = cur.token();
+                std::uint32_t imm;
+                if (!parseImmToken(tok, imm))
+                    return fail(line_no, "bad immediate");
+                instr.srcs[s] = SrcOperand::makeImm(imm);
+            } else {
+                tok = cur.token();
+                if (tok.empty())
+                    return fail(line_no, "missing operand");
+                Reg r;
+                std::uint32_t imm;
+                if (parseRegToken(tok, r)) {
+                    instr.srcs[s] = SrcOperand::makeReg(r);
+                } else if (parseImmToken(tok, imm)) {
+                    instr.srcs[s] = SrcOperand::makeImm(imm);
+                } else {
+                    return fail(line_no, "bad operand '" +
+                                std::string(tok) + "'");
+                }
+            }
+            if (bracket && cur.consume('+')) {
+                std::uint32_t off;
+                if (!parseImmToken(cur.token(), off))
+                    return fail(line_no, "bad address offset");
+                instr.memOffset = off;
+            }
+            if (bracket && !cur.consume(']'))
+                return fail(line_no, "missing ']'");
+            if (bracket && !instr.srcs[s].isReg)
+                return fail(line_no, "address operand must be a register");
+            // Address operands of loads/stores must be registers.
+            if ((is_load || (is_store && s == 0)) && !instr.srcs[s].isReg)
+                return fail(line_no, "address operand must be a register");
+            instr.numSrcs++;
+        }
+        if (!cur.done())
+            return fail(line_no, "trailing junk on line");
+        k.blocks.back().instrs.push_back(instr);
+    }
+
+    for (const auto &fx : fixups) {
+        auto it = label_to_block.find(fx.label);
+        if (it == label_to_block.end())
+            return fail(fx.line, "undefined label '" + fx.label + "'");
+        k.blocks[fx.block].instrs[fx.instr].branchTarget = it->second;
+    }
+
+    k.finalize();
+    std::string verr = k.validate();
+    if (!verr.empty()) {
+        result.ok = false;
+        result.error = verr;
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+Kernel
+parseKernelOrDie(std::string_view text)
+{
+    ParseResult r = parseKernel(text);
+    if (!r.ok) {
+        std::fprintf(stderr, "rfh: kernel parse error: %s\n",
+                     r.error.c_str());
+        std::abort();
+    }
+    return std::move(r.kernel);
+}
+
+} // namespace rfh

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Text parser for RPTX assembly.
+ *
+ * Grammar (one instruction per line; '//' and ';' start comments):
+ *
+ * @code
+ *   .kernel vecadd
+ *   entry:
+ *       ld.param  R0, [R63]
+ *       imul.wide R2, R0, R1      // '.wide': dst occupies R2 and R3
+ *       ld.global R4, [R2]
+ *       fadd      R5, R4, #0x3f800000
+ *   loop:
+ *       @R7 bra loop              // predicated (backward) branch
+ *       st.global [R2], R5
+ *       exit
+ * @endcode
+ *
+ * Registers are written R0..R63, immediates as decimal or 0x-hex
+ * (optionally prefixed with '#'), memory operands as [Rn], branch targets
+ * as block labels.
+ */
+
+#ifndef RFH_IR_PARSER_H
+#define RFH_IR_PARSER_H
+
+#include <string>
+#include <string_view>
+
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Outcome of parsing a kernel from text. */
+struct ParseResult
+{
+    bool ok = false;
+    Kernel kernel;
+    std::string error;  ///< "line N: message" when !ok.
+};
+
+/** Parse one kernel from RPTX text. */
+ParseResult parseKernel(std::string_view text);
+
+/**
+ * Parse a kernel that is known to be valid (aborts on error).
+ * Intended for embedded workload sources and tests.
+ */
+Kernel parseKernelOrDie(std::string_view text);
+
+} // namespace rfh
+
+#endif // RFH_IR_PARSER_H

@@ -1,0 +1,108 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace rfh {
+
+namespace {
+
+std::string
+annoSuffix(const ReadAnnotation &a)
+{
+    std::ostringstream os;
+    os << "{" << levelName(a.level);
+    if (a.level == Level::ORF)
+        os << static_cast<int>(a.entry);
+    if (a.level == Level::LRF)
+        os << "." << static_cast<int>(a.lrfBank);
+    if (a.depositToORF)
+        os << ">ORF" << static_cast<int>(a.entry);
+    os << "}";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+formatInstruction(const Instruction &instr, const Kernel &k,
+                  const PrintOptions &opts)
+{
+    std::ostringstream os;
+    if (instr.pred) {
+        os << "@R" << static_cast<int>(*instr.pred);
+        if (opts.annotations)
+            os << annoSuffix(instr.predAnno);
+        os << " ";
+    }
+    os << mnemonic(instr.op);
+    if (instr.wide)
+        os << ".wide";
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? " " : ", ");
+        first = false;
+    };
+    if (instr.op == Opcode::BRA) {
+        sep();
+        os << k.blocks[instr.branchTarget].label;
+    } else {
+        if (instr.dst) {
+            sep();
+            os << "R" << static_cast<int>(*instr.dst);
+            if (opts.annotations) {
+                const WriteAnnotation &w = instr.writeAnno;
+                os << "{";
+                bool any = false;
+                if (w.toLRF) {
+                    os << "LRF." << static_cast<int>(w.lrfBank);
+                    any = true;
+                }
+                if (w.toORF) {
+                    os << (any ? "+" : "") << "ORF"
+                       << static_cast<int>(w.orfEntry);
+                    any = true;
+                }
+                if (w.toMRF)
+                    os << (any ? "+" : "") << "MRF";
+                os << "}";
+            }
+        }
+        bool is_mem = unitClass(instr.op) == UnitClass::MEM ||
+            instr.op == Opcode::TEX;
+        for (int s = 0; s < instr.numSrcs; s++) {
+            sep();
+            bool bracket = is_mem && s == 0 && instr.srcs[s].isReg;
+            if (bracket)
+                os << "[";
+            if (instr.srcs[s].isReg) {
+                os << "R" << static_cast<int>(instr.srcs[s].reg);
+                if (opts.annotations)
+                    os << annoSuffix(instr.readAnno[s]);
+            } else {
+                os << "#" << instr.srcs[s].imm;
+            }
+            if (bracket && instr.memOffset != 0)
+                os << "+" << instr.memOffset;
+            if (bracket)
+                os << "]";
+        }
+    }
+    if (opts.strands && instr.endOfStrand)
+        os << "   // <end of strand>";
+    return os.str();
+}
+
+std::string
+printKernel(const Kernel &k, const PrintOptions &opts)
+{
+    std::ostringstream os;
+    os << ".kernel " << k.name << "\n";
+    for (const auto &bb : k.blocks) {
+        os << bb.label << ":\n";
+        for (const auto &in : bb.instrs)
+            os << "    " << formatInstruction(in, k, opts) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rfh

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Pretty-printer for RPTX kernels, optionally showing allocator
+ * annotations (operand levels, write destinations, strand boundaries).
+ */
+
+#ifndef RFH_IR_PRINTER_H
+#define RFH_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Printing options. */
+struct PrintOptions
+{
+    /** Show hierarchy-level annotations next to each operand. */
+    bool annotations = false;
+    /** Show strand-endpoint markers. */
+    bool strands = false;
+};
+
+/** Render one instruction as a single line (no trailing newline). */
+std::string formatInstruction(const Instruction &instr, const Kernel &k,
+                              const PrintOptions &opts = {});
+
+/** Render the whole kernel as parseable RPTX text. */
+std::string printKernel(const Kernel &k, const PrintOptions &opts = {});
+
+} // namespace rfh
+
+#endif // RFH_IR_PRINTER_H

@@ -1,0 +1,41 @@
+#include "sim/access_counters.h"
+
+namespace rfh {
+
+double
+AccessCounts::accessEnergyPJ(const EnergyModel &em, Level level) const
+{
+    int l = static_cast<int>(level);
+    double e = 0.0;
+    for (int d = 0; d < 2; d++) {
+        e += reads[l][d] * em.accessEnergy(level, false);
+        e += writes[l][d] * em.accessEnergy(level, true);
+    }
+    return e;
+}
+
+double
+AccessCounts::wireEnergyPJ(const EnergyModel &em, Level level) const
+{
+    int l = static_cast<int>(level);
+    double e = 0.0;
+    for (int d = 0; d < 2; d++) {
+        Datapath dp = static_cast<Datapath>(d);
+        if (reads[l][d] == 0 && writes[l][d] == 0)
+            continue;  // avoid querying impossible paths (LRF+shared)
+        e += reads[l][d] * em.wireEnergy(level, dp);
+        e += writes[l][d] * em.wireEnergy(level, dp);
+    }
+    return e;
+}
+
+double
+AccessCounts::totalEnergyPJ(const EnergyModel &em) const
+{
+    double e = 0.0;
+    for (Level l : {Level::MRF, Level::ORF, Level::LRF})
+        e += accessEnergyPJ(em, l) + wireEnergyPJ(em, l);
+    return e;
+}
+
+} // namespace rfh

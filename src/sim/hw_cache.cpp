@@ -1,0 +1,246 @@
+#include "sim/hw_cache.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "ir/liveness.h"
+#include "ir/reaching_defs.h"
+#include "sim/machine.h"
+
+namespace rfh {
+
+namespace {
+
+/** Per-warp RFC state. */
+class Rfc
+{
+  public:
+    explicit Rfc(int entries) : entries_(entries) {}
+
+    /** @return true if @p r is cached. */
+    bool
+    contains(Reg r) const
+    {
+        return std::find(regs_.begin(), regs_.end(), r) != regs_.end();
+    }
+
+    /**
+     * Insert @p r (overwriting in place on a hit). When the cache is
+     * full, the FIFO victim register is returned through @p evicted.
+     *
+     * @return true if a valid entry was evicted.
+     */
+    bool
+    insert(Reg r, Reg &evicted)
+    {
+        if (contains(r))
+            return false;
+        if (static_cast<int>(regs_.size()) < entries_) {
+            regs_.push_back(r);
+            return false;
+        }
+        evicted = regs_.front();
+        regs_.pop_front();
+        regs_.push_back(r);
+        return true;
+    }
+
+    void
+    erase(Reg r)
+    {
+        auto it = std::find(regs_.begin(), regs_.end(), r);
+        if (it != regs_.end())
+            regs_.erase(it);
+    }
+
+    const std::deque<Reg> &
+    contents() const
+    {
+        return regs_;
+    }
+
+    void
+    clear()
+    {
+        regs_.clear();
+    }
+
+  private:
+    int entries_;
+    std::deque<Reg> regs_;
+};
+
+} // namespace
+
+AccessCounts
+runHwCache(const Kernel &k, const HwCacheConfig &cfg)
+{
+    Cfg cfg_graph(k);
+    Liveness liveness(k, cfg_graph);
+    ReachingDefs rdefs(k, cfg_graph);
+
+    // Static per-instruction flag: does any consumer of this result run
+    // on the shared datapath? Such values bypass the hardware LRF
+    // (Section 6.2: the compiler guarantees shared-unit operands are
+    // available in the RFC or MRF).
+    std::vector<bool> shared_consumer(k.numInstrs(), false);
+    for (int lin = 0; lin < k.numInstrs(); lin++) {
+        for (DefId d : rdefs.defsAt(lin)) {
+            for (const UseSite &u : rdefs.uses(d)) {
+                if (u.slot == kPredSlot)
+                    continue;
+                if (isSharedUnit(k.instr(u.lin).unit()))
+                    shared_consumer[lin] = true;
+            }
+        }
+    }
+
+    AccessCounts counts;
+    for (int w = 0; w < cfg.run.numWarps; w++) {
+        WarpContext warp;
+        warp.reset(static_cast<std::uint32_t>(w));
+        Rfc rfc(cfg.rfcEntries);
+        bool lrf_valid = false;
+        Reg lrf_reg = 0;
+        RegSet pending;
+        std::uint64_t executed = 0;
+
+        // Spill the LRF occupant into the RFC (LRF eviction path).
+        auto spill_lrf_to_rfc = [&](int lin) {
+            if (!lrf_valid)
+                return;
+            if (liveness.liveAfter(lin, lrf_reg)) {
+                counts.read(Level::LRF, Datapath::PRIVATE);
+                counts.wbReads++;
+                Reg victim = 0;
+                if (rfc.insert(lrf_reg, victim)) {
+                    if (liveness.liveAfter(lin, victim)) {
+                        counts.read(Level::ORF, Datapath::PRIVATE);
+                        counts.wbReads++;
+                        counts.write(Level::MRF, Datapath::PRIVATE);
+                        counts.wbWrites++;
+                    }
+                }
+                counts.write(Level::ORF, Datapath::PRIVATE);
+            }
+            lrf_valid = false;
+        };
+
+        // Flush everything live back to the MRF (deschedule).
+        auto flush_all = [&](const RegSet &live) {
+            if (lrf_valid && live.test(lrf_reg)) {
+                counts.read(Level::LRF, Datapath::PRIVATE);
+                counts.wbReads++;
+                counts.write(Level::MRF, Datapath::PRIVATE);
+                counts.wbWrites++;
+            }
+            lrf_valid = false;
+            for (Reg r : rfc.contents()) {
+                if (live.test(r)) {
+                    counts.read(Level::ORF, Datapath::PRIVATE);
+                    counts.wbReads++;
+                    counts.write(Level::MRF, Datapath::PRIVATE);
+                    counts.wbWrites++;
+                }
+            }
+            rfc.clear();
+        };
+
+        while (!warp.done && executed < cfg.run.maxInstrsPerWarp) {
+            int lin = warp.pc(k);
+            const Instruction &in = k.instr(lin);
+            Datapath dp = datapathOf(in.unit());
+            bool shared = isSharedUnit(in.unit());
+
+            // Two-level scheduler: deschedule on a dependence on an
+            // outstanding long-latency operation (reads, writes, or
+            // overwrites of its destination).
+            RegSet touched = usedRegs(in) | definedRegs(in);
+            if ((touched & pending).any()) {
+                // Liveness immediately before this instruction.
+                RegSet live_before =
+                    (liveness.liveAfter(lin) & ~definedRegs(in)) |
+                    usedRegs(in);
+                flush_all(live_before);
+                pending.reset();
+                counts.deschedules++;
+            }
+
+            // Operand reads: LRF (private only) -> RFC -> MRF.
+            auto read_one = [&](Reg r) {
+                if (cfg.useLRF && !shared && lrf_valid && lrf_reg == r) {
+                    counts.read(Level::LRF, dp);
+                } else if (rfc.contains(r)) {
+                    counts.read(Level::ORF, dp);
+                } else {
+                    counts.read(Level::MRF, dp);
+                }
+            };
+            for (int s = 0; s < in.numSrcs; s++)
+                if (in.srcs[s].isReg)
+                    read_one(in.srcs[s].reg);
+            if (in.pred)
+                read_one(*in.pred);
+
+            // Result write (suppressed when predicated off).
+            bool enabled = !in.pred || warp.regs[*in.pred] != 0;
+            if (in.dst && enabled) {
+                int halves = in.wide ? 2 : 1;
+                if (in.longLatency()) {
+                    // Long-latency results bypass the hierarchy.
+                    counts.write(Level::MRF, dp, halves);
+                    // Their destination must not linger in the caches.
+                    for (int h = 0; h < halves; h++) {
+                        Reg r = static_cast<Reg>(*in.dst + h);
+                        rfc.erase(r);
+                        if (lrf_valid && lrf_reg == r)
+                            lrf_valid = false;
+                    }
+                    pending |= definedRegs(in);
+                } else if (cfg.useLRF && !in.wide &&
+                           in.unit() == UnitClass::ALU &&
+                           !shared_consumer[lin]) {
+                    // Private result consumed privately: goes to LRF.
+                    if (lrf_valid && lrf_reg != *in.dst)
+                        spill_lrf_to_rfc(lin);
+                    rfc.erase(*in.dst);  // keep a single location
+                    lrf_valid = true;
+                    lrf_reg = *in.dst;
+                    counts.write(Level::LRF, dp);
+                } else {
+                    for (int h = 0; h < halves; h++) {
+                        Reg r = static_cast<Reg>(*in.dst + h);
+                        if (cfg.useLRF && lrf_valid && lrf_reg == r)
+                            lrf_valid = false;  // overwritten
+                        Reg victim = 0;
+                        if (rfc.insert(r, victim)) {
+                            if (liveness.liveAfter(lin, victim)) {
+                                counts.read(Level::ORF, dp);
+                                counts.wbReads++;
+                                counts.write(Level::MRF, dp);
+                                counts.wbWrites++;
+                            }
+                        }
+                        counts.write(Level::ORF, dp);
+                    }
+                }
+            }
+
+            counts.instructions++;
+            StepInfo si = step(k, warp);
+            executed++;
+
+            if (cfg.flushOnBackwardBranch && in.op == Opcode::BRA &&
+                si.branchTaken && in.branchTarget >= 0) {
+                // Backward branch taken: optional flush variant.
+                const InstrRef &tr = k.ref(lin);
+                if (in.branchTarget <= tr.block)
+                    flush_all(liveness.liveAfter(lin));
+            }
+        }
+    }
+    return counts;
+}
+
+} // namespace rfh

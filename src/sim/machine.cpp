@@ -1,0 +1,197 @@
+#include "sim/machine.h"
+
+#include <bit>
+#include <cmath>
+
+namespace rfh {
+
+std::uint32_t
+hashU32(std::uint32_t x)
+{
+    x ^= x >> 16;
+    x *= 0x7feb352dU;
+    x ^= x >> 15;
+    x *= 0x846ca68bU;
+    x ^= x >> 16;
+    return x;
+}
+
+std::uint32_t
+Memory::load(std::uint32_t addr) const
+{
+    auto it = stores_.find(addr);
+    if (it != stores_.end())
+        return it->second;
+    return hashU32(addr ^ seed_ ^ 0x9e3779b9U);
+}
+
+void
+Memory::store(std::uint32_t addr, std::uint32_t value)
+{
+    stores_[addr] = value;
+}
+
+void
+WarpContext::reset(std::uint32_t warp_id)
+{
+    memory = Memory(warp_id);
+    for (int r = 0; r < kMaxRegs; r++)
+        regs[r] = hashU32(warp_id * 131 + r);
+    // By convention R0 holds the thread id and R63 the parameter base;
+    // keep them small so address arithmetic stays well behaved.
+    regs[0] = warp_id;
+    regs[kMaxRegs - 1] = 0x1000 + warp_id * 0x100;
+    block = 0;
+    idx = 0;
+    done = false;
+}
+
+namespace {
+
+float
+asF(std::uint32_t x)
+{
+    return std::bit_cast<float>(x);
+}
+
+std::uint32_t
+asU(float f)
+{
+    // Normalise NaNs so hierarchical and flat executions compare equal.
+    if (std::isnan(f))
+        return 0x7fc00000U;
+    return std::bit_cast<std::uint32_t>(f);
+}
+
+} // namespace
+
+void
+evaluate(const Instruction &instr,
+         const std::array<std::uint32_t, kMaxSrcs> &ops, Memory &mem,
+         std::uint32_t &lo, std::uint32_t &hi)
+{
+    const std::uint32_t a = ops[0] +
+        (unitClass(instr.op) == UnitClass::MEM ||
+         instr.op == Opcode::TEX ? instr.memOffset : 0);
+    const std::uint32_t b = ops[1], c = ops[2];
+    const std::int32_t sa = static_cast<std::int32_t>(a);
+    const std::int32_t sb = static_cast<std::int32_t>(b);
+    lo = 0;
+    hi = 0;
+    switch (instr.op) {
+      case Opcode::IADD: lo = a + b; break;
+      case Opcode::ISUB: lo = a - b; break;
+      case Opcode::IMUL:
+        if (instr.wide) {
+            std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+            lo = static_cast<std::uint32_t>(p);
+            hi = static_cast<std::uint32_t>(p >> 32);
+        } else {
+            lo = a * b;
+        }
+        break;
+      case Opcode::IMAD: lo = a * b + c; break;
+      case Opcode::IMIN: lo = sa < sb ? a : b; break;
+      case Opcode::IMAX: lo = sa > sb ? a : b; break;
+      case Opcode::AND: lo = a & b; break;
+      case Opcode::OR: lo = a | b; break;
+      case Opcode::XOR: lo = a ^ b; break;
+      case Opcode::NOT: lo = ~a; break;
+      case Opcode::SHL: lo = a << (b & 31); break;
+      case Opcode::SHR: lo = a >> (b & 31); break;
+      case Opcode::FADD: lo = asU(asF(a) + asF(b)); break;
+      case Opcode::FSUB: lo = asU(asF(a) - asF(b)); break;
+      case Opcode::FMUL: lo = asU(asF(a) * asF(b)); break;
+      case Opcode::FFMA: lo = asU(asF(a) * asF(b) + asF(c)); break;
+      case Opcode::FMIN: lo = asU(std::fmin(asF(a), asF(b))); break;
+      case Opcode::FMAX: lo = asU(std::fmax(asF(a), asF(b))); break;
+      case Opcode::SETLT: lo = sa < sb ? 1 : 0; break;
+      case Opcode::SETLE: lo = sa <= sb ? 1 : 0; break;
+      case Opcode::SETEQ: lo = a == b ? 1 : 0; break;
+      case Opcode::SETNE: lo = a != b ? 1 : 0; break;
+      case Opcode::SETGT: lo = sa > sb ? 1 : 0; break;
+      case Opcode::SETGE: lo = sa >= sb ? 1 : 0; break;
+      case Opcode::SEL: lo = a ? b : c; break;
+      case Opcode::MOV: lo = a; break;
+      case Opcode::CVT: lo = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(asF(a))); break;
+      case Opcode::RCP: lo = asU(1.0f / asF(a)); break;
+      case Opcode::SQRT: lo = asU(std::sqrt(std::fabs(asF(a)))); break;
+      case Opcode::RSQRT:
+        lo = asU(1.0f / std::sqrt(std::fabs(asF(a)) + 1e-30f));
+        break;
+      case Opcode::SIN: lo = asU(std::sin(asF(a))); break;
+      case Opcode::COS: lo = asU(std::cos(asF(a))); break;
+      case Opcode::LG2: lo = asU(std::log2(std::fabs(asF(a)) + 1e-30f));
+        break;
+      case Opcode::EX2: lo = asU(std::exp2(asF(a))); break;
+      case Opcode::LD_GLOBAL: lo = mem.load(a); break;
+      case Opcode::LD_SHARED: lo = mem.load(a ^ 0x5555aaaaU); break;
+      case Opcode::LD_PARAM: lo = mem.load(a ^ 0x33cc33ccU); break;
+      case Opcode::ST_GLOBAL: mem.store(a, b); break;
+      case Opcode::ST_SHARED: mem.store(a ^ 0x5555aaaaU, b); break;
+      case Opcode::TEX: lo = hashU32(a ^ 0x07e707e7U); break;
+      case Opcode::BRA:
+      case Opcode::BAR:
+      case Opcode::EXIT:
+        break;
+    }
+}
+
+StepInfo
+step(const Kernel &k, WarpContext &warp)
+{
+    StepInfo info;
+    const Instruction &in = k.blocks[warp.block].instrs[warp.idx];
+    info.lin = warp.pc(k);
+
+    std::array<std::uint32_t, kMaxSrcs> ops{};
+    for (int s = 0; s < in.numSrcs; s++)
+        ops[s] = in.srcs[s].isReg ? warp.regs[in.srcs[s].reg]
+                                  : in.srcs[s].imm;
+
+    if (in.op == Opcode::EXIT) {
+        warp.done = true;
+        return info;
+    }
+    if (in.op == Opcode::BRA) {
+        bool taken = !in.pred || warp.regs[*in.pred] != 0;
+        info.branchTaken = taken;
+        if (taken) {
+            warp.block = in.branchTarget;
+            warp.idx = 0;
+        } else {
+            warp.block++;
+            warp.idx = 0;
+            if (warp.block >= static_cast<int>(k.blocks.size()))
+                warp.done = true;
+        }
+        return info;
+    }
+
+    // Predicated non-branch instructions execute only when the
+    // predicate is non-zero (inactive threads keep old values).
+    bool enabled = !in.pred || warp.regs[*in.pred] != 0;
+    std::uint32_t lo = 0, hi = 0;
+    if (enabled) {
+        evaluate(in, ops, warp.memory, lo, hi);
+        if (in.dst) {
+            warp.regs[*in.dst] = lo;
+            if (in.wide)
+                warp.regs[*in.dst + 1] = hi;
+        }
+    }
+    info.result = lo;
+    info.resultHi = hi;
+
+    warp.idx++;
+    if (warp.idx >= static_cast<int>(k.blocks[warp.block].instrs.size())) {
+        warp.block++;
+        warp.idx = 0;
+        if (warp.block >= static_cast<int>(k.blocks.size()))
+            warp.done = true;
+    }
+    return info;
+}
+
+} // namespace rfh

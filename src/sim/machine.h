@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Functional execution machine for RPTX kernels.
+ *
+ * Executes kernels with real 32-bit values so that the register-file
+ * simulators can verify data correctness: a hierarchical execution
+ * (values flowing through LRF/ORF with strand flushes) must produce
+ * bit-identical register state to a plain MRF-only execution.
+ *
+ * Each warp is modelled scalarly (one representative thread); memory
+ * returns deterministic hashed values so loads are reproducible, and
+ * stores are kept in a map so load-after-store round-trips work.
+ */
+
+#ifndef RFH_SIM_MACHINE_H
+#define RFH_SIM_MACHINE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Deterministic sparse memory: hashed contents, stores remembered. */
+class Memory
+{
+  public:
+    explicit Memory(std::uint32_t seed = 0) : seed_(seed) {}
+
+    std::uint32_t load(std::uint32_t addr) const;
+    void store(std::uint32_t addr, std::uint32_t value);
+
+  private:
+    std::uint32_t seed_;
+    std::unordered_map<std::uint32_t, std::uint32_t> stores_;
+};
+
+/** Architectural state of one warp. */
+struct WarpContext
+{
+    std::array<std::uint32_t, kMaxRegs> regs{};
+    int block = 0;   ///< Current basic block.
+    int idx = 0;     ///< Next instruction within the block.
+    bool done = false;
+    Memory memory;
+
+    /** Initialise registers deterministically from a warp id. */
+    void reset(std::uint32_t warp_id);
+
+    /** Linear index of the next instruction. */
+    int
+    pc(const Kernel &k) const
+    {
+        return k.blockStart(block) + idx;
+    }
+};
+
+/** Result of executing one instruction. */
+struct StepInfo
+{
+    int lin = -1;                ///< Linear index executed.
+    bool branchTaken = false;
+    std::uint32_t result = 0;    ///< Destination value (low half).
+    std::uint32_t resultHi = 0;  ///< High half for wide results.
+};
+
+/**
+ * Compute the result of @p instr given operand values. Exposed
+ * separately so executors that fetch operands from different levels
+ * can share the semantics.
+ *
+ * @param ops operand values in slot order.
+ * @param lo low 32 bits of the result.
+ * @param hi high 32 bits (wide results only).
+ */
+void evaluate(const Instruction &instr, const std::array<std::uint32_t,
+              kMaxSrcs> &ops, Memory &mem, std::uint32_t &lo,
+              std::uint32_t &hi);
+
+/**
+ * Execute the next instruction of @p warp on @p k with all operands
+ * read from / written to the architectural register file. Advances
+ * control flow and sets @c warp.done on EXIT.
+ */
+StepInfo step(const Kernel &k, WarpContext &warp);
+
+/** Mixing hash used for memory contents and register seeding. */
+std::uint32_t hashU32(std::uint32_t x);
+
+} // namespace rfh
+
+#endif // RFH_SIM_MACHINE_H

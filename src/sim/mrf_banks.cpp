@@ -1,0 +1,55 @@
+#include "sim/mrf_banks.h"
+
+#include <algorithm>
+#include <array>
+
+#include "sim/machine.h"
+
+namespace rfh {
+
+MrfBankStats
+measureBankConflicts(const Kernel &k, const MrfBankConfig &cfg)
+{
+    MrfBankStats stats;
+    for (int w = 0; w < cfg.run.numWarps; w++) {
+        WarpContext warp;
+        warp.reset(static_cast<std::uint32_t>(w));
+        std::uint64_t executed = 0;
+        while (!warp.done && executed < cfg.run.maxInstrsPerWarp) {
+            const Instruction &in = k.instr(warp.pc(k));
+
+            // Count accesses per bank for this instruction's register
+            // source operands (the writes use the banks' write ports
+            // and never conflict with the 1R1W organisation's reads).
+            std::array<int, 64> per_bank{};
+            int max_per_bank = 0;
+            int operands = 0;
+            auto touch = [&](Reg r) {
+                int b = bankOf(r, w, cfg);
+                per_bank[b]++;
+                max_per_bank = std::max(max_per_bank, per_bank[b]);
+                operands++;
+            };
+            for (int s = 0; s < in.numSrcs; s++)
+                if (in.srcs[s].isReg)
+                    touch(in.srcs[s].reg);
+            if (in.pred)
+                touch(*in.pred);
+
+            stats.instructions++;
+            stats.operandsFetched += operands;
+            // All banks are read in parallel: the fetch takes as many
+            // cycles as the most-contended bank needs (minimum one
+            // cycle even for operand-less instructions).
+            stats.fetchCycles += std::max(1, max_per_bank);
+            if (max_per_bank > 1)
+                stats.conflictedInstructions++;
+
+            step(k, warp);
+            executed++;
+        }
+    }
+    return stats;
+}
+
+} // namespace rfh

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * MRF banking and operand-collection model (Figure 1(c), Section 2).
+ *
+ * The paper's MRF is built from 32 banks of 4 KB; each 128-bit entry
+ * holds one register for 4 SIMT lanes, and the operand buffering and
+ * distribution logic fetches a warp instruction's operands over
+ * several cycles. Registers are interleaved across banks, so two
+ * source operands whose registers fall in the same bank conflict and
+ * serialise.
+ *
+ * This model measures how many operand-fetch cycles each workload
+ * needs: conflicts lengthen operand collection, which is why the MRF
+ * needs heavy banking and why the single-cycle-read ORF/LRF (3R/1W
+ * flip-flop banks) can drop the distribution logic entirely
+ * (Section 3.2).
+ */
+
+#ifndef RFH_SIM_MRF_BANKS_H
+#define RFH_SIM_MRF_BANKS_H
+
+#include <cstdint>
+
+#include "ir/kernel.h"
+#include "sim/baseline_exec.h"
+
+namespace rfh {
+
+/** Banking configuration (defaults from Section 2). */
+struct MrfBankConfig
+{
+    /** Number of MRF banks per SM. */
+    int numBanks = 32;
+    /**
+     * Warps are distributed across banks: register r of warp w lives
+     * in bank (r + w * warpBankSwizzle) % numBanks. A non-zero swizzle
+     * spreads different warps' same-numbered registers over different
+     * banks, the standard conflict-avoidance layout.
+     */
+    int warpBankSwizzle = 1;
+    RunConfig run;
+};
+
+/** Operand-collection statistics. */
+struct MrfBankStats
+{
+    std::uint64_t instructions = 0;
+    /** Instructions with at least one same-bank source conflict. */
+    std::uint64_t conflictedInstructions = 0;
+    /** Total operand-fetch cycles (max accesses to any one bank). */
+    std::uint64_t fetchCycles = 0;
+    /** Total source operands fetched from the MRF. */
+    std::uint64_t operandsFetched = 0;
+
+    /** Average operand-fetch cycles per instruction. */
+    double
+    avgFetchCycles() const
+    {
+        return instructions
+            ? static_cast<double>(fetchCycles) / instructions
+            : 0.0;
+    }
+
+    /** Fraction of instructions that hit a bank conflict. */
+    double
+    conflictRate() const
+    {
+        return instructions
+            ? static_cast<double>(conflictedInstructions) / instructions
+            : 0.0;
+    }
+};
+
+/**
+ * Execute @p k and measure MRF bank conflicts of a flat (baseline)
+ * register file, where every source operand is fetched from the MRF.
+ */
+MrfBankStats measureBankConflicts(const Kernel &k,
+                                  const MrfBankConfig &cfg = {});
+
+/** @return the bank holding register @p r of warp @p warp. */
+inline int
+bankOf(Reg r, int warp, const MrfBankConfig &cfg)
+{
+    return (static_cast<int>(r) + warp * cfg.warpBankSwizzle) %
+        cfg.numBanks;
+}
+
+} // namespace rfh
+
+#endif // RFH_SIM_MRF_BANKS_H

@@ -1,0 +1,209 @@
+#include "sim/simt.h"
+
+namespace rfh {
+
+namespace {
+
+/**
+ * Per-lane memories keep the scalar model's determinism: lane l of
+ * warp w behaves exactly like scalar thread w*width+l, so SIMT
+ * execution can be checked lane-by-lane against the scalar machine.
+ */
+std::uint32_t
+threadId(std::uint32_t warp_id, int width, int lane)
+{
+    return warp_id * static_cast<std::uint32_t>(width) +
+        static_cast<std::uint32_t>(lane);
+}
+
+} // namespace
+
+SimtWarp::SimtWarp(const Kernel &k, const Cfg &cfg,
+                   std::uint32_t warp_id, int width)
+    : kernel_(k), cfg_(cfg), lanes_(width)
+{
+    memories_.reserve(width);
+    for (int l = 0; l < width; l++) {
+        std::uint32_t tid = threadId(warp_id, width, l);
+        memories_.emplace_back(tid);
+        for (int r = 0; r < kMaxRegs; r++)
+            lanes_[l].regs[r] = hashU32(tid * 131 + r);
+        lanes_[l].regs[0] = tid;
+        lanes_[l].regs[kMaxRegs - 1] = 0x1000 + tid * 0x100;
+    }
+    SimtStackEntry root;
+    root.pcBlock = 0;
+    root.pcIdx = 0;
+    root.mask = width >= 32 ? 0xffffffffu : ((1u << width) - 1);
+    root.rpcBlock = -1;
+    stack_.push_back(root);
+}
+
+LaneMask
+SimtWarp::activeMask() const
+{
+    return stack_.empty() ? 0 : stack_.back().mask;
+}
+
+const Instruction &
+SimtWarp::currentInstr() const
+{
+    const SimtStackEntry &top = stack_.back();
+    return kernel_.blocks[top.pcBlock].instrs[top.pcIdx];
+}
+
+void
+SimtWarp::maybeReconverge()
+{
+    while (!stack_.empty()) {
+        const SimtStackEntry &top = stack_.back();
+        if (top.pcIdx == 0 && top.pcBlock == top.rpcBlock)
+            stack_.pop_back();
+        else
+            break;
+    }
+}
+
+void
+SimtWarp::advanceTop()
+{
+    SimtStackEntry &top = stack_.back();
+    top.pcIdx++;
+    if (top.pcIdx >=
+        static_cast<int>(kernel_.blocks[top.pcBlock].instrs.size())) {
+        top.pcBlock++;
+        top.pcIdx = 0;
+        if (top.pcBlock >= static_cast<int>(kernel_.blocks.size())) {
+            stack_.pop_back();
+            return;
+        }
+    }
+    maybeReconverge();
+}
+
+void
+SimtWarp::step()
+{
+    SimtStackEntry &top = stack_.back();
+    const Instruction &in =
+        kernel_.blocks[top.pcBlock].instrs[top.pcIdx];
+    LaneMask mask = top.mask;
+    issued_++;
+    activeLanes_ += static_cast<std::uint64_t>(
+        __builtin_popcount(mask));
+
+    if (in.op == Opcode::EXIT) {
+        // All active lanes terminate; continue any pending paths.
+        stack_.pop_back();
+        maybeReconverge();
+        return;
+    }
+
+    if (in.op == Opcode::BRA) {
+        LaneMask taken = 0;
+        if (!in.pred) {
+            taken = mask;
+        } else {
+            for (int l = 0; l < width(); l++)
+                if ((mask >> l) & 1u)
+                    if (lanes_[l].regs[*in.pred] != 0)
+                        taken |= 1u << l;
+        }
+        int fall_block = top.pcBlock + 1;
+        bool fall_exits =
+            fall_block >= static_cast<int>(kernel_.blocks.size());
+        if (taken == mask) {
+            top.pcBlock = in.branchTarget;
+            top.pcIdx = 0;
+            maybeReconverge();
+        } else if (taken == 0) {
+            if (fall_exits) {
+                stack_.pop_back();
+            } else {
+                top.pcBlock = fall_block;
+                top.pcIdx = 0;
+            }
+            maybeReconverge();
+        } else {
+            // Divergence: serialise both sides, reconverge at the
+            // branch block's immediate post-dominator.
+            divergences_++;
+            int rpc = cfg_.immediatePostDominator(top.pcBlock);
+            int old_rpc = top.rpcBlock;
+            LaneMask not_taken = mask & ~taken;
+            int target = in.branchTarget;
+            if (rpc >= 0) {
+                // The current entry becomes the reconvergence
+                // continuation for the full mask.
+                top.pcBlock = rpc;
+                top.pcIdx = 0;
+                top.rpcBlock = old_rpc;
+            } else {
+                // Paths exit separately; no reconvergence entry.
+                stack_.pop_back();
+            }
+            if (!fall_exits) {
+                SimtStackEntry e;
+                e.pcBlock = fall_block;
+                e.pcIdx = 0;
+                e.mask = not_taken;
+                e.rpcBlock = rpc;
+                stack_.push_back(e);
+            }
+            SimtStackEntry t;
+            t.pcBlock = target;
+            t.pcIdx = 0;
+            t.mask = taken;
+            t.rpcBlock = rpc;
+            stack_.push_back(t);
+            maybeReconverge();
+        }
+        return;
+    }
+
+    // Data instruction: evaluate per active lane (respecting a
+    // per-lane predicate when the instruction carries one).
+    for (int l = 0; l < width(); l++) {
+        if (!((mask >> l) & 1u))
+            continue;
+        if (in.pred && lanes_[l].regs[*in.pred] == 0)
+            continue;
+        std::array<std::uint32_t, kMaxSrcs> ops{};
+        for (int s = 0; s < in.numSrcs; s++)
+            ops[s] = in.srcs[s].isReg ? lanes_[l].regs[in.srcs[s].reg]
+                                      : in.srcs[s].imm;
+        std::uint32_t lo = 0, hi = 0;
+        evaluate(in, ops, memories_[l], lo, hi);
+        if (in.dst) {
+            lanes_[l].regs[*in.dst] = lo;
+            if (in.wide)
+                lanes_[l].regs[*in.dst + 1] = hi;
+        }
+    }
+    advanceTop();
+}
+
+SimtStats
+runSimt(const Kernel &k, int warps, int width, std::uint64_t max_instrs)
+{
+    Cfg cfg(k);
+    SimtStats stats;
+    std::uint64_t active_sum = 0;
+    std::uint64_t lane_capacity = 0;
+    for (int w = 0; w < warps; w++) {
+        SimtWarp warp(k, cfg, static_cast<std::uint32_t>(w), width);
+        std::uint64_t executed = 0;
+        while (!warp.done() && executed++ < max_instrs)
+            warp.step();
+        stats.warpInstructions += warp.issued();
+        stats.divergences += warp.divergences();
+        active_sum += warp.activeLaneSum();
+        lane_capacity += warp.issued() * width;
+    }
+    stats.simdEfficiency = lane_capacity
+        ? static_cast<double>(active_sum) / lane_capacity
+        : 1.0;
+    return stats;
+}
+
+} // namespace rfh

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * SIMT execution with per-lane divergence (Section 2).
+ *
+ * The paper's SM executes warps of threads under an active mask: a
+ * single warp instruction is fetched, and lanes whose mask bit is set
+ * execute it. Divergent branches serialise the two sides and
+ * reconverge at the branch block's immediate post-dominator, using the
+ * classic reconvergence-stack mechanism.
+ *
+ * This module provides the vector (multi-lane) counterpart of the
+ * scalar machine in machine.h, plus divergence statistics (SIMD
+ * efficiency, serialisation) that quantify how much warp-level access
+ * counting abstracts away.
+ */
+
+#ifndef RFH_SIM_SIMT_H
+#define RFH_SIM_SIMT_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/cfg_analysis.h"
+#include "ir/kernel.h"
+#include "sim/machine.h"
+
+namespace rfh {
+
+/** Lane active mask (up to 32 lanes per warp). */
+using LaneMask = std::uint32_t;
+
+/** One entry of the SIMT reconvergence stack. */
+struct SimtStackEntry
+{
+    int pcBlock = 0;     ///< Block to execute next.
+    int pcIdx = 0;       ///< Instruction index within that block.
+    LaneMask mask = 0;   ///< Lanes executing this path.
+    int rpcBlock = -1;   ///< Reconvergence block (-1 = kernel exit).
+};
+
+/** A warp of SIMT lanes with a reconvergence stack. */
+class SimtWarp
+{
+  public:
+    /**
+     * @param k kernel to execute (must outlive the warp).
+     * @param cfg CFG of @p k (for post-dominator reconvergence).
+     * @param warp_id seeds memory and registers.
+     * @param width lanes per warp (1..32); lane l runs as thread
+     *        warp_id * width + l.
+     */
+    SimtWarp(const Kernel &k, const Cfg &cfg, std::uint32_t warp_id,
+             int width);
+
+    bool
+    done() const
+    {
+        return stack_.empty();
+    }
+
+    int
+    width() const
+    {
+        return static_cast<int>(lanes_.size());
+    }
+
+    /** Active mask of the path being executed. */
+    LaneMask activeMask() const;
+
+    /** Next warp instruction (valid while !done()). */
+    const Instruction &currentInstr() const;
+
+    /** Linear index of the next warp instruction (valid while !done()). */
+    int
+    currentLin() const
+    {
+        return kernel_.blockStart(stack_.back().pcBlock) +
+            stack_.back().pcIdx;
+    }
+
+    /** Register file of lane @p l at the current point in execution. */
+    const std::array<std::uint32_t, kMaxRegs> &
+    laneRegsNow(int l) const
+    {
+        return lanes_[l].regs;
+    }
+
+    /**
+     * Execute one warp instruction for all active lanes; handles
+     * divergence, serialisation, and reconvergence.
+     */
+    void step();
+
+    /** Final register file of lane @p l (after done()). */
+    const std::array<std::uint32_t, kMaxRegs> &
+    laneRegs(int l) const
+    {
+        return lanes_[l].regs;
+    }
+
+    /** Warp instructions issued (each counts once, whatever the mask). */
+    std::uint64_t
+    issued() const
+    {
+        return issued_;
+    }
+
+    /** Sum over issued instructions of their active lane count. */
+    std::uint64_t
+    activeLaneSum() const
+    {
+        return activeLanes_;
+    }
+
+    /** Times a branch diverged (mask split). */
+    std::uint64_t
+    divergences() const
+    {
+        return divergences_;
+    }
+
+    /**
+     * SIMD efficiency: average fraction of lanes active per issued
+     * instruction (1.0 = never diverged).
+     */
+    double
+    simdEfficiency() const
+    {
+        return issued_ ? static_cast<double>(activeLanes_) /
+                (static_cast<double>(issued_) * width())
+                       : 1.0;
+    }
+
+  private:
+    struct Lane
+    {
+        std::array<std::uint32_t, kMaxRegs> regs{};
+    };
+
+    const Kernel &kernel_;
+    const Cfg &cfg_;
+    std::vector<Lane> lanes_;
+    /** Per-lane memories (lane l of warp w == scalar thread w*W+l). */
+    std::vector<Memory> memories_;
+    std::vector<SimtStackEntry> stack_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t activeLanes_ = 0;
+    std::uint64_t divergences_ = 0;
+
+    void advanceTop();
+    void maybeReconverge();
+};
+
+/** Aggregate divergence statistics for one kernel. */
+struct SimtStats
+{
+    std::uint64_t warpInstructions = 0;
+    std::uint64_t divergences = 0;
+    double simdEfficiency = 1.0;
+};
+
+/**
+ * Run @p warps SIMT warps of @p width lanes over @p k to completion
+ * and aggregate divergence statistics.
+ */
+SimtStats runSimt(const Kernel &k, int warps = 4, int width = 8,
+                  std::uint64_t max_instrs = 1u << 20);
+
+} // namespace rfh
+
+#endif // RFH_SIM_SIMT_H

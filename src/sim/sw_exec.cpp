@@ -1,0 +1,227 @@
+#include "sim/sw_exec.h"
+
+#include <array>
+#include <sstream>
+
+#include "compiler/strand.h"
+#include "ir/liveness.h"
+#include "sim/machine.h"
+
+namespace rfh {
+
+namespace {
+
+/** One physical upper-level entry of a warp. */
+struct Slot
+{
+    bool valid = false;
+    Reg reg = 0;
+    std::uint32_t value = 0;
+};
+
+} // namespace
+
+SwExecResult
+runSwHierarchy(const Kernel &k, const AllocOptions &opts,
+               const SwExecConfig &cfg)
+{
+    SwExecResult result;
+    AccessCounts &counts = result.counts;
+    int lrf_banks = opts.useLRF ? (opts.splitLRF ? 3 : 1) : 0;
+
+    // Recompute the strand partition to detect dynamic strand
+    // crossings (ORF/LRF invalidation points).
+    Cfg cfg_graph(k);
+    StrandAnalysis strands(k, cfg_graph, opts.strandOptions);
+
+    auto fail = [&](int lin, const std::string &msg) {
+        std::ostringstream os;
+        os << k.name << " @lin " << lin << ": " << msg;
+        result.error = os.str();
+    };
+
+    for (int w = 0; w < cfg.run.numWarps && result.ok(); w++) {
+        WarpContext warp;
+        warp.reset(static_cast<std::uint32_t>(w));
+
+        // Shadow of the values that actually reached the MRF.
+        std::array<std::uint32_t, kMaxRegs> mrf = warp.regs;
+        std::vector<Slot> orf(opts.orfEntries);
+        std::vector<Slot> lrf(lrf_banks);
+        RegSet pending;
+        std::uint64_t executed = 0;
+
+        while (!warp.done && executed < cfg.run.maxInstrsPerWarp &&
+               result.ok()) {
+            int lin = warp.pc(k);
+            const Instruction &in = k.instr(lin);
+            Datapath dp = datapathOf(in.unit());
+            bool shared = isSharedUnit(in.unit());
+
+            // A well-formed strand never stalls mid-strand: any use of
+            // an outstanding long-latency value must sit right after an
+            // end-of-strand marker.
+            RegSet touched = usedRegs(in) | definedRegs(in);
+            if ((touched & pending).any()) {
+                if (cfg.idealNoFlush) {
+                    // Warp deschedules; entries persist (Section 7).
+                    counts.deschedules++;
+                    pending.reset();
+                } else {
+                    fail(lin, "instruction touches an outstanding "
+                         "long-latency register inside a strand");
+                    break;
+                }
+            }
+
+            // ---- Operand reads ----
+            // Read-operand deposits happen in the write phase, after
+            // every source of this instruction has been fetched.
+            std::vector<std::pair<int, Reg>> deposits;
+            auto read_one = [&](Reg r, const ReadAnnotation &ra) {
+                std::uint32_t arch = warp.regs[r];
+                switch (ra.level) {
+                  case Level::MRF:
+                    counts.read(Level::MRF, dp);
+                    if (mrf[r] != arch) {
+                        fail(lin, "MRF read of R" + std::to_string(r) +
+                             " returns a stale value");
+                        return;
+                    }
+                    if (ra.depositToORF) {
+                        deposits.emplace_back(ra.entry, r);
+                        counts.write(Level::ORF, dp);
+                    }
+                    break;
+                  case Level::ORF: {
+                    const Slot &s = orf[ra.entry];
+                    counts.read(Level::ORF, dp);
+                    if (!s.valid || s.reg != r || s.value != arch) {
+                        fail(lin, "ORF entry " +
+                             std::to_string(ra.entry) +
+                             " does not hold R" + std::to_string(r) +
+                             " (valid=" + std::to_string(s.valid) +
+                             " reg=R" + std::to_string(s.reg) +
+                             " value=" + std::to_string(s.value) +
+                             " arch=" + std::to_string(arch) + ")");
+                    }
+                    break;
+                  }
+                  case Level::LRF: {
+                    if (shared) {
+                        fail(lin, "shared-datapath LRF read");
+                        return;
+                    }
+                    if (ra.lrfBank >= lrf.size()) {
+                        fail(lin, "LRF bank out of range");
+                        return;
+                    }
+                    const Slot &s = lrf[ra.lrfBank];
+                    counts.read(Level::LRF, dp);
+                    if (!s.valid || s.reg != r || s.value != arch) {
+                        fail(lin, "LRF bank " +
+                             std::to_string(ra.lrfBank) +
+                             " does not hold R" + std::to_string(r));
+                    }
+                    break;
+                  }
+                }
+            };
+            for (int s = 0; s < in.numSrcs && result.ok(); s++)
+                if (in.srcs[s].isReg)
+                    read_one(in.srcs[s].reg, in.readAnno[s]);
+            if (in.pred && result.ok())
+                read_one(*in.pred, in.predAnno);
+            if (!result.ok())
+                break;
+            for (auto [entry, r] : deposits) {
+                Slot &s = orf[entry];
+                s.valid = true;
+                s.reg = r;
+                s.value = warp.regs[r];
+            }
+
+            // ---- Execute ----
+            bool enabled = !in.pred || warp.regs[*in.pred] != 0;
+            counts.instructions++;
+            step(k, warp);
+            executed++;
+
+            // ---- Result writes (suppressed when predicated off) ----
+            if (in.dst && enabled) {
+                const WriteAnnotation &wa = in.writeAnno;
+                int halves = in.wide ? 2 : 1;
+                if (in.longLatency() && wa.anyUpper() &&
+                    !cfg.idealNoFlush) {
+                    fail(lin, "long-latency result annotated to an "
+                         "upper level");
+                    break;
+                }
+                if (wa.toLRF) {
+                    if (in.wide || lrf.empty()) {
+                        fail(lin, "invalid LRF write annotation");
+                        break;
+                    }
+                    Slot &s = lrf[wa.lrfBank];
+                    s.valid = true;
+                    s.reg = *in.dst;
+                    s.value = warp.regs[*in.dst];
+                    counts.write(Level::LRF, dp);
+                }
+                if (wa.toORF) {
+                    for (int h = 0; h < halves; h++) {
+                        if (wa.orfEntry + h >=
+                            static_cast<int>(orf.size())) {
+                            fail(lin, "ORF entry out of range");
+                            break;
+                        }
+                        Slot &s = orf[wa.orfEntry + h];
+                        s.valid = true;
+                        s.reg = static_cast<Reg>(*in.dst + h);
+                        s.value = warp.regs[*in.dst + h];
+                        counts.write(Level::ORF, dp);
+                    }
+                }
+                if (wa.toLRF && wa.toORF) {
+                    fail(lin, "value written to both LRF and ORF");
+                    break;
+                }
+                if (wa.toMRF) {
+                    for (int h = 0; h < halves; h++) {
+                        mrf[*in.dst + h] = warp.regs[*in.dst + h];
+                        counts.write(Level::MRF, dp);
+                    }
+                }
+                if (in.longLatency())
+                    pending |= definedRegs(in);
+            }
+
+            // ---- Strand boundary ----
+            // Control passing into a different strand — or re-entering
+            // the current strand through a backward edge — invalidates
+            // the upper levels and deschedules the warp if a
+            // long-latency operation is outstanding.
+            bool crossing = false;
+            if (!warp.done && !cfg.idealNoFlush) {
+                int next = warp.pc(k);
+                crossing = strands.strandOf(next) != strands.strandOf(lin)
+                    || (next <= lin &&
+                        opts.strandOptions.cutAtBackwardBranch);
+            }
+            if (crossing) {
+                if (pending.any()) {
+                    counts.deschedules++;
+                    pending.reset();
+                }
+                for (auto &s : orf)
+                    s.valid = false;
+                for (auto &s : lrf)
+                    s.valid = false;
+            }
+        }
+
+    }
+    return result;
+}
+
+} // namespace rfh

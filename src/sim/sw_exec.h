@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Software-managed hierarchy executor.
+ *
+ * Executes a kernel that has been annotated by the HierarchyAllocator,
+ * counting accesses at the levels the compiler selected. The executor
+ * doubles as a checker for the allocator: every upper-level read is
+ * verified to return the bit-exact architectural value, every
+ * annotation is checked against the physical state (entry validity,
+ * register identity, level restrictions, strand invalidation), and any
+ * violation is reported instead of silently miscounting.
+ */
+
+#ifndef RFH_SIM_SW_EXEC_H
+#define RFH_SIM_SW_EXEC_H
+
+#include <string>
+
+#include "compiler/allocation.h"
+#include "ir/kernel.h"
+#include "sim/access_counters.h"
+#include "sim/baseline_exec.h"
+
+namespace rfh {
+
+/** Software-executor configuration. */
+struct SwExecConfig
+{
+    RunConfig run;
+    /**
+     * Section 7 "never flush" idealisation: upper-level contents
+     * survive deschedules and strand boundaries; stalls on outstanding
+     * long-latency values deschedule instead of being errors.
+     */
+    bool idealNoFlush = false;
+};
+
+/** Result of a software-hierarchy execution. */
+struct SwExecResult
+{
+    AccessCounts counts;
+    /** Empty when the run verified clean; else the first violation. */
+    std::string error;
+
+    bool
+    ok() const
+    {
+        return error.empty();
+    }
+};
+
+/**
+ * Execute annotated kernel @p k under the software-managed hierarchy.
+ *
+ * @param k kernel previously processed by HierarchyAllocator.
+ * @param opts the allocation options the kernel was compiled with
+ *        (defines the physical ORF/LRF sizes).
+ */
+SwExecResult runSwHierarchy(const Kernel &k, const AllocOptions &opts,
+                            const SwExecConfig &cfg = {});
+
+} // namespace rfh
+
+#endif // RFH_SIM_SW_EXEC_H

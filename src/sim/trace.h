@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Control-flow trace recording and replay (the paper's methodology,
+ * Section 5.1: full-application runs produce per-path execution
+ * frequencies, and a custom trace-based simulator reconstructs likely
+ * warp interleavings from them).
+ *
+ * A trace stores, per warp, the sequence of basic blocks the warp
+ * visited. Replaying a trace drives the performance simulator without
+ * re-executing the functional machine, and the recorded frequencies
+ * feed profile-style analyses (hot blocks, dynamic strand mix).
+ */
+
+#ifndef RFH_SIM_TRACE_H
+#define RFH_SIM_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/kernel.h"
+#include "sim/baseline_exec.h"
+
+namespace rfh {
+
+/** Recorded dynamic behaviour of one kernel launch. */
+struct KernelTrace
+{
+    /** Per warp: the sequence of basic-block ids executed. */
+    std::vector<std::vector<int>> warpPaths;
+    /** Dynamic execution count of each basic block (all warps). */
+    std::vector<std::uint64_t> blockCounts;
+    /** Total dynamic instructions across all warps. */
+    std::uint64_t instructions = 0;
+
+    int
+    numWarps() const
+    {
+        return static_cast<int>(warpPaths.size());
+    }
+};
+
+/** Execute @p k functionally and record each warp's block path. */
+KernelTrace recordTrace(const Kernel &k, const RunConfig &cfg = {});
+
+/**
+ * Validate that @p trace is a legal execution of @p k: every recorded
+ * transition must be a CFG edge, every path starts at the entry block,
+ * and every path ends at a block that can terminate.
+ *
+ * @return empty string if consistent, else a description.
+ */
+std::string validateTrace(const Kernel &k, const KernelTrace &trace);
+
+/**
+ * Per-block dynamic instruction histogram: how many instructions each
+ * block contributes to the dynamic stream (blockCounts × block size).
+ */
+std::vector<std::uint64_t> dynamicInstrsPerBlock(const Kernel &k,
+                                                 const KernelTrace &t);
+
+} // namespace rfh
+
+#endif // RFH_SIM_TRACE_H

@@ -1,0 +1,1214 @@
+#include "workloads/handwritten.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "ir/parser.h"
+
+namespace rfh {
+
+namespace {
+
+// Register conventions: R0 = thread/warp id, R63 = parameter base.
+// Float immediates are written as their IEEE-754 bit patterns.
+
+constexpr std::string_view kVectorAdd = R"(.kernel vectoradd
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    ld.param  R3, [R63+4]
+    iadd      R5, R2, R1
+    iadd      R6, R3, R1
+    ld.global R7, [R5]
+    ld.global R8, [R6]
+    fadd      R9, R7, R8
+    ld.param  R11, [R63+8]
+    iadd      R12, R11, R1
+    st.global [R12], R9
+    exit
+)";
+
+constexpr std::string_view kScalarProd = R"(.kernel scalarprod
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.param  R5, [R63+4]
+    iadd      R6, R5, R1
+    mov       R7, #0
+    mov       R8, #64
+loop:
+    ld.global R9, [R3]
+    ld.global R10, [R6]
+    iadd      R3, R3, #128
+    iadd      R6, R6, #128
+    ffma      R7, R9, R10, R7
+    isub      R8, R8, #1
+    setgt     R11, R8, #0
+    @R11 bra  loop
+done:
+    ld.param  R13, [R63+8]
+    iadd      R14, R13, R1
+    st.global [R14], R7
+    exit
+)";
+
+constexpr std::string_view kReduction = R"(.kernel reduction
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #0
+    mov       R5, #96
+acc:
+    ld.global R6, [R3]
+    iadd      R3, R3, #128
+    iadd      R4, R4, R6
+    isub      R5, R5, #1
+    setgt     R7, R5, #0
+    @R7 bra   acc
+done:
+    st.shared [R1], R4
+    bar
+    ld.shared R8, [R1]
+    ld.param  R10, [R63+4]
+    iadd      R11, R10, R1
+    st.global [R11], R8
+    exit
+)";
+
+constexpr std::string_view kMatrixMul = R"(.kernel matrixmul
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.param  R5, [R63+4]
+    iadd      R6, R5, R1
+    mov       R7, #0
+    mov       R8, #16
+outer:
+    ld.global R9, [R3]
+    ld.global R10, [R6]
+    st.shared [R1], R9
+    st.shared [R1+1024], R10
+    bar
+    ld.shared R15, [R1]
+    ld.shared R17, [R1+1024]
+    ffma      R7, R15, R17, R7
+    ld.shared R15, [R1+4]
+    ld.shared R17, [R1+1028]
+    ffma      R7, R15, R17, R7
+    ld.shared R15, [R1+8]
+    ld.shared R17, [R1+1032]
+    ffma      R7, R15, R17, R7
+    ld.shared R15, [R1+12]
+    ld.shared R17, [R1+1036]
+    ffma      R7, R15, R17, R7
+    iadd      R3, R3, #64
+    iadd      R6, R6, #64
+    bar
+    isub      R8, R8, #1
+    setgt     R19, R8, #0
+    @R19 bra  outer
+done:
+    ld.param  R21, [R63+8]
+    iadd      R22, R21, R1
+    st.global [R22], R7
+    exit
+)";
+
+constexpr std::string_view kConvSep = R"(.kernel convolutionseparable
+entry:
+    shl       R1, R0, #2
+    mov       R20, #32
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+row:
+    ld.global R4, [R3]
+    st.shared [R1], R4
+    bar
+    ld.shared R6, [R1]
+    ld.shared R7, [R1+4]
+    ld.shared R9, [R1+8]
+    fmul      R10, R6, #1059648963
+    ffma      R10, R7, #1065353216, R10
+    ffma      R10, R9, #1059648963, R10
+    ld.shared R12, [R1+12]
+    ld.shared R14, [R1+16]
+    ffma      R10, R12, #1056964608, R10
+    ffma      R10, R14, #1048576000, R10
+    ld.param  R16, [R63+4]
+    iadd      R17, R16, R1
+    st.global [R17], R10
+    iadd      R3, R3, #128
+    isub      R20, R20, #1
+    setgt     R21, R20, #0
+    @R21 bra  row
+fin:
+    exit
+)";
+
+constexpr std::string_view kMonteCarlo = R"(.kernel montecarlo
+entry:
+    mov       R2, #128
+    mov       R3, #0
+    shl       R1, R0, #2
+    ld.param  R4, [R63]
+    iadd      R5, R4, R1
+path:
+    ld.global R6, [R5]
+    fmul      R7, R6, #1036831949
+    sin       R8, R7
+    cos       R9, R7
+    fmul      R10, R8, R9
+    fmul      R11, R10, R10
+    fadd      R12, R11, #1065353216
+    ex2       R13, R12
+    ffma      R3, R13, #1036831949, R3
+    iadd      R5, R5, #4
+    isub      R2, R2, #1
+    setgt     R14, R2, #0
+    @R14 bra  path
+end:
+    st.global [R5], R3
+    exit
+)";
+
+constexpr std::string_view kHistogram = R"(.kernel histogram
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #48
+scan:
+    ld.global R5, [R3]
+    and       R6, R5, #255
+    shl       R7, R6, #2
+    ld.shared R8, [R7]
+    iadd      R9, R8, #1
+    st.shared [R7], R9
+    shr       R10, R5, #8
+    and       R11, R10, #255
+    shl       R12, R11, #2
+    ld.shared R13, [R12]
+    iadd      R14, R13, #1
+    st.shared [R12], R14
+    shr       R15, R5, #16
+    and       R16, R15, #255
+    shl       R17, R16, #2
+    ld.shared R18, [R17]
+    iadd      R19, R18, #1
+    st.shared [R17], R19
+    shr       R20, R5, #24
+    shl       R21, R20, #2
+    ld.shared R22, [R21]
+    iadd      R23, R22, #1
+    st.shared [R21], R23
+    iadd      R3, R3, #128
+    isub      R4, R4, #1
+    setgt     R24, R4, #0
+    @R24 bra  scan
+done:
+    exit
+)";
+
+constexpr std::string_view kBicubicTexture = R"(.kernel bicubictexture
+entry:
+    shl       R1, R0, #2
+    mov       R2, #16
+px:
+    tex       R3, [R1]
+    tex       R5, [R1+4]
+    tex       R7, [R1+8]
+    tex       R9, [R1+12]
+    fmul      R10, R3, #1056964608
+    ffma      R10, R5, #1065353216, R10
+    ffma      R10, R7, #1065353216, R10
+    ffma      R10, R9, #1056964608, R10
+    ld.param  R11, [R63]
+    iadd      R12, R11, R1
+    st.global [R12], R10
+    iadd      R1, R1, #64
+    isub      R2, R2, #1
+    setgt     R13, R2, #0
+    @R13 bra  px
+end:
+    exit
+)";
+
+constexpr std::string_view kMandelbrot = R"(.kernel mandelbrot
+entry:
+    shl       R2, R0, #20
+    shl       R3, R0, #19
+    mov       R4, #0
+    mov       R5, #0
+    mov       R6, #48
+iter:
+    fmul      R7, R4, R4
+    fmul      R8, R5, R5
+    fadd      R9, R7, R8
+    setgt     R10, R9, #1082130432
+    @R10 bra  esc
+body:
+    fsub      R11, R7, R8
+    fadd      R11, R11, R2
+    fmul      R12, R4, R5
+    fadd      R12, R12, R12
+    fadd      R5, R12, R3
+    mov       R4, R11
+    isub      R6, R6, #1
+    setgt     R13, R6, #0
+    @R13 bra  iter
+esc:
+    ld.param  R14, [R63]
+    shl       R15, R0, #2
+    iadd      R16, R14, R15
+    st.global [R16], R6
+    exit
+)";
+
+constexpr std::string_view kNeedle = R"(.kernel needle
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #32
+cell:
+    ld.global R5, [R3]
+    ld.shared R6, [R1]
+    ld.shared R8, [R1+4]
+    setgt     R9, R6, R8
+    @R9 bra   left
+right:
+    iadd      R10, R8, R5
+    bra       merge
+left:
+    iadd      R10, R6, R5
+merge:
+    imax      R11, R10, #0
+    st.shared [R1], R11
+    iadd      R3, R3, #128
+    isub      R4, R4, #1
+    setgt     R12, R4, #0
+    @R12 bra  cell
+done:
+    exit
+)";
+
+constexpr std::string_view kHotspot = R"(.kernel hotspot
+entry:
+    shl       R1, R0, #2
+    mov       R2, #24
+step:
+    ld.shared R3, [R1]
+    ld.shared R5, [R1+4]
+    ld.shared R7, [R1+8]
+    ld.shared R9, [R1+128]
+    ld.shared R11, [R1+256]
+    fadd      R12, R5, R7
+    fadd      R13, R9, R11
+    fadd      R14, R12, R13
+    ffma      R15, R3, #3229614080, R14
+    fmul      R16, R15, #1045220557
+    fadd      R17, R3, R16
+    st.shared [R1], R17
+    isub      R2, R2, #1
+    setgt     R18, R2, #0
+    @R18 bra  step
+done:
+    exit
+)";
+
+constexpr std::string_view kSrad = R"(.kernel srad
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #16
+it:
+    ld.global R5, [R3]
+    ld.shared R6, [R1]
+    ld.shared R7, [R1+4]
+    ld.shared R8, [R1+128]
+    ld.shared R9, [R1+132]
+    fsub      R10, R6, R5
+    fsub      R11, R7, R5
+    fsub      R12, R8, R5
+    fsub      R13, R9, R5
+    fadd      R14, R10, R11
+    fadd      R15, R12, R13
+    fadd      R16, R14, R15
+    fmul      R17, R5, R5
+    rcp       R18, R17
+    fmul      R19, R16, R18
+    setlt     R20, R19, #1056964608
+    @R20 bra  small
+big:
+    fmul      R21, R19, #1061997773
+    bra       join
+small:
+    fmul      R21, R19, #1050253722
+join:
+    ffma      R22, R21, R16, R5
+    st.global [R3], R22
+    iadd      R3, R3, #128
+    isub      R4, R4, #1
+    setgt     R23, R4, #0
+    @R23 bra  it
+fin:
+    exit
+)";
+
+constexpr std::string_view kDwtHaar = R"(.kernel dwthaar1d
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    imul.wide R4, R1, #8
+    iadd      R6, R2, R4
+    mov       R7, #32
+pair:
+    ld.global R8, [R6]
+    ld.global R10, [R6+4]
+    fadd      R11, R8, R10
+    fsub      R12, R8, R10
+    fmul      R11, R11, #1060439283
+    fmul      R12, R12, #1060439283
+    st.shared [R1], R11
+    st.shared [R1+2048], R12
+    iadd      R6, R6, #8
+    isub      R7, R7, #1
+    setgt     R14, R7, #0
+    @R14 bra  pair
+done:
+    iadd      R15, R5, #0
+    st.shared [R15], R7
+    exit
+)";
+
+constexpr std::string_view kSortingNetworks = R"(.kernel sortingnetworks
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R16, #16
+net:
+    ld.global R4, [R3]
+    ld.global R6, [R3+4]
+    ld.global R8, [R3+8]
+    ld.global R10, [R3+12]
+    imin      R11, R4, R6
+    imax      R12, R4, R6
+    imin      R13, R8, R10
+    imax      R14, R8, R10
+    imin      R15, R12, R13
+    imax      R17, R12, R13
+    imax      R18, R11, R15
+    imin      R19, R17, R14
+    imin      R20, R11, R18
+    imax      R21, R11, R18
+    imin      R22, R19, R14
+    imax      R23, R19, R14
+    imax      R24, R21, R15
+    imin      R25, R22, R17
+    st.shared [R1], R20
+    st.shared [R1+4], R24
+    st.shared [R1+8], R25
+    st.shared [R1+12], R23
+    iadd      R3, R3, #128
+    isub      R16, R16, #1
+    setgt     R26, R16, #0
+    @R26 bra  net
+done:
+    exit
+)";
+
+constexpr std::string_view kBackprop = R"(.kernel backprop
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #24
+neuron:
+    ld.global R5, [R3]
+    ld.shared R6, [R1]
+    fmul      R7, R5, R6
+    ex2       R8, R7
+    fadd      R9, R8, #1065353216
+    rcp       R10, R9
+    fmul      R11, R10, R10
+    fsub      R12, R10, R11
+    fmul      R13, R12, R5
+    st.shared [R1], R13
+    iadd      R3, R3, #128
+    isub      R4, R4, #1
+    setgt     R14, R4, #0
+    @R14 bra  neuron
+out:
+    exit
+)";
+
+constexpr std::string_view kFastWalsh = R"(.kernel fastwalshtransform
+entry:
+    shl       R1, R0, #2
+    mov       R2, #5
+    mov       R3, #1
+fwt:
+    shl       R4, R3, #2
+    iadd      R5, R1, R4
+    ld.shared R6, [R1]
+    ld.shared R7, [R5]
+    fadd      R8, R6, R7
+    fsub      R9, R6, R7
+    fmul      R8, R8, #1060439283
+    fmul      R9, R9, #1060439283
+    st.shared [R1], R8
+    st.shared [R5], R9
+    ld.shared R10, [R1+64]
+    ld.shared R11, [R5+64]
+    fadd      R12, R10, R11
+    fsub      R13, R10, R11
+    fmul      R12, R12, #1060439283
+    fmul      R13, R13, #1060439283
+    st.shared [R1+64], R12
+    st.shared [R5+64], R13
+    bar
+    shl       R3, R3, #1
+    isub      R2, R2, #1
+    setgt     R14, R2, #0
+    @R14 bra  fwt
+done:
+    ld.param  R15, [R63]
+    iadd      R16, R15, R1
+    ld.shared R17, [R1]
+    st.global [R16], R17
+    exit
+)";
+
+
+constexpr std::string_view kNbody = R"(.kernel nbody
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.global R4, [R3]
+    ld.global R5, [R3+4]
+    ld.global R6, [R3+8]
+    mov       R7, #0
+    mov       R8, #0
+    mov       R9, #0
+    mov       R10, #24
+body:
+    ld.shared R11, [R1]
+    ld.shared R12, [R1+4]
+    ld.shared R13, [R1+8]
+    fsub      R14, R11, R4
+    fsub      R15, R12, R5
+    fsub      R16, R13, R6
+    fmul      R17, R14, R14
+    ffma      R17, R15, R15, R17
+    ffma      R17, R16, R16, R17
+    fadd      R17, R17, #953267991
+    rsqrt     R18, R17
+    fmul      R19, R18, R18
+    fmul      R20, R19, R18
+    ffma      R7, R14, R20, R7
+    ffma      R8, R15, R20, R8
+    ffma      R9, R16, R20, R9
+    iadd      R1, R1, #12
+    isub      R10, R10, #1
+    setgt     R21, R10, #0
+    @R21 bra  body
+writeback:
+    st.global [R3], R7
+    st.global [R3+4], R8
+    st.global [R3+8], R9
+    exit
+)";
+
+constexpr std::string_view kMergeSort = R"(.kernel mergesort
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.param  R4, [R63+4]
+    iadd      R5, R4, R1
+    mov       R6, #24
+    mov       R14, #0
+step:
+    ld.global R7, [R3]
+    ld.global R8, [R5]
+    setlt     R9, R7, R8
+    @R9 bra   takeleft
+takeright:
+    imin      R10, R8, R7
+    iadd      R11, R14, R10
+    shr       R12, R11, #1
+    st.shared [R1], R12
+    iadd      R5, R5, #4
+    iadd      R14, R14, #1
+    bra       next
+takeleft:
+    imin      R10, R7, R8
+    iadd      R11, R14, R10
+    shr       R12, R11, #1
+    st.shared [R1], R12
+    iadd      R3, R3, #4
+    iadd      R14, R14, #2
+next:
+    and       R13, R14, #1023
+    iadd      R1, R1, #4
+    isub      R6, R6, #1
+    setgt     R15, R6, #0
+    @R15 bra  step
+done:
+    st.global [R3], R13
+    exit
+)";
+
+constexpr std::string_view kDct8x8 = R"(.kernel dct8x8
+entry:
+    shl       R1, R0, #2
+    mov       R2, #12
+rowloop:
+    ld.shared R3, [R1]
+    ld.shared R4, [R1+4]
+    ld.shared R5, [R1+8]
+    ld.shared R6, [R1+12]
+    ld.shared R7, [R1+16]
+    ld.shared R8, [R1+20]
+    ld.shared R9, [R1+24]
+    ld.shared R10, [R1+28]
+    fadd      R11, R3, R10
+    fsub      R12, R3, R10
+    fadd      R13, R4, R9
+    fsub      R14, R4, R9
+    fadd      R15, R5, R8
+    fsub      R16, R5, R8
+    fadd      R17, R6, R7
+    fsub      R18, R6, R7
+    fadd      R19, R11, R17
+    fsub      R20, R11, R17
+    fadd      R21, R13, R15
+    fsub      R22, R13, R15
+    fadd      R23, R19, R21
+    fsub      R24, R19, R21
+    fmul      R25, R12, #1064076126
+    ffma      R25, R18, #1051260355, R25
+    fmul      R26, R14, #1060439283
+    ffma      R26, R16, #1053028117, R26
+    fmul      R27, R20, #1064076126
+    ffma      R27, R22, #1051260355, R27
+    st.shared [R1], R23
+    st.shared [R1+4], R25
+    st.shared [R1+8], R26
+    st.shared [R1+12], R24
+    st.shared [R1+16], R27
+    iadd      R1, R1, #32
+    isub      R2, R2, #1
+    setgt     R28, R2, #0
+    @R28 bra  rowloop
+out:
+    ld.param  R29, [R63]
+    shl       R30, R0, #2
+    iadd      R31, R29, R30
+    ld.shared R32, [R30]
+    st.global [R31], R32
+    exit
+)";
+
+constexpr std::string_view kSobelFilter = R"(.kernel sobelfilter
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #20
+pix:
+    ld.shared R5, [R1]
+    ld.shared R6, [R1+4]
+    ld.shared R7, [R1+8]
+    ld.shared R8, [R1+128]
+    ld.shared R9, [R1+136]
+    ld.shared R10, [R1+256]
+    ld.shared R11, [R1+260]
+    ld.shared R12, [R1+264]
+    fsub      R13, R7, R5
+    fsub      R14, R12, R10
+    fadd      R15, R13, R14
+    fsub      R16, R9, R8
+    ffma      R15, R16, #1073741824, R15
+    fsub      R17, R10, R5
+    fsub      R18, R12, R7
+    fadd      R19, R17, R18
+    fsub      R20, R11, R6
+    ffma      R19, R20, #1073741824, R19
+    fmul      R21, R15, R15
+    ffma      R21, R19, R19, R21
+    sqrt      R22, R21
+    st.global [R3], R22
+    iadd      R3, R3, #128
+    iadd      R1, R1, #4
+    isub      R4, R4, #1
+    setgt     R23, R4, #0
+    @R23 bra  pix
+done:
+    exit
+)";
+
+constexpr std::string_view kBinomialOptions = R"(.kernel binomialoptions
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.global R4, [R3]
+    mov       R5, #32
+fold:
+    ld.shared R6, [R1]
+    ld.shared R7, [R1+4]
+    fmul      R8, R6, #1056964608
+    ffma      R8, R7, #1056964608, R8
+    fmul      R9, R8, #1064514355
+    fmax      R10, R9, R4
+    st.shared [R1], R10
+    isub      R5, R5, #1
+    setgt     R11, R5, #0
+    @R11 bra  fold
+done:
+    ld.shared R12, [R1]
+    st.global [R3], R12
+    exit
+)";
+
+constexpr std::string_view kBoxFilter = R"(.kernel boxfilter
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #0
+    mov       R5, #20
+row:
+    ld.global R6, [R3]
+    ld.global R7, [R3+4]
+    ld.global R8, [R3+8]
+    ld.global R9, [R3+12]
+    fadd      R10, R6, R7
+    fadd      R11, R8, R9
+    fadd      R12, R10, R11
+    fmul      R13, R12, #1048576000
+    fadd      R4, R4, R13
+    st.shared [R1], R13
+    iadd      R3, R3, #128
+    isub      R5, R5, #1
+    setgt     R14, R5, #0
+    @R14 bra  row
+done:
+    ld.param  R15, [R63+4]
+    iadd      R16, R15, R1
+    st.global [R16], R4
+    exit
+)";
+
+constexpr std::string_view kConvTexture = R"(.kernel convolutiontexture
+entry:
+    shl       R1, R0, #2
+    mov       R2, #20
+tap:
+    tex       R3, [R1]
+    tex       R4, [R1+4]
+    tex       R5, [R1+8]
+    fmul      R6, R3, #1050253722
+    ffma      R6, R4, #1063675494, R6
+    ffma      R6, R5, #1050253722, R6
+    ld.param  R7, [R63]
+    iadd      R8, R7, R1
+    st.global [R8], R6
+    iadd      R1, R1, #64
+    isub      R2, R2, #1
+    setgt     R9, R2, #0
+    @R9 bra   tap
+done:
+    exit
+)";
+
+constexpr std::string_view kVolumeRender = R"(.kernel volumerender
+entry:
+    shl       R1, R0, #2
+    mov       R2, #0
+    mov       R3, #1065353216
+    mov       R4, #28
+ray:
+    tex       R5, [R1]
+    fmul      R6, R5, #1048576000
+    fmul      R7, R6, R3
+    fadd      R2, R2, R7
+    fsub      R8, #1065353216, R6
+    fmul      R3, R3, R8
+    setlt     R9, R3, #1008981770
+    @R9 bra   opaque
+advance:
+    iadd      R1, R1, #16
+    isub      R4, R4, #1
+    setgt     R10, R4, #0
+    @R10 bra  ray
+opaque:
+    ld.param  R11, [R63]
+    shl       R12, R0, #2
+    iadd      R13, R11, R12
+    st.global [R13], R2
+    exit
+)";
+
+constexpr std::string_view kCp = R"(.kernel cp
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.global R4, [R3]
+    ld.global R5, [R3+4]
+    mov       R6, #0
+    mov       R7, #28
+atom:
+    ld.shared R8, [R1]
+    ld.shared R9, [R1+4]
+    ld.shared R10, [R1+8]
+    fsub      R11, R8, R4
+    fsub      R12, R9, R5
+    fmul      R13, R11, R11
+    ffma      R13, R12, R12, R13
+    fadd      R13, R13, #953267991
+    rsqrt     R14, R13
+    fmul      R15, R10, R14
+    fadd      R6, R6, R15
+    iadd      R1, R1, #12
+    isub      R7, R7, #1
+    setgt     R16, R7, #0
+    @R16 bra  atom
+done:
+    st.global [R3], R6
+    exit
+)";
+
+constexpr std::string_view kSad = R"(.kernel sad
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.param  R4, [R63+4]
+    iadd      R5, R4, R1
+    mov       R6, #0
+    mov       R7, #24
+blockrow:
+    ld.global R8, [R3]
+    ld.global R9, [R5]
+    ld.global R10, [R3+4]
+    ld.global R11, [R5+4]
+    isub      R12, R8, R9
+    imax      R13, R12, #0
+    isub      R14, R9, R8
+    imax      R15, R14, #0
+    iadd      R16, R13, R15
+    isub      R17, R10, R11
+    imax      R18, R17, #0
+    isub      R19, R11, R10
+    imax      R20, R19, #0
+    iadd      R21, R18, R20
+    iadd      R6, R6, R16
+    iadd      R6, R6, R21
+    iadd      R3, R3, #128
+    iadd      R5, R5, #128
+    isub      R7, R7, #1
+    setgt     R22, R7, #0
+    @R22 bra  blockrow
+done:
+    st.global [R3], R6
+    exit
+)";
+
+constexpr std::string_view kLu = R"(.kernel lu
+entry:
+    shl       R1, R0, #2
+    mov       R2, #16
+elim:
+    ld.shared R3, [R1]
+    ld.shared R4, [R1+4]
+    ld.shared R5, [R1+128]
+    setne     R6, R3, #0
+    @R6 bra   divide
+skip:
+    st.shared [R1+128], R5
+    bra       next
+divide:
+    rcp       R7, R3
+    fmul      R8, R5, R7
+    ffma      R9, R8, R4, R5
+    st.shared [R1+128], R9
+next:
+    iadd      R1, R1, #4
+    isub      R2, R2, #1
+    setgt     R10, R2, #0
+    @R10 bra  elim
+done:
+    ld.param  R11, [R63]
+    shl       R12, R0, #2
+    iadd      R13, R11, R12
+    ld.shared R14, [R12]
+    st.global [R13], R14
+    exit
+)";
+
+constexpr std::string_view kHwt = R"(.kernel hwt
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #20
+wave:
+    ld.global R5, [R3]
+    ld.global R6, [R3+4]
+    fadd      R7, R5, R6
+    fsub      R8, R5, R6
+    fmul      R7, R7, #1060439283
+    fmul      R8, R8, #1060439283
+    st.shared [R1], R7
+    st.shared [R1+1024], R8
+    iadd      R3, R3, #8
+    isub      R4, R4, #1
+    setgt     R9, R4, #0
+    @R9 bra   wave
+done:
+    ld.shared R10, [R1]
+    st.global [R3], R10
+    exit
+)";
+
+
+constexpr std::string_view kDxtc = R"(.kernel dxtc
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #16
+block:
+    ld.global R5, [R3]
+    ld.global R6, [R3+4]
+    ld.global R7, [R3+8]
+    ld.global R8, [R3+12]
+    imin      R9, R5, R6
+    imax      R10, R5, R6
+    imin      R11, R7, R8
+    imax      R12, R7, R8
+    imin      R13, R9, R11
+    imax      R14, R10, R12
+    isub      R15, R14, R13
+    shr       R16, R15, #3
+    iadd      R17, R13, R16
+    and       R18, R17, #248
+    shr       R19, R14, #2
+    and       R20, R19, #252
+    shl       R21, R18, #8
+    or        R22, R21, R20
+    st.shared [R1], R22
+    iadd      R3, R3, #128
+    isub      R4, R4, #1
+    setgt     R23, R4, #0
+    @R23 bra  block
+done:
+    exit
+)";
+
+constexpr std::string_view kEigenValues = R"(.kernel eigenvalues
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.global R4, [R3]
+    ld.global R5, [R3+4]
+    mov       R6, #20
+bisect:
+    fadd      R7, R4, R5
+    fmul      R8, R7, #1056964608
+    ld.shared R9, [R1]
+    fsub      R10, R9, R8
+    fmul      R11, R10, R10
+    setlt     R12, R11, #953267991
+    @R12 bra  narrow
+wide:
+    setlt     R13, R9, R8
+    @R13 bra  left
+right:
+    mov       R4, R8
+    bra       next
+left:
+    mov       R5, R8
+    bra       next
+narrow:
+    mov       R4, R8
+    mov       R5, R8
+next:
+    isub      R6, R6, #1
+    setgt     R14, R6, #0
+    @R14 bra  bisect
+done:
+    st.global [R3], R8
+    exit
+)";
+
+constexpr std::string_view kImageDenoising = R"(.kernel imagedenoising
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #0
+    mov       R5, #0
+    mov       R6, #16
+window:
+    ld.global R7, [R3]
+    ld.shared R8, [R1]
+    fsub      R9, R7, R8
+    fmul      R10, R9, R9
+    fmul      R11, R10, #3204448256
+    ex2       R12, R11
+    ffma      R4, R12, R7, R4
+    fadd      R5, R5, R12
+    iadd      R3, R3, #4
+    isub      R6, R6, #1
+    setgt     R13, R6, #0
+    @R13 bra  window
+normalise:
+    rcp       R14, R5
+    fmul      R15, R4, R14
+    ld.param  R16, [R63+4]
+    iadd      R17, R16, R1
+    st.global [R17], R15
+    exit
+)";
+
+constexpr std::string_view kRecursiveGaussian = R"(.kernel recursivegaussian
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #0
+    mov       R5, #0
+    mov       R6, #32
+scanline:
+    ld.global R7, [R3]
+    fmul      R8, R7, #1048576000
+    ffma      R8, R4, #1061997773, R8
+    ffma      R8, R5, #3196059648, R8
+    mov       R5, R4
+    mov       R4, R8
+    st.shared [R1], R8
+    iadd      R3, R3, #128
+    isub      R6, R6, #1
+    setgt     R9, R6, #0
+    @R9 bra   scanline
+done:
+    ld.param  R10, [R63+4]
+    iadd      R11, R10, R1
+    st.global [R11], R4
+    exit
+)";
+
+constexpr std::string_view kSobolQrng = R"(.kernel sobolqrng
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    mov       R4, #0
+    mov       R5, #1
+    mov       R6, #32
+dim:
+    ld.global R7, [R3]
+    and       R8, R5, R7
+    setne     R9, R8, #0
+    @R9 bra   flip
+keep:
+    bra       next
+flip:
+    shr       R10, R7, #1
+    xor       R4, R4, R10
+next:
+    shl       R5, R5, #1
+    xor       R11, R4, R5
+    shr       R12, R11, #9
+    xor       R13, R11, R12
+    st.shared [R1], R13
+    iadd      R3, R3, #4
+    isub      R6, R6, #1
+    setgt     R14, R6, #0
+    @R14 bra  dim
+done:
+    st.global [R3], R4
+    exit
+)";
+
+constexpr std::string_view kMriFhd = R"(.kernel mri-fhd
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.global R4, [R3]
+    ld.global R5, [R3+4]
+    mov       R6, #0
+    mov       R7, #0
+    mov       R8, #24
+sample:
+    ld.shared R9, [R1]
+    ld.shared R10, [R1+4]
+    fmul      R11, R9, R4
+    ffma      R11, R10, R5, R11
+    fmul      R11, R11, #1078530011
+    sin       R12, R11
+    cos       R13, R11
+    ld.shared R14, [R1+8]
+    ffma      R6, R14, R13, R6
+    ffma      R7, R14, R12, R7
+    iadd      R1, R1, #12
+    isub      R8, R8, #1
+    setgt     R15, R8, #0
+    @R15 bra  sample
+writeback:
+    st.global [R3], R6
+    st.global [R3+4], R7
+    exit
+)";
+
+constexpr std::string_view kMriQ = R"(.kernel mri-q
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.global R4, [R3]
+    mov       R5, #0
+    mov       R6, #0
+    mov       R7, #28
+kpoint:
+    ld.shared R8, [R1]
+    ld.shared R9, [R1+4]
+    fmul      R10, R8, R4
+    fadd      R10, R10, R9
+    fmul      R10, R10, #1078530011
+    sin       R11, R10
+    cos       R12, R10
+    ld.shared R13, [R1+8]
+    ffma      R5, R13, R12, R5
+    ffma      R6, R13, R11, R6
+    iadd      R1, R1, #12
+    isub      R7, R7, #1
+    setgt     R14, R7, #0
+    @R14 bra  kpoint
+writeback:
+    st.global [R3], R5
+    st.global [R3+4], R6
+    exit
+)";
+
+constexpr std::string_view kRpes = R"(.kernel rpes
+entry:
+    shl       R1, R0, #2
+    ld.param  R2, [R63]
+    iadd      R3, R2, R1
+    ld.global R4, [R3]
+    ld.global R5, [R3+4]
+    mov       R6, #0
+    mov       R7, #8
+outer:
+    ld.global R8, [R3+8]
+    mov       R9, #4
+inner:
+    ld.shared R10, [R1]
+    ld.shared R11, [R1+4]
+    fsub      R12, R10, R4
+    fsub      R13, R11, R5
+    fmul      R14, R12, R12
+    ffma      R14, R13, R13, R14
+    fadd      R14, R14, #953267991
+    rsqrt     R15, R14
+    fmul      R16, R15, R15
+    fmul      R17, R16, R15
+    ffma      R6, R8, R17, R6
+    iadd      R1, R1, #8
+    isub      R9, R9, #1
+    setgt     R18, R9, #0
+    @R18 bra  inner
+after:
+    iadd      R3, R3, #32
+    isub      R7, R7, #1
+    setgt     R19, R7, #0
+    @R19 bra  outer
+done:
+    st.global [R3], R6
+    exit
+)";
+
+const std::map<std::string_view, std::string_view> &
+sources()
+{
+    static const std::map<std::string_view, std::string_view> m = {
+        {"vectoradd", kVectorAdd},
+        {"scalarprod", kScalarProd},
+        {"reduction", kReduction},
+        {"matrixmul", kMatrixMul},
+        {"convolutionseparable", kConvSep},
+        {"montecarlo", kMonteCarlo},
+        {"histogram", kHistogram},
+        {"bicubictexture", kBicubicTexture},
+        {"mandelbrot", kMandelbrot},
+        {"needle", kNeedle},
+        {"hotspot", kHotspot},
+        {"srad", kSrad},
+        {"dwthaar1d", kDwtHaar},
+        {"sortingnetworks", kSortingNetworks},
+        {"backprop", kBackprop},
+        {"fastwalshtransform", kFastWalsh},
+        {"nbody", kNbody},
+        {"mergesort", kMergeSort},
+        {"dct8x8", kDct8x8},
+        {"sobelfilter", kSobelFilter},
+        {"binomialoptions", kBinomialOptions},
+        {"boxfilter", kBoxFilter},
+        {"convolutiontexture", kConvTexture},
+        {"volumerender", kVolumeRender},
+        {"cp", kCp},
+        {"sad", kSad},
+        {"lu", kLu},
+        {"hwt", kHwt},
+        {"dxtc", kDxtc},
+        {"eigenvalues", kEigenValues},
+        {"imagedenoising", kImageDenoising},
+        {"recursivegaussian", kRecursiveGaussian},
+        {"sobolqrng", kSobolQrng},
+        {"mri-fhd", kMriFhd},
+        {"mri-q", kMriQ},
+        {"rpes", kRpes},
+    };
+    return m;
+}
+
+} // namespace
+
+std::vector<std::string_view>
+handwrittenKernelNames()
+{
+    std::vector<std::string_view> names;
+    for (const auto &[name, src] : sources()) {
+        (void)src;
+        names.push_back(name);
+    }
+    return names;
+}
+
+Kernel
+buildHandwrittenKernel(std::string_view name)
+{
+    auto it = sources().find(name);
+    if (it == sources().end()) {
+        std::fprintf(stderr, "rfh: unknown hand-written kernel '%.*s'\n",
+                     static_cast<int>(name.size()), name.data());
+        std::abort();
+    }
+    return parseKernelOrDie(it->second);
+}
+
+} // namespace rfh

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Hand-written RPTX kernels mirroring the control and dataflow
+ * structure of the paper's benchmarks (Table 1).
+ *
+ * The paper evaluates CUDA SDK 3.2, Parboil, and Rodinia applications
+ * compiled to PTX. Those binaries are not available offline, so each
+ * kernel here reproduces the register-usage skeleton of its namesake:
+ * the same mix of global/shared/texture accesses, function-unit usage,
+ * loop structure, and producer-consumer distances that drive the
+ * register file hierarchy results.
+ */
+
+#ifndef RFH_WORKLOADS_HANDWRITTEN_H
+#define RFH_WORKLOADS_HANDWRITTEN_H
+
+#include <string_view>
+#include <vector>
+
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Names of all hand-written kernels. */
+std::vector<std::string_view> handwrittenKernelNames();
+
+/**
+ * Build the hand-written kernel called @p name.
+ * Aborts if the name is unknown (see handwrittenKernelNames()).
+ */
+Kernel buildHandwrittenKernel(std::string_view name);
+
+} // namespace rfh
+
+#endif // RFH_WORKLOADS_HANDWRITTEN_H

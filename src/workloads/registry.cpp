@@ -1,0 +1,118 @@
+#include "workloads/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/handwritten.h"
+
+namespace rfh {
+
+namespace {
+
+Workload
+hand(const char *name, const char *suite)
+{
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.kernel = buildHandwrittenKernel(name);
+    return w;
+}
+
+std::vector<Workload>
+build()
+{
+    std::vector<Workload> v;
+
+    // ---- CUDA SDK 3.2 ----
+    v.push_back(hand("bicubictexture", "CUDA SDK"));
+    v.push_back(hand("binomialoptions", "CUDA SDK"));
+    v.push_back(hand("boxfilter", "CUDA SDK"));
+    v.push_back(hand("convolutionseparable", "CUDA SDK"));
+    v.push_back(hand("convolutiontexture", "CUDA SDK"));
+    v.push_back(hand("dct8x8", "CUDA SDK"));
+    v.push_back(hand("dwthaar1d", "CUDA SDK"));
+    v.push_back(hand("dxtc", "CUDA SDK"));
+    v.push_back(hand("eigenvalues", "CUDA SDK"));
+    v.push_back(hand("fastwalshtransform", "CUDA SDK"));
+    v.push_back(hand("histogram", "CUDA SDK"));
+    v.push_back(hand("imagedenoising", "CUDA SDK"));
+    v.push_back(hand("mandelbrot", "CUDA SDK"));
+    v.push_back(hand("matrixmul", "CUDA SDK"));
+    v.push_back(hand("mergesort", "CUDA SDK"));
+    v.push_back(hand("montecarlo", "CUDA SDK"));
+    v.push_back(hand("nbody", "CUDA SDK"));
+    v.push_back(hand("recursivegaussian", "CUDA SDK"));
+    v.push_back(hand("reduction", "CUDA SDK"));
+    v.push_back(hand("scalarprod", "CUDA SDK"));
+    v.push_back(hand("sobelfilter", "CUDA SDK"));
+    v.push_back(hand("sobolqrng", "CUDA SDK"));
+    v.push_back(hand("sortingnetworks", "CUDA SDK"));
+    v.push_back(hand("vectoradd", "CUDA SDK"));
+    v.push_back(hand("volumerender", "CUDA SDK"));
+
+    // ---- Parboil ----
+    v.push_back(hand("cp", "Parboil"));
+    v.push_back(hand("mri-fhd", "Parboil"));
+    v.push_back(hand("mri-q", "Parboil"));
+    v.push_back(hand("rpes", "Parboil"));
+    v.push_back(hand("sad", "Parboil"));
+
+    // ---- Rodinia ----
+    v.push_back(hand("backprop", "Rodinia"));
+    v.push_back(hand("hotspot", "Rodinia"));
+    v.push_back(hand("hwt", "Rodinia"));
+    v.push_back(hand("lu", "Rodinia"));
+    v.push_back(hand("needle", "Rodinia"));
+    v.push_back(hand("srad", "Rodinia"));
+
+    for (auto &w : v) {
+        std::string err = w.kernel.validate();
+        if (!err.empty()) {
+            std::fprintf(stderr, "rfh: workload %s invalid: %s\n",
+                         w.name.c_str(), err.c_str());
+            std::abort();
+        }
+    }
+    return v;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> v = build();
+    return v;
+}
+
+std::vector<const Workload *>
+suiteWorkloads(const std::string &suite)
+{
+    std::vector<const Workload *> out;
+    for (const auto &w : allWorkloads())
+        if (w.suite == suite)
+            out.push_back(&w);
+    return out;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    std::fprintf(stderr, "rfh: unknown workload '%s'\n", name.c_str());
+    std::abort();
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "CUDA SDK", "Parboil", "Rodinia",
+    };
+    return names;
+}
+
+} // namespace rfh

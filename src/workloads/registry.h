@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Benchmark registry: the paper's benchmark suites (Table 1), each
+ * realised either as a hand-written RPTX kernel or as a calibrated
+ * synthetic preset.
+ */
+
+#ifndef RFH_WORKLOADS_REGISTRY_H
+#define RFH_WORKLOADS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.h"
+#include "sim/baseline_exec.h"
+
+namespace rfh {
+
+/** One benchmark: a kernel plus its execution configuration. */
+struct Workload
+{
+    std::string name;
+    std::string suite;  ///< "CUDA SDK", "Parboil", or "Rodinia".
+    Kernel kernel;
+    RunConfig run;
+};
+
+/** All benchmarks of Table 1, built once and cached. */
+const std::vector<Workload> &allWorkloads();
+
+/** The subset belonging to @p suite. */
+std::vector<const Workload *> suiteWorkloads(const std::string &suite);
+
+/** Look up one workload by name (aborts if unknown). */
+const Workload &workloadByName(const std::string &name);
+
+/** Names of the three suites in presentation order. */
+const std::vector<std::string> &suiteNames();
+
+} // namespace rfh
+
+#endif // RFH_WORKLOADS_REGISTRY_H

@@ -1,0 +1,402 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rfh {
+
+namespace {
+
+/** splitmix64: small deterministic RNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL)
+    {
+    }
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    int
+    range(int n)
+    {
+        return static_cast<int>(next() % static_cast<std::uint64_t>(n));
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+// Register conventions inside generated kernels.
+constexpr Reg kTid = 0;        // thread id (seeded)
+constexpr Reg kOffset = 1;     // byte offset = tid * 4
+constexpr Reg kAddr = 2;       // running global address
+constexpr Reg kAcc = 3;        // accumulator (live across strands)
+constexpr Reg kCounter = 4;    // loop counter
+constexpr Reg kPred = 5;       // scratch predicate
+constexpr Reg kPersistBase = 6;  // persistents: R6..R8
+constexpr int kNumPersist = 3;
+constexpr Reg kTempBase = 9;   // rotating temps: R9..R30
+constexpr int kNumTemps = 22;
+constexpr Reg kParam = 63;     // parameter base (seeded)
+
+/** A pooled value with the operand slot its consumers should use. */
+struct PooledValue
+{
+    Reg reg = kOffset;
+    int slot = 0;
+};
+
+/** Tracks recent temporaries for source sampling. */
+class ValuePool
+{
+  public:
+    explicit ValuePool(Rng &rng) : rng_(rng) {}
+
+    /**
+     * Record a new definition. Each value is assigned a preferred
+     * operand slot round-robin; consumers read it through that slot,
+     * which keeps multi-read values split-LRF eligible and spreads
+     * single-read values across the per-slot banks (Section 3.2).
+     */
+    void
+    defined(Reg r)
+    {
+        recent_.push_front(PooledValue{r, nextSlot_});
+        nextSlot_ = (nextSlot_ + 1) % 3;
+        if (recent_.size() > 16)
+            recent_.pop_back();
+    }
+
+    void
+    clear()
+    {
+        recent_.clear();
+    }
+
+    /**
+     * Sample a source register with recency bias: index ~ geometric
+     * over the last @p window defs, which yields mostly read-once and
+     * read-in-burst behaviour. Most sampled values are retired from
+     * the pool so the read-once fraction matches Figure 2(a).
+     */
+    PooledValue
+    sample(int window)
+    {
+        if (recent_.empty())
+            return PooledValue{};
+        int limit = std::min<int>(window,
+                                  static_cast<int>(recent_.size()));
+        int idx = 0;
+        while (idx + 1 < limit && rng_.uniform() < 0.5)
+            idx++;
+        PooledValue v = recent_[idx];
+        if (rng_.uniform() < 0.65)
+            recent_.erase(recent_.begin() + idx);
+        return v;
+    }
+
+    /** Most recently defined temp (or the offset register). */
+    Reg
+    newest() const
+    {
+        return recent_.empty() ? kOffset : recent_.front().reg;
+    }
+
+    bool
+    empty() const
+    {
+        return recent_.empty();
+    }
+
+  private:
+    Rng &rng_;
+    int nextSlot_ = 0;
+    std::deque<PooledValue> recent_;
+};
+
+// Two-source ALU ops (value in slot 0, second source in slot 1).
+constexpr Opcode kAlu2Ops[] = {
+    Opcode::IADD, Opcode::ISUB, Opcode::XOR, Opcode::AND, Opcode::OR,
+    Opcode::SHL, Opcode::SHR, Opcode::IMIN, Opcode::IMAX,
+    Opcode::FADD, Opcode::FMUL,
+};
+constexpr Opcode kAlu3Ops[] = {
+    Opcode::FFMA, Opcode::IMAD, Opcode::SEL,
+};
+constexpr Opcode kSfuOps[] = {
+    Opcode::RCP, Opcode::SQRT, Opcode::RSQRT, Opcode::SIN, Opcode::COS,
+    Opcode::EX2, Opcode::LG2,
+};
+constexpr Opcode kPairOps[][2] = {
+    {Opcode::IMIN, Opcode::IMAX},
+    {Opcode::FADD, Opcode::FSUB},
+    {Opcode::AND, Opcode::OR},
+};
+
+} // namespace
+
+Kernel
+generateSynthetic(const std::string &name, const SynthParams &p)
+{
+    Rng rng(p.seed);
+    KernelBuilder b(name);
+    ValuePool pool(rng);
+
+    int next_temp = 0;
+    auto fresh_temp = [&]() -> Reg {
+        Reg r = static_cast<Reg>(kTempBase + next_temp);
+        next_temp = (next_temp + 1) % kNumTemps;
+        return r;
+    };
+
+    // Filler source: an immediate, a persistent register, or the
+    // thread offset — never a pooled temporary (those are placed at
+    // their preferred slots only).
+    auto filler_src = [&]() -> SrcOperand {
+        double total = p.pImmediate + p.pPersistent;
+        double u = rng.uniform() * std::max(total, 0.26);
+        if (u < p.pImmediate)
+            return SrcOperand::makeImm(
+                static_cast<std::uint32_t>(rng.range(255) + 1));
+        if (u < total)
+            return SrcOperand::makeReg(static_cast<Reg>(
+                kPersistBase + rng.range(kNumPersist)));
+        return SrcOperand::makeReg(kOffset);
+    };
+    // Kept for call sites that want an "older value or filler" source.
+    auto second_src = [&]() -> SrcOperand {
+        if (rng.uniform() < 0.5) {
+            PooledValue v = pool.sample(p.recencyWindow + 2);
+            return SrcOperand::makeReg(v.reg);
+        }
+        return filler_src();
+    };
+
+    auto emit_producer = [&](bool allow_sfu) {
+        Reg dst = fresh_temp();
+        bool sfu = allow_sfu && rng.uniform() < p.fracSfu;
+        PooledValue fresh = pool.sample(p.recencyWindow);
+        SrcOperand fresh_op = SrcOperand::makeReg(fresh.reg);
+        if (sfu) {
+            Opcode op = kSfuOps[rng.range(std::size(kSfuOps))];
+            b.add(makeUnary(op, dst, fresh_op));
+        } else if (rng.uniform() < 0.4) {
+            // Pooled values are consumed only through their preferred
+            // operand slot, so the split LRF's per-slot banks all see
+            // traffic and multi-read values stay single-slot
+            // (Section 3.2).
+            Opcode op = kAlu3Ops[rng.range(std::size(kAlu3Ops))];
+            SrcOperand srcs[3] = {filler_src(), filler_src(),
+                                  filler_src()};
+            srcs[fresh.slot] = fresh_op;
+            if (rng.uniform() < 0.5) {
+                PooledValue extra = pool.sample(p.recencyWindow + 2);
+                if (extra.slot != fresh.slot)
+                    srcs[extra.slot] = SrcOperand::makeReg(extra.reg);
+            }
+            b.add(makeALU3(op, dst, srcs[0], srcs[1], srcs[2]));
+        } else {
+            Opcode op = kAlu2Ops[rng.range(std::size(kAlu2Ops))];
+            int fslot = fresh.slot % 2;
+            SrcOperand other = filler_src();
+            if (rng.uniform() < 0.35) {
+                PooledValue extra = pool.sample(p.recencyWindow + 2);
+                if (extra.slot % 2 != fslot)
+                    other = SrcOperand::makeReg(extra.reg);
+            }
+            Instruction alu = fslot == 0
+                ? makeALU(op, dst, fresh_op, other)
+                : makeALU(op, dst, other, fresh_op);
+            // Occasional if-conversion: a predicated merge into a
+            // register defined earlier this strand.
+            if (rng.uniform() < p.pPredicated) {
+                b.add(makeALU(Opcode::SETLT, kPred, fresh_op,
+                              SrcOperand::makeImm(0x20000000)));
+                alu.pred = kPred;
+                alu.dst = pool.newest();
+                dst = *alu.dst;
+            }
+            b.add(alu);
+        }
+        pool.defined(dst);
+        return dst;
+    };
+
+    // Pair pattern: two fresh values consumed together through fixed
+    // operand slots (the split-LRF sweet spot, Section 3.2).
+    auto emit_pair = [&]() {
+        Reg v1 = fresh_temp();
+        Reg v2 = fresh_temp();
+        const auto &ops = kPairOps[rng.range(std::size(kPairOps))];
+        b.add(makeALU(Opcode::IADD, v1,
+                      SrcOperand::makeReg(pool.sample(
+                          p.recencyWindow).reg),
+                      second_src()));
+        b.add(makeALU(Opcode::XOR, v2,
+                      SrcOperand::makeReg(pool.sample(
+                          p.recencyWindow).reg),
+                      second_src()));
+        Reg w1 = fresh_temp();
+        b.add(makeALU(ops[0], w1, SrcOperand::makeReg(v1),
+                      SrcOperand::makeReg(v2)));
+        pool.defined(w1);
+        // A second consumer of the same pair only half the time, so
+        // read-once values stay the majority (Figure 2(a)).
+        if (rng.uniform() < 0.5) {
+            Reg w2 = fresh_temp();
+            b.add(makeALU(ops[1], w2, SrcOperand::makeReg(v1),
+                          SrcOperand::makeReg(v2)));
+            pool.defined(w2);
+        }
+    };
+
+    // ---- Prologue ----
+    b.block("entry");
+    b.add(makeALU(Opcode::SHL, kOffset, SrcOperand::makeReg(kTid),
+                  SrcOperand::makeImm(2)));
+    b.add(makeLoad(Opcode::LD_PARAM, kAddr, kParam));
+    b.add(makeALU(Opcode::IADD, kAddr, SrcOperand::makeReg(kAddr),
+                  SrcOperand::makeReg(kOffset)));
+    for (int i = 0; i < kNumPersist; i++) {
+        b.add(makeALU(Opcode::IADD, static_cast<Reg>(kPersistBase + i),
+                      SrcOperand::makeReg(kOffset),
+                      SrcOperand::makeImm(
+                          static_cast<std::uint32_t>(17 * (i + 1)))));
+    }
+    pool.defined(kOffset);
+    for (int i = 0; i < p.prologueOps; i++)
+        emit_producer(false);
+    b.add(makeALU(Opcode::AND, kAcc, SrcOperand::makeReg(kOffset),
+                  SrcOperand::makeImm(0)));
+    b.add(makeALU(Opcode::IADD, kCounter, SrcOperand::makeReg(kAcc),
+                  SrcOperand::makeImm(
+                      static_cast<std::uint32_t>(p.loopIters))));
+
+    // ---- Loop body ----
+    int loop_block = b.block("loop");
+    pool.clear();  // loop entry is a strand boundary
+    int hammock_id = 0;
+    for (int s = 0; s < p.strandsPerBody; s++) {
+        // Long-latency group at the top of the strand: loads walk the
+        // persistent address register directly (address values are
+        // kernel-lifetime, matching PTX code where addresses come from
+        // long-lived registers).
+        std::vector<Reg> loaded;
+        for (int l = 0; l < p.loadsPerStrand; l++) {
+            Reg v = fresh_temp();
+            Reg base = s == 0 && l == 0
+                ? kAddr
+                : static_cast<Reg>(kPersistBase + (s + l) % kNumPersist);
+            b.add(makeLoad(p.useTex ? Opcode::TEX : Opcode::LD_GLOBAL,
+                           v, base,
+                           static_cast<std::uint32_t>(4 * (s + l))));
+            loaded.push_back(v);
+        }
+        for (Reg v : loaded)
+            pool.defined(v);
+
+        int ops = p.opsPerStrand;
+        while (ops > 0) {
+            if (ops >= 4 && rng.uniform() < p.pPairOps) {
+                emit_pair();
+                ops -= 4;
+            } else {
+                emit_producer(true);
+                ops--;
+            }
+        }
+
+        // Optional hammock writing one register on both paths
+        // (Figure 10(c) pattern).
+        if (rng.uniform() < p.pHammock) {
+            Reg merged = fresh_temp();
+            std::string suffix = std::to_string(hammock_id++);
+            SrcOperand cond = SrcOperand::makeReg(
+                pool.sample(p.recencyWindow).reg);
+            b.add(makeALU(Opcode::SETLT, kPred, cond,
+                          SrcOperand::makeImm(0x40000000)));
+            b.add(makeCondBranch(kPred, -1));  // patched below
+            b.block("then" + suffix);
+            b.add(makeALU(Opcode::IADD, merged,
+                          SrcOperand::makeReg(pool.sample(
+                              p.recencyWindow).reg),
+                          SrcOperand::makeImm(3)));
+            b.add(makeBranch(-1));
+            b.block("else" + suffix);
+            b.add(makeALU(Opcode::ISUB, merged,
+                          SrcOperand::makeReg(pool.sample(
+                              p.recencyWindow).reg),
+                          SrcOperand::makeImm(5)));
+            b.block("merge" + suffix);
+            b.add(makeALU(Opcode::IADD, kAcc,
+                          SrcOperand::makeReg(kAcc),
+                          SrcOperand::makeReg(merged)));
+            pool.defined(merged);
+        }
+
+        // Fold the newest value into the accumulator.
+        b.add(makeALU(Opcode::IADD, kAcc, SrcOperand::makeReg(kAcc),
+                      SrcOperand::makeReg(pool.newest())));
+        // Stores write back long-lived state (persistents), so the
+        // shared datapath consumes few of the freshly produced values
+        // (~7% in the paper's traces, Section 3.2).
+        for (int st = 0; st < p.storesPerStrand; st++) {
+            Reg data = static_cast<Reg>(kPersistBase +
+                                        st % kNumPersist);
+            b.add(makeStore(Opcode::ST_SHARED, kOffset, data,
+                            static_cast<std::uint32_t>(4 * st)));
+        }
+    }
+    b.add(makeALU(Opcode::IADD, kAddr, SrcOperand::makeReg(kAddr),
+                  SrcOperand::makeImm(128)));
+    b.add(makeALU(Opcode::ISUB, kCounter, SrcOperand::makeReg(kCounter),
+                  SrcOperand::makeImm(1)));
+    b.add(makeALU(Opcode::SETGT, kPred, SrcOperand::makeReg(kCounter),
+                  SrcOperand::makeImm(0)));
+    b.add(makeCondBranch(kPred, loop_block));
+
+    // ---- Epilogue ----
+    b.block("done");
+    b.add(makeStore(Opcode::ST_GLOBAL, kAddr, kAcc));
+    b.add(makeExit());
+
+    Kernel k = b.take();
+
+    // Fix up the hammock branch targets: every conditional branch with
+    // target -1 jumps to the following "else" block; every
+    // unconditional -1 branch jumps to the following "merge" block.
+    for (int bb = 0; bb < static_cast<int>(k.blocks.size()); bb++) {
+        for (auto &in : k.blocks[bb].instrs) {
+            if (in.op != Opcode::BRA || in.branchTarget != -1)
+                continue;
+            for (int t = bb + 1; t < static_cast<int>(k.blocks.size());
+                 t++) {
+                const std::string &label = k.blocks[t].label;
+                bool want_else = in.pred.has_value();
+                if ((want_else && label.rfind("else", 0) == 0) ||
+                    (!want_else && label.rfind("merge", 0) == 0)) {
+                    in.branchTarget = t;
+                    break;
+                }
+            }
+        }
+    }
+    k.finalize();
+    return k;
+}
+
+} // namespace rfh

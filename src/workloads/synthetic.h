@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Statistical synthetic kernel generator.
+ *
+ * Generates deterministic, terminating RPTX kernels whose register
+ * usage patterns are calibrated to the paper's measurements (Figure 2):
+ * most values are read at most once, usually within a few instructions
+ * of being produced; a small persistent set is read repeatedly over
+ * long ranges; ~7% of values feed the shared datapath. Each paper
+ * benchmark that has no hand-written counterpart is represented by a
+ * parameter preset of this generator.
+ */
+
+#ifndef RFH_WORKLOADS_SYNTHETIC_H
+#define RFH_WORKLOADS_SYNTHETIC_H
+
+#include <cstdint>
+#include <string>
+
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Generator parameters (defaults produce a generic compute kernel). */
+struct SynthParams
+{
+    std::uint64_t seed = 1;
+    /** Dynamic iterations of the outer (counted) loop. */
+    int loopIters = 16;
+    /** Long-latency groups per loop body (each starts a new strand). */
+    int strandsPerBody = 2;
+    /** Global loads issued back-to-back at the top of each strand. */
+    int loadsPerStrand = 2;
+    /** ALU/SFU producer ops per strand. */
+    int opsPerStrand = 8;
+    /** Fraction of producer ops executed on the SFU. */
+    double fracSfu = 0.05;
+    /** Replace global-load groups with texture fetches. */
+    bool useTex = false;
+    /** Stores per strand. */
+    int storesPerStrand = 1;
+    /** Probability that a secondary source is an immediate. */
+    double pImmediate = 0.18;
+    /**
+     * Probability of emitting a "pair" pattern: two fresh values
+     * consumed together through fixed operand slots (the split-LRF
+     * sweet spot, Section 3.2).
+     */
+    double pPairOps = 0.20;
+    /** Probability that a source reads a long-lived persistent value. */
+    double pPersistent = 0.08;
+    /** Recency window for source sampling (smaller = shorter lives). */
+    int recencyWindow = 4;
+    /** Probability that a strand contains an if/else hammock. */
+    double pHammock = 0.10;
+    /**
+     * Probability that a producer op is predicated (PTX-style
+     * if-conversion: the def merges with the old value).
+     */
+    double pPredicated = 0.04;
+    /** Straight-line prologue ops before the loop. */
+    int prologueOps = 6;
+};
+
+/** Generate a kernel named @p name from @p params (deterministic). */
+Kernel generateSynthetic(const std::string &name,
+                         const SynthParams &params);
+
+} // namespace rfh
+
+#endif // RFH_WORKLOADS_SYNTHETIC_H

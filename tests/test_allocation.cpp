@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Unit tests for the allocation machinery: occupancy timelines, the
+ * energy-savings functions of Figures 6 and 9, LRF eligibility, and
+ * occupancy intervals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/allocation.h"
+#include "ir/parser.h"
+
+namespace rfh {
+namespace {
+
+// ------------------------------------------------------------ Timeline
+
+TEST(EntryTimeline, BasicAllocation)
+{
+    EntryTimeline tl(2);
+    EXPECT_EQ(tl.numEntries(), 2);
+    EXPECT_TRUE(tl.available(0, 0, 10));
+    tl.allocate(0, 0, 10);
+    EXPECT_FALSE(tl.available(0, 5, 6));
+    EXPECT_TRUE(tl.available(1, 5, 6));
+    EXPECT_EQ(tl.findFree(5, 6), 1);
+}
+
+TEST(EntryTimeline, HalfOpenIntervalsTouchWithoutConflict)
+{
+    EntryTimeline tl(1);
+    tl.allocate(0, 0, 5);
+    // A value defined exactly where the old one performs its last read
+    // reuses the entry (read phase before write phase).
+    EXPECT_TRUE(tl.available(0, 5, 9));
+    tl.allocate(0, 5, 9);
+    EXPECT_FALSE(tl.available(0, 8, 9));
+    EXPECT_TRUE(tl.available(0, 9, 12));
+}
+
+TEST(EntryTimeline, FindFreeExhausted)
+{
+    EntryTimeline tl(2);
+    tl.allocate(0, 0, 10);
+    tl.allocate(1, 0, 10);
+    EXPECT_EQ(tl.findFree(3, 7), -1);
+    EXPECT_EQ(tl.findFree(10, 12), 0);
+}
+
+TEST(EntryTimeline, FindFreePairNeedsAdjacentEntries)
+{
+    EntryTimeline tl(3);
+    tl.allocate(1, 0, 10);
+    // Entries 0 and 2 are free but not adjacent.
+    EXPECT_EQ(tl.findFreePair(0, 10), -1);
+    EXPECT_EQ(tl.findFreePair(10, 20), 0);
+    EntryTimeline tl2(3);
+    tl2.allocate(0, 0, 10);
+    EXPECT_EQ(tl2.findFreePair(0, 10), 1);
+}
+
+// ------------------------------------------------------ Savings (Fig 6)
+
+/** Build a single-def instance with @p reads private ALU uses. */
+ValueInstance
+instWithReads(int reads, bool live_out)
+{
+    ValueInstance vi;
+    vi.strand = 0;
+    vi.reg = 1;
+    vi.defLins = {0};
+    for (int i = 0; i < reads; i++)
+        vi.uses.push_back(InstanceUse{1 + i, 0, false});
+    vi.liveOut = live_out;
+    return vi;
+}
+
+TEST(Savings, Figure6HandComputed)
+{
+    // With the paper's constants and a 3-entry ORF:
+    //   MRF read  = 8/4  + 1.0*1.9 = 3.90 pJ
+    //   ORF read  = 1.2/4 + 0.2*1.9 = 0.68 pJ
+    //   ORF write = 4.4/4 + 0.2*1.9 = 1.48 pJ
+    //   MRF write = 11/4 + 1.0*1.9 = 4.65 pJ
+    EnergyModel em(EnergyParams{}, 3);
+    // One read, not live out: 1*(3.90-0.68) - 1.48 + 4.65 = 6.39.
+    EXPECT_NEAR(orfValueSavings(instWithReads(1, false), em, 1), 6.39,
+                1e-9);
+    // One read, live out: no MRF-write elision -> 1.74.
+    EXPECT_NEAR(orfValueSavings(instWithReads(1, true), em, 1), 1.74,
+                1e-9);
+    // Zero reads, dead value: MRF write avoided entirely -> 3.17.
+    EXPECT_NEAR(orfValueSavings(instWithReads(0, false), em, 0), 3.17,
+                1e-9);
+    // Zero reads, live out: pure overhead -> -1.48.
+    EXPECT_NEAR(orfValueSavings(instWithReads(0, true), em, 0), -1.48,
+                1e-9);
+}
+
+TEST(Savings, PartialRangeForcesMrfWrite)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    ValueInstance vi = instWithReads(3, false);
+    double full = orfValueSavings(vi, em, 3);
+    double partial = orfValueSavings(vi, em, 2);
+    // Partial range loses one read's delta AND the MRF-write elision.
+    EXPECT_NEAR(full - partial, (3.90 - 0.68) + 4.65, 1e-9);
+}
+
+TEST(Savings, SharedConsumerUsesSharedWire)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    ValueInstance vi = instWithReads(1, true);
+    vi.uses[0].shared = true;
+    // Shared read: MRF 2+1.9=3.9, ORF 0.3+0.76=1.06 -> delta 2.84;
+    // minus private ORF write 1.48 -> 1.36.
+    EXPECT_NEAR(orfValueSavings(vi, em, 1), 1.36, 1e-9);
+}
+
+TEST(Savings, SharedProducerPaysSharedWriteWire)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    ValueInstance vi = instWithReads(1, true);
+    vi.sharedProducer = true;
+    // ORF write from the shared datapath: 1.1 + 0.76 = 1.86.
+    EXPECT_NEAR(orfValueSavings(vi, em, 1), 3.90 - 0.68 - 1.86, 1e-9);
+}
+
+TEST(Savings, HammockGroupPaysPerDefWrites)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    ValueInstance vi = instWithReads(1, false);
+    vi.defLins = {0, 2};
+    // Two ORF writes, two MRF writes elided:
+    // 3.22 - 2*1.48 + 2*4.65 = 9.56.
+    EXPECT_NEAR(orfValueSavings(vi, em, 1), 9.56, 1e-9);
+}
+
+TEST(Savings, WideValuePaysDoubleWrites)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    ValueInstance vi = instWithReads(1, false);
+    vi.wide = true;
+    // Reads are per 32-bit half (1 use); writes doubled.
+    EXPECT_NEAR(orfValueSavings(vi, em, 1),
+                3.22 - 2 * 1.48 + 2 * 4.65, 1e-9);
+}
+
+// ------------------------------------------------------ Savings (Fig 9)
+
+ReadInstance
+readInstWithUses(std::vector<int> lins)
+{
+    ReadInstance ri;
+    ri.strand = 0;
+    ri.reg = 0;
+    for (int lin : lins)
+        ri.uses.push_back(InstanceUse{lin, 0, false});
+    return ri;
+}
+
+TEST(Savings, Figure9HandComputed)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    // Two reads: first from MRF (deposit), second from ORF.
+    // (3.90 - 0.68) - 1.48 = 1.74.
+    EXPECT_NEAR(orfReadSavings(readInstWithUses({5, 6}), em, 2), 1.74,
+                1e-9);
+    // Single read: pure overhead.
+    EXPECT_NEAR(orfReadSavings(readInstWithUses({5}), em, 1), -1.48,
+                1e-9);
+}
+
+TEST(Savings, Figure9SameInstructionReadsDoNotCount)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    // Both reads in the deposit instruction: the second cannot see the
+    // deposit, so only overhead remains.
+    ReadInstance ri = readInstWithUses({5, 5});
+    ri.uses[1].slot = 1;
+    EXPECT_NEAR(orfReadSavings(ri, em, 2), -1.48, 1e-9);
+}
+
+// -------------------------------------------------------- LRF eligibility
+
+TEST(LrfEligible, RequiresPrivateProducerAndConsumers)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel e
+entry:
+    iadd R1, R0, #1
+    fadd R2, R1, R1
+    ld.shared R3, [R0]
+    sin R4, R2
+    st.global [R0], R4
+    exit
+)");
+    auto inst = [&](int def_lin, std::vector<InstanceUse> uses) {
+        ValueInstance vi;
+        vi.defLins = {def_lin};
+        vi.reg = *k.instr(def_lin).dst;
+        vi.uses = std::move(uses);
+        return vi;
+    };
+    // ALU -> ALU: eligible.
+    EXPECT_TRUE(lrfEligible(inst(0, {{1, 0, false}}), k, false));
+    // MEM producer: not eligible.
+    EXPECT_FALSE(lrfEligible(inst(2, {}), k, false));
+    // SFU consumer: not eligible.
+    EXPECT_FALSE(lrfEligible(inst(1, {{3, 0, true}}), k, false));
+    ValueInstance sfu_use = inst(1, {{3, 0, false}});
+    // Even a "private-flagged" use executed by an SFU op is rejected.
+    EXPECT_FALSE(lrfEligible(sfu_use, k, false));
+}
+
+TEST(LrfEligible, SplitRequiresSingleSlot)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel e
+entry:
+    iadd R1, R0, #1
+    fadd R2, R1, R1
+    exit
+)");
+    ValueInstance vi;
+    vi.defLins = {0};
+    vi.reg = 1;
+    vi.uses = {{1, 0, false}, {1, 1, false}};
+    EXPECT_TRUE(lrfEligible(vi, k, false));
+    EXPECT_FALSE(lrfEligible(vi, k, true));
+}
+
+TEST(LrfEligible, WideNeverEligible)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel e
+entry:
+    imul.wide R2, R0, #8
+    exit
+)");
+    ValueInstance vi;
+    vi.defLins = {0};
+    vi.reg = 2;
+    vi.wide = true;
+    EXPECT_FALSE(lrfEligible(vi, k, false));
+}
+
+// --------------------------------------------------------------- Intervals
+
+TEST(Intervals, ValueInterval)
+{
+    ValueInstance vi = instWithReads(2, false);
+    vi.defLins = {4};
+    vi.uses[0].lin = 6;
+    vi.uses[1].lin = 9;
+    EXPECT_EQ(valueInterval(vi, 2), std::make_pair(4, 9));
+    EXPECT_EQ(valueInterval(vi, 1), std::make_pair(4, 6));
+    EXPECT_EQ(valueInterval(vi, 0), std::make_pair(4, 5));
+}
+
+TEST(Intervals, ReadInterval)
+{
+    ReadInstance ri = readInstWithUses({3, 7, 11});
+    EXPECT_EQ(readInterval(ri, 3), std::make_pair(3, 11));
+    EXPECT_EQ(readInterval(ri, 2), std::make_pair(3, 7));
+}
+
+} // namespace
+} // namespace rfh

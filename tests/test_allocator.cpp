@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Unit tests for the hierarchy allocator: annotation correctness on
+ * small kernels, partial-range and read-operand behaviour, the
+ * three-level LRF pass, the split LRF, and option plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/allocator.h"
+#include "ir/parser.h"
+
+namespace rfh {
+namespace {
+
+Kernel
+allocate(std::string_view text, AllocOptions opts = {},
+         AllocStats *stats_out = nullptr)
+{
+    Kernel k = parseKernelOrDie(text);
+    HierarchyAllocator alloc(EnergyParams{}, opts);
+    AllocStats stats = alloc.run(k);
+    if (stats_out)
+        *stats_out = stats;
+    return k;
+}
+
+TEST(Allocator, ProducerConsumerGoesToOrf)
+{
+    AllocStats stats;
+    Kernel k = allocate(R"(.kernel pc
+entry:
+    iadd R1, R0, #1
+    iadd R2, R1, #2
+    st.shared [R0], R2
+    exit
+)", {}, &stats);
+    const Instruction &def = k.instr(0);
+    EXPECT_TRUE(def.writeAnno.toORF);
+    EXPECT_FALSE(def.writeAnno.toMRF) << "dead after use: MRF elided";
+    const Instruction &use = k.instr(1);
+    EXPECT_EQ(use.readAnno[0].level, Level::ORF);
+    EXPECT_EQ(use.readAnno[0].entry, def.writeAnno.orfEntry);
+    EXPECT_GE(stats.orfValuesFull, 2);
+    EXPECT_GE(stats.mrfWritesElided, 2);
+}
+
+TEST(Allocator, LiveOutValueWritesBothLevels)
+{
+    Kernel k = allocate(R"(.kernel lo
+entry:
+    iadd R1, R0, #1
+    iadd R2, R1, #2
+    ld.global R3, [R0]
+    iadd R4, R3, R1
+    st.shared [R0], R4
+    st.shared [R0], R2
+    exit
+)");
+    // R1 is read in strand 1 (lin 1) and in strand 2 (lin 3): it must
+    // be written to the MRF as well as any upper level.
+    const Instruction &def = k.instr(0);
+    EXPECT_TRUE(def.writeAnno.toMRF);
+    // Its strand-2 read must come from the MRF (or a deposit).
+    const Instruction &use2 = k.instr(3);
+    EXPECT_EQ(use2.readAnno[1].level, Level::MRF);
+}
+
+TEST(Allocator, LongLatencyResultNeverInUpperLevels)
+{
+    Kernel k = allocate(R"(.kernel ll
+entry:
+    ld.global R1, [R0]
+    iadd R2, R1, #1
+    st.shared [R0], R2
+    exit
+)");
+    const Instruction &ld = k.instr(0);
+    EXPECT_FALSE(ld.writeAnno.toORF);
+    EXPECT_FALSE(ld.writeAnno.toLRF);
+    EXPECT_TRUE(ld.writeAnno.toMRF);
+    EXPECT_EQ(k.instr(1).readAnno[0].level, Level::MRF);
+}
+
+TEST(Allocator, ValuesNeverCrossStrands)
+{
+    Kernel k = allocate(R"(.kernel cross
+entry:
+    iadd R1, R0, #1
+    ld.global R2, [R0]
+    iadd R3, R2, R1
+    st.shared [R0], R3
+    exit
+)");
+    // R1's only read is in the next strand: no upper-level write can
+    // serve it, but the allocator may still use the ORF to elide
+    // nothing — the read itself must be MRF or a deposit.
+    const Instruction &use = k.instr(2);
+    EXPECT_EQ(use.readAnno[1].level, Level::MRF);
+    EXPECT_TRUE(k.instr(0).writeAnno.toMRF);
+}
+
+TEST(Allocator, ReadOperandAllocation)
+{
+    AllocStats stats;
+    Kernel k = allocate(R"(.kernel ro
+entry:
+    iadd R1, R0, #1
+    iadd R2, R0, #2
+    iadd R3, R0, #3
+    iadd R4, R0, #4
+    st.shared [R1], R2
+    st.shared [R3], R4
+    exit
+)", {}, &stats);
+    // R0 is live-in and read four times: first read deposits, later
+    // reads hit the ORF.
+    EXPECT_GE(stats.orfReadsFull + stats.orfReadsPartial, 1);
+    const Instruction &first = k.instr(0);
+    EXPECT_EQ(first.readAnno[0].level, Level::MRF);
+    EXPECT_TRUE(first.readAnno[0].depositToORF);
+    const Instruction &later = k.instr(1);
+    EXPECT_EQ(later.readAnno[0].level, Level::ORF);
+    EXPECT_EQ(later.readAnno[0].entry, first.readAnno[0].entry);
+}
+
+TEST(Allocator, ReadOperandsDisabled)
+{
+    AllocOptions opts;
+    opts.readOperands = false;
+    AllocStats stats;
+    Kernel k = allocate(R"(.kernel ro
+entry:
+    iadd R1, R0, #1
+    iadd R2, R0, #2
+    iadd R3, R0, #3
+    st.shared [R1], R2
+    exit
+)", opts, &stats);
+    EXPECT_EQ(stats.orfReadsFull + stats.orfReadsPartial, 0);
+    for (int lin = 0; lin < 3; lin++)
+        EXPECT_EQ(k.instr(lin).readAnno[0].level, Level::MRF);
+}
+
+TEST(Allocator, PartialRangeUnderPressure)
+{
+    // With a single ORF entry, competing values force partial ranges:
+    // R1 is read early (ORF-worthy) and late (MRF).
+    AllocOptions opts;
+    opts.orfEntries = 1;
+    opts.readOperands = false;
+    AllocStats stats;
+    Kernel k = allocate(R"(.kernel pr
+entry:
+    iadd R1, R0, #1
+    iadd R2, R1, #2
+    iadd R3, R2, #3
+    iadd R4, R3, #4
+    iadd R5, R4, R1
+    st.shared [R0], R5
+    exit
+)", opts, &stats);
+    EXPECT_GE(stats.orfValuesPartial, 1);
+    // R1's late read (lin 4, slot 1) must be MRF.
+    EXPECT_EQ(k.instr(4).readAnno[1].level, Level::MRF);
+    // And R1 must reach the MRF for it.
+    EXPECT_TRUE(k.instr(0).writeAnno.toMRF);
+    // Its early read may still be served by the ORF.
+    if (k.instr(0).writeAnno.toORF) {
+        EXPECT_EQ(k.instr(1).readAnno[0].level, Level::ORF);
+    }
+}
+
+TEST(Allocator, PartialRangesDisabled)
+{
+    AllocOptions opts;
+    opts.orfEntries = 1;
+    opts.readOperands = false;
+    opts.partialRanges = false;
+    AllocStats stats;
+    allocate(R"(.kernel pr
+entry:
+    iadd R1, R0, #1
+    iadd R2, R1, #2
+    iadd R3, R2, #3
+    iadd R4, R3, #4
+    iadd R5, R4, R1
+    st.shared [R0], R5
+    exit
+)", opts, &stats);
+    EXPECT_EQ(stats.orfValuesPartial, 0);
+    EXPECT_EQ(stats.orfReadsPartial, 0);
+}
+
+TEST(Allocator, ThreeLevelUsesLrfForNextInstructionValues)
+{
+    AllocOptions opts;
+    opts.useLRF = true;
+    AllocStats stats;
+    Kernel k = allocate(R"(.kernel lrf
+entry:
+    iadd R1, R0, #1
+    iadd R2, R1, #2
+    iadd R3, R2, #3
+    st.shared [R0], R3
+    exit
+)", opts, &stats);
+    EXPECT_GE(stats.lrfValues, 1);
+    // At least one def->next-instruction value sits in the LRF.
+    bool lrf_read = false;
+    for (int lin = 0; lin < k.numInstrs(); lin++)
+        for (int s = 0; s < kMaxSrcs; s++)
+            lrf_read |= k.instr(lin).readAnno[s].level == Level::LRF;
+    EXPECT_TRUE(lrf_read);
+    // No value is written to both LRF and ORF (Section 4.6).
+    for (int lin = 0; lin < k.numInstrs(); lin++)
+        EXPECT_FALSE(k.instr(lin).writeAnno.toLRF &&
+                     k.instr(lin).writeAnno.toORF);
+}
+
+TEST(Allocator, SharedConsumedValuesAvoidLrf)
+{
+    AllocOptions opts;
+    opts.useLRF = true;
+    Kernel k = allocate(R"(.kernel sc
+entry:
+    iadd R1, R0, #1
+    sin R2, R1
+    fadd R3, R2, #3
+    st.shared [R0], R3
+    exit
+)", opts);
+    // R1 feeds the SFU, R3 feeds a store: neither may live in the LRF.
+    EXPECT_FALSE(k.instr(0).writeAnno.toLRF);
+    EXPECT_FALSE(k.instr(2).writeAnno.toLRF);
+}
+
+TEST(Allocator, SplitLrfAssignsBankBySlot)
+{
+    AllocOptions opts;
+    opts.useLRF = true;
+    opts.splitLRF = true;
+    Kernel k = allocate(R"(.kernel split
+entry:
+    iadd R1, R0, #1
+    xor  R2, R0, #2
+    imax R3, R1, R2
+    st.shared [R0], R3
+    exit
+)", opts);
+    // R1 read in slot 0 and R2 in slot 1 of the imax: both fit in the
+    // split LRF simultaneously, in different banks.
+    const Instruction &use = k.instr(2);
+    if (k.instr(0).writeAnno.toLRF && k.instr(1).writeAnno.toLRF) {
+        EXPECT_EQ(use.readAnno[0].level, Level::LRF);
+        EXPECT_EQ(use.readAnno[1].level, Level::LRF);
+        EXPECT_NE(use.readAnno[0].lrfBank, use.readAnno[1].lrfBank);
+    } else {
+        ADD_FAILURE() << "pair not captured by the split LRF";
+    }
+}
+
+TEST(Allocator, UnifiedLrfCannotHoldBoth)
+{
+    AllocOptions opts;
+    opts.useLRF = true;
+    opts.splitLRF = false;
+    Kernel k = allocate(R"(.kernel uni
+entry:
+    iadd R1, R0, #1
+    xor  R2, R0, #2
+    imax R3, R1, R2
+    st.shared [R0], R3
+    exit
+)", opts);
+    int lrf_writes = 0;
+    for (int lin = 0; lin < k.numInstrs(); lin++)
+        lrf_writes += k.instr(lin).writeAnno.toLRF ? 1 : 0;
+    EXPECT_LE(lrf_writes, 1) << "one entry cannot hold both values";
+}
+
+TEST(Allocator, WideValueGetsAdjacentEntries)
+{
+    AllocOptions opts;
+    opts.orfEntries = 3;
+    Kernel k = allocate(R"(.kernel wide
+entry:
+    imul.wide R2, R0, #8
+    iadd R4, R2, R3
+    st.shared [R0], R4
+    exit
+)", opts);
+    const Instruction &def = k.instr(0);
+    ASSERT_TRUE(def.writeAnno.toORF);
+    const Instruction &use = k.instr(1);
+    EXPECT_EQ(use.readAnno[0].level, Level::ORF);
+    EXPECT_EQ(use.readAnno[0].entry, def.writeAnno.orfEntry);
+    EXPECT_EQ(use.readAnno[1].level, Level::ORF);
+    EXPECT_EQ(use.readAnno[1].entry, def.writeAnno.orfEntry + 1);
+}
+
+TEST(Allocator, WideValueNeedsTwoFreeEntries)
+{
+    AllocOptions opts;
+    opts.orfEntries = 1;
+    Kernel k = allocate(R"(.kernel wide1
+entry:
+    imul.wide R2, R0, #8
+    iadd R4, R2, R3
+    st.shared [R0], R4
+    exit
+)", opts);
+    EXPECT_FALSE(k.instr(0).writeAnno.toORF)
+        << "a 1-entry ORF cannot hold a 64-bit value";
+}
+
+TEST(Allocator, HammockSharesOneEntry)
+{
+    Kernel k = allocate(R"(.kernel f10c
+bb6:
+    setlt R2, R0, #4
+    @R2 bra bb8
+bb7:
+    iadd R1, R0, #7
+    bra bb9
+bb8:
+    iadd R1, R0, #8
+bb9:
+    iadd R3, R1, #1
+    st.shared [R0], R3
+    exit
+)");
+    const Instruction &d1 = k.instr(2);
+    const Instruction &d2 = k.instr(4);
+    ASSERT_TRUE(d1.writeAnno.toORF);
+    ASSERT_TRUE(d2.writeAnno.toORF);
+    EXPECT_EQ(d1.writeAnno.orfEntry, d2.writeAnno.orfEntry);
+    EXPECT_FALSE(d1.writeAnno.toMRF);
+    EXPECT_FALSE(d2.writeAnno.toMRF);
+    EXPECT_EQ(k.instr(5).readAnno[0].level, Level::ORF);
+}
+
+TEST(Allocator, SharedProducersInLrfVariant)
+{
+    // With the non-Figure-4 write path, a load result consumed by the
+    // next ALU instruction may live in the LRF.
+    const char *text = R"(.kernel spv
+entry:
+    ld.shared R1, [R0]
+    iadd R2, R1, #1
+    st.shared [R0], R2
+    exit
+)";
+    AllocOptions strict;
+    strict.useLRF = true;
+    Kernel ks = allocate(text, strict);
+    EXPECT_FALSE(ks.instr(0).writeAnno.toLRF)
+        << "Figure 4: loads cannot write the LRF";
+
+    AllocOptions open = strict;
+    open.lrfAllowSharedProducers = true;
+    Kernel ko = allocate(text, open);
+    EXPECT_TRUE(ko.instr(0).writeAnno.toLRF);
+    EXPECT_EQ(ko.instr(1).readAnno[0].level, Level::LRF);
+}
+
+TEST(Allocator, EntriesNeverExceedConfig)
+{
+    for (int entries = 1; entries <= 4; entries++) {
+        AllocOptions opts;
+        opts.orfEntries = entries;
+        opts.useLRF = true;
+        opts.splitLRF = true;
+        Kernel k = allocate(R"(.kernel many
+entry:
+    iadd R1, R0, #1
+    iadd R2, R0, #2
+    iadd R3, R0, #3
+    iadd R4, R1, R2
+    iadd R5, R3, R4
+    iadd R6, R5, R1
+    st.shared [R0], R6
+    exit
+)", opts);
+        for (int lin = 0; lin < k.numInstrs(); lin++) {
+            const Instruction &in = k.instr(lin);
+            if (in.writeAnno.toORF) {
+                EXPECT_LT(in.writeAnno.orfEntry, entries);
+            }
+            for (int s = 0; s < kMaxSrcs; s++) {
+                if (in.readAnno[s].level == Level::ORF) {
+                    EXPECT_LT(in.readAnno[s].entry, entries);
+                }
+            }
+        }
+    }
+}
+
+TEST(Allocator, DeadValueSkipsMrf)
+{
+    AllocStats stats;
+    Kernel k = allocate(R"(.kernel dead
+entry:
+    iadd R1, R0, #1
+    st.shared [R0], R0
+    exit
+)", {}, &stats);
+    // The dead value is cheapest in the ORF (no MRF write at all).
+    EXPECT_TRUE(k.instr(0).writeAnno.toORF);
+    EXPECT_FALSE(k.instr(0).writeAnno.toMRF);
+}
+
+TEST(Allocator, PredicateReadCanUseOrf)
+{
+    Kernel k = allocate(R"(.kernel pred
+entry:
+    setgt R1, R0, #4
+    @R1 bra out
+body:
+    st.shared [R0], R0
+out:
+    exit
+)");
+    const Instruction &br = k.instr(1);
+    EXPECT_EQ(br.predAnno.level, Level::ORF);
+}
+
+TEST(Allocator, StatsAreConsistent)
+{
+    AllocStats stats;
+    allocate(R"(.kernel st
+entry:
+    iadd R1, R0, #1
+    iadd R2, R1, #2
+    ld.global R3, [R0]
+    iadd R4, R3, R2
+    st.shared [R0], R4
+    exit
+)", {}, &stats);
+    EXPECT_EQ(stats.strands, 2);
+    EXPECT_EQ(static_cast<int>(stats.strandSavings.size()),
+              stats.strands);
+    EXPECT_GT(stats.predictedSavingsPJ, 0.0);
+    double sum = 0;
+    for (double s : stats.strandSavings)
+        sum += s;
+    EXPECT_NEAR(sum, stats.predictedSavingsPJ, 1e-9);
+}
+
+} // namespace
+} // namespace rfh

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests for CFG analyses: predecessor/successor structure,
+ * reachability, backward-branch detection, liveness, and reaching
+ * definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg_analysis.h"
+#include "ir/liveness.h"
+#include "ir/parser.h"
+#include "ir/reaching_defs.h"
+
+namespace rfh {
+namespace {
+
+Kernel
+diamondKernel()
+{
+    // entry -> (then | else) -> merge
+    return parseKernelOrDie(R"(.kernel diamond
+entry:
+    setlt R1, R0, #5
+    @R1 bra else
+then:
+    iadd R2, R0, #1
+    bra merge
+else:
+    iadd R2, R0, #2
+merge:
+    iadd R3, R2, #3
+    st.global [R0], R3
+    exit
+)");
+}
+
+Kernel
+loopKernel()
+{
+    return parseKernelOrDie(R"(.kernel loop
+entry:
+    mov R1, #10
+    mov R2, #0
+body:
+    iadd R2, R2, R1
+    isub R1, R1, #1
+    setgt R3, R1, #0
+    @R3 bra body
+exitb:
+    st.global [R0], R2
+    exit
+)");
+}
+
+// -------------------------------------------------------------------- Cfg
+
+TEST(Cfg, DiamondStructure)
+{
+    Kernel k = diamondKernel();
+    Cfg cfg(k);
+    ASSERT_EQ(cfg.numBlocks(), 4);
+    EXPECT_EQ(cfg.succs(0), (std::vector<int>{2, 1}));
+    EXPECT_EQ(cfg.succs(1), (std::vector<int>{3}));
+    EXPECT_EQ(cfg.succs(2), (std::vector<int>{3}));
+    EXPECT_TRUE(cfg.succs(3).empty());
+    EXPECT_EQ(cfg.preds(3).size(), 2u);
+    for (int b = 0; b < 4; b++)
+        EXPECT_TRUE(cfg.reachable(b)) << b;
+}
+
+TEST(Cfg, BackwardBranchDetection)
+{
+    Kernel k = loopKernel();
+    Cfg cfg(k);
+    EXPECT_TRUE(cfg.endsWithBackwardBranch(1));
+    EXPECT_TRUE(cfg.isBackwardTarget(1));
+    EXPECT_FALSE(cfg.endsWithBackwardBranch(0));
+    EXPECT_FALSE(cfg.isBackwardTarget(0));
+    EXPECT_FALSE(cfg.isBackwardTarget(2));
+}
+
+TEST(Cfg, ForwardBranchIsNotBackward)
+{
+    Kernel k = diamondKernel();
+    Cfg cfg(k);
+    for (int b = 0; b < cfg.numBlocks(); b++) {
+        EXPECT_FALSE(cfg.endsWithBackwardBranch(b)) << b;
+        EXPECT_FALSE(cfg.isBackwardTarget(b)) << b;
+    }
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntry)
+{
+    Kernel k = diamondKernel();
+    Cfg cfg(k);
+    const auto &rpo = cfg.reversePostOrder();
+    ASSERT_FALSE(rpo.empty());
+    EXPECT_EQ(rpo.front(), 0);
+    // Merge block must come after both branch sides.
+    auto pos = [&](int b) {
+        return std::find(rpo.begin(), rpo.end(), b) - rpo.begin();
+    };
+    EXPECT_GT(pos(3), pos(1));
+    EXPECT_GT(pos(3), pos(2));
+}
+
+TEST(Cfg, UnreachableBlockFlagged)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel dead
+entry:
+    bra out
+orphan:
+    iadd R1, R0, #1
+out:
+    exit
+)");
+    // "orphan" is skipped by the unconditional branch... except that
+    // "bra out" jumps over it, so it has no predecessors.
+    Cfg cfg(k);
+    EXPECT_TRUE(cfg.reachable(0));
+    EXPECT_FALSE(cfg.reachable(1));
+    EXPECT_TRUE(cfg.reachable(2));
+}
+
+// --------------------------------------------------------------- Liveness
+
+TEST(Liveness, StraightLine)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel s
+entry:
+    iadd R1, R0, #1
+    iadd R2, R1, #2
+    st.global [R0], R2
+    exit
+)");
+    Cfg cfg(k);
+    Liveness live(k, cfg);
+    // R1 dies at its only read (lin 1); R2 dies at the store.
+    EXPECT_TRUE(live.liveAfter(0, 1));
+    EXPECT_FALSE(live.liveAfter(1, 1));
+    EXPECT_TRUE(live.liveAfter(1, 2));
+    EXPECT_FALSE(live.liveAfter(2, 2));
+    // R0 is used by the store, so live through lin 1.
+    EXPECT_TRUE(live.liveAfter(1, 0));
+}
+
+TEST(Liveness, AcrossBranches)
+{
+    Kernel k = diamondKernel();
+    Cfg cfg(k);
+    Liveness live(k, cfg);
+    // R0 is used in both sides and in merge: live into all of them.
+    EXPECT_TRUE(live.liveIn(1).test(0));
+    EXPECT_TRUE(live.liveIn(2).test(0));
+    EXPECT_TRUE(live.liveIn(3).test(0));
+    // R2 live into merge; R1 (the predicate) dead after entry.
+    EXPECT_TRUE(live.liveIn(3).test(2));
+    EXPECT_FALSE(live.liveOut(0).test(1));
+}
+
+TEST(Liveness, LoopCarried)
+{
+    Kernel k = loopKernel();
+    Cfg cfg(k);
+    Liveness live(k, cfg);
+    // R1 and R2 are live around the loop.
+    EXPECT_TRUE(live.liveIn(1).test(1));
+    EXPECT_TRUE(live.liveIn(1).test(2));
+    EXPECT_TRUE(live.liveOut(1).test(1));
+    // R3 (predicate) is not live into the loop header.
+    EXPECT_FALSE(live.liveIn(1).test(3));
+}
+
+TEST(Liveness, UseDefHelpers)
+{
+    Instruction ffma = makeALU3(Opcode::FFMA, 5, SrcOperand::makeReg(1),
+                                SrcOperand::makeReg(2),
+                                SrcOperand::makeImm(7));
+    RegSet uses = usedRegs(ffma);
+    EXPECT_TRUE(uses.test(1));
+    EXPECT_TRUE(uses.test(2));
+    EXPECT_EQ(uses.count(), 2u);
+    EXPECT_TRUE(definedRegs(ffma).test(5));
+
+    Instruction wide = makeALU(Opcode::IMUL, 6, SrcOperand::makeReg(1),
+                               SrcOperand::makeReg(2));
+    wide.wide = true;
+    EXPECT_TRUE(definedRegs(wide).test(6));
+    EXPECT_TRUE(definedRegs(wide).test(7));
+}
+
+// ----------------------------------------------------------- ReachingDefs
+
+TEST(ReachingDefs, StraightLineChains)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel s
+entry:
+    iadd R1, R0, #1
+    iadd R1, R1, #2
+    iadd R2, R1, #3
+    exit
+)");
+    Cfg cfg(k);
+    ReachingDefs rd(k, cfg);
+
+    // The read at lin1 sees the def at lin0; the read at lin2 sees the
+    // def at lin1.
+    auto defs1 = rd.reachingDefs(1, 0);
+    ASSERT_EQ(defs1.size(), 1u);
+    EXPECT_EQ(rd.defInstr(defs1[0]), 0);
+    auto defs2 = rd.reachingDefs(2, 0);
+    ASSERT_EQ(defs2.size(), 1u);
+    EXPECT_EQ(rd.defInstr(defs2[0]), 1);
+}
+
+TEST(ReachingDefs, BoundaryDefsAtEntry)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel s
+entry:
+    iadd R1, R0, #1
+    exit
+)");
+    Cfg cfg(k);
+    ReachingDefs rd(k, cfg);
+    auto defs = rd.reachingDefs(0, 0);
+    ASSERT_EQ(defs.size(), 1u);
+    EXPECT_TRUE(ReachingDefs::isBoundary(defs[0]));
+    EXPECT_EQ(rd.defReg(defs[0]), 0);
+}
+
+TEST(ReachingDefs, MergeCollectsBothSides)
+{
+    Kernel k = diamondKernel();
+    Cfg cfg(k);
+    ReachingDefs rd(k, cfg);
+    // merge reads R2 (lin 6, slot 0): both hammock defs reach.
+    int merge_lin = k.blockStart(3);
+    auto defs = rd.reachingDefs(merge_lin, 0);
+    ASSERT_EQ(defs.size(), 2u);
+    EXPECT_FALSE(ReachingDefs::isBoundary(defs[0]));
+    EXPECT_FALSE(ReachingDefs::isBoundary(defs[1]));
+}
+
+TEST(ReachingDefs, LoopBackEdge)
+{
+    Kernel k = loopKernel();
+    Cfg cfg(k);
+    ReachingDefs rd(k, cfg);
+    // "iadd R2, R2, R1" at the loop head reads R2 defined both by the
+    // entry mov and by itself (around the back edge).
+    int head = k.blockStart(1);
+    auto defs = rd.reachingDefs(head, 0);
+    ASSERT_EQ(defs.size(), 2u);
+}
+
+TEST(ReachingDefs, UsesListsAllSites)
+{
+    Kernel k = loopKernel();
+    Cfg cfg(k);
+    ReachingDefs rd(k, cfg);
+    // Def of R1 in entry (lin 0) is read by the loop body adds.
+    DefId d = rd.defsAt(0)[0];
+    EXPECT_EQ(rd.defReg(d), 1);
+    EXPECT_FALSE(rd.uses(d).empty());
+}
+
+TEST(ReachingDefs, PredicateUseTracked)
+{
+    Kernel k = loopKernel();
+    Cfg cfg(k);
+    ReachingDefs rd(k, cfg);
+    // setgt defines R3, used as the branch predicate.
+    int setgt_lin = k.blockStart(1) + 2;
+    DefId d = rd.defsAt(setgt_lin)[0];
+    ASSERT_EQ(rd.uses(d).size(), 1u);
+    EXPECT_EQ(rd.uses(d)[0].slot, kPredSlot);
+}
+
+TEST(ReachingDefs, WideDefsCreateTwoDefs)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel w
+entry:
+    imul.wide R2, R0, #8
+    iadd R4, R2, R3
+    exit
+)");
+    Cfg cfg(k);
+    ReachingDefs rd(k, cfg);
+    ASSERT_EQ(rd.defsAt(0).size(), 2u);
+    EXPECT_EQ(rd.defReg(rd.defsAt(0)[0]), 2);
+    EXPECT_EQ(rd.defReg(rd.defsAt(0)[1]), 3);
+    // R3 (high half) read by the iadd.
+    auto defs = rd.reachingDefs(1, 1);
+    ASSERT_EQ(defs.size(), 1u);
+    EXPECT_EQ(rd.defInstr(defs[0]), 0);
+}
+
+} // namespace
+} // namespace rfh

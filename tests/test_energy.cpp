@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the energy model (Tables 3 and 4), access-count
+ * energy accounting, and the encoding-overhead model (Section 6.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/encoding_overhead.h"
+#include "energy/energy_model.h"
+#include "sim/access_counters.h"
+
+namespace rfh {
+namespace {
+
+TEST(EnergyParams, Table3Values)
+{
+    EXPECT_DOUBLE_EQ(EnergyParams::orfReadPJ(1), 0.7);
+    EXPECT_DOUBLE_EQ(EnergyParams::orfWritePJ(1), 2.0);
+    EXPECT_DOUBLE_EQ(EnergyParams::orfReadPJ(3), 1.2);
+    EXPECT_DOUBLE_EQ(EnergyParams::orfWritePJ(3), 4.4);
+    EXPECT_DOUBLE_EQ(EnergyParams::orfReadPJ(8), 3.4);
+    EXPECT_DOUBLE_EQ(EnergyParams::orfWritePJ(8), 10.9);
+}
+
+TEST(EnergyParams, LrfEqualsOneEntryOrf)
+{
+    EnergyParams p;
+    EXPECT_DOUBLE_EQ(p.lrfReadPJ, EnergyParams::orfReadPJ(1));
+    EXPECT_DOUBLE_EQ(p.lrfWritePJ, EnergyParams::orfWritePJ(1));
+}
+
+TEST(EnergyModel, PerOperandAccessEnergy)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    // 128-bit arrays serve 4 lanes; per-operand = table / 4.
+    EXPECT_DOUBLE_EQ(em.accessEnergy(Level::MRF, false), 2.0);
+    EXPECT_DOUBLE_EQ(em.accessEnergy(Level::MRF, true), 2.75);
+    EXPECT_DOUBLE_EQ(em.accessEnergy(Level::ORF, false), 0.3);
+    EXPECT_DOUBLE_EQ(em.accessEnergy(Level::ORF, true), 1.1);
+    EXPECT_DOUBLE_EQ(em.accessEnergy(Level::LRF, false), 0.175);
+    EXPECT_DOUBLE_EQ(em.accessEnergy(Level::LRF, true), 0.5);
+}
+
+TEST(EnergyModel, WireEnergyByDistance)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    EXPECT_DOUBLE_EQ(em.wireEnergy(Level::MRF, Datapath::PRIVATE), 1.9);
+    EXPECT_DOUBLE_EQ(em.wireEnergy(Level::MRF, Datapath::SHARED), 1.9);
+    EXPECT_NEAR(em.wireEnergy(Level::ORF, Datapath::PRIVATE), 0.38,
+                1e-12);
+    EXPECT_NEAR(em.wireEnergy(Level::ORF, Datapath::SHARED), 0.76,
+                1e-12);
+    EXPECT_NEAR(em.wireEnergy(Level::LRF, Datapath::PRIVATE), 0.095,
+                1e-12);
+}
+
+TEST(EnergyModel, PaperWireRatios)
+{
+    // Section 5.2: private wire energy 5x lower for ORF, 20x for LRF.
+    EnergyModel em(EnergyParams{}, 3);
+    double mrf = em.wireEnergy(Level::MRF, Datapath::PRIVATE);
+    EXPECT_NEAR(mrf / em.wireEnergy(Level::ORF, Datapath::PRIVATE), 5.0,
+                1e-9);
+    EXPECT_NEAR(mrf / em.wireEnergy(Level::LRF, Datapath::PRIVATE),
+                20.0, 1e-9);
+}
+
+TEST(EnergyModel, SplitLrfWireFactor)
+{
+    EnergyParams p;
+    EnergyModel unified(p, 3, false);
+    EnergyModel split(p, 3, true);
+    EXPECT_NEAR(split.wireEnergy(Level::LRF, Datapath::PRIVATE),
+                unified.wireEnergy(Level::LRF, Datapath::PRIVATE) *
+                    p.splitLrfWireFactor, 1e-12);
+}
+
+TEST(EnergyModel, OrfSizeAffectsAccessEnergy)
+{
+    EnergyModel small(EnergyParams{}, 1);
+    EnergyModel large(EnergyParams{}, 8);
+    EXPECT_LT(small.accessEnergy(Level::ORF, false),
+              large.accessEnergy(Level::ORF, false));
+    EXPECT_LT(small.accessEnergy(Level::ORF, true),
+              large.accessEnergy(Level::ORF, true));
+}
+
+TEST(AccessCounts, EnergyAccumulation)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    AccessCounts c;
+    c.read(Level::MRF, Datapath::PRIVATE, 10);
+    c.write(Level::MRF, Datapath::PRIVATE, 5);
+    double expected = 10 * (2.0 + 1.9) + 5 * (2.75 + 1.9);
+    EXPECT_NEAR(c.totalEnergyPJ(em), expected, 1e-9);
+    EXPECT_NEAR(c.accessEnergyPJ(em, Level::MRF), 10 * 2.0 + 5 * 2.75,
+                1e-9);
+    EXPECT_NEAR(c.wireEnergyPJ(em, Level::MRF), 15 * 1.9, 1e-9);
+    EXPECT_EQ(c.totalEnergyPJ(em),
+              c.accessEnergyPJ(em, Level::MRF) +
+                  c.wireEnergyPJ(em, Level::MRF));
+}
+
+TEST(AccessCounts, SharedWireCharged)
+{
+    EnergyModel em(EnergyParams{}, 3);
+    AccessCounts priv, shared;
+    priv.read(Level::ORF, Datapath::PRIVATE, 10);
+    shared.read(Level::ORF, Datapath::SHARED, 10);
+    EXPECT_LT(priv.totalEnergyPJ(em), shared.totalEnergyPJ(em));
+}
+
+TEST(AccessCounts, AddMergesEverything)
+{
+    AccessCounts a, b;
+    a.read(Level::MRF, Datapath::PRIVATE, 3);
+    a.instructions = 7;
+    a.wbReads = 2;
+    b.write(Level::LRF, Datapath::PRIVATE, 4);
+    b.deschedules = 1;
+    a.add(b);
+    EXPECT_EQ(a.totalReads(Level::MRF), 3u);
+    EXPECT_EQ(a.totalWrites(Level::LRF), 4u);
+    EXPECT_EQ(a.instructions, 7u);
+    EXPECT_EQ(a.wbReads, 2u);
+    EXPECT_EQ(a.deschedules, 1u);
+    EXPECT_EQ(a.allReads(), 3u);
+    EXPECT_EQ(a.allWrites(), 4u);
+}
+
+TEST(EncodingOverhead, PaperNumbers)
+{
+    EncodingOverheadModel eo;
+    // 1 extra bit on a 32-bit instruction: ~3% fetch/decode increase,
+    // ~0.3% chip-wide (Section 6.5).
+    EXPECT_NEAR(eo.fetchDecodeIncrease(1), 1.0 / 32, 1e-12);
+    EXPECT_NEAR(eo.chipOverhead(1), 0.003125, 1e-9);
+    // 5 bits: ~15% fetch/decode, ~1.5% chip-wide.
+    EXPECT_NEAR(eo.chipOverhead(5), 0.015625, 1e-9);
+    // Net savings at the paper's 54% register-file saving.
+    EXPECT_NEAR(eo.netChipSavings(0.54, 1), 0.058 - 0.003125, 1e-6);
+    EXPECT_GT(eo.netChipSavings(0.54, 5), 0.042);
+}
+
+TEST(EncodingOverhead, RegisterFileShareDerivation)
+{
+    // 54% RF saving == 5.8% chip-wide saving (Section 6.4).
+    EncodingOverheadModel eo;
+    EXPECT_NEAR(eo.registerFileShare * 0.54, 0.058, 1e-9);
+}
+
+} // namespace
+} // namespace rfh

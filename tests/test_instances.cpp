@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Unit tests for the instance analysis: value instances, read
+ * instances, hammock grouping (Figure 10), live-out detection, and the
+ * long-latency / wide-value rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/instances.h"
+#include "ir/parser.h"
+
+namespace rfh {
+namespace {
+
+struct Analyzed
+{
+    Kernel kernel;
+    std::vector<ValueInstance> values;
+    std::vector<ReadInstance> reads;
+    int strands = 0;
+
+    explicit Analyzed(std::string_view text,
+                      StrandOptions opts = {})
+        : kernel(parseKernelOrDie(text))
+    {
+        Cfg cfg(kernel);
+        StrandAnalysis sa(kernel, cfg, opts);
+        sa.markEndOfStrand(kernel);
+        ReachingDefs rd(kernel, cfg);
+        InstanceAnalysis ia(kernel, cfg, sa, rd);
+        values = ia.values();
+        reads = ia.readInstances();
+        strands = sa.numStrands();
+    }
+
+    const ValueInstance *
+    valueAt(int def_lin) const
+    {
+        for (const auto &v : values)
+            for (int dl : v.defLins)
+                if (dl == def_lin)
+                    return &v;
+        return nullptr;
+    }
+
+    const ReadInstance *
+    readOf(Reg r) const
+    {
+        for (const auto &ri : reads)
+            if (ri.reg == r)
+                return &ri;
+        return nullptr;
+    }
+};
+
+TEST(Instances, SimpleDefUse)
+{
+    Analyzed a(R"(.kernel s
+entry:
+    iadd R1, R0, #1
+    iadd R2, R1, #2
+    iadd R3, R2, R2
+    st.global [R0], R3
+    exit
+)");
+    const ValueInstance *v1 = a.valueAt(0);
+    ASSERT_NE(v1, nullptr);
+    EXPECT_EQ(v1->reg, 1);
+    ASSERT_EQ(v1->uses.size(), 1u);
+    EXPECT_EQ(v1->uses[0].lin, 1);
+    EXPECT_FALSE(v1->liveOut);
+    EXPECT_FALSE(v1->needsMrfWrite());
+
+    // R2 read twice by one instruction: two uses.
+    const ValueInstance *v2 = a.valueAt(1);
+    ASSERT_NE(v2, nullptr);
+    EXPECT_EQ(v2->uses.size(), 2u);
+
+    // R3 consumed by the store: shared-datapath use.
+    const ValueInstance *v3 = a.valueAt(2);
+    ASSERT_NE(v3, nullptr);
+    ASSERT_EQ(v3->uses.size(), 1u);
+    EXPECT_TRUE(v3->uses[0].shared);
+    EXPECT_TRUE(v3->hasSharedConsumer());
+}
+
+TEST(Instances, DeadValueHasNoUsesAndNoLiveOut)
+{
+    Analyzed a(R"(.kernel dead
+entry:
+    iadd R1, R0, #1
+    iadd R2, R0, #2
+    st.global [R0], R2
+    exit
+)");
+    const ValueInstance *v = a.valueAt(0);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->uses.empty());
+    EXPECT_FALSE(v->liveOut);
+}
+
+TEST(Instances, LiveOutAcrossStrandBoundary)
+{
+    Analyzed a(R"(.kernel lo
+entry:
+    iadd R1, R0, #1
+    ld.global R2, [R0]
+    iadd R3, R2, R1
+    exit
+)");
+    // Strand 1 = {iadd R1, ld}, strand 2 = {iadd R3}. R1's use sits in
+    // strand 2, so R1 is live out of strand 1 and its read is part of
+    // a read instance.
+    ASSERT_EQ(a.strands, 2);
+    const ValueInstance *v1 = a.valueAt(0);
+    ASSERT_NE(v1, nullptr);
+    EXPECT_TRUE(v1->uses.empty());
+    EXPECT_TRUE(v1->liveOut);
+    const ReadInstance *r1 = a.readOf(1);
+    ASSERT_NE(r1, nullptr);
+    EXPECT_EQ(r1->uses.size(), 1u);
+}
+
+TEST(Instances, LongLatencyProducerIsPinned)
+{
+    Analyzed a(R"(.kernel ll
+entry:
+    ld.global R1, [R0]
+    iadd R2, R1, #1
+    exit
+)");
+    const ValueInstance *v = a.valueAt(0);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->uses.empty());
+    EXPECT_TRUE(v->liveOut);
+}
+
+TEST(Instances, Figure10aMixedReachPinsTheRead)
+{
+    // R1 written before the strand and on one side of a hammock; the
+    // merge read is ambiguous and must stay on the MRF.
+    Analyzed a(R"(.kernel f10a
+bb6:
+    setlt R2, R0, #4
+    @R2 bra bb8
+bb7:
+    iadd R1, R0, #7
+bb8:
+    iadd R3, R1, #1
+    st.global [R0], R3
+    exit
+)");
+    ASSERT_EQ(a.strands, 1);
+    const ValueInstance *v = a.valueAt(2);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->uses.empty());
+    ASSERT_EQ(v->mrfPinnedUses.size(), 1u);
+    EXPECT_TRUE(v->needsMrfWrite());
+    // The ambiguous read is not a read-operand candidate either.
+    EXPECT_EQ(a.readOf(1), nullptr);
+}
+
+TEST(Instances, Figure10bExtraReadOnOneSide)
+{
+    // As 10(a), but R1 is also read inside bb7 right after its write:
+    // that read is servable; the merge read stays pinned.
+    Analyzed a(R"(.kernel f10b
+bb6:
+    setlt R2, R0, #4
+    @R2 bra bb8
+bb7:
+    iadd R1, R0, #7
+    iadd R4, R1, #1
+bb8:
+    iadd R3, R1, #1
+    st.global [R0], R3
+    exit
+)");
+    const ValueInstance *v = a.valueAt(2);
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(v->uses.size(), 1u);
+    EXPECT_EQ(v->uses[0].lin, 3);
+    EXPECT_EQ(v->mrfPinnedUses.size(), 1u);
+    EXPECT_TRUE(v->needsMrfWrite());
+}
+
+TEST(Instances, Figure10cHammockGroup)
+{
+    // R1 written on both sides and read at the merge: one grouped
+    // instance with two defs; all accesses can use the ORF.
+    Analyzed a(R"(.kernel f10c
+bb6:
+    setlt R2, R0, #4
+    @R2 bra bb8
+bb7:
+    iadd R1, R0, #7
+    bra bb9
+bb8:
+    iadd R1, R0, #8
+bb9:
+    iadd R3, R1, #1
+    st.global [R0], R3
+    exit
+)");
+    const ValueInstance *v = a.valueAt(2);
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(v->defLins.size(), 2u);
+    EXPECT_EQ(v->defLins[0], 2);
+    EXPECT_EQ(v->defLins[1], 4);
+    ASSERT_EQ(v->uses.size(), 1u);
+    EXPECT_TRUE(v->mrfPinnedUses.empty());
+    EXPECT_FALSE(v->liveOut);
+    EXPECT_FALSE(v->needsMrfWrite());
+}
+
+TEST(Instances, ReadInstanceCollectsBoundaryReads)
+{
+    Analyzed a(R"(.kernel ro
+entry:
+    iadd R1, R0, #1
+    iadd R2, R0, R1
+    iadd R3, R0, R2
+    st.global [R0], R3
+    exit
+)");
+    // R0 is live-in and read four times (plus the store address).
+    const ReadInstance *r = a.readOf(0);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->uses.size(), 4u);
+    EXPECT_EQ(r->firstUseLin(), 0);
+    EXPECT_EQ(r->lastUseLin(), 3);
+}
+
+TEST(Instances, ReadInstanceSplitByRedefinition)
+{
+    Analyzed a(R"(.kernel split
+entry:
+    iadd R1, R0, #1
+    iadd R0, R0, #2
+    iadd R2, R0, #3
+    st.global [R2], R1
+    exit
+)");
+    // The boundary read of R0 at lin0/lin1 is one instance; after the
+    // redefinition the read at lin2 belongs to the new value instance.
+    const ReadInstance *r = a.readOf(0);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->uses.size(), 2u);
+    const ValueInstance *v = a.valueAt(1);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->uses.size(), 1u);
+}
+
+TEST(Instances, ReadInstanceAnchorMustDominate)
+{
+    // Boundary reads of R0 happen on both hammock sides; the merge
+    // read cannot rely on either deposit, so it anchors a separate
+    // instance.
+    Analyzed a(R"(.kernel dom
+bb1:
+    setlt R2, R0, #4
+    @R2 bra bbe
+bbt:
+    iadd R3, R0, #1
+    bra bbm
+bbe:
+    iadd R4, R0, #2
+bbm:
+    iadd R5, R0, #3
+    st.global [R0], R5
+    exit
+)");
+    // Instances anchored at the bb1 read survive the merge only if
+    // every path passes the anchor; the bb1 read (lin 0) dominates
+    // everything, so one instance should hold all of R0's reads.
+    const ReadInstance *r = a.readOf(0);
+    ASSERT_NE(r, nullptr);
+    EXPECT_GE(r->uses.size(), 4u);
+}
+
+TEST(Instances, ReadInstanceAnchorBrokenByDisjointPaths)
+{
+    // No read before the split: each hammock side anchors its own
+    // instance and the merge read anchors a third.
+    Analyzed a(R"(.kernel dom2
+bb1:
+    setlt R2, R1, #4
+    @R2 bra bbe
+bbt:
+    iadd R3, R0, #1
+    bra bbm
+bbe:
+    iadd R4, R0, #2
+bbm:
+    iadd R5, R0, #3
+    exit
+)");
+    int instances_of_r0 = 0;
+    for (const auto &ri : a.reads)
+        if (ri.reg == 0)
+            instances_of_r0++;
+    EXPECT_EQ(instances_of_r0, 3);
+}
+
+TEST(Instances, WideValueIsOneInstance)
+{
+    Analyzed a(R"(.kernel w
+entry:
+    imul.wide R2, R0, #8
+    iadd R4, R2, #1
+    iadd R5, R3, #1
+    st.global [R0], R4
+    st.global [R0], R5
+    exit
+)");
+    const ValueInstance *v = a.valueAt(0);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->wide);
+    EXPECT_EQ(v->width(), 2);
+    EXPECT_EQ(v->reg, 2);
+    EXPECT_EQ(v->uses.size(), 2u);
+}
+
+TEST(Instances, SharedProducerFlagged)
+{
+    Analyzed a(R"(.kernel sp
+entry:
+    ld.shared R1, [R0]
+    sin R2, R1
+    fadd R3, R2, R2
+    st.global [R0], R3
+    exit
+)");
+    EXPECT_TRUE(a.valueAt(0)->sharedProducer);  // MEM
+    EXPECT_TRUE(a.valueAt(1)->sharedProducer);  // SFU
+    EXPECT_FALSE(a.valueAt(2)->sharedProducer); // ALU
+}
+
+TEST(Instances, LoopCarriedValueIsLiveOut)
+{
+    Analyzed a(R"(.kernel lc
+entry:
+    mov R1, #5
+loop:
+    isub R1, R1, #1
+    setgt R2, R1, #0
+    @R2 bra loop
+out:
+    st.global [R0], R1
+    exit
+)");
+    // The isub def of R1 is read next iteration (across the backward
+    // edge) and in "out": live out of its strand.
+    const ValueInstance *v = a.valueAt(1);
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->liveOut);
+    // Its in-strand uses (setgt read) are still servable.
+    ASSERT_GE(v->uses.size(), 1u);
+}
+
+} // namespace
+} // namespace rfh

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Integration tests: the paper's headline results must hold in shape
+ * across the full workload suite — orderings between schemes, the
+ * location of the energy minimum, verification-clean execution
+ * everywhere, and the Section 7 limit-study orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/limit_study.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "core/sweep.h"
+
+namespace rfh {
+namespace {
+
+double
+norm(Scheme s, int entries, bool split = true)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = s;
+    cfg.entries = entries;
+    cfg.splitLRF = split;
+    RunOutcome o = runAllWorkloads(cfg);
+    EXPECT_TRUE(o.ok()) << o.error;
+    return o.normalizedEnergy();
+}
+
+TEST(Integration, AllSchemesVerifyCleanOnAllWorkloads)
+{
+    for (Scheme s : {Scheme::SW_TWO_LEVEL, Scheme::SW_THREE_LEVEL}) {
+        for (int entries : {1, 3, 8}) {
+            ExperimentConfig cfg;
+            cfg.scheme = s;
+            cfg.entries = entries;
+            for (const Workload &w : allWorkloads()) {
+                RunOutcome o = runScheme(w, cfg);
+                EXPECT_TRUE(o.ok()) << w.name << ": " << o.error;
+            }
+        }
+    }
+}
+
+TEST(Integration, EverySchemeSavesEnergy)
+{
+    for (Scheme s : {Scheme::HW_TWO_LEVEL, Scheme::HW_THREE_LEVEL,
+                     Scheme::SW_TWO_LEVEL, Scheme::SW_THREE_LEVEL}) {
+        double e = norm(s, 3);
+        EXPECT_LT(e, 0.9) << schemeName(s);
+        EXPECT_GT(e, 0.2) << schemeName(s);
+    }
+}
+
+TEST(Integration, SoftwareBeatsHardware)
+{
+    // Paper Section 6.4: software control wins at every size, for both
+    // hierarchy depths.
+    for (int entries : {2, 3, 4, 6}) {
+        EXPECT_LT(norm(Scheme::SW_TWO_LEVEL, entries),
+                  norm(Scheme::HW_TWO_LEVEL, entries)) << entries;
+        EXPECT_LT(norm(Scheme::SW_THREE_LEVEL, entries),
+                  norm(Scheme::HW_THREE_LEVEL, entries)) << entries;
+    }
+}
+
+TEST(Integration, ThreeLevelsBeatTwo)
+{
+    for (int entries : {2, 3, 6}) {
+        EXPECT_LT(norm(Scheme::SW_THREE_LEVEL, entries),
+                  norm(Scheme::SW_TWO_LEVEL, entries)) << entries;
+        EXPECT_LT(norm(Scheme::HW_THREE_LEVEL, entries),
+                  norm(Scheme::HW_TWO_LEVEL, entries)) << entries;
+    }
+}
+
+TEST(Integration, SoftwareOptimumAtThreeEntries)
+{
+    // Paper: both software schemes minimise energy at 3 ORF entries.
+    ExperimentConfig base;
+    auto points = sweepEntries({Scheme::SW_THREE_LEVEL}, base);
+    const SweepPoint *best = bestPoint(points, Scheme::SW_THREE_LEVEL);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->entries, 3);
+}
+
+TEST(Integration, HeadlineSavingsInPaperBand)
+{
+    // Paper: best SW three-level saves 54%; accept 40-65%.
+    double best_sw3 = norm(Scheme::SW_THREE_LEVEL, 3);
+    EXPECT_GT(1 - best_sw3, 0.40);
+    EXPECT_LT(1 - best_sw3, 0.65);
+    // Paper: best HW RFC saves 34%; accept 25-45%.
+    double best_hw = norm(Scheme::HW_TWO_LEVEL, 3);
+    EXPECT_GT(1 - best_hw, 0.25);
+    EXPECT_LT(1 - best_hw, 0.48);
+}
+
+TEST(Integration, HardwarePerformsOverheadReads)
+{
+    // Section 6.1: the RFC reads evicted values back out (writeback
+    // reads); the software scheme has no such traffic.
+    ExperimentConfig hw;
+    hw.scheme = Scheme::HW_TWO_LEVEL;
+    hw.entries = 3;
+    ExperimentConfig sw = hw;
+    sw.scheme = Scheme::SW_TWO_LEVEL;
+    RunOutcome ho = runAllWorkloads(hw);
+    RunOutcome so = runAllWorkloads(sw);
+    EXPECT_GT(ho.counts.wbReads, 0u);
+    EXPECT_EQ(so.counts.wbReads, 0u);
+    AccessCounts base = aggregateBaselineCounts();
+    EXPECT_GT(ho.counts.allReads(), base.allReads());
+    EXPECT_EQ(so.counts.allReads(), base.allReads());
+}
+
+TEST(Integration, LrfCapturesSubstantialReads)
+{
+    // Section 6.2: despite a single entry per thread, the LRF captures
+    // a large share of reads (paper: ~30%; accept >= 15%).
+    ExperimentConfig cfg;
+    cfg.scheme = Scheme::SW_THREE_LEVEL;
+    cfg.entries = 3;
+    RunOutcome o = runAllWorkloads(cfg);
+    AccessCounts base = aggregateBaselineCounts();
+    AccessBreakdown b = normalizeAccesses(o.counts, base);
+    EXPECT_GT(b.lrfReads, 0.15);
+    // And the LRF never serves the shared datapath.
+    EXPECT_EQ(o.counts.reads[static_cast<int>(Level::LRF)][
+                  static_cast<int>(Datapath::SHARED)], 0u);
+}
+
+TEST(Integration, ExtensionsImproveEnergy)
+{
+    // Section 6.4: partial-range + read-operand allocation buy a few
+    // percent.
+    ExperimentConfig with;
+    with.scheme = Scheme::SW_THREE_LEVEL;
+    with.entries = 3;
+    ExperimentConfig without = with;
+    without.partialRanges = false;
+    without.readOperands = false;
+    EXPECT_LT(runAllWorkloads(with).normalizedEnergy(),
+              runAllWorkloads(without).normalizedEnergy());
+}
+
+TEST(Integration, MrfDominatesResidualEnergy)
+{
+    // Figure 14: most of the remaining energy is MRF access + wire.
+    ExperimentConfig cfg;
+    cfg.scheme = Scheme::SW_THREE_LEVEL;
+    cfg.entries = 3;
+    RunOutcome o = runAllWorkloads(cfg);
+    EnergyModel em(cfg.energy, 3, true);
+    double mrf = o.counts.accessEnergyPJ(em, Level::MRF) +
+        o.counts.wireEnergyPJ(em, Level::MRF);
+    EXPECT_GT(mrf / o.energyPJ, 0.5);
+    // LRF wire energy is negligible (paper: <1% of baseline).
+    EXPECT_LT(o.counts.wireEnergyPJ(em, Level::LRF) /
+                  o.baselineEnergyPJ, 0.02);
+}
+
+TEST(Integration, LimitStudyOrderings)
+{
+    LimitStudyResults r = runLimitStudy();
+    // Ideal systems bound everything.
+    EXPECT_LT(r.idealAllLrf, r.idealAllOrf5);
+    EXPECT_LT(r.idealAllOrf5, r.realistic);
+    // Ideal all-LRF is in the paper's 80-95% savings band.
+    EXPECT_GT(1 - r.idealAllLrf, 0.80);
+    // Oracle sizing and idealised rescheduling only help.
+    EXPECT_LE(r.variableOracle, r.realistic + 1e-9);
+    EXPECT_LE(r.sched8EntriesAt3, r.realistic + 1e-9);
+    // Never flushing helps (paper: ~8%).
+    EXPECT_LT(r.neverFlush, r.realistic);
+    // Keeping the RFC resident past backward branches beats flushing.
+    EXPECT_LT(r.hwResidentPastBackward, r.hwFlushAtBackward);
+}
+
+TEST(Integration, PerBenchmarkResultsAreSane)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = Scheme::SW_THREE_LEVEL;
+    cfg.entries = 3;
+    int saved = 0;
+    for (const Workload &w : allWorkloads()) {
+        RunOutcome o = runScheme(w, cfg);
+        ASSERT_TRUE(o.ok()) << w.name;
+        EXPECT_GT(o.normalizedEnergy(), 0.1) << w.name;
+        EXPECT_LT(o.normalizedEnergy(), 1.0) << w.name;
+        if (o.normalizedEnergy() < 0.7)
+            saved++;
+    }
+    // The vast majority of benchmarks save >30%.
+    EXPECT_GT(saved, 25);
+}
+
+TEST(Integration, TightGlobalLoadLoopsSaveLeast)
+{
+    // Figure 15: reduction and scalarprod are the worst cases because
+    // the ORF/LRF are invalidated every iteration.
+    ExperimentConfig cfg;
+    cfg.scheme = Scheme::SW_THREE_LEVEL;
+    cfg.entries = 3;
+    double avg = runAllWorkloads(cfg).normalizedEnergy();
+    double reduction = runScheme(workloadByName("reduction"),
+                                 cfg).normalizedEnergy();
+    double scalarprod = runScheme(workloadByName("scalarprod"),
+                                  cfg).normalizedEnergy();
+    EXPECT_GT(reduction, avg);
+    EXPECT_GT(scalarprod, avg);
+}
+
+} // namespace
+} // namespace rfh

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Unit tests for the RPTX IR: opcodes, instructions, kernels, the
+ * parser, and the printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/kernel.h"
+#include "ir/opcode.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+namespace rfh {
+namespace {
+
+// ---------------------------------------------------------------- Opcode
+
+TEST(Opcode, UnitClasses)
+{
+    EXPECT_EQ(unitClass(Opcode::IADD), UnitClass::ALU);
+    EXPECT_EQ(unitClass(Opcode::FFMA), UnitClass::ALU);
+    EXPECT_EQ(unitClass(Opcode::SIN), UnitClass::SFU);
+    EXPECT_EQ(unitClass(Opcode::LD_GLOBAL), UnitClass::MEM);
+    EXPECT_EQ(unitClass(Opcode::TEX), UnitClass::TEX);
+    EXPECT_EQ(unitClass(Opcode::BRA), UnitClass::CTRL);
+}
+
+TEST(Opcode, LatencyClasses)
+{
+    EXPECT_TRUE(isLongLatency(Opcode::LD_GLOBAL));
+    EXPECT_TRUE(isLongLatency(Opcode::TEX));
+    EXPECT_FALSE(isLongLatency(Opcode::LD_SHARED));
+    EXPECT_FALSE(isLongLatency(Opcode::IADD));
+    EXPECT_FALSE(isLongLatency(Opcode::SIN));
+}
+
+TEST(Opcode, SharedUnits)
+{
+    EXPECT_TRUE(isSharedUnit(UnitClass::SFU));
+    EXPECT_TRUE(isSharedUnit(UnitClass::MEM));
+    EXPECT_TRUE(isSharedUnit(UnitClass::TEX));
+    EXPECT_FALSE(isSharedUnit(UnitClass::ALU));
+    EXPECT_FALSE(isSharedUnit(UnitClass::CTRL));
+}
+
+TEST(Opcode, DestAndSourceCounts)
+{
+    EXPECT_TRUE(hasDest(Opcode::IADD));
+    EXPECT_TRUE(hasDest(Opcode::LD_GLOBAL));
+    EXPECT_FALSE(hasDest(Opcode::ST_GLOBAL));
+    EXPECT_FALSE(hasDest(Opcode::BRA));
+    EXPECT_EQ(numSrcOperands(Opcode::FFMA), 3);
+    EXPECT_EQ(numSrcOperands(Opcode::IADD), 2);
+    EXPECT_EQ(numSrcOperands(Opcode::MOV), 1);
+    EXPECT_EQ(numSrcOperands(Opcode::ST_SHARED), 2);
+}
+
+TEST(Opcode, MnemonicRoundTrip)
+{
+    for (int i = 0; i < kNumOpcodes; i++) {
+        Opcode op = static_cast<Opcode>(i);
+        Opcode parsed;
+        ASSERT_TRUE(parseOpcode(mnemonic(op), parsed))
+            << "mnemonic " << mnemonic(op);
+        EXPECT_EQ(parsed, op);
+    }
+}
+
+TEST(Opcode, ParseRejectsUnknown)
+{
+    Opcode op;
+    EXPECT_FALSE(parseOpcode("frobnicate", op));
+    EXPECT_FALSE(parseOpcode("", op));
+}
+
+// ----------------------------------------------------------- Instruction
+
+TEST(Instruction, RegisterCounts)
+{
+    Instruction add = makeALU(Opcode::IADD, 3, SrcOperand::makeReg(1),
+                              SrcOperand::makeReg(2));
+    EXPECT_EQ(add.numRegReads(), 2);
+    EXPECT_EQ(add.numRegWrites(), 1);
+
+    Instruction addi = makeALU(Opcode::IADD, 3, SrcOperand::makeReg(1),
+                               SrcOperand::makeImm(7));
+    EXPECT_EQ(addi.numRegReads(), 1);
+
+    Instruction wide = makeALU(Opcode::IMUL, 4, SrcOperand::makeReg(1),
+                               SrcOperand::makeReg(2));
+    wide.wide = true;
+    EXPECT_EQ(wide.numRegWrites(), 2);
+
+    Instruction br = makeCondBranch(5, 0);
+    EXPECT_EQ(br.numRegReads(), 1);
+    EXPECT_EQ(br.numRegWrites(), 0);
+}
+
+TEST(Instruction, ClearAnnotations)
+{
+    Instruction in = makeALU(Opcode::IADD, 3, SrcOperand::makeReg(1),
+                             SrcOperand::makeReg(2));
+    in.readAnno[0].level = Level::ORF;
+    in.writeAnno.toLRF = true;
+    in.endOfStrand = true;
+    in.clearAnnotations();
+    EXPECT_EQ(in.readAnno[0].level, Level::MRF);
+    EXPECT_FALSE(in.writeAnno.toLRF);
+    EXPECT_TRUE(in.writeAnno.toMRF);
+    EXPECT_FALSE(in.endOfStrand);
+}
+
+// ----------------------------------------------------------------- Kernel
+
+Kernel
+tinyLoopKernel()
+{
+    KernelBuilder b("tiny");
+    b.block("entry");
+    b.add(makeALU(Opcode::IADD, 1, SrcOperand::makeReg(0),
+                  SrcOperand::makeImm(4)));
+    int loop = b.block("loop");
+    b.add(makeALU(Opcode::ISUB, 1, SrcOperand::makeReg(1),
+                  SrcOperand::makeImm(1)));
+    b.add(makeALU(Opcode::SETGT, 2, SrcOperand::makeReg(1),
+                  SrcOperand::makeImm(0)));
+    b.add(makeCondBranch(2, loop));
+    b.block("done");
+    b.add(makeExit());
+    return b.take();
+}
+
+TEST(Kernel, LinearIndexing)
+{
+    Kernel k = tinyLoopKernel();
+    EXPECT_EQ(k.numInstrs(), 5);
+    EXPECT_EQ(k.blockStart(0), 0);
+    EXPECT_EQ(k.blockStart(1), 1);
+    EXPECT_EQ(k.blockStart(2), 4);
+    EXPECT_EQ(k.ref(2).block, 1);
+    EXPECT_EQ(k.ref(2).idx, 1);
+    EXPECT_EQ(k.instr(4).op, Opcode::EXIT);
+}
+
+TEST(Kernel, SuccessorsAndPredecessors)
+{
+    Kernel k = tinyLoopKernel();
+    EXPECT_EQ(k.successors(0), std::vector<int>({1}));
+    // Conditional backward branch: taken target plus fallthrough.
+    std::vector<int> succ1 = k.successors(1);
+    EXPECT_EQ(succ1.size(), 2u);
+    EXPECT_NE(std::find(succ1.begin(), succ1.end(), 1), succ1.end());
+    EXPECT_NE(std::find(succ1.begin(), succ1.end(), 2), succ1.end());
+    EXPECT_TRUE(k.successors(2).empty());
+    std::vector<int> pred1 = k.predecessors(1);
+    EXPECT_EQ(pred1.size(), 2u);
+}
+
+TEST(Kernel, NumRegs)
+{
+    Kernel k = tinyLoopKernel();
+    EXPECT_EQ(k.numRegs(), 3);
+}
+
+TEST(Kernel, ValidateAcceptsWellFormed)
+{
+    EXPECT_EQ(tinyLoopKernel().validate(), "");
+}
+
+TEST(Kernel, ValidateRejectsBadBranchTarget)
+{
+    KernelBuilder b("bad");
+    b.block("entry");
+    b.add(makeBranch(7));
+    Kernel k = b.take();
+    EXPECT_NE(k.validate().find("branch target"), std::string::npos);
+}
+
+TEST(Kernel, ValidateRejectsMidBlockTerminator)
+{
+    KernelBuilder b("bad");
+    b.block("entry");
+    b.add(makeExit());
+    b.add(makeALU(Opcode::IADD, 1, SrcOperand::makeReg(0),
+                  SrcOperand::makeImm(1)));
+    Kernel k = b.take();
+    EXPECT_NE(k.validate().find("terminator"), std::string::npos);
+}
+
+TEST(Kernel, ValidateRejectsEmptyBlock)
+{
+    Kernel k;
+    k.name = "bad";
+    k.blocks.push_back(BasicBlock{"a", {}});
+    k.blocks.push_back(BasicBlock{"b", {makeExit()}});
+    k.finalize();
+    EXPECT_NE(k.validate().find("empty"), std::string::npos);
+}
+
+TEST(Kernel, ValidateRejectsFallingOffEnd)
+{
+    KernelBuilder b("bad");
+    b.block("entry");
+    b.add(makeALU(Opcode::IADD, 1, SrcOperand::makeReg(0),
+                  SrcOperand::makeImm(1)));
+    Kernel k = b.take();
+    EXPECT_FALSE(k.validate().empty());
+}
+
+// ----------------------------------------------------------------- Parser
+
+TEST(Parser, ParsesVectorAddLikeKernel)
+{
+    ParseResult r = parseKernel(R"(.kernel demo
+entry:
+    shl       R1, R0, #2
+    ld.global R2, [R1]
+    fadd      R3, R2, #1065353216
+    st.global [R1], R3
+    exit
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.kernel.name, "demo");
+    ASSERT_EQ(r.kernel.blocks.size(), 1u);
+    EXPECT_EQ(r.kernel.numInstrs(), 5);
+    const Instruction &ld = r.kernel.instr(1);
+    EXPECT_EQ(ld.op, Opcode::LD_GLOBAL);
+    EXPECT_EQ(*ld.dst, 2);
+    EXPECT_TRUE(ld.srcs[0].isReg);
+    EXPECT_EQ(ld.srcs[0].reg, 1);
+}
+
+TEST(Parser, ParsesLabelsAndBranches)
+{
+    ParseResult r = parseKernel(R"(.kernel loopy
+entry:
+    iadd R1, R0, #8
+top:
+    isub R1, R1, #1
+    setgt R2, R1, #0
+    @R2 bra top
+out:
+    exit
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.kernel.blocks.size(), 3u);
+    const Instruction &br = r.kernel.blocks[1].instrs.back();
+    EXPECT_EQ(br.op, Opcode::BRA);
+    EXPECT_EQ(br.branchTarget, 1);
+    ASSERT_TRUE(br.pred.has_value());
+    EXPECT_EQ(*br.pred, 2);
+}
+
+TEST(Parser, ParsesWideSuffix)
+{
+    ParseResult r = parseKernel(R"(.kernel w
+entry:
+    imul.wide R2, R0, #8
+    exit
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.kernel.instr(0).wide);
+}
+
+TEST(Parser, ParsesCommentsAndHex)
+{
+    ParseResult r = parseKernel(R"(.kernel c
+entry:
+    iadd R1, R0, #0x10   ; comment
+    mov  R2, #3          // another
+    exit
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.kernel.instr(0).srcs[1].imm, 16u);
+}
+
+TEST(Parser, RejectsUnknownOpcode)
+{
+    ParseResult r = parseKernel(".kernel x\nentry:\n    bogus R1, R2\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unknown opcode"), std::string::npos);
+}
+
+TEST(Parser, RejectsUndefinedLabel)
+{
+    ParseResult r = parseKernel(".kernel x\nentry:\n    bra nowhere\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("undefined label"), std::string::npos);
+}
+
+TEST(Parser, RejectsDuplicateLabel)
+{
+    ParseResult r = parseKernel(
+        ".kernel x\na:\n    exit\na:\n    exit\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("duplicate label"), std::string::npos);
+}
+
+TEST(Parser, RejectsBadRegister)
+{
+    ParseResult r = parseKernel(".kernel x\nentry:\n    mov R99, #1\n");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Parser, RejectsWrongOperandCount)
+{
+    ParseResult r = parseKernel(".kernel x\nentry:\n    iadd R1, R2\n");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Parser, ParsesAddressOffsets)
+{
+    ParseResult r = parseKernel(R"(.kernel off
+entry:
+    ld.global R1, [R2+16]
+    st.shared [R3+0x20], R1
+    tex R4, [R2+4]
+    exit
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.kernel.instr(0).memOffset, 16u);
+    EXPECT_EQ(r.kernel.instr(1).memOffset, 32u);
+    EXPECT_EQ(r.kernel.instr(2).memOffset, 4u);
+}
+
+TEST(Parser, RejectsBadOffset)
+{
+    ParseResult r = parseKernel(
+        ".kernel x\nentry:\n    ld.global R1, [R2+zz]\n    exit\n");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Parser, RejectsImmediateAddress)
+{
+    ParseResult r = parseKernel(
+        ".kernel x\nentry:\n    ld.global R1, #16\n    exit\n");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Parser, ParsesPredicatedInstructions)
+{
+    // PTX-style if-conversion: any instruction may carry a predicate.
+    ParseResult r = parseKernel(
+        ".kernel x\nentry:\n    @R1 mov R2, #7\n"
+        "    @R1 st.global [R0], R2\n    exit\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.kernel.instr(0).pred.has_value());
+    EXPECT_EQ(*r.kernel.instr(0).pred, 1);
+    EXPECT_TRUE(r.kernel.instr(1).pred.has_value());
+}
+
+// ---------------------------------------------------------------- Printer
+
+TEST(Printer, RoundTripsThroughParser)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel rt
+entry:
+    shl       R1, R0, #2
+    ld.global R2, [R1]
+    ffma      R3, R2, R2, R1
+top:
+    isub      R3, R3, #1
+    setgt     R4, R3, #0
+    @R4 bra   top
+out:
+    st.global [R1], R3
+    exit
+)");
+    std::string text = printKernel(k);
+    Kernel k2 = parseKernelOrDie(text);
+    ASSERT_EQ(k2.numInstrs(), k.numInstrs());
+    for (int i = 0; i < k.numInstrs(); i++) {
+        EXPECT_EQ(k2.instr(i).op, k.instr(i).op) << "lin " << i;
+        EXPECT_EQ(k2.instr(i).dst, k.instr(i).dst) << "lin " << i;
+        EXPECT_EQ(k2.instr(i).numSrcs, k.instr(i).numSrcs) << "lin " << i;
+        for (int s = 0; s < k.instr(i).numSrcs; s++)
+            EXPECT_TRUE(k2.instr(i).srcs[s] == k.instr(i).srcs[s]);
+        EXPECT_EQ(k2.instr(i).branchTarget, k.instr(i).branchTarget);
+    }
+}
+
+TEST(Printer, RoundTripsOffsets)
+{
+    Kernel k = parseKernelOrDie(
+        ".kernel o\nentry:\n    ld.global R1, [R2+24]\n    exit\n");
+    Kernel k2 = parseKernelOrDie(printKernel(k));
+    EXPECT_EQ(k2.instr(0).memOffset, 24u);
+}
+
+TEST(Printer, ShowsDeposits)
+{
+    Kernel k = parseKernelOrDie(
+        ".kernel d\nentry:\n    iadd R1, R0, #1\n    exit\n");
+    Instruction &in = k.instr(0);
+    in.readAnno[0].level = Level::MRF;
+    in.readAnno[0].depositToORF = true;
+    in.readAnno[0].entry = 2;
+    PrintOptions opts;
+    opts.annotations = true;
+    std::string line = formatInstruction(in, k, opts);
+    EXPECT_NE(line.find("MRF>ORF2"), std::string::npos);
+}
+
+TEST(Printer, ShowsAnnotations)
+{
+    Kernel k = parseKernelOrDie(
+        ".kernel a\nentry:\n    iadd R1, R0, #1\n    exit\n");
+    Instruction &in = k.instr(0);
+    in.writeAnno.toORF = true;
+    in.writeAnno.orfEntry = 2;
+    in.writeAnno.toMRF = false;
+    in.readAnno[0].level = Level::LRF;
+    PrintOptions opts;
+    opts.annotations = true;
+    std::string line = formatInstruction(in, k, opts);
+    EXPECT_NE(line.find("ORF2"), std::string::npos);
+    EXPECT_NE(line.find("LRF"), std::string::npos);
+    EXPECT_EQ(line.find("MRF}"), std::string::npos);
+}
+
+} // namespace
+} // namespace rfh

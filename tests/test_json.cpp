@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the JSON stats emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/json.h"
+
+namespace rfh {
+namespace {
+
+TEST(Json, WriterBasics)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a").value(1);
+    w.key("b").value("x\"y");
+    w.key("c").beginArray().value(1.5).value(true).endArray();
+    w.key("d").beginObject().key("n").value(
+        static_cast<std::uint64_t>(7)).endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"a\":1,\"b\":\"x\\\"y\",\"c\":[1.5,true],"
+              "\"d\":{\"n\":7}}");
+}
+
+TEST(Json, AccessCountsRoundTripShape)
+{
+    AccessCounts c;
+    c.read(Level::MRF, Datapath::PRIVATE, 10);
+    c.write(Level::ORF, Datapath::SHARED, 3);
+    c.instructions = 5;
+    JsonWriter w;
+    writeJson(w, c);
+    const std::string &s = w.str();
+    EXPECT_NE(s.find("\"MRF\":{\"reads\":10"), std::string::npos);
+    EXPECT_NE(s.find("\"ORF\":{\"reads\":0,\"writes\":3"),
+              std::string::npos);
+    EXPECT_NE(s.find("\"instructions\":5"), std::string::npos);
+}
+
+TEST(Json, OutcomeIncludesEnergyAndAllocation)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = Scheme::SW_THREE_LEVEL;
+    cfg.entries = 3;
+    RunOutcome o = runScheme(workloadByName("vectoradd"), cfg);
+    ASSERT_TRUE(o.ok());
+    std::string s = outcomeToJson(o);
+    EXPECT_NE(s.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(s.find("\"normalizedEnergy\":"), std::string::npos);
+    EXPECT_NE(s.find("\"allocation\":{"), std::string::npos);
+    EXPECT_NE(s.find("\"strands\":"), std::string::npos);
+    // No trailing commas / balanced braces.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+              std::count(s.begin(), s.end(), '}'));
+    EXPECT_EQ(s.find(",}"), std::string::npos);
+    EXPECT_EQ(s.find(",]"), std::string::npos);
+}
+
+TEST(Json, SweepSeries)
+{
+    std::vector<SweepPoint> pts(2);
+    pts[0].scheme = Scheme::HW_TWO_LEVEL;
+    pts[0].entries = 1;
+    pts[0].outcome.energyPJ = 5;
+    pts[0].outcome.baselineEnergyPJ = 10;
+    pts[1].scheme = Scheme::SW_TWO_LEVEL;
+    pts[1].entries = 2;
+    pts[1].outcome.energyPJ = 4;
+    pts[1].outcome.baselineEnergyPJ = 10;
+    std::string s = sweepToJson(pts);
+    EXPECT_NE(s.find("\"scheme\":\"HW\""), std::string::npos);
+    EXPECT_NE(s.find("\"entries\":2"), std::string::npos);
+    EXPECT_NE(s.find("\"normalizedEnergy\":0.4"), std::string::npos);
+    EXPECT_EQ(s.front(), '[');
+    EXPECT_EQ(s.back(), ']');
+}
+
+} // namespace
+} // namespace rfh

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the MRF banking / operand-collection model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "sim/mrf_banks.h"
+#include "workloads/registry.h"
+
+namespace rfh {
+namespace {
+
+TEST(MrfBanks, BankMapping)
+{
+    MrfBankConfig cfg;
+    cfg.numBanks = 32;
+    cfg.warpBankSwizzle = 1;
+    EXPECT_EQ(bankOf(0, 0, cfg), 0);
+    EXPECT_EQ(bankOf(31, 0, cfg), 31);
+    EXPECT_EQ(bankOf(32, 0, cfg), 0);
+    // The swizzle shifts different warps' registers apart.
+    EXPECT_EQ(bankOf(0, 1, cfg), 1);
+    EXPECT_EQ(bankOf(5, 3, cfg), 8);
+}
+
+TEST(MrfBanks, NoConflictsWithDistinctRegisters)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel nc
+entry:
+    iadd R3, R1, R2
+    st.global [R0], R3
+    exit
+)");
+    MrfBankConfig cfg;
+    cfg.run.numWarps = 2;
+    MrfBankStats s = measureBankConflicts(k, cfg);
+    EXPECT_EQ(s.conflictedInstructions, 0u);
+    EXPECT_EQ(s.fetchCycles, s.instructions);
+}
+
+TEST(MrfBanks, SameRegisterTwiceConflicts)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel c
+entry:
+    iadd R3, R1, R1
+    st.global [R0], R3
+    exit
+)");
+    MrfBankConfig cfg;
+    cfg.run.numWarps = 1;
+    MrfBankStats s = measureBankConflicts(k, cfg);
+    EXPECT_EQ(s.conflictedInstructions, 1u);
+    // The conflicting fetch costs two cycles.
+    EXPECT_EQ(s.fetchCycles, s.instructions + 1);
+}
+
+TEST(MrfBanks, StrideOfBankCountConflicts)
+{
+    // R1 and R33 fall in the same bank with 32 banks.
+    Kernel k = parseKernelOrDie(R"(.kernel stride
+entry:
+    iadd R3, R1, R33
+    st.global [R0], R3
+    exit
+)");
+    MrfBankConfig cfg;
+    cfg.run.numWarps = 1;
+    MrfBankStats wide = measureBankConflicts(k, cfg);
+    EXPECT_EQ(wide.conflictedInstructions, 1u);
+    cfg.numBanks = 16;
+    MrfBankStats narrow = measureBankConflicts(k, cfg);
+    EXPECT_EQ(narrow.conflictedInstructions, 1u);
+}
+
+TEST(MrfBanks, FewerBanksNeverFaster)
+{
+    const Workload &w = workloadByName("nbody");
+    MrfBankConfig one;
+    one.numBanks = 1;
+    one.run = w.run;
+    one.run.numWarps = 2;
+    MrfBankConfig full = one;
+    full.numBanks = 32;
+    MrfBankStats a = measureBankConflicts(w.kernel, one);
+    MrfBankStats b = measureBankConflicts(w.kernel, full);
+    EXPECT_GE(a.fetchCycles, b.fetchCycles);
+    EXPECT_GE(a.avgFetchCycles(), 1.0);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(MrfBanks, OperandCountsMatchBaselineReads)
+{
+    const Workload &w = workloadByName("hotspot");
+    MrfBankConfig cfg;
+    cfg.run = w.run;
+    cfg.run.numWarps = 2;
+    MrfBankStats s = measureBankConflicts(w.kernel, cfg);
+    RunConfig rc = cfg.run;
+    AccessCounts base = runBaseline(w.kernel, rc);
+    EXPECT_EQ(s.operandsFetched, base.allReads());
+}
+
+} // namespace
+} // namespace rfh

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for control-flow trace recording and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "sim/perf_sim.h"
+#include "sim/trace.h"
+#include "workloads/registry.h"
+
+namespace rfh {
+namespace {
+
+TEST(Trace, StraightLinePathIsOneBlock)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel s
+entry:
+    iadd R1, R0, #1
+    st.global [R0], R1
+    exit
+)");
+    RunConfig cfg;
+    cfg.numWarps = 2;
+    KernelTrace t = recordTrace(k, cfg);
+    ASSERT_EQ(t.numWarps(), 2);
+    EXPECT_EQ(t.warpPaths[0], std::vector<int>({0}));
+    EXPECT_EQ(t.blockCounts[0], 2u);
+    EXPECT_EQ(t.instructions, 6u);
+    EXPECT_EQ(validateTrace(k, t), "");
+}
+
+TEST(Trace, LoopRecordsEveryIteration)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel l
+entry:
+    mov R1, #4
+body:
+    isub R1, R1, #1
+    setgt R2, R1, #0
+    @R2 bra body
+out:
+    exit
+)");
+    RunConfig cfg;
+    cfg.numWarps = 1;
+    KernelTrace t = recordTrace(k, cfg);
+    // entry, 4x body, out.
+    EXPECT_EQ(t.blockCounts[1], 4u);
+    EXPECT_EQ(t.warpPaths[0].size(), 6u);
+    EXPECT_EQ(validateTrace(k, t), "");
+}
+
+TEST(Trace, DivergentWarpsTakeDifferentPaths)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel d
+entry:
+    setlt R1, R0, #2
+    @R1 bra low
+high:
+    iadd R2, R0, #1
+    bra out
+low:
+    iadd R2, R0, #2
+out:
+    st.global [R0], R2
+    exit
+)");
+    RunConfig cfg;
+    cfg.numWarps = 8;
+    KernelTrace t = recordTrace(k, cfg);
+    // Warps 0 and 1 (tid < 2) take "low"; the rest take "high".
+    EXPECT_EQ(t.blockCounts[2], 2u);
+    EXPECT_EQ(t.blockCounts[1], 6u);
+    EXPECT_EQ(validateTrace(k, t), "");
+}
+
+TEST(Trace, ValidationCatchesIllegalTransitions)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel v
+entry:
+    iadd R1, R0, #1
+skip:
+    st.global [R0], R1
+    exit
+)");
+    RunConfig cfg;
+    cfg.numWarps = 1;
+    KernelTrace t = recordTrace(k, cfg);
+    ASSERT_EQ(validateTrace(k, t), "");
+    KernelTrace bad = t;
+    bad.warpPaths[0] = {1, 0};  // backwards, not a CFG edge chain
+    EXPECT_NE(validateTrace(k, bad), "");
+    KernelTrace bad2 = t;
+    bad2.blockCounts[0] += 5;
+    EXPECT_NE(validateTrace(k, bad2), "");
+}
+
+TEST(Trace, DynamicInstrHistogram)
+{
+    Kernel k = parseKernelOrDie(R"(.kernel h
+entry:
+    mov R1, #3
+body:
+    isub R1, R1, #1
+    setgt R2, R1, #0
+    @R2 bra body
+out:
+    exit
+)");
+    RunConfig cfg;
+    cfg.numWarps = 2;
+    KernelTrace t = recordTrace(k, cfg);
+    auto hist = dynamicInstrsPerBlock(k, t);
+    EXPECT_EQ(hist[0], 2u);       // 1 instr x 2 warps
+    EXPECT_EQ(hist[1], 2u * 9u);  // 3 instrs x 3 iters x 2 warps
+    std::uint64_t total = 0;
+    for (auto h : hist)
+        total += h;
+    EXPECT_EQ(total, t.instructions);
+}
+
+TEST(Trace, ReplayMatchesLiveSimulation)
+{
+    // Replaying a trace through the SM model must produce the same
+    // instruction count and (for uniform-control-flow kernels) the
+    // same cycle count as live execution.
+    for (const char *name : {"scalarprod", "hotspot", "nbody"}) {
+        const Workload &w = workloadByName(name);
+        PerfConfig cfg;
+        cfg.numWarps = 8;
+        cfg.activeWarps = 4;
+        RunConfig rc;
+        rc.numWarps = cfg.numWarps;
+        KernelTrace t = recordTrace(w.kernel, rc);
+        PerfResult live = runPerfSim(w.kernel, cfg);
+        PerfResult replay = runPerfSimFromTrace(w.kernel, t, cfg);
+        EXPECT_EQ(replay.instructions, live.instructions) << name;
+        EXPECT_EQ(replay.cycles, live.cycles) << name;
+    }
+}
+
+TEST(Trace, ReplayScalesWarpsRoundRobin)
+{
+    const Workload &w = workloadByName("histogram");
+    RunConfig rc;
+    rc.numWarps = 4;
+    KernelTrace t = recordTrace(w.kernel, rc);
+    PerfConfig cfg;
+    cfg.numWarps = 16;  // more warps than recorded paths
+    cfg.activeWarps = 8;
+    PerfResult r = runPerfSimFromTrace(w.kernel, t, cfg);
+    EXPECT_GT(r.instructions, t.instructions);
+    EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST(Trace, AllWorkloadsProduceValidTraces)
+{
+    for (const Workload &w : allWorkloads()) {
+        RunConfig cfg = w.run;
+        cfg.numWarps = 2;
+        KernelTrace t = recordTrace(w.kernel, cfg);
+        EXPECT_EQ(validateTrace(w.kernel, t), "") << w.name;
+        EXPECT_GT(t.instructions, 0u) << w.name;
+    }
+}
+
+} // namespace
+} // namespace rfh
