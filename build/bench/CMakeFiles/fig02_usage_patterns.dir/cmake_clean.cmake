@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_usage_patterns.dir/fig02_usage_patterns.cpp.o"
+  "CMakeFiles/fig02_usage_patterns.dir/fig02_usage_patterns.cpp.o.d"
+  "fig02_usage_patterns"
+  "fig02_usage_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_usage_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

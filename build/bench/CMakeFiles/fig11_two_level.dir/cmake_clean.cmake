@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_two_level.dir/fig11_two_level.cpp.o"
+  "CMakeFiles/fig11_two_level.dir/fig11_two_level.cpp.o.d"
+  "fig11_two_level"
+  "fig11_two_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_two_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

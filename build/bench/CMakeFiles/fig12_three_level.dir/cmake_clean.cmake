@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_three_level.dir/fig12_three_level.cpp.o"
+  "CMakeFiles/fig12_three_level.dir/fig12_three_level.cpp.o.d"
+  "fig12_three_level"
+  "fig12_three_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_three_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_per_benchmark.dir/fig15_per_benchmark.cpp.o"
+  "CMakeFiles/fig15_per_benchmark.dir/fig15_per_benchmark.cpp.o.d"
+  "fig15_per_benchmark"
+  "fig15_per_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_per_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

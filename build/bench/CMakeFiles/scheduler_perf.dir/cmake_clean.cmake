@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_perf.dir/scheduler_perf.cpp.o"
+  "CMakeFiles/scheduler_perf.dir/scheduler_perf.cpp.o.d"
+  "scheduler_perf"
+  "scheduler_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec65_encoding.dir/sec65_encoding.cpp.o"
+  "CMakeFiles/sec65_encoding.dir/sec65_encoding.cpp.o.d"
+  "sec65_encoding"
+  "sec65_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec65_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_limit_study.dir/sec7_limit_study.cpp.o"
+  "CMakeFiles/sec7_limit_study.dir/sec7_limit_study.cpp.o.d"
+  "sec7_limit_study"
+  "sec7_limit_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_limit_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

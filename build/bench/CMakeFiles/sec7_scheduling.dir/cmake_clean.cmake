@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_scheduling.dir/sec7_scheduling.cpp.o"
+  "CMakeFiles/sec7_scheduling.dir/sec7_scheduling.cpp.o.d"
+  "sec7_scheduling"
+  "sec7_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

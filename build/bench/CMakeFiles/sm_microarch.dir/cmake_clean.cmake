@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_microarch.dir/sm_microarch.cpp.o"
+  "CMakeFiles/sm_microarch.dir/sm_microarch.cpp.o.d"
+  "sm_microarch"
+  "sm_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

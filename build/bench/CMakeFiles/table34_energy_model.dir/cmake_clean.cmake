@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table34_energy_model.dir/table34_energy_model.cpp.o"
+  "CMakeFiles/table34_energy_model.dir/table34_energy_model.cpp.o.d"
+  "table34_energy_model"
+  "table34_energy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table34_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfhc.dir/rfhc.cpp.o"
+  "CMakeFiles/rfhc.dir/rfhc.cpp.o.d"
+  "rfhc"
+  "rfhc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfhc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

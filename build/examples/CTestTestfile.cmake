@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(rfhc_annotate "/root/repo/build/examples/rfhc" "annotate" "/root/repo/examples/kernels/saxpy.rptx")
+set_tests_properties(rfhc_annotate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(rfhc_run "/root/repo/build/examples/rfhc" "run" "/root/repo/examples/kernels/blend.rptx" "--entries" "2" "--warps" "4")
+set_tests_properties(rfhc_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(rfhc_stats "/root/repo/build/examples/rfhc" "stats" "/root/repo/examples/kernels/saxpy.rptx")
+set_tests_properties(rfhc_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(rfhc_pipeline "/root/repo/build/examples/rfhc" "run" "/root/repo/examples/kernels/saxpy.rptx" "--schedule" "--regalloc" "12" "--no-lrf" "--entries" "4")
+set_tests_properties(rfhc_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(rfhc_rejects_bad_usage "/root/repo/build/examples/rfhc" "bogus")
+set_tests_properties(rfhc_rejects_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(quickstart_runs "/root/repo/build/examples/quickstart")
+set_tests_properties(quickstart_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(compare_schemes_runs "/root/repo/build/examples/compare_schemes" "needle")
+set_tests_properties(compare_schemes_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

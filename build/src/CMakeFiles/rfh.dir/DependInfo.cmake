@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/allocation.cpp" "src/CMakeFiles/rfh.dir/compiler/allocation.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/compiler/allocation.cpp.o.d"
+  "/root/repo/src/compiler/allocator.cpp" "src/CMakeFiles/rfh.dir/compiler/allocator.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/compiler/allocator.cpp.o.d"
+  "/root/repo/src/compiler/instances.cpp" "src/CMakeFiles/rfh.dir/compiler/instances.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/compiler/instances.cpp.o.d"
+  "/root/repo/src/compiler/limit_study.cpp" "src/CMakeFiles/rfh.dir/compiler/limit_study.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/compiler/limit_study.cpp.o.d"
+  "/root/repo/src/compiler/regalloc.cpp" "src/CMakeFiles/rfh.dir/compiler/regalloc.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/compiler/regalloc.cpp.o.d"
+  "/root/repo/src/compiler/scheduler.cpp" "src/CMakeFiles/rfh.dir/compiler/scheduler.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/compiler/scheduler.cpp.o.d"
+  "/root/repo/src/compiler/strand.cpp" "src/CMakeFiles/rfh.dir/compiler/strand.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/compiler/strand.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/rfh.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/json.cpp" "src/CMakeFiles/rfh.dir/core/json.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/core/json.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/rfh.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/CMakeFiles/rfh.dir/core/sweep.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/core/sweep.cpp.o.d"
+  "/root/repo/src/energy/encoding_overhead.cpp" "src/CMakeFiles/rfh.dir/energy/encoding_overhead.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/energy/encoding_overhead.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/CMakeFiles/rfh.dir/energy/energy_model.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/energy/energy_model.cpp.o.d"
+  "/root/repo/src/energy/energy_params.cpp" "src/CMakeFiles/rfh.dir/energy/energy_params.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/energy/energy_params.cpp.o.d"
+  "/root/repo/src/ir/cfg_analysis.cpp" "src/CMakeFiles/rfh.dir/ir/cfg_analysis.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/ir/cfg_analysis.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "src/CMakeFiles/rfh.dir/ir/instruction.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/ir/instruction.cpp.o.d"
+  "/root/repo/src/ir/kernel.cpp" "src/CMakeFiles/rfh.dir/ir/kernel.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/ir/kernel.cpp.o.d"
+  "/root/repo/src/ir/liveness.cpp" "src/CMakeFiles/rfh.dir/ir/liveness.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/ir/liveness.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/CMakeFiles/rfh.dir/ir/opcode.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/ir/opcode.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/CMakeFiles/rfh.dir/ir/parser.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/ir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/rfh.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/reaching_defs.cpp" "src/CMakeFiles/rfh.dir/ir/reaching_defs.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/ir/reaching_defs.cpp.o.d"
+  "/root/repo/src/sim/access_counters.cpp" "src/CMakeFiles/rfh.dir/sim/access_counters.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/access_counters.cpp.o.d"
+  "/root/repo/src/sim/baseline_exec.cpp" "src/CMakeFiles/rfh.dir/sim/baseline_exec.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/baseline_exec.cpp.o.d"
+  "/root/repo/src/sim/hw_cache.cpp" "src/CMakeFiles/rfh.dir/sim/hw_cache.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/hw_cache.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/rfh.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/mrf_banks.cpp" "src/CMakeFiles/rfh.dir/sim/mrf_banks.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/mrf_banks.cpp.o.d"
+  "/root/repo/src/sim/perf_sim.cpp" "src/CMakeFiles/rfh.dir/sim/perf_sim.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/perf_sim.cpp.o.d"
+  "/root/repo/src/sim/simt.cpp" "src/CMakeFiles/rfh.dir/sim/simt.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/simt.cpp.o.d"
+  "/root/repo/src/sim/sw_exec.cpp" "src/CMakeFiles/rfh.dir/sim/sw_exec.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/sw_exec.cpp.o.d"
+  "/root/repo/src/sim/sw_exec_simt.cpp" "src/CMakeFiles/rfh.dir/sim/sw_exec_simt.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/sw_exec_simt.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/rfh.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/workloads/handwritten.cpp" "src/CMakeFiles/rfh.dir/workloads/handwritten.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/workloads/handwritten.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/rfh.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/CMakeFiles/rfh.dir/workloads/synthetic.cpp.o" "gcc" "src/CMakeFiles/rfh.dir/workloads/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/rfh.dir/energy/encoding_overhead.cpp.o: \
+ /root/repo/src/energy/encoding_overhead.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/energy/encoding_overhead.h

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocation.cpp" "tests/CMakeFiles/rfh_tests.dir/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_allocator.cpp" "tests/CMakeFiles/rfh_tests.dir/test_allocator.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_allocator.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/rfh_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/rfh_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/rfh_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_hw_cache.cpp" "tests/CMakeFiles/rfh_tests.dir/test_hw_cache.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_hw_cache.cpp.o.d"
+  "/root/repo/tests/test_instances.cpp" "tests/CMakeFiles/rfh_tests.dir/test_instances.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_instances.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rfh_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/rfh_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/rfh_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/rfh_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_mrf_banks.cpp" "tests/CMakeFiles/rfh_tests.dir/test_mrf_banks.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_mrf_banks.cpp.o.d"
+  "/root/repo/tests/test_perf_sim.cpp" "tests/CMakeFiles/rfh_tests.dir/test_perf_sim.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_perf_sim.cpp.o.d"
+  "/root/repo/tests/test_predication.cpp" "tests/CMakeFiles/rfh_tests.dir/test_predication.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_predication.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/rfh_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_regalloc.cpp" "tests/CMakeFiles/rfh_tests.dir/test_regalloc.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_regalloc.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/rfh_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_simt.cpp" "tests/CMakeFiles/rfh_tests.dir/test_simt.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_simt.cpp.o.d"
+  "/root/repo/tests/test_strand.cpp" "tests/CMakeFiles/rfh_tests.dir/test_strand.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_strand.cpp.o.d"
+  "/root/repo/tests/test_sw_exec.cpp" "tests/CMakeFiles/rfh_tests.dir/test_sw_exec.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_sw_exec.cpp.o.d"
+  "/root/repo/tests/test_sw_exec_simt.cpp" "tests/CMakeFiles/rfh_tests.dir/test_sw_exec_simt.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_sw_exec_simt.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/rfh_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/rfh_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/rfh_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
