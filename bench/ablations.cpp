@@ -19,11 +19,15 @@
 
 #include "bench_util.h"
 #include "core/experiment.h"
+#include "core/parallel.h"
 #include "core/report.h"
+#include "core/timing.h"
 
 using namespace rfh;
 
 namespace {
+
+PhaseTimes g_phases;
 
 double
 norm(ExperimentConfig cfg)
@@ -34,6 +38,7 @@ norm(ExperimentConfig cfg)
                      o.error.c_str());
         std::exit(1);
     }
+    g_phases.add(o.phases);
     return o.normalizedEnergy();
 }
 
@@ -45,6 +50,7 @@ main()
     bench::header("Ablations: one mechanism at a time",
                   "partial ranges ~1-2pp, read operands ~2-3pp, LRF "
                   "~4-6pp, split ~0.5pp");
+    Stopwatch wall;
 
     ExperimentConfig full;
     full.scheme = Scheme::SW_THREE_LEVEL;
@@ -112,5 +118,11 @@ main()
     std::printf("\n%s\n", t.str().c_str());
     std::printf("Positive deltas mean the removed mechanism was saving "
                 "energy.\n");
+
+    SweepTiming timing;
+    timing.wallSec = wall.elapsedSec();
+    timing.cpuSec = g_phases.totalSec();
+    timing.threads = globalPool().threadCount();
+    std::printf("\n%s\n", timingSummary(timing, g_phases).c_str());
     return 0;
 }

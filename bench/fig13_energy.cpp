@@ -9,8 +9,10 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
+#include "core/json.h"
 #include "core/report.h"
 #include "core/sweep.h"
 #include "energy/encoding_overhead.h"
@@ -29,7 +31,8 @@ main()
                                    Scheme::HW_THREE_LEVEL,
                                    Scheme::SW_TWO_LEVEL,
                                    Scheme::SW_THREE_LEVEL};
-    auto points = sweepEntries(schemes, cfg);
+    SweepTiming timing;
+    auto points = sweepEntries(schemes, cfg, nullptr, &timing);
 
     TextTable t({"Entries", "HW", "HW LRF", "SW", "SW LRF split"});
     for (int e = 1; e <= kMaxOrfEntries; e++) {
@@ -96,5 +99,12 @@ main()
     double savings = 1 - sw3->outcome.normalizedEnergy();
     bench::compare("chip-wide dynamic power saved (%)", 5.8,
                    100.0 * eo.registerFileShare * savings);
+
+    PhaseTimes phases;
+    for (const auto &p : points)
+        phases.add(p.outcome.phases);
+    std::printf("\n  %s\n", timingSummary(timing, phases).c_str());
+    if (std::getenv("RFH_TIMING_JSON"))
+        std::printf("%s\n", sweepTimingsToJson(points, timing).c_str());
     return 0;
 }

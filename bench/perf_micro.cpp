@@ -9,6 +9,9 @@
 #include <benchmark/benchmark.h>
 
 #include "compiler/allocator.h"
+#include "core/memo.h"
+#include "core/parallel.h"
+#include "core/sweep.h"
 #include "ir/cfg_analysis.h"
 #include "ir/liveness.h"
 #include "ir/reaching_defs.h"
@@ -114,6 +117,67 @@ BM_SwExec(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SwExec);
+
+// ---- Experiment-engine benchmarks ----
+
+const std::vector<Scheme> &
+allSchemes()
+{
+    static const std::vector<Scheme> s = {
+        Scheme::BASELINE, Scheme::HW_TWO_LEVEL, Scheme::HW_THREE_LEVEL,
+        Scheme::SW_TWO_LEVEL, Scheme::SW_THREE_LEVEL,
+    };
+    return s;
+}
+
+/**
+ * Full 5-scheme x 8-entry x 36-workload sweep on one thread vs. the
+ * default pool. Caches are warmed up front so both variants measure
+ * the grid execution itself; the ratio of these two benchmarks is the
+ * engine's parallel speedup on this host.
+ */
+void
+BM_SweepSequential(benchmark::State &state)
+{
+    sweepEntries(allSchemes(), ExperimentConfig{});  // warm caches
+    ThreadPool pool(1);
+    for (auto _ : state) {
+        auto pts = sweepEntries(allSchemes(), ExperimentConfig{}, &pool);
+        benchmark::DoNotOptimize(pts.data());
+    }
+}
+BENCHMARK(BM_SweepSequential)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepParallel(benchmark::State &state)
+{
+    sweepEntries(allSchemes(), ExperimentConfig{});  // warm caches
+    ThreadPool pool;  // defaultThreadCount() / RFH_THREADS
+    for (auto _ : state) {
+        auto pts = sweepEntries(allSchemes(), ExperimentConfig{}, &pool);
+        benchmark::DoNotOptimize(pts.data());
+    }
+    state.counters["threads"] =
+        static_cast<double>(pool.threadCount());
+}
+BENCHMARK(BM_SweepParallel)->Unit(benchmark::kMillisecond);
+
+/**
+ * Memoized baseline lookup (compare against BM_BaselineExec, the cost
+ * of computing the same counts from scratch at every sweep point).
+ */
+void
+BM_BaselineCacheHit(benchmark::State &state)
+{
+    const Workload &w = workloadByName("nbody");
+    ExperimentCache &cache = globalExperimentCache();
+    cache.baseline(w.kernel, w.run);  // warm
+    for (auto _ : state) {
+        const AccessCounts &c = cache.baseline(w.kernel, w.run);
+        benchmark::DoNotOptimize(c.instructions);
+    }
+}
+BENCHMARK(BM_BaselineCacheHit);
 
 } // namespace
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+#
+# Full local gate: configure, build, and run the test suite, then
+# rebuild with ThreadSanitizer and exercise the parallel experiment
+# engine under it. Usage:
+#
+#   scripts/check.sh            # release-ish build + ctest + TSan pass
+#   scripts/check.sh --no-tsan  # skip the sanitizer stage
+#
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== build + test (${jobs} jobs) =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "$run_tsan" == 1 ]]; then
+    echo "== ThreadSanitizer: parallel engine =="
+    cmake -B "$repo/build-tsan" -S "$repo" -DRFH_SANITIZE=thread >/dev/null
+    cmake --build "$repo/build-tsan" -j "$jobs" --target rfh_tests
+    # Exercise the thread pool and the parallel sweep (the code that
+    # actually runs concurrently) with a real multi-thread pool even
+    # on small CI hosts.
+    RFH_THREADS=4 "$repo/build-tsan/tests/rfh_tests" \
+        --gtest_filter='Parallel.*:Sweep.*:Memo.*'
+fi
+
+echo "== all checks passed =="

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "ir/reaching_defs.h"
 
@@ -109,13 +110,18 @@ HierarchyAllocator::HierarchyAllocator(const EnergyParams &params,
 }
 
 AllocStats
-HierarchyAllocator::run(Kernel &k) const
+HierarchyAllocator::run(Kernel &k, const AnalysisBundle *analyses) const
 {
     k.clearAnnotations();
-    Cfg cfg(k);
+    // CFG and reaching defs depend only on the kernel's structure, so
+    // a shared precomputed bundle is equivalent to a local one.
+    std::optional<Cfg> localCfg;
+    std::optional<ReachingDefs> localRd;
+    const Cfg &cfg = analyses ? analyses->cfg : localCfg.emplace(k);
     StrandAnalysis sa(k, cfg, opts_.strandOptions);
     sa.markEndOfStrand(k);
-    ReachingDefs rd(k, cfg);
+    const ReachingDefs &rd = analyses ? analyses->reachingDefs
+                                      : localRd.emplace(k, cfg);
     InstanceAnalysis ia(k, cfg, sa, rd,
                         !opts_.strandOptions.cutAtLongLatency);
     int price = opts_.orfPriceEntries ? opts_.orfPriceEntries

@@ -15,6 +15,7 @@
 
 #include "compiler/allocation.h"
 #include "energy/energy_params.h"
+#include "ir/analysis_bundle.h"
 #include "ir/kernel.h"
 
 namespace rfh {
@@ -31,8 +32,13 @@ class HierarchyAllocator
      * Clears any existing annotations, recomputes strands (setting the
      * end-of-strand bits), and annotates every operand with the level
      * it is read from / written to.
+     *
+     * @param analyses optional precomputed CFG + reaching-defs bundle
+     *        for a kernel with @p k's structure (annotations may
+     *        differ); when null the analyses are computed locally.
      */
-    AllocStats run(Kernel &k) const;
+    AllocStats run(Kernel &k, const AnalysisBundle *analyses = nullptr)
+        const;
 
     const AllocOptions &
     options() const

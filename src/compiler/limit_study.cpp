@@ -4,6 +4,8 @@
 
 #include "compiler/allocator.h"
 #include "core/experiment.h"
+#include "core/memo.h"
+#include "core/parallel.h"
 #include "core/sweep.h"
 #include "sim/baseline_exec.h"
 #include "sim/sw_exec.h"
@@ -68,8 +70,16 @@ runLimitStudy(const EnergyParams &params)
     // average, and the allocator then compiles with those per-strand
     // budgets (Section 7).
     auto variable_energy = [&](int mean_budget) {
-        double e = 0.0, base = 0.0;
-        for (const Workload &w : allWorkloads()) {
+        const std::vector<Workload> &ws = allWorkloads();
+        std::vector<double> e(ws.size(), 0.0), base(ws.size(), 0.0);
+        // Workloads are independent; fan them out and fold the energy
+        // sums in registry order for a thread-count-invariant result.
+        globalPool().parallelFor(
+            static_cast<int>(ws.size()), [&](int i) {
+            const Workload &w = ws[i];
+            ExperimentCache &cache = globalExperimentCache();
+            std::shared_ptr<const AnalysisBundle> analyses =
+                cache.analyses(w.kernel);
             // Per-strand savings at every size, priced at the fixed
             // physical structure.
             std::vector<std::vector<double>> savings_by_size;
@@ -82,7 +92,7 @@ runLimitStudy(const EnergyParams &params)
                 ao.useLRF = true;
                 ao.splitLRF = true;
                 HierarchyAllocator alloc(params, ao);
-                AllocStats st = alloc.run(kk);
+                AllocStats st = alloc.run(kk, analyses.get());
                 savings_by_size.push_back(st.strandSavings);
                 strands = st.strands;
             }
@@ -116,15 +126,22 @@ runLimitStudy(const EnergyParams &params)
             ao.splitLRF = true;
             ao.perStrandEntries = budget;
             HierarchyAllocator alloc(params, ao);
-            alloc.run(kk);
+            alloc.run(kk, analyses.get());
             SwExecConfig sc;
             sc.run = w.run;
-            SwExecResult res = runSwHierarchy(kk, ao, sc);
+            SwExecResult res = runSwHierarchy(kk, ao, sc,
+                                              analyses.get());
             EnergyModel em(params, 3, true);
-            e += res.counts.totalEnergyPJ(em);
-            base += runBaseline(w.kernel, w.run).totalEnergyPJ(em);
+            e[i] = res.counts.totalEnergyPJ(em);
+            base[i] = cache.baseline(w.kernel, w.run)
+                .totalEnergyPJ(em);
+        });
+        double e_sum = 0.0, base_sum = 0.0;
+        for (std::size_t i = 0; i < ws.size(); i++) {
+            e_sum += e[i];
+            base_sum += base[i];
         }
-        return e / base;
+        return e_sum / base_sum;
     };
     r.variableOracle = variable_energy(3);
 

@@ -1,6 +1,8 @@
 #include "core/experiment.h"
 
 #include "compiler/allocator.h"
+#include "core/memo.h"
+#include "core/parallel.h"
 #include "sim/baseline_exec.h"
 #include "sim/hw_cache.h"
 #include "sim/sw_exec.h"
@@ -43,8 +45,17 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     int price = cfg.orfPriceEntries ? cfg.orfPriceEntries : cfg.entries;
     EnergyModel em(cfg.energy, price, split);
 
-    AccessCounts base = runBaseline(w.kernel, w.run);
+    ExperimentCache &cache = globalExperimentCache();
+    Stopwatch watch;
+
+    // ---- Analyze: structural analyses + baseline execution, both
+    // memoized (configuration-independent) ----
+    std::shared_ptr<const AnalysisBundle> analyses;
+    if (cfg.scheme != Scheme::BASELINE)
+        analyses = cache.analyses(w.kernel);
+    const AccessCounts &base = cache.baseline(w.kernel, w.run);
     out.baselineEnergyPJ = base.totalEnergyPJ(em);
+    out.phases.analyzeSec = watch.lap();
 
     switch (cfg.scheme) {
       case Scheme::BASELINE:
@@ -57,7 +68,8 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         hc.useLRF = cfg.scheme == Scheme::HW_THREE_LEVEL;
         hc.flushOnBackwardBranch = cfg.hwFlushOnBackwardBranch;
         hc.run = w.run;
-        out.counts = runHwCache(w.kernel, hc);
+        out.counts = runHwCache(w.kernel, hc, analyses.get());
+        out.phases.executeSec = watch.lap();
         break;
       }
       case Scheme::SW_TWO_LEVEL:
@@ -65,14 +77,16 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         // The allocator annotates a private copy of the kernel.
         Kernel annotated = w.kernel;
         HierarchyAllocator alloc(cfg.energy, cfg.allocOptions());
-        out.alloc = alloc.run(annotated);
+        out.alloc = alloc.run(annotated, analyses.get());
+        out.phases.allocateSec = watch.lap();
         SwExecConfig sc;
         sc.run = w.run;
         sc.idealNoFlush = cfg.idealNoFlush;
         SwExecResult res = runSwHierarchy(annotated, cfg.allocOptions(),
-                                          sc);
+                                          sc, analyses.get());
         out.counts = res.counts;
         out.error = res.error;
+        out.phases.executeSec = watch.lap();
         break;
       }
     }
@@ -81,19 +95,35 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     return out;
 }
 
-RunOutcome
-runAllWorkloads(const ExperimentConfig &cfg)
+void
+accumulateOutcome(RunOutcome &agg, const RunOutcome &one,
+                  const std::string &name)
 {
-    RunOutcome agg;
-    for (const Workload &w : allWorkloads()) {
-        RunOutcome one = runScheme(w, cfg);
-        agg.counts.add(one.counts);
-        agg.alloc.add(one.alloc);
-        agg.energyPJ += one.energyPJ;
-        agg.baselineEnergyPJ += one.baselineEnergyPJ;
-        if (!one.ok() && agg.ok())
-            agg.error = w.name + ": " + one.error;
+    agg.counts.add(one.counts);
+    agg.alloc.add(one.alloc);
+    agg.energyPJ += one.energyPJ;
+    agg.baselineEnergyPJ += one.baselineEnergyPJ;
+    agg.phases.add(one.phases);
+    if (!one.ok()) {
+        if (!agg.error.empty())
+            agg.error += "; ";
+        agg.error += name + ": " + one.error;
     }
+}
+
+RunOutcome
+runAllWorkloads(const ExperimentConfig &cfg, ThreadPool *pool)
+{
+    const std::vector<Workload> &ws = allWorkloads();
+    ThreadPool &p = pool ? *pool : globalPool();
+    std::vector<RunOutcome> outs(ws.size());
+    p.parallelFor(static_cast<int>(ws.size()),
+                  [&](int i) { outs[i] = runScheme(ws[i], cfg); });
+    // Fold in registry order so aggregation (floating-point sums
+    // included) is independent of completion order and thread count.
+    RunOutcome agg;
+    for (std::size_t i = 0; i < ws.size(); i++)
+        accumulateOutcome(agg, outs[i], ws[i].name);
     return agg;
 }
 

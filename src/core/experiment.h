@@ -13,6 +13,7 @@
 #include <string>
 
 #include "compiler/allocation.h"
+#include "core/timing.h"
 #include "energy/energy_params.h"
 #include "sim/access_counters.h"
 #include "workloads/registry.h"
@@ -75,6 +76,13 @@ struct RunOutcome
     double energyPJ = 0.0;         ///< Access + wire energy.
     double baselineEnergyPJ = 0.0; ///< Flat-MRF energy, same workload.
     std::string error;             ///< Non-empty on verification failure.
+    /**
+     * Wall-clock spent per engine phase (aggregated across workloads
+     * for runAllWorkloads outcomes). Observability only: timing is
+     * excluded from the result JSON, which stays byte-identical
+     * across thread counts and cache states.
+     */
+    PhaseTimes phases;
 
     bool
     ok() const
@@ -90,15 +98,40 @@ struct RunOutcome
     }
 };
 
-/** Run @p w under configuration @p cfg. */
+/**
+ * Run @p w under configuration @p cfg.
+ *
+ * Configuration-independent work is memoized in the process-wide
+ * ExperimentCache: the baseline functional execution is computed once
+ * per (kernel, RunConfig), and the CFG/liveness/reaching-defs bundle
+ * once per kernel, then shared read-only by the allocator and both
+ * executors. Thread-safe; results are identical to an uncached run.
+ */
 RunOutcome runScheme(const Workload &w, const ExperimentConfig &cfg);
+
+/**
+ * Fold @p one (the outcome of workload @p name) into @p agg in
+ * deterministic order: counts and energies are summed, and every
+ * failing workload's message is appended to agg.error as
+ * "name: message", "; "-joined in fold order.
+ */
+void accumulateOutcome(RunOutcome &agg, const RunOutcome &one,
+                       const std::string &name);
+
+class ThreadPool;
 
 /**
  * Run every workload of every suite and aggregate the counts (summed
  * across workloads before normalisation, matching the paper's
  * all-benchmark averages).
+ *
+ * Workloads fan out across @p pool (the global pool when null) and
+ * are folded back in registry order, so the outcome — including every
+ * floating-point accumulation — is identical for any thread count;
+ * RFH_THREADS=1 runs the historical sequential path exactly.
  */
-RunOutcome runAllWorkloads(const ExperimentConfig &cfg);
+RunOutcome runAllWorkloads(const ExperimentConfig &cfg,
+                           ThreadPool *pool = nullptr);
 
 } // namespace rfh
 

@@ -196,6 +196,33 @@ sweepToJson(const std::vector<SweepPoint> &points)
 }
 
 std::string
+sweepTimingsToJson(const std::vector<SweepPoint> &points,
+                   const SweepTiming &timing)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("wallSec").value(timing.wallSec);
+    w.key("cpuSec").value(timing.cpuSec);
+    w.key("threads").value(timing.threads);
+    w.key("speedup").value(timing.speedup());
+    w.key("points");
+    w.beginArray();
+    for (const SweepPoint &pt : points) {
+        w.beginObject();
+        w.key("scheme").value(std::string(schemeName(pt.scheme)));
+        w.key("entries").value(pt.entries);
+        w.key("cpuSec").value(pt.cpuSec);
+        w.key("analyzeSec").value(pt.outcome.phases.analyzeSec);
+        w.key("allocateSec").value(pt.outcome.phases.allocateSec);
+        w.key("executeSec").value(pt.outcome.phases.executeSec);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
 outcomeToJson(const RunOutcome &outcome)
 {
     JsonWriter w;

@@ -58,6 +58,16 @@ void writeJson(JsonWriter &w, const RunOutcome &outcome);
 /** Serialise an entries sweep (Figure 13 style series). */
 std::string sweepToJson(const std::vector<SweepPoint> &points);
 
+/**
+ * Serialise engine timing: overall wall/CPU seconds and thread count,
+ * plus per-sweep-point per-phase (analyze/allocate/execute) stats.
+ *
+ * Deliberately a separate document from sweepToJson: result JSON is
+ * byte-identical across thread counts, timing JSON is not.
+ */
+std::string sweepTimingsToJson(const std::vector<SweepPoint> &points,
+                               const SweepTiming &timing);
+
 /** One-call helper: outcome as a JSON document. */
 std::string outcomeToJson(const RunOutcome &outcome);
 

@@ -1,0 +1,144 @@
+#include "core/memo.h"
+
+namespace rfh {
+
+namespace {
+
+/** FNV-1a 64-bit. */
+class Fnv
+{
+  public:
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; i++) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix(s.size());
+        for (char c : s) {
+            h_ ^= static_cast<unsigned char>(c);
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return h_;
+    }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+std::uint64_t
+kernelFingerprint(const Kernel &k)
+{
+    Fnv f;
+    f.mix(k.name);
+    f.mix(k.blocks.size());
+    for (const auto &bb : k.blocks) {
+        f.mix(bb.instrs.size());
+        for (const Instruction &in : bb.instrs) {
+            f.mix(static_cast<std::uint64_t>(in.op));
+            f.mix(in.dst ? *in.dst : 0xffu);
+            f.mix(static_cast<std::uint64_t>(in.numSrcs));
+            for (int s = 0; s < in.numSrcs; s++) {
+                const SrcOperand &src = in.srcs[s];
+                f.mix(src.isReg ? 1u : 0u);
+                f.mix(src.isReg ? src.reg : src.imm);
+            }
+            f.mix(in.pred ? *in.pred : 0xffu);
+            f.mix(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(in.branchTarget)));
+            f.mix(in.wide ? 1u : 0u);
+            f.mix(in.memOffset);
+        }
+    }
+    return f.value();
+}
+
+const AccessCounts &
+ExperimentCache::baseline(const Kernel &k, const RunConfig &run)
+{
+    BaselineKey key{kernelFingerprint(k), k.numInstrs(), run.numWarps,
+                    run.maxInstrsPerWarp};
+    std::shared_ptr<BaselineEntry> e;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto &slot = baseline_[key];
+        if (!slot)
+            slot = std::make_shared<BaselineEntry>();
+        e = slot;
+    }
+    bool miss = false;
+    std::call_once(e->once, [&] {
+        e->counts = runBaseline(k, run);
+        miss = true;
+    });
+    if (miss)
+        baselineMisses_++;
+    else
+        baselineHits_++;
+    return e->counts;
+}
+
+std::shared_ptr<const AnalysisBundle>
+ExperimentCache::analyses(const Kernel &k)
+{
+    AnalysisKey key{kernelFingerprint(k), k.numInstrs()};
+    std::shared_ptr<AnalysisEntry> e;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto &slot = analyses_[key];
+        if (!slot)
+            slot = std::make_shared<AnalysisEntry>();
+        e = slot;
+    }
+    bool miss = false;
+    std::call_once(e->once, [&] {
+        e->bundle = std::make_shared<const AnalysisBundle>(k);
+        miss = true;
+    });
+    if (miss)
+        analysisMisses_++;
+    else
+        analysisHits_++;
+    return e->bundle;
+}
+
+void
+ExperimentCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    baseline_.clear();
+    analyses_.clear();
+}
+
+ExperimentCache::Stats
+ExperimentCache::stats() const
+{
+    Stats s;
+    s.baselineHits = baselineHits_.load();
+    s.baselineMisses = baselineMisses_.load();
+    s.analysisHits = analysisHits_.load();
+    s.analysisMisses = analysisMisses_.load();
+    return s;
+}
+
+ExperimentCache &
+globalExperimentCache()
+{
+    static ExperimentCache cache;
+    return cache;
+}
+
+} // namespace rfh

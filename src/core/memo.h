@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Memoization caches for the experiment engine.
+ *
+ * A design-space sweep evaluates schemes x ORF sizes x 36 workloads,
+ * but two expensive inputs of every grid point are configuration
+ * independent:
+ *
+ *  - the baseline functional execution (flat-MRF AccessCounts) depends
+ *    only on the kernel and its RunConfig, and
+ *  - the CFG / liveness / reaching-defs analyses depend only on the
+ *    kernel's architectural structure (see ir/analysis_bundle.h).
+ *
+ * ExperimentCache computes each exactly once per process and serves
+ * all later requests — including concurrent ones from the parallel
+ * sweep — from the cache. Entries are keyed by a structural
+ * fingerprint of the kernel (not its address), so distinct kernels
+ * that happen to reuse storage can never alias, and annotated copies
+ * of a cached kernel hit the same entry. Cached results are bitwise
+ * identical to a fresh computation, so memoization never changes any
+ * report.
+ */
+
+#ifndef RFH_CORE_MEMO_H
+#define RFH_CORE_MEMO_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "ir/analysis_bundle.h"
+#include "sim/baseline_exec.h"
+
+namespace rfh {
+
+/**
+ * Structural fingerprint of a kernel: name, block layout, opcodes and
+ * operands. Allocator annotations are deliberately excluded so a
+ * kernel and its annotated copies fingerprint identically.
+ */
+std::uint64_t kernelFingerprint(const Kernel &k);
+
+/** Process-wide memoization for baseline runs and analysis bundles. */
+class ExperimentCache
+{
+  public:
+    /**
+     * Flat-MRF baseline counts of @p k under @p run, computed on first
+     * request and cached. Concurrent first requests block until the
+     * single computation finishes. The returned reference stays valid
+     * until clear().
+     */
+    const AccessCounts &baseline(const Kernel &k, const RunConfig &run);
+
+    /** Shared immutable analyses of @p k, computed on first request. */
+    std::shared_ptr<const AnalysisBundle> analyses(const Kernel &k);
+
+    /** Drop every entry (tests; not thread-safe vs. active lookups). */
+    void clear();
+
+    /** Hit/miss counters (monotonic; for benchmarks and tests). */
+    struct Stats
+    {
+        std::uint64_t baselineHits = 0;
+        std::uint64_t baselineMisses = 0;
+        std::uint64_t analysisHits = 0;
+        std::uint64_t analysisMisses = 0;
+    };
+
+    Stats stats() const;
+
+  private:
+    struct BaselineEntry
+    {
+        std::once_flag once;
+        AccessCounts counts;
+    };
+
+    struct AnalysisEntry
+    {
+        std::once_flag once;
+        std::shared_ptr<const AnalysisBundle> bundle;
+    };
+
+    /** Fingerprint + instruction count + run parameters. */
+    using BaselineKey =
+        std::tuple<std::uint64_t, int, int, std::uint64_t>;
+    using AnalysisKey = std::pair<std::uint64_t, int>;
+
+    std::mutex mu_;
+    std::map<BaselineKey, std::shared_ptr<BaselineEntry>> baseline_;
+    std::map<AnalysisKey, std::shared_ptr<AnalysisEntry>> analyses_;
+    std::atomic<std::uint64_t> baselineHits_{0};
+    std::atomic<std::uint64_t> baselineMisses_{0};
+    std::atomic<std::uint64_t> analysisHits_{0};
+    std::atomic<std::uint64_t> analysisMisses_{0};
+};
+
+/** The cache shared by runScheme, the sweeps, and the limit study. */
+ExperimentCache &globalExperimentCache();
+
+} // namespace rfh
+
+#endif // RFH_CORE_MEMO_H

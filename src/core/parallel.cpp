@@ -1,0 +1,150 @@
+#include "core/parallel.h"
+
+#include <cstdlib>
+
+namespace rfh {
+
+namespace {
+
+/**
+ * Set while this thread is executing a pool task. A nested
+ * parallelFor from inside a task runs inline instead of queueing,
+ * which both avoids deadlock (the pool runs one job at a time) and
+ * keeps nested loops in deterministic index order.
+ */
+thread_local bool t_insideTask = false;
+
+} // namespace
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("RFH_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0') {
+            if (v < 1)
+                return 1;
+            if (v > 256)
+                return 256;
+            return static_cast<int>(v);
+        }
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads > 0 ? threads : defaultThreadCount())
+{
+    // The calling thread participates in every job, so a pool of N
+    // threads spawns N-1 workers.
+    workers_.reserve(threads_ - 1);
+    for (int i = 0; i < threads_ - 1; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::parallelFor(int n, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (threads_ == 1 || n == 1 || t_insideTask) {
+        // Exact sequential path: ascending order on this thread.
+        for (int i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lk(mu_);
+    // One job at a time; concurrent top-level callers queue here.
+    done_.wait(lk, [&] { return job_ == nullptr; });
+    job_ = &fn;
+    jobSize_ = n;
+    next_ = 0;
+    pending_ = 0;
+    firstError_ = nullptr;
+    lk.unlock();
+    wake_.notify_all();
+
+    drainJob();
+
+    lk.lock();
+    done_.wait(lk, [&] { return next_ >= jobSize_ && pending_ == 0; });
+    job_ = nullptr;
+    std::exception_ptr err = firstError_;
+    firstError_ = nullptr;
+    lk.unlock();
+    done_.notify_all();
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+ThreadPool::drainJob()
+{
+    for (;;) {
+        const std::function<void(int)> *fn = nullptr;
+        int i = -1;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!job_ || next_ >= jobSize_)
+                return;
+            i = next_++;
+            pending_++;
+            fn = job_;
+        }
+        t_insideTask = true;
+        std::exception_ptr err;
+        try {
+            (*fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        t_insideTask = false;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (err && !firstError_)
+                firstError_ = err;
+            pending_--;
+            if (next_ >= jobSize_ && pending_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            wake_.wait(lk, [&] {
+                return stop_ || (job_ && next_ < jobSize_);
+            });
+            if (stop_)
+                return;
+        }
+        drainJob();
+    }
+}
+
+ThreadPool &
+globalPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace rfh

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for the experiment engine.
+ *
+ * The figure harnesses sweep schemes x ORF sizes x 36 workloads; every
+ * grid point is independent, so the engine fans the grid out across a
+ * pool and aggregates results in deterministic grid order. The worker
+ * count comes from std::thread::hardware_concurrency(), overridable
+ * with the RFH_THREADS environment variable; a count of 1 bypasses the
+ * pool entirely and runs the loop inline on the calling thread, which
+ * reproduces the historical sequential path exactly (same iteration
+ * order, same floating-point accumulation order).
+ */
+
+#ifndef RFH_CORE_PARALLEL_H
+#define RFH_CORE_PARALLEL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfh {
+
+/**
+ * Worker count for new pools: RFH_THREADS if set (clamped to
+ * [1, 256]), else std::thread::hardware_concurrency(), else 1.
+ */
+int defaultThreadCount();
+
+/** Fixed-size pool executing index-range jobs. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 0 means defaultThreadCount(). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int
+    threadCount() const
+    {
+        return threads_;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n), blocking until all complete.
+     *
+     * With one worker (or n <= 1, or when called from inside one of
+     * this pool's own tasks) the loop runs inline in ascending index
+     * order — the exact sequential path. Otherwise indices are handed
+     * to the workers (and the calling thread) in ascending order but
+     * complete in arbitrary order; callers must write results into
+     * per-index slots and aggregate afterwards if they need
+     * deterministic output.
+     *
+     * The first exception thrown by any fn(i) is rethrown on the
+     * calling thread once the job has drained.
+     */
+    void parallelFor(int n, const std::function<void(int)> &fn);
+
+    /** parallelFor over @p items, collecting fn(item) per index. */
+    template <typename T, typename F>
+    auto
+    parallelMap(const std::vector<T> &items, F fn)
+        -> std::vector<decltype(fn(items[0]))>
+    {
+        std::vector<decltype(fn(items[0]))> out(items.size());
+        parallelFor(static_cast<int>(items.size()),
+                    [&](int i) { out[i] = fn(items[i]); });
+        return out;
+    }
+
+  private:
+    void workerLoop();
+    /** Claim and run indices of the current job; @return when drained. */
+    void drainJob();
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;   ///< Signals workers: job or stop.
+    std::condition_variable done_;   ///< Signals caller: job drained.
+    const std::function<void(int)> *job_ = nullptr;
+    int jobSize_ = 0;
+    int next_ = 0;       ///< Next unclaimed index.
+    int pending_ = 0;    ///< Claimed-but-unfinished indices.
+    std::uint64_t generation_ = 0;
+    std::exception_ptr firstError_;
+    bool stop_ = false;
+};
+
+/**
+ * Shared process-wide pool used by the experiment engine
+ * (sweepEntries, runAllWorkloads, the limit study). Sized by
+ * defaultThreadCount() on first use.
+ */
+ThreadPool &globalPool();
+
+} // namespace rfh
+
+#endif // RFH_CORE_PARALLEL_H

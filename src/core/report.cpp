@@ -64,6 +64,21 @@ TextTable::str() const
 }
 
 std::string
+timingSummary(const SweepTiming &timing, const PhaseTimes &phases)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "engine: %.3fs wall, %.3fs cpu on %d thread%s "
+                  "(%.2fx), phases analyze %.3fs / allocate %.3fs / "
+                  "execute %.3fs",
+                  timing.wallSec, timing.cpuSec, timing.threads,
+                  timing.threads == 1 ? "" : "s", timing.speedup(),
+                  phases.analyzeSec, phases.allocateSec,
+                  phases.executeSec);
+    return buf;
+}
+
+std::string
 pct(double v)
 {
     char buf[32];

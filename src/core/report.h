@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sweep.h"
 #include "sim/access_counters.h"
 
 namespace rfh {
@@ -54,6 +55,15 @@ class TextTable
   private:
     std::vector<std::vector<std::string>> rows_;
 };
+
+/**
+ * One-paragraph engine timing summary for the bench harnesses: wall
+ * and summed-CPU seconds, thread count, effective speedup, and the
+ * per-phase split. @p phases is the phase aggregate (e.g. summed over
+ * sweep points or a runAllWorkloads outcome).
+ */
+std::string timingSummary(const SweepTiming &timing,
+                          const PhaseTimes &phases);
 
 /** Format @p v as a percentage with one decimal ("54.0%"). */
 std::string pct(double v);

@@ -2,6 +2,12 @@
  * @file
  * Design-space sweeps over the hierarchy size (the x-axes of
  * Figures 11, 12, and 13: entries per thread from 1 to 8).
+ *
+ * The sweep engine fans the (scheme, entries, workload) grid out
+ * across a thread pool and folds results back in deterministic grid /
+ * registry order, so reports — including the serialised JSON — are
+ * byte-identical for every thread count. RFH_THREADS=1 reproduces the
+ * historical sequential path exactly.
  */
 
 #ifndef RFH_CORE_SWEEP_H
@@ -10,6 +16,8 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/parallel.h"
+#include "core/timing.h"
 
 namespace rfh {
 
@@ -19,21 +27,50 @@ struct SweepPoint
     Scheme scheme;
     int entries = 0;
     RunOutcome outcome;  ///< Aggregated over all workloads.
+    /**
+     * Wall-clock spent on this point's cells, summed across the
+     * workers that executed them (CPU time, not elapsed time).
+     */
+    double cpuSec = 0.0;
+};
+
+/** Engine-level timing of one sweep call. */
+struct SweepTiming
+{
+    double wallSec = 0.0;  ///< Elapsed time of the whole sweep.
+    double cpuSec = 0.0;   ///< Summed per-cell time across workers.
+    int threads = 1;       ///< Pool size that executed the sweep.
+
+    /** Parallel efficiency proxy: summed cell time / elapsed time. */
+    double
+    speedup() const
+    {
+        return wallSec > 0 ? cpuSec / wallSec : 0.0;
+    }
 };
 
 /**
  * Sweep @p schemes over entries 1..kMaxOrfEntries, aggregating across
  * all workloads. @p base supplies every other configuration knob.
+ *
+ * @param pool pool to fan the grid out on (global pool when null).
+ * @param timing optional out-param receiving engine timing.
  */
 std::vector<SweepPoint> sweepEntries(const std::vector<Scheme> &schemes,
-                                     const ExperimentConfig &base);
+                                     const ExperimentConfig &base,
+                                     ThreadPool *pool = nullptr,
+                                     SweepTiming *timing = nullptr);
 
-/** Aggregate flat-MRF counts over all workloads (for normalisation). */
+/**
+ * Aggregate flat-MRF counts over all workloads (for normalisation).
+ * Baseline runs are memoized, so repeated calls are free.
+ */
 AccessCounts aggregateBaselineCounts();
 
 /**
  * @return the sweep point with the lowest normalised energy for
- * @p scheme, or nullptr if absent.
+ * @p scheme, or nullptr if absent. Ties keep the earliest point (the
+ * smallest entry count, given sweepEntries order).
  */
 const SweepPoint *bestPoint(const std::vector<SweepPoint> &points,
                             Scheme scheme);

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Wall-clock phase accounting for the experiment engine.
+ *
+ * Every runScheme call is split into three phases — analyze (CFG /
+ * liveness / reaching-defs bundle plus the baseline functional
+ * execution), allocate (the compile-time allocator), and execute (the
+ * managed-hierarchy or hardware-cache simulation) — and the engine
+ * aggregates these per sweep point. Timing never feeds back into
+ * results: the result JSON is byte-identical across thread counts,
+ * and timings are serialised separately (sweepTimingsToJson).
+ */
+
+#ifndef RFH_CORE_TIMING_H
+#define RFH_CORE_TIMING_H
+
+#include <chrono>
+
+namespace rfh {
+
+/** Wall-clock seconds spent per engine phase. */
+struct PhaseTimes
+{
+    double analyzeSec = 0.0;   ///< Analyses + baseline execution.
+    double allocateSec = 0.0;  ///< HierarchyAllocator::run.
+    double executeSec = 0.0;   ///< SW/HW hierarchy simulation.
+
+    void
+    add(const PhaseTimes &o)
+    {
+        analyzeSec += o.analyzeSec;
+        allocateSec += o.allocateSec;
+        executeSec += o.executeSec;
+    }
+
+    /** Sum of all phases (CPU-side work, summed across threads). */
+    double
+    totalSec() const
+    {
+        return analyzeSec + allocateSec + executeSec;
+    }
+};
+
+/** Monotonic stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /** Seconds since construction or the last restart(). */
+    double
+    elapsedSec() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_)
+            .count();
+    }
+
+    /** Restart and @return the elapsed seconds up to now. */
+    double
+    lap()
+    {
+        auto now = clock::now();
+        double s = std::chrono::duration<double>(now - start_).count();
+        start_ = now;
+        return s;
+    }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace rfh
+
+#endif // RFH_CORE_TIMING_H

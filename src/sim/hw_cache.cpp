@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "ir/liveness.h"
@@ -74,11 +75,16 @@ class Rfc
 } // namespace
 
 AccessCounts
-runHwCache(const Kernel &k, const HwCacheConfig &cfg)
+runHwCache(const Kernel &k, const HwCacheConfig &cfg,
+           const AnalysisBundle *analyses)
 {
-    Cfg cfg_graph(k);
-    Liveness liveness(k, cfg_graph);
-    ReachingDefs rdefs(k, cfg_graph);
+    // The analyses are structure-only, so a shared precomputed bundle
+    // is equivalent to computing them here.
+    std::optional<AnalysisBundle> local;
+    if (!analyses)
+        analyses = &local.emplace(k);
+    const Liveness &liveness = analyses->liveness;
+    const ReachingDefs &rdefs = analyses->reachingDefs;
 
     // Static per-instruction flag: does any consumer of this result run
     // on the shared datapath? Such values bypass the hardware LRF

@@ -19,6 +19,7 @@
 #ifndef RFH_SIM_HW_CACHE_H
 #define RFH_SIM_HW_CACHE_H
 
+#include "ir/analysis_bundle.h"
 #include "ir/kernel.h"
 #include "sim/access_counters.h"
 #include "sim/baseline_exec.h"
@@ -40,8 +41,14 @@ struct HwCacheConfig
     RunConfig run;
 };
 
-/** Execute @p k under the hardware-managed cache and count accesses. */
-AccessCounts runHwCache(const Kernel &k, const HwCacheConfig &cfg = {});
+/**
+ * Execute @p k under the hardware-managed cache and count accesses.
+ *
+ * @param analyses optional precomputed analyses of a kernel with
+ *        @p k's structure; computed locally when null.
+ */
+AccessCounts runHwCache(const Kernel &k, const HwCacheConfig &cfg = {},
+                        const AnalysisBundle *analyses = nullptr);
 
 } // namespace rfh
 

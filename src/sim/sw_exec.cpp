@@ -1,6 +1,7 @@
 #include "sim/sw_exec.h"
 
 #include <array>
+#include <optional>
 #include <sstream>
 
 #include "compiler/strand.h"
@@ -23,15 +24,17 @@ struct Slot
 
 SwExecResult
 runSwHierarchy(const Kernel &k, const AllocOptions &opts,
-               const SwExecConfig &cfg)
+               const SwExecConfig &cfg, const AnalysisBundle *analyses)
 {
     SwExecResult result;
     AccessCounts &counts = result.counts;
     int lrf_banks = opts.useLRF ? (opts.splitLRF ? 3 : 1) : 0;
 
     // Recompute the strand partition to detect dynamic strand
-    // crossings (ORF/LRF invalidation points).
-    Cfg cfg_graph(k);
+    // crossings (ORF/LRF invalidation points). The CFG is structural,
+    // so a shared precomputed one is equivalent.
+    std::optional<Cfg> localCfg;
+    const Cfg &cfg_graph = analyses ? analyses->cfg : localCfg.emplace(k);
     StrandAnalysis strands(k, cfg_graph, opts.strandOptions);
 
     auto fail = [&](int lin, const std::string &msg) {

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "compiler/allocation.h"
+#include "ir/analysis_bundle.h"
 #include "ir/kernel.h"
 #include "sim/access_counters.h"
 #include "sim/baseline_exec.h"
@@ -55,9 +56,13 @@ struct SwExecResult
  * @param k kernel previously processed by HierarchyAllocator.
  * @param opts the allocation options the kernel was compiled with
  *        (defines the physical ORF/LRF sizes).
+ * @param analyses optional precomputed analyses of a kernel with
+ *        @p k's structure (the pristine, un-annotated kernel is
+ *        fine); computed locally when null.
  */
 SwExecResult runSwHierarchy(const Kernel &k, const AllocOptions &opts,
-                            const SwExecConfig &cfg = {});
+                            const SwExecConfig &cfg = {},
+                            const AnalysisBundle *analyses = nullptr);
 
 } // namespace rfh
 

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the experiment engine's thread pool (core/parallel.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace rfh {
+namespace {
+
+TEST(Parallel, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const int n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](int i) { hits[i]++; });
+    for (int i = 0; i < n; i++)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, SingleThreadRunsInlineInAscendingOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::thread::id caller = std::this_thread::get_id();
+    pool.parallelFor(5, [&](int i) {
+        // Inline path: same thread, strictly ascending — the exact
+        // historical sequential loop.
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, MoreTasksThanThreadsAndViceVersa)
+{
+    ThreadPool pool(8);
+    std::atomic<int> sum{0};
+    pool.parallelFor(3, [&](int i) { sum += i; });
+    EXPECT_EQ(sum.load(), 3);
+    sum = 0;
+    pool.parallelFor(100, [&](int i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(Parallel, ParallelMapPreservesOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> in;
+    for (int i = 0; i < 64; i++)
+        in.push_back(i);
+    std::vector<int> out = pool.parallelMap(in, [](int v) {
+        return v * v;
+    });
+    ASSERT_EQ(out.size(), in.size());
+    for (int i = 0; i < 64; i++)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, ExceptionsPropagateToCaller)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(50,
+                         [&](int i) {
+                             ran++;
+                             if (i == 13)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The job drains before rethrowing; the pool stays usable.
+    std::atomic<int> sum{0};
+    pool.parallelFor(10, [&](int i) { sum += i; });
+    EXPECT_EQ(sum.load(), 45);
+    EXPECT_GT(ran.load(), 0);
+}
+
+TEST(Parallel, NestedCallsRunInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](int) {
+        pool.parallelFor(8, [&](int) { total++; });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Parallel, DefaultThreadCountHonoursEnvOverride)
+{
+    const char *saved = std::getenv("RFH_THREADS");
+    std::string savedVal = saved ? saved : "";
+
+    setenv("RFH_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreadCount(), 3);
+    setenv("RFH_THREADS", "0", 1);
+    EXPECT_EQ(defaultThreadCount(), 1);  // clamped
+    setenv("RFH_THREADS", "9999", 1);
+    EXPECT_EQ(defaultThreadCount(), 256);  // clamped
+    setenv("RFH_THREADS", "garbage", 1);
+    EXPECT_GE(defaultThreadCount(), 1);  // falls back to hardware
+
+    if (saved)
+        setenv("RFH_THREADS", savedVal.c_str(), 1);
+    else
+        unsetenv("RFH_THREADS");
+}
+
+TEST(Parallel, ZeroAndNegativeSizesAreNoOps)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](int) { ran = true; });
+    pool.parallelFor(-5, [&](int) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+} // namespace
+} // namespace rfh

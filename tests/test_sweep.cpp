@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the parallel, memoizing sweep engine: bestPoint edge
+ * cases, baseline aggregation, memoization transparency, error
+ * aggregation, and the determinism guarantee (parallel JSON reports
+ * byte-identical to the single-thread run).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/json.h"
+#include "core/memo.h"
+#include "core/parallel.h"
+#include "core/sweep.h"
+#include "ir/parser.h"
+#include "sim/baseline_exec.h"
+
+namespace rfh {
+namespace {
+
+SweepPoint
+point(Scheme s, int entries, double energy, double baseline)
+{
+    SweepPoint p;
+    p.scheme = s;
+    p.entries = entries;
+    p.outcome.energyPJ = energy;
+    p.outcome.baselineEnergyPJ = baseline;
+    return p;
+}
+
+TEST(BestPoint, EmptyVectorYieldsNull)
+{
+    std::vector<SweepPoint> none;
+    EXPECT_EQ(bestPoint(none, Scheme::SW_THREE_LEVEL), nullptr);
+}
+
+TEST(BestPoint, AbsentSchemeYieldsNull)
+{
+    std::vector<SweepPoint> pts = {
+        point(Scheme::HW_TWO_LEVEL, 1, 5.0, 10.0),
+    };
+    EXPECT_EQ(bestPoint(pts, Scheme::SW_THREE_LEVEL), nullptr);
+}
+
+TEST(BestPoint, TieKeepsTheEarliestPoint)
+{
+    // Equal normalised energy at entries 2 and 5: the first point in
+    // sweep order (the smaller size) must win, deterministically.
+    std::vector<SweepPoint> pts = {
+        point(Scheme::SW_TWO_LEVEL, 1, 8.0, 10.0),
+        point(Scheme::SW_TWO_LEVEL, 2, 5.0, 10.0),
+        point(Scheme::SW_TWO_LEVEL, 5, 5.0, 10.0),
+    };
+    const SweepPoint *best = bestPoint(pts, Scheme::SW_TWO_LEVEL);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->entries, 2);
+}
+
+TEST(BestPoint, ZeroBaselineNormalisesToZeroAndStillResolves)
+{
+    std::vector<SweepPoint> pts = {
+        point(Scheme::SW_TWO_LEVEL, 1, 5.0, 0.0),
+        point(Scheme::SW_TWO_LEVEL, 2, 4.0, 0.0),
+    };
+    const SweepPoint *best = bestPoint(pts, Scheme::SW_TWO_LEVEL);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->entries, 1);  // both normalise to 0; first wins
+}
+
+TEST(Sweep, AggregateBaselineCountsMatchesManualSum)
+{
+    AccessCounts agg = aggregateBaselineCounts();
+    AccessCounts manual;
+    for (const Workload &w : allWorkloads())
+        manual.add(runBaseline(w.kernel, w.run));
+    EXPECT_EQ(agg.allReads(), manual.allReads());
+    EXPECT_EQ(agg.allWrites(), manual.allWrites());
+    EXPECT_EQ(agg.instructions, manual.instructions);
+    // Memoized: a second call returns the identical aggregate.
+    AccessCounts again = aggregateBaselineCounts();
+    EXPECT_EQ(again.allReads(), agg.allReads());
+    EXPECT_EQ(again.instructions, agg.instructions);
+}
+
+TEST(Memo, BaselineCacheIsTransparent)
+{
+    const Workload &w = workloadByName("matrixmul");
+    const AccessCounts &cached =
+        globalExperimentCache().baseline(w.kernel, w.run);
+    AccessCounts fresh = runBaseline(w.kernel, w.run);
+    EXPECT_EQ(cached.allReads(), fresh.allReads());
+    EXPECT_EQ(cached.allWrites(), fresh.allWrites());
+    EXPECT_EQ(cached.instructions, fresh.instructions);
+    // Same kernel, same run config: the same entry is served.
+    EXPECT_EQ(&globalExperimentCache().baseline(w.kernel, w.run),
+              &cached);
+}
+
+TEST(Memo, AnalysesSharedAcrossAnnotatedCopies)
+{
+    const Workload &w = workloadByName("vectoradd");
+    auto a = globalExperimentCache().analyses(w.kernel);
+    // An annotated copy has identical structure and must hit the same
+    // bundle (annotations are excluded from the fingerprint).
+    Kernel copy = w.kernel;
+    if (copy.numInstrs() > 0)
+        copy.instr(0).writeAnno.toORF = true;
+    auto b = globalExperimentCache().analyses(copy);
+    EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(Memo, FingerprintDistinguishesStructure)
+{
+    Kernel a = parseKernelOrDie(R"(.kernel fp
+entry:
+    iadd R1, R0, #1
+    exit
+)");
+    Kernel b = parseKernelOrDie(R"(.kernel fp
+entry:
+    iadd R1, R0, #2
+    exit
+)");
+    EXPECT_NE(kernelFingerprint(a), kernelFingerprint(b));
+    Kernel annotated = a;
+    annotated.instr(0).writeAnno.toORF = true;
+    annotated.instr(0).endOfStrand = true;
+    EXPECT_EQ(kernelFingerprint(a), kernelFingerprint(annotated));
+}
+
+TEST(Experiment, ErrorAggregationCollectsEveryFailure)
+{
+    RunOutcome agg;
+    RunOutcome okOne, bad1, bad2;
+    bad1.error = "first failure";
+    bad2.error = "second failure";
+    accumulateOutcome(agg, okOne, "fine");
+    accumulateOutcome(agg, bad1, "wl_a");
+    accumulateOutcome(agg, okOne, "also_fine");
+    accumulateOutcome(agg, bad2, "wl_b");
+    EXPECT_FALSE(agg.ok());
+    EXPECT_EQ(agg.error, "wl_a: first failure; wl_b: second failure");
+}
+
+TEST(Sweep, ParallelReportByteIdenticalToSequential)
+{
+    std::vector<Scheme> schemes = {Scheme::HW_TWO_LEVEL,
+                                   Scheme::SW_THREE_LEVEL};
+    ExperimentConfig base;
+
+    ThreadPool sequential(1);
+    ThreadPool parallel(4);
+    SweepTiming seqTiming, parTiming;
+    auto seqPts = sweepEntries(schemes, base, &sequential, &seqTiming);
+    auto parPts = sweepEntries(schemes, base, &parallel, &parTiming);
+
+    // The headline guarantee: the serialised report of the parallel
+    // run is byte-identical to the single-thread (historical) path.
+    EXPECT_EQ(sweepToJson(parPts), sweepToJson(seqPts));
+
+    // And not only the summary series: every aggregated outcome
+    // (counts, energies, allocation stats) serialises identically.
+    ASSERT_EQ(parPts.size(), seqPts.size());
+    for (std::size_t i = 0; i < parPts.size(); i++)
+        EXPECT_EQ(outcomeToJson(parPts[i].outcome),
+                  outcomeToJson(seqPts[i].outcome))
+            << "point " << i;
+
+    EXPECT_EQ(seqTiming.threads, 1);
+    EXPECT_EQ(parTiming.threads, 4);
+    EXPECT_GT(seqTiming.wallSec, 0.0);
+    EXPECT_GT(parTiming.cpuSec, 0.0);
+}
+
+TEST(Sweep, RunAllWorkloadsMatchesAcrossPools)
+{
+    ExperimentConfig cfg;
+    cfg.scheme = Scheme::SW_TWO_LEVEL;
+    cfg.entries = 2;
+    ThreadPool sequential(1);
+    ThreadPool parallel(3);
+    RunOutcome a = runAllWorkloads(cfg, &sequential);
+    RunOutcome b = runAllWorkloads(cfg, &parallel);
+    EXPECT_EQ(outcomeToJson(a), outcomeToJson(b));
+    EXPECT_DOUBLE_EQ(a.energyPJ, b.energyPJ);
+    EXPECT_DOUBLE_EQ(a.baselineEnergyPJ, b.baselineEnergyPJ);
+}
+
+TEST(Sweep, TimingJsonSerialises)
+{
+    std::vector<SweepPoint> pts = {
+        point(Scheme::SW_TWO_LEVEL, 3, 5.0, 10.0),
+    };
+    pts[0].cpuSec = 0.25;
+    pts[0].outcome.phases.analyzeSec = 0.1;
+    SweepTiming t;
+    t.wallSec = 0.5;
+    t.cpuSec = 1.0;
+    t.threads = 4;
+    std::string json = sweepTimingsToJson(pts, t);
+    EXPECT_NE(json.find("\"threads\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"speedup\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"analyzeSec\":0.1"), std::string::npos);
+    EXPECT_NE(json.find("\"scheme\":\"SW\""), std::string::npos);
+}
+
+} // namespace
+} // namespace rfh
