@@ -18,6 +18,7 @@
 #include "sim/baseline_exec.h"
 #include "sim/hw_cache.h"
 #include "sim/sw_exec.h"
+#include "sim/trace.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -117,6 +118,70 @@ BM_SwExec(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SwExec);
+
+// ---- Execution-engine benchmarks ----
+//
+// BM_TraceRecord prices the one-time recording of the pre-decoded
+// dynamic stream; BM_ExecDirect vs. BM_ExecReplay compare the two
+// execute-phase engines on the same annotated kernel. Replay amortises
+// one recording over every (scheme, entries) grid cell, so its
+// per-cell win is the items/sec ratio of these two benchmarks.
+
+void
+BM_TraceRecord(benchmark::State &state)
+{
+    const Workload &w = workloadByName("nbody");
+    for (auto _ : state) {
+        DecodedTrace t = recordDecodedTrace(w.kernel, w.run);
+        benchmark::DoNotOptimize(t.lin.data());
+        state.SetItemsProcessed(state.items_processed() +
+                                t.instructions());
+    }
+}
+BENCHMARK(BM_TraceRecord);
+
+void
+BM_ExecDirect(benchmark::State &state)
+{
+    const Workload &w = workloadByName("nbody");
+    Kernel k = w.kernel;
+    AllocOptions opts;
+    opts.useLRF = true;
+    opts.splitLRF = true;
+    HierarchyAllocator alloc(EnergyParams{}, opts);
+    alloc.run(k);
+    SwExecConfig sc;
+    sc.run = w.run;
+    for (auto _ : state) {
+        SwExecResult r = runSwHierarchy(k, opts, sc);
+        benchmark::DoNotOptimize(r.counts.instructions);
+        state.SetItemsProcessed(state.items_processed() +
+                                r.counts.instructions);
+    }
+}
+BENCHMARK(BM_ExecDirect);
+
+void
+BM_ExecReplay(benchmark::State &state)
+{
+    const Workload &w = workloadByName("nbody");
+    Kernel k = w.kernel;
+    AllocOptions opts;
+    opts.useLRF = true;
+    opts.splitLRF = true;
+    HierarchyAllocator alloc(EnergyParams{}, opts);
+    alloc.run(k);
+    SwExecConfig sc;
+    sc.run = w.run;
+    DecodedTrace trace = recordDecodedTrace(w.kernel, w.run);
+    for (auto _ : state) {
+        SwExecResult r = replaySwHierarchy(k, opts, trace, sc);
+        benchmark::DoNotOptimize(r.counts.instructions);
+        state.SetItemsProcessed(state.items_processed() +
+                                r.counts.instructions);
+    }
+}
+BENCHMARK(BM_ExecReplay);
 
 // ---- Experiment-engine benchmarks ----
 

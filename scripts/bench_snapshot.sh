@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+#
+# Capture a performance snapshot of the toolchain itself: the
+# google-benchmark microbenchmarks (allocator / simulator / replay
+# engine throughput) plus the fig13 figure harness's engine timing
+# (per-phase seconds, dynamic instructions/second, memoization hit
+# rates). The combined document is written to BENCH_<n>.json at the
+# repo root, where <n> is the next free index — successive snapshots
+# accumulate so regressions can be diffed across commits.
+#
+#   scripts/bench_snapshot.sh              # default thread count
+#   RFH_THREADS=1 scripts/bench_snapshot.sh
+#
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "bench_snapshot.sh: python3 is required to compose the JSON" >&2
+    exit 1
+fi
+
+echo "== build benchmark targets (${jobs} jobs) =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs" \
+    --target perf_micro fig13_energy >/dev/null
+
+n=0
+while [[ -e "$repo/BENCH_${n}.json" ]]; do n=$((n + 1)); done
+out="$repo/BENCH_${n}.json"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== perf_micro =="
+"$repo/build/bench/perf_micro" --benchmark_format=json \
+    >"$tmp/micro.json"
+
+echo "== fig13_energy (engine timing) =="
+RFH_TIMING_JSON=1 "$repo/build/bench/fig13_energy" >"$tmp/fig13.txt"
+# The timing JSON is the last line of the harness output.
+tail -n 1 "$tmp/fig13.txt" >"$tmp/fig13.json"
+
+python3 - "$tmp/micro.json" "$tmp/fig13.json" "$out" <<'EOF'
+import json
+import sys
+
+micro_path, fig13_path, out_path = sys.argv[1:4]
+with open(micro_path) as f:
+    micro = json.load(f)
+with open(fig13_path) as f:
+    fig13 = json.load(f)
+
+cache = fig13.get("cache", {})
+
+
+def rate(hits, misses):
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+phases = {k: 0.0 for k in
+          ("analyzeSec", "traceSec", "allocateSec", "executeSec")}
+dyn = 0
+for pt in fig13.get("points", []):
+    for k in phases:
+        phases[k] += pt.get(k, 0.0)
+    dyn += int(pt.get("dynInstrs", 0))
+
+snapshot = {
+    "microbenchmarks": micro,
+    "fig13": {
+        "wallSec": fig13.get("wallSec"),
+        "cpuSec": fig13.get("cpuSec"),
+        "threads": fig13.get("threads"),
+        "speedup": fig13.get("speedup"),
+        "phases": phases,
+        "dynInstrs": dyn,
+        "instrPerSec": (dyn / phases["executeSec"]
+                        if phases["executeSec"] > 0 else 0.0),
+        "cache": cache,
+        "cacheHitRates": {
+            "baseline": rate(cache.get("baselineHits", 0),
+                             cache.get("baselineMisses", 0)),
+            "analysis": rate(cache.get("analysisHits", 0),
+                             cache.get("analysisMisses", 0)),
+            "trace": rate(cache.get("traceHits", 0),
+                          cache.get("traceMisses", 0)),
+        },
+        "points": fig13.get("points"),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=False)
+    f.write("\n")
+EOF
+
+echo "== snapshot written to ${out} =="

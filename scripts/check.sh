@@ -2,17 +2,24 @@
 #
 # Full local gate: configure, build, and run the test suite, then
 # rebuild with ThreadSanitizer and exercise the parallel experiment
-# engine under it. Usage:
+# engine under it, and with AddressSanitizer over the trace/replay
+# engine (whose pre-decoded buffers and ring-buffer RFC are the
+# library's most index-heavy code). Usage:
 #
-#   scripts/check.sh            # release-ish build + ctest + TSan pass
-#   scripts/check.sh --no-tsan  # skip the sanitizer stage
+#   scripts/check.sh            # build + ctest + TSan + ASan passes
+#   scripts/check.sh --no-tsan  # skip the TSan stage
+#   scripts/check.sh --no-asan  # skip the ASan stage
 #
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+run_asan=1
+for arg in "$@"; do
+    [[ "$arg" == "--no-tsan" ]] && run_tsan=0
+    [[ "$arg" == "--no-asan" ]] && run_asan=0
+done
 
 echo "== build + test (${jobs} jobs) =="
 cmake -B "$repo/build" -S "$repo" >/dev/null
@@ -28,6 +35,16 @@ if [[ "$run_tsan" == 1 ]]; then
     # on small CI hosts.
     RFH_THREADS=4 "$repo/build-tsan/tests/rfh_tests" \
         --gtest_filter='Parallel.*:Sweep.*:Memo.*'
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+    echo "== AddressSanitizer: trace + replay engine =="
+    cmake -B "$repo/build-asan" -S "$repo" -DRFH_SANITIZE=address >/dev/null
+    cmake --build "$repo/build-asan" -j "$jobs" --target rfh_tests
+    # The recording walk, the pre-decoded SoA buffers, and every
+    # replay executor's pointer-walking hot loop.
+    "$repo/build-asan/tests/rfh_tests" \
+        --gtest_filter='Trace.*:Replay.*:Seeds/ReplayProperty.*'
 fi
 
 echo "== all checks passed =="

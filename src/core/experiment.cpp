@@ -22,6 +22,17 @@ schemeName(Scheme s)
     return "?";
 }
 
+std::string_view
+engineName(ExecEngine e)
+{
+    switch (e) {
+      case ExecEngine::AUTO: return "auto";
+      case ExecEngine::DIRECT: return "direct";
+      case ExecEngine::REPLAY: return "replay";
+    }
+    return "?";
+}
+
 AllocOptions
 ExperimentConfig::allocOptions() const
 {
@@ -45,6 +56,12 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     int price = cfg.orfPriceEntries ? cfg.orfPriceEntries : cfg.entries;
     EnergyModel em(cfg.energy, price, split);
 
+    // A lone runScheme call defaults to the value-verifying engine;
+    // the sweeps resolve AUTO to REPLAY before fanning out.
+    ExecEngine engine = cfg.engine == ExecEngine::AUTO
+                            ? ExecEngine::DIRECT
+                            : cfg.engine;
+
     ExperimentCache &cache = globalExperimentCache();
     Stopwatch watch;
 
@@ -57,6 +74,14 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     out.baselineEnergyPJ = base.totalEnergyPJ(em);
     out.phases.analyzeSec = watch.lap();
 
+    // ---- Trace: the pre-decoded dynamic stream, recorded once per
+    // (kernel, RunConfig) and shared by every replay grid cell ----
+    std::shared_ptr<const DecodedTrace> trace;
+    if (engine == ExecEngine::REPLAY && cfg.scheme != Scheme::BASELINE) {
+        trace = cache.trace(w.kernel, w.run);
+        out.phases.traceSec = watch.lap();
+    }
+
     switch (cfg.scheme) {
       case Scheme::BASELINE:
         out.counts = base;
@@ -68,7 +93,9 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         hc.useLRF = cfg.scheme == Scheme::HW_THREE_LEVEL;
         hc.flushOnBackwardBranch = cfg.hwFlushOnBackwardBranch;
         hc.run = w.run;
-        out.counts = runHwCache(w.kernel, hc, analyses.get());
+        out.counts = trace ? replayHwCache(w.kernel, hc, *trace,
+                                           analyses.get())
+                           : runHwCache(w.kernel, hc, analyses.get());
         out.phases.executeSec = watch.lap();
         break;
       }
@@ -82,8 +109,13 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         SwExecConfig sc;
         sc.run = w.run;
         sc.idealNoFlush = cfg.idealNoFlush;
-        SwExecResult res = runSwHierarchy(annotated, cfg.allocOptions(),
-                                          sc, analyses.get());
+        // Annotations never change the dynamic path, so the pristine
+        // kernel's trace replays the annotated copy exactly.
+        SwExecResult res =
+            trace ? replaySwHierarchy(annotated, cfg.allocOptions(),
+                                      *trace, sc, analyses.get())
+                  : runSwHierarchy(annotated, cfg.allocOptions(), sc,
+                                   analyses.get());
         out.counts = res.counts;
         out.error = res.error;
         out.phases.executeSec = watch.lap();
@@ -91,6 +123,7 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
       }
     }
 
+    out.phases.dynInstrs = out.counts.instructions;
     out.energyPJ = out.counts.totalEnergyPJ(em);
     return out;
 }
@@ -116,9 +149,14 @@ runAllWorkloads(const ExperimentConfig &cfg, ThreadPool *pool)
 {
     const std::vector<Workload> &ws = allWorkloads();
     ThreadPool &p = pool ? *pool : globalPool();
+    // Sweep-style bulk evaluation: AUTO resolves to the replay engine
+    // (the direct oracle remains selectable via cfg.engine).
+    ExperimentConfig run = cfg;
+    if (run.engine == ExecEngine::AUTO)
+        run.engine = ExecEngine::REPLAY;
     std::vector<RunOutcome> outs(ws.size());
     p.parallelFor(static_cast<int>(ws.size()),
-                  [&](int i) { outs[i] = runScheme(ws[i], cfg); });
+                  [&](int i) { outs[i] = runScheme(ws[i], run); });
     // Fold in registry order so aggregation (floating-point sums
     // included) is independent of completion order and thread count.
     RunOutcome agg;

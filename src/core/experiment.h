@@ -33,6 +33,27 @@ enum class Scheme
 /** @return a short display name ("HW", "SW LRF", ...). */
 std::string_view schemeName(Scheme s);
 
+/**
+ * How the execute phase simulates the hierarchy.
+ *
+ * DIRECT interprets the kernel instruction by instruction with real
+ * 32-bit values, verifying every access bit-exactly — the oracle.
+ * REPLAY walks a pre-decoded dynamic stream (recorded once per
+ * (kernel, RunConfig) and memoized in the ExperimentCache) doing only
+ * hierarchy state updates and access counting: no opcode dispatch, no
+ * value computation, no branch evaluation. Both engines produce
+ * byte-identical reports; REPLAY is the fast path for sweeps.
+ */
+enum class ExecEngine
+{
+    AUTO,    ///< DIRECT for single runs, REPLAY inside sweeps.
+    DIRECT,  ///< Value-verifying interpretation.
+    REPLAY,  ///< Pre-decoded stream replay (counting only).
+};
+
+/** @return "direct" or "replay" (AUTO resolves before display). */
+std::string_view engineName(ExecEngine e);
+
 /** Full experiment configuration. */
 struct ExperimentConfig
 {
@@ -61,6 +82,12 @@ struct ExperimentConfig
     StrandOptions strandOptions;
     /** Hardware variant: flush the RFC at backward branches. */
     bool hwFlushOnBackwardBranch = false;
+    /**
+     * Execution engine for the simulate phase. AUTO picks DIRECT for
+     * a lone runScheme call and REPLAY inside sweepEntries /
+     * runAllWorkloads; the choice never changes any report byte.
+     */
+    ExecEngine engine = ExecEngine::AUTO;
     /** Technology constants. */
     EnergyParams energy;
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/memo.h"
+
 namespace rfh {
 
 void
@@ -205,6 +207,18 @@ sweepTimingsToJson(const std::vector<SweepPoint> &points,
     w.key("cpuSec").value(timing.cpuSec);
     w.key("threads").value(timing.threads);
     w.key("speedup").value(timing.speedup());
+    // Process-wide memoization counters (monotonic): how much of the
+    // analyze/trace work the sweep served from cache.
+    ExperimentCache::Stats cs = globalExperimentCache().stats();
+    w.key("cache");
+    w.beginObject();
+    w.key("baselineHits").value(cs.baselineHits);
+    w.key("baselineMisses").value(cs.baselineMisses);
+    w.key("analysisHits").value(cs.analysisHits);
+    w.key("analysisMisses").value(cs.analysisMisses);
+    w.key("traceHits").value(cs.traceHits);
+    w.key("traceMisses").value(cs.traceMisses);
+    w.endObject();
     w.key("points");
     w.beginArray();
     for (const SweepPoint &pt : points) {
@@ -213,8 +227,11 @@ sweepTimingsToJson(const std::vector<SweepPoint> &points,
         w.key("entries").value(pt.entries);
         w.key("cpuSec").value(pt.cpuSec);
         w.key("analyzeSec").value(pt.outcome.phases.analyzeSec);
+        w.key("traceSec").value(pt.outcome.phases.traceSec);
         w.key("allocateSec").value(pt.outcome.phases.allocateSec);
         w.key("executeSec").value(pt.outcome.phases.executeSec);
+        w.key("dynInstrs").value(pt.outcome.phases.dynInstrs);
+        w.key("instrPerSec").value(pt.outcome.phases.instrPerSec());
         w.endObject();
     }
     w.endArray();

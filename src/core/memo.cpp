@@ -115,12 +115,39 @@ ExperimentCache::analyses(const Kernel &k)
     return e->bundle;
 }
 
+std::shared_ptr<const DecodedTrace>
+ExperimentCache::trace(const Kernel &k, const RunConfig &run)
+{
+    BaselineKey key{kernelFingerprint(k), k.numInstrs(), run.numWarps,
+                    run.maxInstrsPerWarp};
+    std::shared_ptr<TraceEntry> e;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto &slot = traces_[key];
+        if (!slot)
+            slot = std::make_shared<TraceEntry>();
+        e = slot;
+    }
+    bool miss = false;
+    std::call_once(e->once, [&] {
+        e->trace =
+            std::make_shared<const DecodedTrace>(recordDecodedTrace(k, run));
+        miss = true;
+    });
+    if (miss)
+        traceMisses_++;
+    else
+        traceHits_++;
+    return e->trace;
+}
+
 void
 ExperimentCache::clear()
 {
     std::lock_guard<std::mutex> lk(mu_);
     baseline_.clear();
     analyses_.clear();
+    traces_.clear();
 }
 
 ExperimentCache::Stats
@@ -131,6 +158,8 @@ ExperimentCache::stats() const
     s.baselineMisses = baselineMisses_.load();
     s.analysisHits = analysisHits_.load();
     s.analysisMisses = analysisMisses_.load();
+    s.traceHits = traceHits_.load();
+    s.traceMisses = traceMisses_.load();
     return s;
 }
 

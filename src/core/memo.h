@@ -32,6 +32,7 @@
 
 #include "ir/analysis_bundle.h"
 #include "sim/baseline_exec.h"
+#include "sim/trace.h"
 
 namespace rfh {
 
@@ -57,6 +58,16 @@ class ExperimentCache
     /** Shared immutable analyses of @p k, computed on first request. */
     std::shared_ptr<const AnalysisBundle> analyses(const Kernel &k);
 
+    /**
+     * Pre-decoded dynamic stream of @p k under @p run, recorded by a
+     * single functional execution on first request and then shared
+     * read-only by every replay-mode grid cell. Keyed like baseline():
+     * annotated copies of a cached kernel hit the same entry, since
+     * annotations never change the dynamic path.
+     */
+    std::shared_ptr<const DecodedTrace> trace(const Kernel &k,
+                                              const RunConfig &run);
+
     /** Drop every entry (tests; not thread-safe vs. active lookups). */
     void clear();
 
@@ -67,6 +78,8 @@ class ExperimentCache
         std::uint64_t baselineMisses = 0;
         std::uint64_t analysisHits = 0;
         std::uint64_t analysisMisses = 0;
+        std::uint64_t traceHits = 0;
+        std::uint64_t traceMisses = 0;
     };
 
     Stats stats() const;
@@ -84,6 +97,12 @@ class ExperimentCache
         std::shared_ptr<const AnalysisBundle> bundle;
     };
 
+    struct TraceEntry
+    {
+        std::once_flag once;
+        std::shared_ptr<const DecodedTrace> trace;
+    };
+
     /** Fingerprint + instruction count + run parameters. */
     using BaselineKey =
         std::tuple<std::uint64_t, int, int, std::uint64_t>;
@@ -92,10 +111,13 @@ class ExperimentCache
     std::mutex mu_;
     std::map<BaselineKey, std::shared_ptr<BaselineEntry>> baseline_;
     std::map<AnalysisKey, std::shared_ptr<AnalysisEntry>> analyses_;
+    std::map<BaselineKey, std::shared_ptr<TraceEntry>> traces_;
     std::atomic<std::uint64_t> baselineHits_{0};
     std::atomic<std::uint64_t> baselineMisses_{0};
     std::atomic<std::uint64_t> analysisHits_{0};
     std::atomic<std::uint64_t> analysisMisses_{0};
+    std::atomic<std::uint64_t> traceHits_{0};
+    std::atomic<std::uint64_t> traceMisses_{0};
 };
 
 /** The cache shared by runScheme, the sweeps, and the limit study. */

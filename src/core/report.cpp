@@ -66,15 +66,18 @@ TextTable::str() const
 std::string
 timingSummary(const SweepTiming &timing, const PhaseTimes &phases)
 {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "engine: %.3fs wall, %.3fs cpu on %d thread%s "
-                  "(%.2fx), phases analyze %.3fs / allocate %.3fs / "
-                  "execute %.3fs",
+                  "(%.2fx), phases analyze %.3fs / trace %.3fs / "
+                  "allocate %.3fs / execute %.3fs, %.1fM dyn instr "
+                  "(%.1fM instr/s)",
                   timing.wallSec, timing.cpuSec, timing.threads,
                   timing.threads == 1 ? "" : "s", timing.speedup(),
-                  phases.analyzeSec, phases.allocateSec,
-                  phases.executeSec);
+                  phases.analyzeSec, phases.traceSec,
+                  phases.allocateSec, phases.executeSec,
+                  static_cast<double>(phases.dynInstrs) / 1e6,
+                  phases.instrPerSec() / 1e6);
     return buf;
 }
 

@@ -2,19 +2,21 @@
  * @file
  * Wall-clock phase accounting for the experiment engine.
  *
- * Every runScheme call is split into three phases — analyze (CFG /
+ * Every runScheme call is split into four phases — analyze (CFG /
  * liveness / reaching-defs bundle plus the baseline functional
- * execution), allocate (the compile-time allocator), and execute (the
- * managed-hierarchy or hardware-cache simulation) — and the engine
- * aggregates these per sweep point. Timing never feeds back into
- * results: the result JSON is byte-identical across thread counts,
- * and timings are serialised separately (sweepTimingsToJson).
+ * execution), trace (recording the pre-decoded dynamic stream, replay
+ * engine only), allocate (the compile-time allocator), and execute
+ * (the managed-hierarchy or hardware-cache simulation) — and the
+ * engine aggregates these per sweep point. Timing never feeds back
+ * into results: the result JSON is byte-identical across thread
+ * counts, and timings are serialised separately (sweepTimingsToJson).
  */
 
 #ifndef RFH_CORE_TIMING_H
 #define RFH_CORE_TIMING_H
 
 #include <chrono>
+#include <cstdint>
 
 namespace rfh {
 
@@ -22,22 +24,35 @@ namespace rfh {
 struct PhaseTimes
 {
     double analyzeSec = 0.0;   ///< Analyses + baseline execution.
+    double traceSec = 0.0;     ///< Decoded-stream recording (replay).
     double allocateSec = 0.0;  ///< HierarchyAllocator::run.
     double executeSec = 0.0;   ///< SW/HW hierarchy simulation.
+    /** Dynamic instructions simulated in the execute phase. */
+    std::uint64_t dynInstrs = 0;
 
     void
     add(const PhaseTimes &o)
     {
         analyzeSec += o.analyzeSec;
+        traceSec += o.traceSec;
         allocateSec += o.allocateSec;
         executeSec += o.executeSec;
+        dynInstrs += o.dynInstrs;
     }
 
     /** Sum of all phases (CPU-side work, summed across threads). */
     double
     totalSec() const
     {
-        return analyzeSec + allocateSec + executeSec;
+        return analyzeSec + traceSec + allocateSec + executeSec;
+    }
+
+    /** Dynamic instructions per execute-phase second (0 if untimed). */
+    double
+    instrPerSec() const
+    {
+        return executeSec > 0 ? static_cast<double>(dynInstrs) / executeSec
+                              : 0.0;
     }
 };
 

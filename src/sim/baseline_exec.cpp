@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/machine.h"
+#include "sim/trace.h"
 
 namespace rfh {
 
@@ -28,6 +29,33 @@ runBaseline(const Kernel &k, const RunConfig &cfg)
             executed++;
         }
     }
+    return counts;
+}
+
+AccessCounts
+replayBaseline(const Kernel &k, const DecodedTrace &trace)
+{
+    // Pre-resolve the two per-instruction quantities the flat-MRF
+    // accounting needs so the replay loop is pure table lookups.
+    const int n = k.numInstrs();
+    std::vector<std::uint8_t> reg_reads(n), reg_writes(n), dp_of(n);
+    for (int lin = 0; lin < n; lin++) {
+        const Instruction &in = k.instr(lin);
+        reg_reads[lin] = static_cast<std::uint8_t>(in.numRegReads());
+        reg_writes[lin] = static_cast<std::uint8_t>(in.numRegWrites());
+        dp_of[lin] =
+            static_cast<std::uint8_t>(datapathOf(in.unit()));
+    }
+    AccessCounts counts;
+    const std::size_t total = trace.lin.size();
+    for (std::size_t t = 0; t < total; t++) {
+        const int lin = trace.lin[t];
+        const Datapath dp = static_cast<Datapath>(dp_of[lin]);
+        counts.read(Level::MRF, dp, reg_reads[lin]);
+        if (trace.flags[t] & kReplayExecuted)
+            counts.write(Level::MRF, dp, reg_writes[lin]);
+    }
+    counts.instructions = trace.instructions();
     return counts;
 }
 

@@ -31,6 +31,15 @@ struct RunConfig
 /** Execute @p k against a flat MRF and count accesses. */
 AccessCounts runBaseline(const Kernel &k, const RunConfig &cfg = {});
 
+struct DecodedTrace;
+
+/**
+ * Replay-mode counterpart of runBaseline: derive the flat-MRF counts
+ * from a pre-decoded trace of @p k without re-executing the machine.
+ * Identical counts to runBaseline on the trace's RunConfig.
+ */
+AccessCounts replayBaseline(const Kernel &k, const DecodedTrace &trace);
+
 /** Dynamic register-usage statistics (Figure 2). */
 struct UsageStats
 {

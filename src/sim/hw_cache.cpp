@@ -1,29 +1,37 @@
 #include "sim/hw_cache.h"
 
-#include <algorithm>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "ir/liveness.h"
 #include "ir/reaching_defs.h"
 #include "sim/machine.h"
+#include "sim/trace.h"
 
 namespace rfh {
 
 namespace {
 
-/** Per-warp RFC state. */
+/**
+ * Per-warp RFC state: a register bitset for O(1) membership tests on
+ * the read path plus a ring buffer preserving FIFO insertion order
+ * for eviction. Both executors probe this on every operand, so the
+ * membership test must not scan.
+ */
 class Rfc
 {
   public:
-    explicit Rfc(int entries) : entries_(entries) {}
+    explicit Rfc(int entries)
+        : entries_(entries),
+          fifo_(static_cast<std::size_t>(entries > 0 ? entries : 1))
+    {
+    }
 
     /** @return true if @p r is cached. */
     bool
     contains(Reg r) const
     {
-        return std::find(regs_.begin(), regs_.end(), r) != regs_.end();
+        return present_.test(r);
     }
 
     /**
@@ -35,42 +43,270 @@ class Rfc
     bool
     insert(Reg r, Reg &evicted)
     {
-        if (contains(r))
+        if (entries_ <= 0 || present_.test(r))
             return false;
-        if (static_cast<int>(regs_.size()) < entries_) {
-            regs_.push_back(r);
+        present_.set(r);
+        if (size_ < entries_) {
+            fifo_[wrap(head_ + size_)] = r;
+            size_++;
             return false;
         }
-        evicted = regs_.front();
-        regs_.pop_front();
-        regs_.push_back(r);
+        evicted = fifo_[head_];
+        present_.reset(evicted);
+        fifo_[head_] = r;
+        head_ = wrap(head_ + 1);
         return true;
     }
 
     void
     erase(Reg r)
     {
-        auto it = std::find(regs_.begin(), regs_.end(), r);
-        if (it != regs_.end())
-            regs_.erase(it);
+        if (!present_.test(r))
+            return;
+        present_.reset(r);
+        // Compact the ring in place; survivors keep FIFO order (the
+        // write slot always trails the read slot).
+        int kept = 0;
+        for (int i = 0; i < size_; i++) {
+            Reg v = fifo_[wrap(head_ + i)];
+            if (v != r)
+                fifo_[wrap(head_ + kept++)] = v;
+        }
+        size_ = kept;
     }
 
-    const std::deque<Reg> &
-    contents() const
+    /** Visit the cached registers in FIFO order. */
+    template <typename F>
+    void
+    forEach(F f) const
     {
-        return regs_;
+        for (int i = 0; i < size_; i++)
+            f(fifo_[wrap(head_ + i)]);
     }
 
     void
     clear()
     {
-        regs_.clear();
+        present_.reset();
+        head_ = 0;
+        size_ = 0;
     }
 
   private:
+    int
+    wrap(int i) const
+    {
+        return i >= entries_ ? i - entries_ : i;
+    }
+
     int entries_;
-    std::deque<Reg> regs_;
+    RegSet present_;
+    std::vector<Reg> fifo_;
+    int head_ = 0;
+    int size_ = 0;
 };
+
+/**
+ * Hierarchy state + access accounting of one warp under the hardware
+ * cache. The direct executor drives it from the functional machine;
+ * the replay executor drives it from a pre-decoded trace. Both feed
+ * the same onInstr(), so their counts are identical by construction:
+ * everything value-dependent is folded into the @c enabled and
+ * @c branchTaken inputs.
+ */
+class HwWarpSim
+{
+  public:
+    HwWarpSim(const ReplayDecode &dec, const HwCacheConfig &cfg,
+              const Liveness &liveness,
+              const std::vector<bool> &shared_consumer,
+              AccessCounts &counts)
+        : dec_(dec), cfg_(cfg), liveness_(liveness),
+          shared_consumer_(shared_consumer), counts_(counts),
+          rfc_(cfg.rfcEntries)
+    {
+    }
+
+    /** Reset the hierarchy for a fresh warp. */
+    void
+    beginWarp()
+    {
+        rfc_.clear();
+        lrf_valid_ = false;
+        lrf_reg_ = 0;
+        pending_.reset();
+    }
+
+    /**
+     * Account one dynamic instruction. @p enabled is the predicate
+     * outcome at issue; @p branch_taken whether a BRA was taken.
+     */
+    void
+    onInstr(int lin, bool enabled, bool branch_taken)
+    {
+        const Instruction &in = dec_.instr[lin];
+        Datapath dp = static_cast<Datapath>(dec_.datapath[lin]);
+        bool shared = dec_.shared[lin] != 0;
+
+        // Two-level scheduler: deschedule on a dependence on an
+        // outstanding long-latency operation (reads, writes, or
+        // overwrites of its destination).
+        if ((dec_.touched[lin] & pending_).any()) {
+            // Liveness immediately before this instruction.
+            RegSet live_before =
+                (liveness_.liveAfter(lin) & ~dec_.defined[lin]) |
+                usedRegs(in);
+            flushAll(live_before);
+            pending_.reset();
+            counts_.deschedules++;
+        }
+
+        // Operand reads: LRF (private only) -> RFC -> MRF.
+        auto read_one = [&](Reg r) {
+            if (cfg_.useLRF && !shared && lrf_valid_ && lrf_reg_ == r) {
+                counts_.read(Level::LRF, dp);
+            } else if (rfc_.contains(r)) {
+                counts_.read(Level::ORF, dp);
+            } else {
+                counts_.read(Level::MRF, dp);
+            }
+        };
+        for (int s = 0; s < in.numSrcs; s++)
+            if (in.srcs[s].isReg)
+                read_one(in.srcs[s].reg);
+        if (in.pred)
+            read_one(*in.pred);
+
+        // Result write (suppressed when predicated off).
+        if (in.dst && enabled) {
+            int halves = in.wide ? 2 : 1;
+            if (in.longLatency()) {
+                // Long-latency results bypass the hierarchy.
+                counts_.write(Level::MRF, dp, halves);
+                // Their destination must not linger in the caches.
+                for (int h = 0; h < halves; h++) {
+                    Reg r = static_cast<Reg>(*in.dst + h);
+                    rfc_.erase(r);
+                    if (lrf_valid_ && lrf_reg_ == r)
+                        lrf_valid_ = false;
+                }
+                pending_ |= dec_.defined[lin];
+            } else if (cfg_.useLRF && !in.wide &&
+                       in.unit() == UnitClass::ALU &&
+                       !shared_consumer_[lin]) {
+                // Private result consumed privately: goes to LRF.
+                if (lrf_valid_ && lrf_reg_ != *in.dst)
+                    spillLrfToRfc(lin);
+                rfc_.erase(*in.dst);  // keep a single location
+                lrf_valid_ = true;
+                lrf_reg_ = *in.dst;
+                counts_.write(Level::LRF, dp);
+            } else {
+                for (int h = 0; h < halves; h++) {
+                    Reg r = static_cast<Reg>(*in.dst + h);
+                    if (cfg_.useLRF && lrf_valid_ && lrf_reg_ == r)
+                        lrf_valid_ = false;  // overwritten
+                    Reg victim = 0;
+                    if (rfc_.insert(r, victim)) {
+                        if (liveness_.liveAfter(lin, victim)) {
+                            counts_.read(Level::ORF, dp);
+                            counts_.wbReads++;
+                            counts_.write(Level::MRF, dp);
+                            counts_.wbWrites++;
+                        }
+                    }
+                    counts_.write(Level::ORF, dp);
+                }
+            }
+        }
+
+        counts_.instructions++;
+
+        // Backward branch taken: optional flush variant.
+        if (cfg_.flushOnBackwardBranch && branch_taken &&
+            dec_.backwardBranch[lin])
+            flushAll(liveness_.liveAfter(lin));
+    }
+
+  private:
+    /** Spill the LRF occupant into the RFC (LRF eviction path). */
+    void
+    spillLrfToRfc(int lin)
+    {
+        if (!lrf_valid_)
+            return;
+        if (liveness_.liveAfter(lin, lrf_reg_)) {
+            counts_.read(Level::LRF, Datapath::PRIVATE);
+            counts_.wbReads++;
+            Reg victim = 0;
+            if (rfc_.insert(lrf_reg_, victim)) {
+                if (liveness_.liveAfter(lin, victim)) {
+                    counts_.read(Level::ORF, Datapath::PRIVATE);
+                    counts_.wbReads++;
+                    counts_.write(Level::MRF, Datapath::PRIVATE);
+                    counts_.wbWrites++;
+                }
+            }
+            counts_.write(Level::ORF, Datapath::PRIVATE);
+        }
+        lrf_valid_ = false;
+    }
+
+    /** Flush everything live back to the MRF (deschedule). */
+    void
+    flushAll(const RegSet &live)
+    {
+        if (lrf_valid_ && live.test(lrf_reg_)) {
+            counts_.read(Level::LRF, Datapath::PRIVATE);
+            counts_.wbReads++;
+            counts_.write(Level::MRF, Datapath::PRIVATE);
+            counts_.wbWrites++;
+        }
+        lrf_valid_ = false;
+        rfc_.forEach([&](Reg r) {
+            if (live.test(r)) {
+                counts_.read(Level::ORF, Datapath::PRIVATE);
+                counts_.wbReads++;
+                counts_.write(Level::MRF, Datapath::PRIVATE);
+                counts_.wbWrites++;
+            }
+        });
+        rfc_.clear();
+    }
+
+    const ReplayDecode &dec_;
+    const HwCacheConfig &cfg_;
+    const Liveness &liveness_;
+    const std::vector<bool> &shared_consumer_;
+    AccessCounts &counts_;
+    Rfc rfc_;
+    bool lrf_valid_ = false;
+    Reg lrf_reg_ = 0;
+    RegSet pending_;
+};
+
+/**
+ * Static per-instruction flag: does any consumer of this result run
+ * on the shared datapath? Such values bypass the hardware LRF
+ * (Section 6.2: the compiler guarantees shared-unit operands are
+ * available in the RFC or MRF).
+ */
+std::vector<bool>
+sharedConsumers(const Kernel &k, const ReachingDefs &rdefs)
+{
+    std::vector<bool> shared_consumer(k.numInstrs(), false);
+    for (int lin = 0; lin < k.numInstrs(); lin++) {
+        for (DefId d : rdefs.defsAt(lin)) {
+            for (const UseSite &u : rdefs.uses(d)) {
+                if (u.slot == kPredSlot)
+                    continue;
+                if (isSharedUnit(k.instr(u.lin).unit()))
+                    shared_consumer[lin] = true;
+            }
+        }
+    }
+    return shared_consumer;
+}
 
 } // namespace
 
@@ -83,167 +319,50 @@ runHwCache(const Kernel &k, const HwCacheConfig &cfg,
     std::optional<AnalysisBundle> local;
     if (!analyses)
         analyses = &local.emplace(k);
-    const Liveness &liveness = analyses->liveness;
-    const ReachingDefs &rdefs = analyses->reachingDefs;
-
-    // Static per-instruction flag: does any consumer of this result run
-    // on the shared datapath? Such values bypass the hardware LRF
-    // (Section 6.2: the compiler guarantees shared-unit operands are
-    // available in the RFC or MRF).
-    std::vector<bool> shared_consumer(k.numInstrs(), false);
-    for (int lin = 0; lin < k.numInstrs(); lin++) {
-        for (DefId d : rdefs.defsAt(lin)) {
-            for (const UseSite &u : rdefs.uses(d)) {
-                if (u.slot == kPredSlot)
-                    continue;
-                if (isSharedUnit(k.instr(u.lin).unit()))
-                    shared_consumer[lin] = true;
-            }
-        }
-    }
+    std::vector<bool> shared_consumer =
+        sharedConsumers(k, analyses->reachingDefs);
+    ReplayDecode dec(k);
 
     AccessCounts counts;
+    HwWarpSim sim(dec, cfg, analyses->liveness, shared_consumer, counts);
     for (int w = 0; w < cfg.run.numWarps; w++) {
         WarpContext warp;
         warp.reset(static_cast<std::uint32_t>(w));
-        Rfc rfc(cfg.rfcEntries);
-        bool lrf_valid = false;
-        Reg lrf_reg = 0;
-        RegSet pending;
+        sim.beginWarp();
         std::uint64_t executed = 0;
-
-        // Spill the LRF occupant into the RFC (LRF eviction path).
-        auto spill_lrf_to_rfc = [&](int lin) {
-            if (!lrf_valid)
-                return;
-            if (liveness.liveAfter(lin, lrf_reg)) {
-                counts.read(Level::LRF, Datapath::PRIVATE);
-                counts.wbReads++;
-                Reg victim = 0;
-                if (rfc.insert(lrf_reg, victim)) {
-                    if (liveness.liveAfter(lin, victim)) {
-                        counts.read(Level::ORF, Datapath::PRIVATE);
-                        counts.wbReads++;
-                        counts.write(Level::MRF, Datapath::PRIVATE);
-                        counts.wbWrites++;
-                    }
-                }
-                counts.write(Level::ORF, Datapath::PRIVATE);
-            }
-            lrf_valid = false;
-        };
-
-        // Flush everything live back to the MRF (deschedule).
-        auto flush_all = [&](const RegSet &live) {
-            if (lrf_valid && live.test(lrf_reg)) {
-                counts.read(Level::LRF, Datapath::PRIVATE);
-                counts.wbReads++;
-                counts.write(Level::MRF, Datapath::PRIVATE);
-                counts.wbWrites++;
-            }
-            lrf_valid = false;
-            for (Reg r : rfc.contents()) {
-                if (live.test(r)) {
-                    counts.read(Level::ORF, Datapath::PRIVATE);
-                    counts.wbReads++;
-                    counts.write(Level::MRF, Datapath::PRIVATE);
-                    counts.wbWrites++;
-                }
-            }
-            rfc.clear();
-        };
-
         while (!warp.done && executed < cfg.run.maxInstrsPerWarp) {
             int lin = warp.pc(k);
             const Instruction &in = k.instr(lin);
-            Datapath dp = datapathOf(in.unit());
-            bool shared = isSharedUnit(in.unit());
-
-            // Two-level scheduler: deschedule on a dependence on an
-            // outstanding long-latency operation (reads, writes, or
-            // overwrites of its destination).
-            RegSet touched = usedRegs(in) | definedRegs(in);
-            if ((touched & pending).any()) {
-                // Liveness immediately before this instruction.
-                RegSet live_before =
-                    (liveness.liveAfter(lin) & ~definedRegs(in)) |
-                    usedRegs(in);
-                flush_all(live_before);
-                pending.reset();
-                counts.deschedules++;
-            }
-
-            // Operand reads: LRF (private only) -> RFC -> MRF.
-            auto read_one = [&](Reg r) {
-                if (cfg.useLRF && !shared && lrf_valid && lrf_reg == r) {
-                    counts.read(Level::LRF, dp);
-                } else if (rfc.contains(r)) {
-                    counts.read(Level::ORF, dp);
-                } else {
-                    counts.read(Level::MRF, dp);
-                }
-            };
-            for (int s = 0; s < in.numSrcs; s++)
-                if (in.srcs[s].isReg)
-                    read_one(in.srcs[s].reg);
-            if (in.pred)
-                read_one(*in.pred);
-
-            // Result write (suppressed when predicated off).
             bool enabled = !in.pred || warp.regs[*in.pred] != 0;
-            if (in.dst && enabled) {
-                int halves = in.wide ? 2 : 1;
-                if (in.longLatency()) {
-                    // Long-latency results bypass the hierarchy.
-                    counts.write(Level::MRF, dp, halves);
-                    // Their destination must not linger in the caches.
-                    for (int h = 0; h < halves; h++) {
-                        Reg r = static_cast<Reg>(*in.dst + h);
-                        rfc.erase(r);
-                        if (lrf_valid && lrf_reg == r)
-                            lrf_valid = false;
-                    }
-                    pending |= definedRegs(in);
-                } else if (cfg.useLRF && !in.wide &&
-                           in.unit() == UnitClass::ALU &&
-                           !shared_consumer[lin]) {
-                    // Private result consumed privately: goes to LRF.
-                    if (lrf_valid && lrf_reg != *in.dst)
-                        spill_lrf_to_rfc(lin);
-                    rfc.erase(*in.dst);  // keep a single location
-                    lrf_valid = true;
-                    lrf_reg = *in.dst;
-                    counts.write(Level::LRF, dp);
-                } else {
-                    for (int h = 0; h < halves; h++) {
-                        Reg r = static_cast<Reg>(*in.dst + h);
-                        if (cfg.useLRF && lrf_valid && lrf_reg == r)
-                            lrf_valid = false;  // overwritten
-                        Reg victim = 0;
-                        if (rfc.insert(r, victim)) {
-                            if (liveness.liveAfter(lin, victim)) {
-                                counts.read(Level::ORF, dp);
-                                counts.wbReads++;
-                                counts.write(Level::MRF, dp);
-                                counts.wbWrites++;
-                            }
-                        }
-                        counts.write(Level::ORF, dp);
-                    }
-                }
-            }
-
-            counts.instructions++;
             StepInfo si = step(k, warp);
             executed++;
+            sim.onInstr(lin, enabled, si.branchTaken);
+        }
+    }
+    return counts;
+}
 
-            if (cfg.flushOnBackwardBranch && in.op == Opcode::BRA &&
-                si.branchTaken && in.branchTarget >= 0) {
-                // Backward branch taken: optional flush variant.
-                const InstrRef &tr = k.ref(lin);
-                if (in.branchTarget <= tr.block)
-                    flush_all(liveness.liveAfter(lin));
-            }
+AccessCounts
+replayHwCache(const Kernel &k, const HwCacheConfig &cfg,
+              const DecodedTrace &trace, const AnalysisBundle *analyses)
+{
+    std::optional<AnalysisBundle> local;
+    if (!analyses)
+        analyses = &local.emplace(k);
+    std::vector<bool> shared_consumer =
+        sharedConsumers(k, analyses->reachingDefs);
+    ReplayDecode dec(k);
+
+    AccessCounts counts;
+    HwWarpSim sim(dec, cfg, analyses->liveness, shared_consumer, counts);
+    for (int w = 0; w < trace.numWarps(); w++) {
+        sim.beginWarp();
+        for (std::uint32_t t = trace.warpBegin[w];
+             t < trace.warpBegin[w + 1]; t++) {
+            int lin = trace.lin[t];
+            std::uint8_t flags = trace.flags[t];
+            sim.onInstr(lin, flags & kReplayExecuted,
+                        flags & kReplayBranchTaken);
         }
     }
     return counts;

@@ -50,6 +50,19 @@ struct HwCacheConfig
 AccessCounts runHwCache(const Kernel &k, const HwCacheConfig &cfg = {},
                         const AnalysisBundle *analyses = nullptr);
 
+struct DecodedTrace;
+
+/**
+ * Replay-mode counterpart of runHwCache: walk the pre-decoded dynamic
+ * stream @p trace (recorded from @p k under the same RunConfig as
+ * @p cfg.run) doing only hierarchy state updates and access counting.
+ * Counts are identical to runHwCache by construction — both drive the
+ * same per-warp accounting model.
+ */
+AccessCounts replayHwCache(const Kernel &k, const HwCacheConfig &cfg,
+                           const DecodedTrace &trace,
+                           const AnalysisBundle *analyses = nullptr);
+
 } // namespace rfh
 
 #endif // RFH_SIM_HW_CACHE_H

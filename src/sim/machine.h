@@ -27,7 +27,12 @@ namespace rfh {
 class Memory
 {
   public:
-    explicit Memory(std::uint32_t seed = 0) : seed_(seed) {}
+    explicit Memory(std::uint32_t seed = 0) : seed_(seed)
+    {
+        // Sized for a typical warp's store footprint up front so the
+        // executors' hot loops never pay for incremental rehashing.
+        stores_.reserve(256);
+    }
 
     std::uint32_t load(std::uint32_t addr) const;
     void store(std::uint32_t addr, std::uint32_t value);

@@ -7,6 +7,7 @@
 #include "compiler/strand.h"
 #include "ir/liveness.h"
 #include "sim/machine.h"
+#include "sim/trace.h"
 
 namespace rfh {
 
@@ -43,6 +44,13 @@ runSwHierarchy(const Kernel &k, const AllocOptions &opts,
         result.error = os.str();
     };
 
+    // Read-operand deposits happen in the write phase, after every
+    // source of an instruction has been fetched. Hoisted out of the
+    // hot loop so the per-instruction cost is a clear(), not a heap
+    // allocation.
+    std::vector<std::pair<int, Reg>> deposits;
+    deposits.reserve(kMaxSrcs + 1);
+
     for (int w = 0; w < cfg.run.numWarps && result.ok(); w++) {
         WarpContext warp;
         warp.reset(static_cast<std::uint32_t>(w));
@@ -78,9 +86,7 @@ runSwHierarchy(const Kernel &k, const AllocOptions &opts,
             }
 
             // ---- Operand reads ----
-            // Read-operand deposits happen in the write phase, after
-            // every source of this instruction has been fetched.
-            std::vector<std::pair<int, Reg>> deposits;
+            deposits.clear();
             auto read_one = [&](Reg r, const ReadAnnotation &ra) {
                 std::uint32_t arch = warp.regs[r];
                 switch (ra.level) {
@@ -223,6 +229,144 @@ runSwHierarchy(const Kernel &k, const AllocOptions &opts,
             }
         }
 
+    }
+    return result;
+}
+
+SwExecResult
+replaySwHierarchy(const Kernel &k, const AllocOptions &opts,
+                  const DecodedTrace &trace, const SwExecConfig &cfg,
+                  const AnalysisBundle *analyses)
+{
+    SwExecResult result;
+    AccessCounts &counts = result.counts;
+    int lrf_banks = opts.useLRF ? (opts.splitLRF ? 3 : 1) : 0;
+    const int orf_size = opts.orfEntries;
+
+    std::optional<Cfg> localCfg;
+    const Cfg &cfg_graph = analyses ? analyses->cfg : localCfg.emplace(k);
+    StrandAnalysis strands(k, cfg_graph, opts.strandOptions);
+    ReplayDecode dec(k);
+
+    auto fail = [&](int lin, const std::string &msg) {
+        std::ostringstream os;
+        os << k.name << " @lin " << lin << ": " << msg;
+        result.error = os.str();
+    };
+
+    for (int w = 0; w < trace.numWarps() && result.ok(); w++) {
+        RegSet pending;
+        const std::uint32_t end = trace.warpBegin[w + 1];
+
+        for (std::uint32_t t = trace.warpBegin[w];
+             t < end && result.ok(); t++) {
+            const int lin = trace.lin[t];
+            const Instruction &in = dec.instr[lin];
+            const Datapath dp = static_cast<Datapath>(dec.datapath[lin]);
+            const bool shared = dec.shared[lin] != 0;
+
+            // Mid-strand touch of an outstanding long-latency value
+            // (same structural check as the direct executor; the
+            // trace carries the identical dynamic path).
+            if ((dec.touched[lin] & pending).any()) {
+                if (cfg.idealNoFlush) {
+                    counts.deschedules++;
+                    pending.reset();
+                } else {
+                    fail(lin, "instruction touches an outstanding "
+                         "long-latency register inside a strand");
+                    break;
+                }
+            }
+
+            // ---- Operand reads: pure level accounting ----
+            // Value verification is the direct executor's job; replay
+            // keeps only the structural (value-independent) checks so
+            // a failing allocation stops at the same instruction.
+            auto read_one = [&](const ReadAnnotation &ra) {
+                switch (ra.level) {
+                  case Level::MRF:
+                    counts.read(Level::MRF, dp);
+                    if (ra.depositToORF)
+                        counts.write(Level::ORF, dp);
+                    break;
+                  case Level::ORF:
+                    counts.read(Level::ORF, dp);
+                    break;
+                  case Level::LRF:
+                    if (shared) {
+                        fail(lin, "shared-datapath LRF read");
+                        return;
+                    }
+                    if (ra.lrfBank >=
+                        static_cast<std::uint8_t>(lrf_banks)) {
+                        fail(lin, "LRF bank out of range");
+                        return;
+                    }
+                    counts.read(Level::LRF, dp);
+                    break;
+                }
+            };
+            for (int s = 0; s < in.numSrcs && result.ok(); s++)
+                if (in.srcs[s].isReg)
+                    read_one(in.readAnno[s]);
+            if (in.pred && result.ok())
+                read_one(in.predAnno);
+            if (!result.ok())
+                break;
+
+            // ---- Execute (pre-decoded) ----
+            const bool enabled = trace.flags[t] & kReplayExecuted;
+            counts.instructions++;
+
+            // ---- Result writes (suppressed when predicated off) ----
+            if (in.dst && enabled) {
+                const WriteAnnotation &wa = in.writeAnno;
+                int halves = in.wide ? 2 : 1;
+                if (in.longLatency() && wa.anyUpper() &&
+                    !cfg.idealNoFlush) {
+                    fail(lin, "long-latency result annotated to an "
+                         "upper level");
+                    break;
+                }
+                if (wa.toLRF) {
+                    if (in.wide || lrf_banks == 0) {
+                        fail(lin, "invalid LRF write annotation");
+                        break;
+                    }
+                    counts.write(Level::LRF, dp);
+                }
+                if (wa.toORF) {
+                    for (int h = 0; h < halves; h++) {
+                        if (wa.orfEntry + h >= orf_size) {
+                            fail(lin, "ORF entry out of range");
+                            break;
+                        }
+                        counts.write(Level::ORF, dp);
+                    }
+                }
+                if (wa.toLRF && wa.toORF) {
+                    fail(lin, "value written to both LRF and ORF");
+                    break;
+                }
+                if (wa.toMRF)
+                    counts.write(Level::MRF, dp, halves);
+                if (in.longLatency())
+                    pending |= dec.defined[lin];
+            }
+
+            // ---- Strand boundary ----
+            const std::int32_t next = trace.nextLin(w, t);
+            bool crossing = false;
+            if (next >= 0 && !cfg.idealNoFlush)
+                crossing = strands.strandOf(next) != strands.strandOf(lin)
+                    || (next <= lin &&
+                        opts.strandOptions.cutAtBackwardBranch);
+            if (crossing && pending.any()) {
+                counts.deschedules++;
+                pending.reset();
+            }
+        }
     }
     return result;
 }

@@ -64,6 +64,24 @@ SwExecResult runSwHierarchy(const Kernel &k, const AllocOptions &opts,
                             const SwExecConfig &cfg = {},
                             const AnalysisBundle *analyses = nullptr);
 
+struct DecodedTrace;
+
+/**
+ * Replay-mode counterpart of runSwHierarchy: walk the pre-decoded
+ * dynamic stream @p trace (recorded once from the pristine kernel
+ * under @p cfg.run; annotations do not change the dynamic path) doing
+ * only access accounting at the annotated levels — no functional
+ * execution and no value verification. Structural annotation checks
+ * (level restrictions, entry ranges) are preserved so a failing
+ * allocation stops at the same instruction with the same message;
+ * bit-exactness of values is the direct executor's job, which remains
+ * the verification oracle.
+ */
+SwExecResult replaySwHierarchy(const Kernel &k, const AllocOptions &opts,
+                               const DecodedTrace &trace,
+                               const SwExecConfig &cfg = {},
+                               const AnalysisBundle *analyses = nullptr);
+
 } // namespace rfh
 
 #endif // RFH_SIM_SW_EXEC_H

@@ -6,6 +6,7 @@
 #include "compiler/strand.h"
 #include "ir/liveness.h"
 #include "sim/simt.h"
+#include "sim/trace.h"
 
 namespace rfh {
 
@@ -55,6 +56,13 @@ runSwHierarchySimt(const Kernel &k, const AllocOptions &opts,
            << msg;
         result.error = os.str();
     };
+
+    // Per-instruction scratch, hoisted out of the hot loop so each
+    // dynamic instruction costs a clear(), not heap allocations.
+    struct Deposit { int entry; Reg reg; };
+    std::vector<Deposit> deposits;
+    deposits.reserve(kMaxSrcs + 1);
+    std::vector<bool> was_enabled(cfg.width);
 
     for (int w = 0; w < cfg.numWarps && result.ok(); w++) {
         SimtWarp warp(k, cfg_graph, static_cast<std::uint32_t>(w),
@@ -134,8 +142,7 @@ runSwHierarchySimt(const Kernel &k, const AllocOptions &opts,
             auto was_enabled_branch = [&](int l) { return enabled(l); };
 
             // ---- Verify reads per enabled lane; count per warp ----
-            struct Deposit { int entry; Reg reg; };
-            std::vector<Deposit> deposits;
+            deposits.clear();
             auto read_one = [&](Reg r, const ReadAnnotation &ra) {
                 counts.read(ra.level, dp);
                 if (ra.depositToORF) {
@@ -204,7 +211,6 @@ runSwHierarchySimt(const Kernel &k, const AllocOptions &opts,
             }
 
             // Snapshot enables before execution mutates predicates.
-            std::vector<bool> was_enabled(cfg.width);
             for (int l = 0; l < cfg.width; l++)
                 was_enabled[l] = enabled(l);
 
@@ -261,6 +267,100 @@ runSwHierarchySimt(const Kernel &k, const AllocOptions &opts,
                     if (in.longLatency())
                         pending |= definedRegs(in);
                 }
+            }
+        }
+    }
+    return result;
+}
+
+SwExecResult
+replaySwHierarchySimt(const Kernel &k, const AllocOptions &opts,
+                      const DecodedTrace &trace,
+                      const SimtExecConfig &cfg)
+{
+    SwExecResult result;
+    AccessCounts &counts = result.counts;
+
+    Cfg cfg_graph(k);
+    StrandAnalysis strands(k, cfg_graph, opts.strandOptions);
+    ReplayDecode dec(k);
+    (void)cfg;
+
+    auto fail = [&](int lin, int lane, const std::string &msg) {
+        std::ostringstream os;
+        os << k.name << " @lin " << lin << " lane " << lane << ": "
+           << msg;
+        result.error = os.str();
+    };
+
+    for (int w = 0; w < trace.numWarps() && result.ok(); w++) {
+        RegSet pending;
+        int prev_lin = -1;
+        bool prev_taken_backward = false;
+
+        for (std::uint32_t t = trace.warpBegin[w];
+             t < trace.warpBegin[w + 1] && result.ok(); t++) {
+            const int lin = trace.lin[t];
+            const Instruction &in = dec.instr[lin];
+            const Datapath dp = static_cast<Datapath>(dec.datapath[lin]);
+            const bool shared = dec.shared[lin] != 0;
+            const bool any_enabled = trace.flags[t] & kReplayExecuted;
+
+            // Warp-level synchronisation (see the direct executor):
+            // forward motion into a new strand, or a taken backward
+            // branch, resolves outstanding long-latency loads.
+            bool warp_sync = prev_taken_backward ||
+                (prev_lin >= 0 && lin > prev_lin &&
+                 strands.strandOf(lin) != strands.strandOf(prev_lin));
+            if (warp_sync && pending.any()) {
+                counts.deschedules++;
+                pending.reset();
+            }
+
+            // A touch of a still-outstanding long-latency register
+            // inside a strand means the compiler missed an endpoint.
+            if ((dec.touched[lin] & pending).any()) {
+                fail(lin, -1, "instruction touches an outstanding "
+                     "long-latency register inside a strand");
+                break;
+            }
+
+            // ---- Reads: count per warp; structural checks only ----
+            auto read_one = [&](Reg r, const ReadAnnotation &ra) {
+                counts.read(ra.level, dp);
+                if (ra.depositToORF)
+                    counts.write(Level::ORF, dp);
+                if (ra.level == Level::LRF && shared && any_enabled)
+                    fail(lin, -1, "shared-datapath LRF read");
+                (void)r;
+            };
+            for (int s = 0; s < in.numSrcs && result.ok(); s++)
+                if (in.srcs[s].isReg)
+                    read_one(in.srcs[s].reg, in.readAnno[s]);
+            if (in.pred && result.ok()) {
+                // The predicate itself is read by every active lane.
+                counts.read(in.predAnno.level, dp);
+            }
+            if (!result.ok())
+                break;
+
+            // ---- Execute (pre-decoded) ----
+            counts.instructions++;
+            prev_lin = lin;
+            prev_taken_backward = trace.flags[t] & kReplayBranchTaken;
+
+            // ---- Writes: count per warp when any lane was enabled ----
+            if (in.dst && any_enabled) {
+                const WriteAnnotation &wa = in.writeAnno;
+                int halves = in.wide ? 2 : 1;
+                if (wa.toLRF)
+                    counts.write(Level::LRF, dp);
+                if (wa.toORF)
+                    counts.write(Level::ORF, dp, halves);
+                if (wa.toMRF)
+                    counts.write(Level::MRF, dp, halves);
+                if (in.longLatency())
+                    pending |= dec.defined[lin];
             }
         }
     }

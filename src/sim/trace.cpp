@@ -5,6 +5,7 @@
 
 #include "ir/cfg_analysis.h"
 #include "sim/machine.h"
+#include "sim/simt.h"
 
 namespace rfh {
 
@@ -82,6 +83,107 @@ dynamicInstrsPerBlock(const Kernel &k, const KernelTrace &t)
     for (std::size_t b = 0; b < k.blocks.size(); b++)
         out[b] = t.blockCounts[b] * k.blocks[b].instrs.size();
     return out;
+}
+
+DecodedTrace
+recordDecodedTrace(const Kernel &k, const RunConfig &cfg)
+{
+    DecodedTrace trace;
+    trace.warpBegin.reserve(cfg.numWarps + 1);
+    trace.warpEndLin.reserve(cfg.numWarps);
+    trace.warpBegin.push_back(0);
+    for (int w = 0; w < cfg.numWarps; w++) {
+        WarpContext warp;
+        warp.reset(static_cast<std::uint32_t>(w));
+        std::uint64_t executed = 0;
+        while (!warp.done && executed < cfg.maxInstrsPerWarp) {
+            int lin = warp.pc(k);
+            const Instruction &in = k.instr(lin);
+            std::uint8_t flags = 0;
+            if (!in.pred || warp.regs[*in.pred] != 0)
+                flags |= kReplayExecuted;
+            StepInfo si = step(k, warp);
+            if (si.branchTaken)
+                flags |= kReplayBranchTaken;
+            trace.lin.push_back(lin);
+            trace.flags.push_back(flags);
+            executed++;
+        }
+        trace.warpBegin.push_back(
+            static_cast<std::uint32_t>(trace.lin.size()));
+        trace.warpEndLin.push_back(warp.done ? -1 : warp.pc(k));
+    }
+    return trace;
+}
+
+DecodedTrace
+recordSimtDecodedTrace(const Kernel &k, int numWarps, int width,
+                       std::uint64_t maxInstrsPerWarp)
+{
+    Cfg cfg_graph(k);
+    DecodedTrace trace;
+    trace.warpBegin.push_back(0);
+    for (int w = 0; w < numWarps; w++) {
+        SimtWarp warp(k, cfg_graph, static_cast<std::uint32_t>(w),
+                      width);
+        std::uint64_t executed = 0;
+        // Mirrors the SIMT executor's loop (executed++ in the test).
+        while (!warp.done() && executed++ < maxInstrsPerWarp) {
+            int lin = warp.currentLin();
+            const Instruction &in = warp.currentInstr();
+            LaneMask mask = warp.activeMask();
+            bool any_enabled = false;
+            for (int l = 0; l < width; l++) {
+                if (!((mask >> l) & 1u))
+                    continue;
+                if (!in.pred || warp.laneRegsNow(l)[*in.pred] != 0) {
+                    any_enabled = true;
+                    break;
+                }
+            }
+            std::uint8_t flags = 0;
+            if (any_enabled)
+                flags |= kReplayExecuted;
+            if (any_enabled && in.op == Opcode::BRA &&
+                in.branchTarget <= k.ref(lin).block)
+                flags |= kReplayBranchTaken;
+            warp.step();
+            trace.lin.push_back(lin);
+            trace.flags.push_back(flags);
+        }
+        trace.warpBegin.push_back(
+            static_cast<std::uint32_t>(trace.lin.size()));
+        trace.warpEndLin.push_back(warp.done() ? -1
+                                               : warp.currentLin());
+    }
+    return trace;
+}
+
+ReplayDecode::ReplayDecode(const Kernel &k)
+{
+    int n = k.numInstrs();
+    instr.reserve(n);
+    touched.reserve(n);
+    defined.reserve(n);
+    datapath.reserve(n);
+    shared.reserve(n);
+    backwardBranch.reserve(n);
+    for (int lin = 0; lin < n; lin++) {
+        const Instruction &in = k.instr(lin);
+        instr.push_back(in);
+        RegSet def = definedRegs(in);
+        defined.push_back(def);
+        touched.push_back(usedRegs(in) | def);
+        datapath.push_back(
+            static_cast<std::uint8_t>(datapathOf(in.unit())));
+        shared.push_back(isSharedUnit(in.unit()) ? 1 : 0);
+        backwardBranch.push_back(in.op == Opcode::BRA &&
+                                         in.branchTarget >= 0 &&
+                                         in.branchTarget <=
+                                             k.ref(lin).block
+                                     ? 1
+                                     : 0);
+    }
 }
 
 } // namespace rfh

@@ -5,10 +5,24 @@
  * frequencies, and a custom trace-based simulator reconstructs likely
  * warp interleavings from them).
  *
- * A trace stores, per warp, the sequence of basic blocks the warp
- * visited. Replaying a trace drives the performance simulator without
- * re-executing the functional machine, and the recorded frequencies
- * feed profile-style analyses (hot blocks, dynamic strand mix).
+ * Two trace representations are provided:
+ *
+ *  - KernelTrace: per warp, the sequence of basic blocks visited —
+ *    feeds profile-style analyses (hot blocks, dynamic strand mix).
+ *  - DecodedTrace: the flat, pre-decoded dynamic instruction stream
+ *    that drives the replay executors. Recorded once per
+ *    (kernel, RunConfig) — the functional machine runs exactly once —
+ *    and then replayed by every (scheme x entries) grid cell doing
+ *    only hierarchy state updates and access counting: no opcode
+ *    dispatch, no value computation, no branch evaluation.
+ *
+ * The dynamic stream is a structure-of-arrays: one int32 linear
+ * instruction index and one flags byte per dynamic instruction, with
+ * per-warp extents. Everything value-dependent that the access
+ * counters need is folded into the flags (executed-vs-predicated-off,
+ * branch taken); everything static (register indices, immediates,
+ * wide halves, unit class) is resolved once into a ReplayDecode table
+ * indexed by the linear instruction id.
  */
 
 #ifndef RFH_SIM_TRACE_H
@@ -18,6 +32,7 @@
 #include <vector>
 
 #include "ir/kernel.h"
+#include "ir/liveness.h"
 #include "sim/baseline_exec.h"
 
 namespace rfh {
@@ -57,6 +72,123 @@ std::string validateTrace(const Kernel &k, const KernelTrace &trace);
  */
 std::vector<std::uint64_t> dynamicInstrsPerBlock(const Kernel &k,
                                                  const KernelTrace &t);
+
+// ---- Pre-decoded replay stream ----
+
+/** Per-dynamic-instruction replay flags. */
+enum ReplayFlags : std::uint8_t
+{
+    /**
+     * The instruction's writeback was enabled (predicate absent or
+     * non-zero at issue). For the SIMT stream: at least one active
+     * lane was enabled.
+     */
+    kReplayExecuted = 1u << 0,
+    /**
+     * A conditional/unconditional branch was taken. For the SIMT
+     * stream: a backward branch had at least one enabled lane (the
+     * warp-synchronisation trigger).
+     */
+    kReplayBranchTaken = 1u << 1,
+};
+
+/**
+ * The pre-decoded dynamic instruction stream of one kernel launch,
+ * laid out as a flat structure-of-arrays over all warps.
+ *
+ * Replaying the stream reproduces, bit-exactly, every quantity the
+ * access counters depend on — which instruction issued, whether its
+ * writeback was enabled, and which way branches went — without
+ * re-executing the functional machine.
+ */
+struct DecodedTrace
+{
+    /** Static linear instruction index, one per dynamic instruction. */
+    std::vector<std::int32_t> lin;
+    /** ReplayFlags, parallel to @c lin. */
+    std::vector<std::uint8_t> flags;
+    /**
+     * Per-warp extents into the flat arrays: warp w's records are
+     * [warpBegin[w], warpBegin[w+1]). Size numWarps + 1.
+     */
+    std::vector<std::uint32_t> warpBegin;
+    /**
+     * Per warp: the linear index of the instruction that would have
+     * issued next had the run not hit the per-warp instruction cap,
+     * or -1 when the warp terminated. Lets replay reproduce the
+     * strand-boundary check of the final recorded instruction.
+     */
+    std::vector<std::int32_t> warpEndLin;
+
+    int
+    numWarps() const
+    {
+        return static_cast<int>(warpEndLin.size());
+    }
+
+    /** Total dynamic instructions across all warps. */
+    std::uint64_t
+    instructions() const
+    {
+        return static_cast<std::uint64_t>(lin.size());
+    }
+
+    /**
+     * Linear index of the instruction following record @p t of warp
+     * @p w along the recorded path, or -1 when the warp terminated.
+     */
+    std::int32_t
+    nextLin(int w, std::uint32_t t) const
+    {
+        return t + 1 < warpBegin[w + 1] ? lin[t + 1] : warpEndLin[w];
+    }
+};
+
+/**
+ * Execute @p k functionally — once — and record the pre-decoded
+ * per-warp dynamic stream. The warp loop, instruction cap, and
+ * predicate semantics mirror the direct executors exactly, so a
+ * replay visits precisely the dynamic instructions a direct run
+ * executes.
+ */
+DecodedTrace recordDecodedTrace(const Kernel &k, const RunConfig &cfg = {});
+
+/**
+ * Record the warp-level SIMT stream of @p k: one record per issued
+ * warp instruction (divergent hammock sides serialised, as executed
+ * by SimtWarp). kReplayExecuted means at least one active lane passed
+ * its predicate; kReplayBranchTaken marks backward branches with at
+ * least one enabled lane. @p width lanes per warp.
+ */
+DecodedTrace recordSimtDecodedTrace(const Kernel &k, int numWarps,
+                                    int width,
+                                    std::uint64_t maxInstrsPerWarp);
+
+/**
+ * Flat static pre-decode of a kernel for replay, indexed by linear
+ * instruction id: the instructions themselves in one contiguous
+ * array (operand registers, immediates, wide halves, and — on an
+ * allocator-annotated kernel — the level annotations), plus the
+ * derived sets and classifications the hot loops would otherwise
+ * recompute per dynamic instruction.
+ */
+struct ReplayDecode
+{
+    /** Contiguous instruction copies in layout (linear) order. */
+    std::vector<Instruction> instr;
+    /** usedRegs | definedRegs per instruction. */
+    std::vector<RegSet> touched;
+    /** definedRegs per instruction. */
+    std::vector<RegSet> defined;
+    /** Datapath index (static_cast<int>(datapathOf(unit))). */
+    std::vector<std::uint8_t> datapath;
+    /** isSharedUnit(unit()) per instruction. */
+    std::vector<std::uint8_t> shared;
+    /** BRA with a valid target block <= its own block. */
+    std::vector<std::uint8_t> backwardBranch;
+
+    explicit ReplayDecode(const Kernel &k);
+};
 
 } // namespace rfh
 

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Replay-engine equivalence tests.
+ *
+ * The replay engine walks a pre-decoded dynamic stream doing only
+ * hierarchy state updates and access counting; the direct engine
+ * interprets the kernel with real values and verifies every access
+ * bit-exactly. The two must agree to the byte on every report — these
+ * tests pin that down at three granularities: serialized sweep JSON
+ * over the full workload registry (golden), per-executor access
+ * counts on random synthetic kernels including predicated and
+ * divergent code (property), and the memoization of the recorded
+ * stream itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/allocator.h"
+#include "core/json.h"
+#include "core/memo.h"
+#include "core/sweep.h"
+#include "sim/baseline_exec.h"
+#include "sim/hw_cache.h"
+#include "sim/sw_exec.h"
+#include "sim/sw_exec_simt.h"
+#include "sim/trace.h"
+#include "workloads/registry.h"
+#include "workloads/synthetic.h"
+
+namespace rfh {
+namespace {
+
+std::string
+countsJson(const AccessCounts &c)
+{
+    JsonWriter w;
+    writeJson(w, c);
+    return w.str();
+}
+
+const std::vector<Scheme> &
+allSchemes()
+{
+    static const std::vector<Scheme> s = {
+        Scheme::BASELINE, Scheme::HW_TWO_LEVEL, Scheme::HW_THREE_LEVEL,
+        Scheme::SW_TWO_LEVEL, Scheme::SW_THREE_LEVEL,
+    };
+    return s;
+}
+
+// ---- Golden: full-registry aggregates, byte-identical JSON ----
+
+TEST(Replay, AllWorkloadsJsonIdenticalToDirect)
+{
+    for (Scheme s : allSchemes()) {
+        for (int entries : {1, 3, 8}) {
+            ExperimentConfig direct;
+            direct.scheme = s;
+            direct.entries = entries;
+            direct.engine = ExecEngine::DIRECT;
+            ExperimentConfig replay = direct;
+            replay.engine = ExecEngine::REPLAY;
+
+            RunOutcome d = runAllWorkloads(direct);
+            RunOutcome r = runAllWorkloads(replay);
+            EXPECT_TRUE(d.ok()) << d.error;
+            EXPECT_EQ(outcomeToJson(d), outcomeToJson(r))
+                << schemeName(s) << " @" << entries << " entries";
+        }
+    }
+}
+
+TEST(Replay, SweepJsonIdenticalToDirect)
+{
+    ExperimentConfig direct;
+    direct.engine = ExecEngine::DIRECT;
+    auto dPts = sweepEntries(allSchemes(), direct);
+    // AUTO resolves to REPLAY inside sweepEntries.
+    auto rPts = sweepEntries(allSchemes(), ExperimentConfig{});
+    EXPECT_EQ(sweepToJson(dPts), sweepToJson(rPts));
+    ASSERT_EQ(dPts.size(), rPts.size());
+    for (std::size_t i = 0; i < dPts.size(); i++)
+        EXPECT_EQ(outcomeToJson(dPts[i].outcome),
+                  outcomeToJson(rPts[i].outcome))
+            << schemeName(dPts[i].scheme) << " @" << dPts[i].entries;
+}
+
+// ---- Memoization of the recorded stream ----
+
+TEST(Replay, TraceIsRecordedOnceAndShared)
+{
+    const Workload &w = workloadByName("nbody");
+    ExperimentCache cache;
+    auto t1 = cache.trace(w.kernel, w.run);
+    auto t2 = cache.trace(w.kernel, w.run);
+    EXPECT_EQ(t1.get(), t2.get());
+    EXPECT_GT(t1->instructions(), 0u);
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.traceMisses, 1u);
+    EXPECT_EQ(stats.traceHits, 1u);
+
+    // An annotated copy fingerprints identically (annotations never
+    // change the dynamic path), so it hits the same entry.
+    Kernel annotated = w.kernel;
+    AllocOptions opts;
+    opts.useLRF = true;
+    HierarchyAllocator alloc(EnergyParams{}, opts);
+    alloc.run(annotated);
+    auto t3 = cache.trace(annotated, w.run);
+    EXPECT_EQ(t1.get(), t3.get());
+}
+
+// ---- Property: per-executor count equality on random kernels ----
+
+SynthParams
+paramsFor(std::uint64_t seed)
+{
+    SynthParams p;
+    p.seed = seed;
+    p.strandsPerBody = 1 + static_cast<int>(seed % 3);
+    p.opsPerStrand = 4 + static_cast<int>(seed % 11);
+    p.loadsPerStrand = 1 + static_cast<int>(seed % 3);
+    // Force control flow and predication into most cases: hammocks
+    // diverge SIMT warps, predicated defs exercise the executed bit.
+    p.pHammock = 0.25 + (seed % 4) * 0.25;
+    p.pPredicated = 0.10 + (seed % 3) * 0.10;
+    p.fracSfu = (seed % 5) * 0.05;
+    p.recencyWindow = 2 + static_cast<int>(seed % 5);
+    p.loopIters = 4 + static_cast<int>(seed % 8);
+    p.useTex = seed % 7 == 0;
+    return p;
+}
+
+class ReplayProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ReplayProperty, SwCountsMatchDirect)
+{
+    std::uint64_t seed = GetParam();
+    Kernel k = generateSynthetic("prop", paramsFor(seed));
+    ASSERT_EQ(k.validate(), "");
+
+    AllocOptions opts;
+    opts.orfEntries = 1 + static_cast<int>(seed % kMaxOrfEntries);
+    opts.useLRF = seed % 2 == 0;
+    opts.splitLRF = opts.useLRF && seed % 4 != 2;
+    HierarchyAllocator alloc(EnergyParams{}, opts);
+    alloc.run(k);
+
+    SwExecConfig sc;
+    DecodedTrace trace = recordDecodedTrace(k, sc.run);
+    SwExecResult direct = runSwHierarchy(k, opts, sc);
+    SwExecResult replay = replaySwHierarchy(k, opts, trace, sc);
+    ASSERT_EQ(direct.error, "") << "seed=" << seed;
+    ASSERT_EQ(replay.error, "") << "seed=" << seed;
+    EXPECT_EQ(countsJson(direct.counts), countsJson(replay.counts))
+        << "seed=" << seed;
+}
+
+TEST_P(ReplayProperty, BaselineCountsMatchDirect)
+{
+    std::uint64_t seed = GetParam();
+    Kernel k = generateSynthetic("prop", paramsFor(seed));
+    ASSERT_EQ(k.validate(), "");
+
+    RunConfig run;
+    DecodedTrace trace = recordDecodedTrace(k, run);
+    AccessCounts direct = runBaseline(k, run);
+    AccessCounts replay = replayBaseline(k, trace);
+    EXPECT_EQ(countsJson(direct), countsJson(replay)) << "seed=" << seed;
+}
+
+TEST_P(ReplayProperty, HwCountsMatchDirect)
+{
+    std::uint64_t seed = GetParam();
+    Kernel k = generateSynthetic("prop", paramsFor(seed));
+    ASSERT_EQ(k.validate(), "");
+
+    for (bool lrf : {false, true}) {
+        HwCacheConfig cfg;
+        cfg.rfcEntries = 1 + static_cast<int>(seed % kMaxOrfEntries);
+        cfg.useLRF = lrf;
+        cfg.flushOnBackwardBranch = seed % 3 == 0;
+        DecodedTrace trace = recordDecodedTrace(k, cfg.run);
+        AccessCounts direct = runHwCache(k, cfg);
+        AccessCounts replay = replayHwCache(k, cfg, trace);
+        EXPECT_EQ(countsJson(direct), countsJson(replay))
+            << "seed=" << seed << " lrf=" << lrf;
+    }
+}
+
+TEST_P(ReplayProperty, SimtCountsMatchDirect)
+{
+    std::uint64_t seed = GetParam();
+    Kernel k = generateSynthetic("prop", paramsFor(seed));
+    ASSERT_EQ(k.validate(), "");
+
+    AllocOptions opts;
+    opts.orfEntries = 1 + static_cast<int>(seed % kMaxOrfEntries);
+    opts.useLRF = seed % 2 == 0;
+    opts.splitLRF = opts.useLRF;
+    HierarchyAllocator alloc(EnergyParams{}, opts);
+    alloc.run(k);
+
+    SimtExecConfig sc;
+    sc.width = 1 + static_cast<int>(seed % 8);
+    DecodedTrace trace = recordSimtDecodedTrace(
+        k, sc.numWarps, sc.width, sc.maxInstrsPerWarp);
+    SwExecResult direct = runSwHierarchySimt(k, opts, sc);
+    SwExecResult replay = replaySwHierarchySimt(k, opts, trace, sc);
+    ASSERT_EQ(direct.error.empty(), replay.error.empty())
+        << "seed=" << seed << " direct=" << direct.error
+        << " replay=" << replay.error;
+    if (direct.error.empty()) {
+        EXPECT_EQ(countsJson(direct.counts), countsJson(replay.counts))
+            << "seed=" << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+} // namespace
+} // namespace rfh
