@@ -124,5 +124,6 @@ main()
     timing.cpuSec = g_phases.totalSec();
     timing.threads = globalPool().threadCount();
     std::printf("\n%s\n", timingSummary(timing, g_phases).c_str());
+    bench::emitArtifacts("ablations", timing, g_phases);
     return 0;
 }

@@ -8,6 +8,11 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "core/manifest.h"
+#include "core/timing.h"
 
 namespace rfh::bench {
 
@@ -29,6 +34,37 @@ compare(const char *what, double paper, double measured)
 {
     std::printf("  %-44s paper %6.2f   measured %6.2f\n", what, paper,
                 measured);
+}
+
+/**
+ * End-of-harness observability hook: build an rfh-manifest-v1 record
+ * for this run and emit it to $RFH_MANIFEST (and the chrome-trace span
+ * log to $RFH_TRACE_EVENTS) when those variables are set. When
+ * @p benchmarks is empty a default wallSec / instrPerSec pair named
+ * after @p tool is recorded so every harness is bench-diff-able.
+ */
+inline void
+emitArtifacts(const char *tool, const SweepTiming &timing,
+              const PhaseTimes &phases,
+              std::vector<std::pair<std::string, std::string>> config = {},
+              std::vector<BenchEntry> benchmarks = {})
+{
+    ManifestInfo m;
+    m.tool = tool;
+    m.engine = "replay";
+    m.config = std::move(config);
+    m.timing = timing;
+    m.phases = phases;
+    m.benchmarks = std::move(benchmarks);
+    if (m.benchmarks.empty()) {
+        m.benchmarks = {
+            {std::string(tool) + "/wallSec", timing.wallSec, "sec",
+             false},
+            {std::string(tool) + "/instrPerSec", phases.instrPerSec(),
+             "instr/s", true},
+        };
+    }
+    emitRunArtifacts(m);
 }
 
 } // namespace rfh::bench

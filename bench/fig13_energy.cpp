@@ -106,5 +106,14 @@ main()
     std::printf("\n  %s\n", timingSummary(timing, phases).c_str());
     if (std::getenv("RFH_TIMING_JSON"))
         std::printf("%s\n", sweepTimingsToJson(points, timing).c_str());
+
+    // The benchmark names match the "fig13" section of BENCH_<n>.json
+    // snapshots, so a manifest diffs directly against one.
+    bench::emitArtifacts(
+        "fig13_energy", timing, phases,
+        {{"schemes", "HW,HW_LRF,SW,SW_LRF"},
+         {"points", std::to_string(points.size())}},
+        {{"fig13/wallSec", timing.wallSec, "sec", false},
+         {"fig13/instrPerSec", phases.instrPerSec(), "instr/s", true}});
     return 0;
 }

@@ -3,11 +3,12 @@
  * rfhc — command-line driver for the register file hierarchy compiler.
  *
  * Usage:
- *   rfhc annotate <file.rptx> [options]   print the allocated kernel
- *   rfhc run      <file.rptx> [options]   execute + report accesses
- *   rfhc stats    <file.rptx>             strand / usage statistics
+ *   rfhc annotate <file.rptx> [options]     print the allocated kernel
+ *   rfhc run      <file.rptx> [options]     execute + report accesses
+ *   rfhc stats    <file.rptx>               strand / usage statistics
+ *   rfhc bench-diff <old.json> <new.json>   compare two snapshots
  *
- * Options:
+ * Options (annotate / run / stats):
  *   --entries N        ORF entries per thread (default 3)
  *   --no-lrf           two-level hierarchy (ORF + MRF only)
  *   --unified-lrf      one LRF bank instead of one per operand slot
@@ -16,25 +17,40 @@
  *   --schedule         run the lifetime-shortening scheduler first
  *   --regalloc N       linear-scan onto N architectural registers
  *   --warps N          warps to execute (run; default 8)
+ *   --json             machine-readable outcome (run)
+ *   --manifest F       write an rfh-manifest-v1 run manifest to F (run)
+ *   --trace-events F   write chrome://tracing phase spans to F (run)
+ *
+ * Options (bench-diff):
+ *   --threshold F      relative regression gate, e.g. 0.10 (default);
+ *                      exits 1 when any benchmark regresses past it
  *
  * The tool lets users drive the full pipeline on their own RPTX
- * kernels without writing any C++.
+ * kernels without writing any C++, and gates CI on performance
+ * snapshots (see docs/observability.md).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "compiler/allocator.h"
-#include "core/json.h"
 #include "compiler/regalloc.h"
 #include "compiler/scheduler.h"
+#include "core/benchdiff.h"
+#include "core/experiment.h"
+#include "core/json.h"
+#include "core/manifest.h"
+#include "core/memo.h"
+#include "core/metrics.h"
+#include "core/timing.h"
+#include "core/trace_events.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "sim/baseline_exec.h"
-#include "sim/sw_exec.h"
 
 using namespace rfh;
 
@@ -48,8 +64,81 @@ usage()
                  "[--entries N] [--no-lrf]\n"
                  "            [--unified-lrf] [--no-partial] "
                  "[--no-readops] [--schedule]\n"
-                 "            [--regalloc N] [--warps N]\n");
+                 "            [--regalloc N] [--warps N] [--json]\n"
+                 "            [--manifest out.json] "
+                 "[--trace-events out.json]\n"
+                 "       rfhc bench-diff <old.json> <new.json> "
+                 "[--threshold F]\n");
     return 2;
+}
+
+/** Load and parse one JSON snapshot; exits via return on failure. */
+bool
+loadSnapshot(const std::string &path, JsonValue &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "rfhc: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    JsonParseResult parsed = parseJson(text.str());
+    if (!parsed.ok) {
+        std::fprintf(stderr, "rfhc: %s: %s\n", path.c_str(),
+                     parsed.error.c_str());
+        return false;
+    }
+    out = std::move(parsed.value);
+    return true;
+}
+
+/**
+ * `rfhc bench-diff old.json new.json [--threshold F]`: print a
+ * per-benchmark delta table; exit 1 when any benchmark regresses
+ * beyond the threshold, 0 otherwise.
+ */
+int
+benchDiffMain(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    std::string old_path = argv[2];
+    std::string new_path = argv[3];
+    double threshold = 0.10;
+    for (int i = 4; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--threshold" && i + 1 < argc) {
+            char *end = nullptr;
+            threshold = std::strtod(argv[++i], &end);
+            if (!end || *end != '\0' || threshold < 0)
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+
+    JsonValue old_doc, new_doc;
+    if (!loadSnapshot(old_path, old_doc) ||
+        !loadSnapshot(new_path, new_doc))
+        return 1;
+    std::string err;
+    std::vector<BenchEntry> olds = benchEntriesFromJson(old_doc, &err);
+    if (olds.empty()) {
+        std::fprintf(stderr, "rfhc: %s: %s\n", old_path.c_str(),
+                     err.c_str());
+        return 1;
+    }
+    std::vector<BenchEntry> news = benchEntriesFromJson(new_doc, &err);
+    if (news.empty()) {
+        std::fprintf(stderr, "rfhc: %s: %s\n", new_path.c_str(),
+                     err.c_str());
+        return 1;
+    }
+
+    BenchDiff diff = diffBenchmarks(olds, news, threshold);
+    std::printf("%s", renderBenchDiff(diff, threshold).c_str());
+    return diff.hasRegression() ? 1 : 0;
 }
 
 } // namespace
@@ -60,6 +149,8 @@ main(int argc, char **argv)
     if (argc < 3)
         return usage();
     std::string cmd = argv[1];
+    if (cmd == "bench-diff")
+        return benchDiffMain(argc, argv);
     std::string path = argv[2];
 
     AllocOptions opts;
@@ -69,6 +160,8 @@ main(int argc, char **argv)
     bool json = false;
     int regalloc_budget = 0;
     int warps = 8;
+    std::string manifest_path;
+    std::string trace_events_path;
     for (int i = 3; i < argc; i++) {
         std::string a = argv[i];
         auto next_int = [&](int &out) {
@@ -76,6 +169,12 @@ main(int argc, char **argv)
                 return false;
             out = std::atoi(argv[++i]);
             return out > 0;
+        };
+        auto next_str = [&](std::string &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = argv[++i];
+            return !out.empty();
         };
         if (a == "--entries") {
             if (!next_int(opts.orfEntries) ||
@@ -93,6 +192,12 @@ main(int argc, char **argv)
             do_schedule = true;
         } else if (a == "--json") {
             json = true;
+        } else if (a == "--manifest") {
+            if (!next_str(manifest_path))
+                return usage();
+        } else if (a == "--trace-events") {
+            if (!next_str(trace_events_path))
+                return usage();
         } else if (a == "--regalloc") {
             if (!next_int(regalloc_budget))
                 return usage();
@@ -175,10 +280,9 @@ main(int argc, char **argv)
         return 0;
     }
 
-    HierarchyAllocator alloc(EnergyParams{}, opts);
-    AllocStats stats = alloc.run(kernel);
-
     if (cmd == "annotate") {
+        HierarchyAllocator alloc(EnergyParams{}, opts);
+        AllocStats stats = alloc.run(kernel);
         PrintOptions po;
         po.annotations = true;
         po.strands = true;
@@ -195,25 +299,80 @@ main(int argc, char **argv)
     }
 
     if (cmd == "run") {
-        SwExecConfig sc;
-        sc.run.numWarps = warps;
-        SwExecResult r = runSwHierarchy(kernel, opts, sc);
-        if (!r.ok()) {
+        if (!trace_events_path.empty())
+            TraceEventLog::global().enable();
+
+        Workload w;
+        w.name = kernel.name;
+        w.suite = "cli";
+        w.kernel = std::move(kernel);
+        w.run.numWarps = warps;
+
+        ExperimentConfig cfg;
+        cfg.scheme = opts.useLRF ? Scheme::SW_THREE_LEVEL
+                                 : Scheme::SW_TWO_LEVEL;
+        cfg.entries = opts.orfEntries;
+        cfg.splitLRF = opts.splitLRF;
+        cfg.partialRanges = opts.partialRanges;
+        cfg.readOperands = opts.readOperands;
+        cfg.strandOptions = opts.strandOptions;
+        cfg.engine = ExecEngine::DIRECT;
+
+        Stopwatch wall;
+        RunOutcome o = runScheme(w, cfg);
+        if (!o.ok()) {
             std::fprintf(stderr, "rfhc: verification failed: %s\n",
-                         r.error.c_str());
+                         o.error.c_str());
             return 1;
         }
-        EnergyModel em(EnergyParams{}, opts.orfEntries, opts.splitLRF);
-        AccessCounts base = runBaseline(kernel, sc.run);
+
+        ManifestInfo m;
+        m.tool = "rfhc run";
+        m.engine = std::string(engineName(ExecEngine::DIRECT));
+        m.config = {
+            {"file", path},
+            {"kernel", w.name},
+            {"scheme", std::string(schemeName(cfg.scheme))},
+            {"entries", std::to_string(cfg.entries)},
+            {"warps", std::to_string(warps)},
+            {"splitLRF", cfg.splitLRF ? "true" : "false"},
+            {"partialRanges", cfg.partialRanges ? "true" : "false"},
+            {"readOperands", cfg.readOperands ? "true" : "false"},
+        };
+        m.timing.wallSec = wall.elapsedSec();
+        m.timing.cpuSec = o.phases.totalSec();
+        m.timing.threads = 1;
+        m.phases = o.phases;
+        m.benchmarks = {
+            {"rfhc.run/wallSec", m.timing.wallSec, "sec", false},
+            {"rfhc.run/instrPerSec", o.phases.instrPerSec(), "instr/s",
+             true},
+        };
+        if (!manifest_path.empty()) {
+            if (!writeManifest(manifest_path, m)) {
+                std::fprintf(stderr, "rfhc: cannot write %s\n",
+                             manifest_path.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "rfhc: wrote manifest %s\n",
+                         manifest_path.c_str());
+        }
+        if (!trace_events_path.empty()) {
+            if (!TraceEventLog::global().writeTo(trace_events_path)) {
+                std::fprintf(stderr, "rfhc: cannot write %s\n",
+                             trace_events_path.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "rfhc: wrote trace events %s\n",
+                         trace_events_path.c_str());
+        }
+        emitRunArtifacts(m);
+
         if (json) {
-            RunOutcome o;
-            o.counts = r.counts;
-            o.energyPJ = r.counts.totalEnergyPJ(em);
-            o.baselineEnergyPJ = base.totalEnergyPJ(em);
             std::printf("%s\n", outcomeToJson(o).c_str());
             return 0;
         }
-        const AccessCounts &c = r.counts;
+        const AccessCounts &c = o.counts;
         std::printf("instructions: %llu   deschedules: %llu\n",
                     static_cast<unsigned long long>(c.instructions),
                     static_cast<unsigned long long>(c.deschedules));
@@ -231,8 +390,8 @@ main(int argc, char **argv)
                         c.totalWrites(Level::ORF)),
                     static_cast<unsigned long long>(
                         c.totalWrites(Level::LRF)));
-        double e = c.totalEnergyPJ(em);
-        double be = base.totalEnergyPJ(em);
+        double e = o.energyPJ;
+        double be = o.baselineEnergyPJ;
         std::printf("energy: %.1f pJ (flat register file: %.1f pJ, "
                     "saved %.1f%%)\n", e, be, 100.0 * (1 - e / be));
         return 0;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+#
+# Compare two performance snapshots (BENCH_<n>.json from
+# scripts/bench_snapshot.sh, or rfh-manifest-v1 files from
+# `rfhc run --manifest` / $RFH_MANIFEST) and fail on regression.
+# Thin wrapper over `rfhc bench-diff`, building it if needed.
+#
+#   scripts/bench_diff.sh BENCH_0.json BENCH_1.json
+#   scripts/bench_diff.sh old.json new.json 0.25   # 25% threshold
+#
+# Exit status: 0 when no benchmark regressed past the threshold,
+# 1 on regression or unreadable snapshots, 2 on usage errors.
+set -euo pipefail
+
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+    echo "usage: scripts/bench_diff.sh <old.json> <new.json> [threshold]" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+threshold="${3:-0.10}"
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+rfhc="$repo/build/examples/rfhc"
+
+if [[ ! -x "$rfhc" ]]; then
+    echo "== building rfhc ==" >&2
+    cmake -B "$repo/build" -S "$repo" >/dev/null
+    cmake --build "$repo/build" -j "$jobs" --target rfhc >/dev/null
+fi
+
+exec "$rfhc" bench-diff "$old" "$new" --threshold "$threshold"

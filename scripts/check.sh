@@ -4,21 +4,31 @@
 # rebuild with ThreadSanitizer and exercise the parallel experiment
 # engine under it, and with AddressSanitizer over the trace/replay
 # engine (whose pre-decoded buffers and ring-buffer RFC are the
-# library's most index-heavy code). Usage:
+# library's most index-heavy code). Two observability gates follow:
+# a Doxygen-warning check over the metrics/trace/manifest/replay
+# headers (skipped when doxygen is not installed) and a performance
+# gate that takes a fresh snapshot and diffs it against the newest
+# committed BENCH_<n>.json with `rfhc bench-diff` (skipped when no
+# snapshot exists). Usage:
 #
-#   scripts/check.sh            # build + ctest + TSan + ASan passes
+#   scripts/check.sh            # build + ctest + sanitizers + gates
 #   scripts/check.sh --no-tsan  # skip the TSan stage
 #   scripts/check.sh --no-asan  # skip the ASan stage
+#   scripts/check.sh --no-perf  # skip the bench-diff perf gate
 #
+# RFH_BENCH_THRESHOLD sets the perf gate's relative regression
+# threshold (default 0.50 — generous, since CI machines are noisy).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
 run_tsan=1
 run_asan=1
+run_perf=1
 for arg in "$@"; do
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
     [[ "$arg" == "--no-asan" ]] && run_asan=0
+    [[ "$arg" == "--no-perf" ]] && run_perf=0
 done
 
 echo "== build + test (${jobs} jobs) =="
@@ -45,6 +55,47 @@ if [[ "$run_asan" == 1 ]]; then
     # replay executor's pointer-walking hot loop.
     "$repo/build-asan/tests/rfh_tests" \
         --gtest_filter='Trace.*:Replay.*:Seeds/ReplayProperty.*'
+fi
+
+if command -v doxygen >/dev/null 2>&1; then
+    echo "== doxygen: no warnings in the observability headers =="
+    doxlog="$(mktemp)"
+    trap 'rm -f "$doxlog"' EXIT
+    (cd "$repo" &&
+        { cat Doxyfile; echo "WARN_LOGFILE = $doxlog"; } | doxygen - \
+            >/dev/null)
+    # New-in-this-layer headers must stay warning-free; the gate is
+    # scoped so pre-existing debt elsewhere does not block CI.
+    gated='core/metrics\.|core/trace_events\.|core/manifest\.|core/benchdiff\.|sim/replay_exec\.|sim/decoded_trace\.'
+    if grep -E "$gated" "$doxlog"; then
+        echo "check.sh: doxygen warnings in gated headers (above)" >&2
+        exit 1
+    fi
+else
+    echo "== doxygen not installed; skipping the docs gate =="
+fi
+
+if [[ "$run_perf" == 1 ]]; then
+    base=""
+    n=0
+    while [[ -e "$repo/BENCH_${n}.json" ]]; do
+        base="$repo/BENCH_${n}.json"
+        n=$((n + 1))
+    done
+    if [[ -n "$base" ]]; then
+        echo "== perf gate: fresh snapshot vs $(basename "$base") =="
+        "$repo/scripts/bench_snapshot.sh"
+        fresh="$repo/BENCH_${n}.json"
+        threshold="${RFH_BENCH_THRESHOLD:-0.50}"
+        if ! "$repo/scripts/bench_diff.sh" "$base" "$fresh" "$threshold"
+        then
+            echo "check.sh: performance regressed past ${threshold}" >&2
+            exit 1
+        fi
+        rm -f "$fresh"
+    else
+        echo "== no BENCH_<n>.json snapshot; skipping the perf gate =="
+    fi
 fi
 
 echo "== all checks passed =="

@@ -4,11 +4,42 @@
 #include <cassert>
 #include <optional>
 
+#include "core/metrics.h"
 #include "ir/reaching_defs.h"
 
 namespace rfh {
 
 namespace {
+
+/**
+ * Per-pass observability of the allocation pipeline (strand cuts,
+ * instance dataflow, LRF pass, ORF pass). Registered once; updates
+ * are relaxed atomics, so the parallel sweep's concurrent allocator
+ * runs never contend. Metrics never influence allocation decisions.
+ */
+struct AllocMetrics
+{
+    Counter &runs = globalMetrics().counter("alloc.runs");
+    Timer &strands = globalMetrics().timer("alloc.phase.strands");
+    Timer &instances = globalMetrics().timer("alloc.phase.instances");
+    Timer &lrfPass = globalMetrics().timer("alloc.phase.lrf");
+    Timer &orfPass = globalMetrics().timer("alloc.phase.orf");
+    Counter &lrfValues = globalMetrics().counter("alloc.values.lrf");
+    Counter &orfValuesFull =
+        globalMetrics().counter("alloc.values.orf.full");
+    Counter &orfValuesPartial =
+        globalMetrics().counter("alloc.values.orf.partial");
+    Counter &orfReads = globalMetrics().counter("alloc.reads.orf");
+    Counter &mrfWritesElided =
+        globalMetrics().counter("alloc.mrfWritesElided");
+};
+
+AllocMetrics &
+allocMetrics()
+{
+    static AllocMetrics m;
+    return m;
+}
 
 /** Priority of an allocation candidate: savings per occupied slot. */
 double
@@ -112,6 +143,10 @@ HierarchyAllocator::HierarchyAllocator(const EnergyParams &params,
 AllocStats
 HierarchyAllocator::run(Kernel &k, const AnalysisBundle *analyses) const
 {
+    AllocMetrics &am = allocMetrics();
+    am.runs.add();
+    Stopwatch phaseWatch;
+
     k.clearAnnotations();
     // CFG and reaching defs depend only on the kernel's structure, so
     // a shared precomputed bundle is equivalent to a local one.
@@ -120,10 +155,12 @@ HierarchyAllocator::run(Kernel &k, const AnalysisBundle *analyses) const
     const Cfg &cfg = analyses ? analyses->cfg : localCfg.emplace(k);
     StrandAnalysis sa(k, cfg, opts_.strandOptions);
     sa.markEndOfStrand(k);
+    am.strands.addSec(phaseWatch.lap());
     const ReachingDefs &rd = analyses ? analyses->reachingDefs
                                       : localRd.emplace(k, cfg);
     InstanceAnalysis ia(k, cfg, sa, rd,
                         !opts_.strandOptions.cutAtLongLatency);
+    am.instances.addSec(phaseWatch.lap());
     int price = opts_.orfPriceEntries ? opts_.orfPriceEntries
                                       : opts_.orfEntries;
     EnergyModel em(params_, price, opts_.splitLRF);
@@ -180,6 +217,7 @@ HierarchyAllocator::run(Kernel &k, const AnalysisBundle *analyses) const
             stats.strandSavings[vi.strand] += c.savings;
         }
     }
+    am.lrfPass.addSec(phaseWatch.lap());
 
     // ---- ORF pass (Figure 7, plus Sections 4.3 and 4.4) ----
     struct OrfCand
@@ -288,6 +326,16 @@ HierarchyAllocator::run(Kernel &k, const AnalysisBundle *analyses) const
             }
         }
     }
+    am.orfPass.addSec(phaseWatch.lap());
+    am.lrfValues.add(static_cast<std::uint64_t>(stats.lrfValues));
+    am.orfValuesFull.add(
+        static_cast<std::uint64_t>(stats.orfValuesFull));
+    am.orfValuesPartial.add(
+        static_cast<std::uint64_t>(stats.orfValuesPartial));
+    am.orfReads.add(static_cast<std::uint64_t>(stats.orfReadsFull +
+                                               stats.orfReadsPartial));
+    am.mrfWritesElided.add(
+        static_cast<std::uint64_t>(stats.mrfWritesElided));
 
     return stats;
 }

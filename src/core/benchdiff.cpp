@@ -1,0 +1,203 @@
+#include "core/benchdiff.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/report.h"
+
+namespace rfh {
+
+std::string_view
+benchDeltaName(BenchDeltaKind k)
+{
+    switch (k) {
+      case BenchDeltaKind::UNCHANGED: return "ok";
+      case BenchDeltaKind::IMPROVED: return "improved";
+      case BenchDeltaKind::REGRESSED: return "REGRESSED";
+      case BenchDeltaKind::ADDED: return "added";
+      case BenchDeltaKind::REMOVED: return "removed";
+    }
+    return "?";
+}
+
+namespace {
+
+/** google-benchmark output nested inside a BENCH_<n>.json snapshot. */
+void
+collectMicrobenchmarks(const JsonValue &micro,
+                       std::vector<BenchEntry> &out)
+{
+    const JsonValue *benchmarks = micro.find("benchmarks");
+    if (!benchmarks || !benchmarks->isArray())
+        return;
+    for (const JsonValue &b : benchmarks->array) {
+        std::string name = b.stringOr("name", "");
+        if (name.empty())
+            continue;
+        // Aggregate rows (mean/median/stddev repetitions) would pair
+        // against themselves fine, but plain runs are the common case.
+        BenchEntry e;
+        e.name = name;
+        e.value = b.numberOr("real_time", 0.0);
+        e.unit = b.stringOr("time_unit", "ns");
+        e.higherIsBetter = false;
+        out.push_back(std::move(e));
+    }
+}
+
+/** Engine-timing section of a BENCH_<n>.json snapshot. */
+void
+collectFig13(const JsonValue &fig13, std::vector<BenchEntry> &out)
+{
+    if (const JsonValue *v = fig13.find("wallSec");
+        v && v->isNumber())
+        out.push_back({"fig13/wallSec", v->number, "sec", false});
+    if (const JsonValue *v = fig13.find("instrPerSec");
+        v && v->isNumber())
+        out.push_back({"fig13/instrPerSec", v->number, "instr/s", true});
+}
+
+/** "benchmarks" array of an rfh-manifest-v1 document. */
+void
+collectManifest(const JsonValue &doc, std::vector<BenchEntry> &out)
+{
+    const JsonValue *benchmarks = doc.find("benchmarks");
+    if (!benchmarks || !benchmarks->isArray())
+        return;
+    for (const JsonValue &b : benchmarks->array) {
+        BenchEntry e;
+        e.name = b.stringOr("name", "");
+        if (e.name.empty())
+            continue;
+        e.value = b.numberOr("value", 0.0);
+        e.unit = b.stringOr("unit", "");
+        const JsonValue *h = b.find("higherIsBetter");
+        e.higherIsBetter =
+            h && h->type == JsonValue::Type::BOOL && h->boolean;
+        out.push_back(std::move(e));
+    }
+}
+
+} // namespace
+
+std::vector<BenchEntry>
+benchEntriesFromJson(const JsonValue &doc, std::string *error)
+{
+    std::vector<BenchEntry> out;
+    if (!doc.isObject()) {
+        if (error)
+            *error = "snapshot is not a JSON object";
+        return out;
+    }
+    if (doc.stringOr("schema", "") == "rfh-manifest-v1") {
+        collectManifest(doc, out);
+        if (out.empty() && error)
+            *error = "manifest has no benchmarks array";
+        return out;
+    }
+    if (const JsonValue *micro = doc.find("microbenchmarks"))
+        collectMicrobenchmarks(*micro, out);
+    if (const JsonValue *fig13 = doc.find("fig13"))
+        collectFig13(*fig13, out);
+    if (out.empty() && error)
+        *error = "unrecognised snapshot format (expected BENCH_<n>.json "
+                 "or rfh-manifest-v1)";
+    return out;
+}
+
+BenchDiff
+diffBenchmarks(const std::vector<BenchEntry> &oldEntries,
+               const std::vector<BenchEntry> &newEntries,
+               double threshold)
+{
+    std::map<std::string, const BenchEntry *> olds;
+    for (const BenchEntry &e : oldEntries)
+        olds.emplace(e.name, &e);
+
+    BenchDiff diff;
+    for (const BenchEntry &e : newEntries) {
+        BenchDiffRow row;
+        row.name = e.name;
+        row.unit = e.unit;
+        row.newValue = e.value;
+        auto it = olds.find(e.name);
+        if (it == olds.end()) {
+            row.kind = BenchDeltaKind::ADDED;
+            diff.rows.push_back(std::move(row));
+            continue;
+        }
+        const BenchEntry &o = *it->second;
+        olds.erase(it);
+        row.oldValue = o.value;
+        if (o.value != 0.0)
+            row.deltaFrac = (e.value - o.value) / o.value;
+        // "Worse" means slower (higher) for time-like entries and
+        // lower for throughput-like entries.
+        double worse = e.higherIsBetter ? -row.deltaFrac : row.deltaFrac;
+        if (worse > threshold) {
+            row.kind = BenchDeltaKind::REGRESSED;
+            diff.regressed++;
+        } else if (worse < -threshold) {
+            row.kind = BenchDeltaKind::IMPROVED;
+            diff.improved++;
+        } else {
+            row.kind = BenchDeltaKind::UNCHANGED;
+        }
+        diff.rows.push_back(std::move(row));
+    }
+    // Entries only the old snapshot has, in its order.
+    for (const BenchEntry &e : oldEntries) {
+        if (!olds.count(e.name))
+            continue;
+        BenchDiffRow row;
+        row.name = e.name;
+        row.unit = e.unit;
+        row.oldValue = e.value;
+        row.kind = BenchDeltaKind::REMOVED;
+        diff.rows.push_back(std::move(row));
+    }
+    return diff;
+}
+
+namespace {
+
+std::string
+cell(double v, const std::string &unit)
+{
+    if (v == 0.0)
+        return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g %s", v, unit.c_str());
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderBenchDiff(const BenchDiff &diff, double threshold)
+{
+    TextTable t({"benchmark", "old", "new", "delta", "status"});
+    for (const BenchDiffRow &row : diff.rows) {
+        std::string delta = "-";
+        if (row.kind != BenchDeltaKind::ADDED &&
+            row.kind != BenchDeltaKind::REMOVED) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                          100.0 * row.deltaFrac);
+            delta = buf;
+        }
+        t.addRow({row.name, cell(row.oldValue, row.unit),
+                  cell(row.newValue, row.unit), delta,
+                  std::string(benchDeltaName(row.kind))});
+    }
+    char summary[160];
+    std::snprintf(summary, sizeof(summary),
+                  "%d compared, %d improved, %d regressed "
+                  "(threshold %.0f%%)\n",
+                  static_cast<int>(diff.rows.size()), diff.improved,
+                  diff.regressed, 100.0 * threshold);
+    return t.str() + summary;
+}
+
+} // namespace rfh

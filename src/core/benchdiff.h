@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Benchmark snapshot comparison — the perf regression gate behind
+ * `rfhc bench-diff` and `scripts/bench_diff.sh`.
+ *
+ * A snapshot is either a `BENCH_<n>.json` file written by
+ * `scripts/bench_snapshot.sh` (google-benchmark microbenchmarks plus
+ * the fig13 engine timing) or an `rfh-manifest-v1` run manifest
+ * (core/manifest.h). Both reduce to a flat list of named scalar
+ * benchmark entries, each tagged with the direction that counts as
+ * better; the diff pairs entries by name, computes relative deltas,
+ * and classifies each row against a configurable threshold so CI can
+ * fail on regressions (`scripts/check.sh --bench`).
+ */
+
+#ifndef RFH_CORE_BENCHDIFF_H
+#define RFH_CORE_BENCHDIFF_H
+
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+namespace rfh {
+
+/** One comparable scalar extracted from a snapshot. */
+struct BenchEntry
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit;           ///< "ns", "sec", "instr/s", ...
+    bool higherIsBetter = false;
+};
+
+/** Classification of one paired benchmark against the threshold. */
+enum class BenchDeltaKind
+{
+    UNCHANGED,  ///< |delta| within the threshold.
+    IMPROVED,   ///< Better by more than the threshold.
+    REGRESSED,  ///< Worse by more than the threshold.
+    ADDED,      ///< Present only in the new snapshot.
+    REMOVED,    ///< Present only in the old snapshot.
+};
+
+/** @return "ok", "improved", "REGRESSED", "added", or "removed". */
+std::string_view benchDeltaName(BenchDeltaKind k);
+
+/** One row of the delta table. */
+struct BenchDiffRow
+{
+    std::string name;
+    std::string unit;
+    double oldValue = 0.0;
+    double newValue = 0.0;
+    /** (new - old) / old; 0 when unpaired or old == 0. */
+    double deltaFrac = 0.0;
+    BenchDeltaKind kind = BenchDeltaKind::UNCHANGED;
+};
+
+/** Full diff of two snapshots. */
+struct BenchDiff
+{
+    std::vector<BenchDiffRow> rows;
+    int improved = 0;
+    int regressed = 0;
+
+    /** True when any benchmark regressed beyond the threshold. */
+    bool
+    hasRegression() const
+    {
+        return regressed > 0;
+    }
+};
+
+/**
+ * Extract comparable entries from a parsed snapshot document,
+ * auto-detecting the format (BENCH_<n>.json vs run manifest). On an
+ * unrecognised document, returns an empty list and sets @p error.
+ */
+std::vector<BenchEntry> benchEntriesFromJson(const JsonValue &doc,
+                                             std::string *error);
+
+/**
+ * Pair @p oldEntries and @p newEntries by name and classify each pair
+ * against @p threshold (a relative fraction, e.g. 0.10 = 10%). Rows
+ * follow the new snapshot's order, then removed-only entries in the
+ * old snapshot's order.
+ */
+BenchDiff diffBenchmarks(const std::vector<BenchEntry> &oldEntries,
+                         const std::vector<BenchEntry> &newEntries,
+                         double threshold);
+
+/** Render the per-benchmark delta table plus a summary line. */
+std::string renderBenchDiff(const BenchDiff &diff, double threshold);
+
+} // namespace rfh
+
+#endif // RFH_CORE_BENCHDIFF_H

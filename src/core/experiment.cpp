@@ -2,12 +2,61 @@
 
 #include "compiler/allocator.h"
 #include "core/memo.h"
+#include "core/metrics.h"
 #include "core/parallel.h"
+#include "core/trace_events.h"
 #include "sim/baseline_exec.h"
 #include "sim/hw_cache.h"
 #include "sim/sw_exec.h"
 
 namespace rfh {
+
+namespace {
+
+/**
+ * Engine metrics, registered once and accumulated with relaxed
+ * atomics — runScheme's hot path never takes the registry mutex.
+ */
+struct EngineMetrics
+{
+    Counter &runs = globalMetrics().counter("engine.runs");
+    Counter &runsDirect = globalMetrics().counter("engine.runs.direct");
+    Counter &runsReplay = globalMetrics().counter("engine.runs.replay");
+    Counter &dynInstrs =
+        globalMetrics().counter("engine.execute.dynInstrs");
+    Timer &analyze = globalMetrics().timer("engine.phase.analyze");
+    Timer &trace = globalMetrics().timer("engine.phase.trace");
+    Timer &allocate = globalMetrics().timer("engine.phase.allocate");
+    Timer &execute = globalMetrics().timer("engine.phase.execute");
+    Histogram &runInstrs =
+        globalMetrics().histogram("engine.run.dynInstrs");
+};
+
+EngineMetrics &
+engineMetrics()
+{
+    static EngineMetrics m;
+    return m;
+}
+
+/**
+ * Record an already-measured phase as a chrome-trace span: the span
+ * ends "now" and lasted @p sec, so no extra clock reads happen when
+ * recording is disabled.
+ */
+void
+recordPhaseSpan(const char *phase, const std::string &workload,
+                double sec)
+{
+    TraceEventLog &log = TraceEventLog::global();
+    if (!log.enabled() || sec <= 0.0)
+        return;
+    double endUs = TraceEventLog::nowUs();
+    log.add(phase, "phase", endUs - sec * 1e6, sec * 1e6,
+            "{\"workload\":\"" + workload + "\"}");
+}
+
+} // namespace
 
 std::string_view
 schemeName(Scheme s)
@@ -73,6 +122,7 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     const AccessCounts &base = cache.baseline(w.kernel, w.run);
     out.baselineEnergyPJ = base.totalEnergyPJ(em);
     out.phases.analyzeSec = watch.lap();
+    recordPhaseSpan("analyze", w.name, out.phases.analyzeSec);
 
     // ---- Trace: the pre-decoded dynamic stream, recorded once per
     // (kernel, RunConfig) and shared by every replay grid cell ----
@@ -80,6 +130,7 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     if (engine == ExecEngine::REPLAY && cfg.scheme != Scheme::BASELINE) {
         trace = cache.trace(w.kernel, w.run);
         out.phases.traceSec = watch.lap();
+        recordPhaseSpan("trace", w.name, out.phases.traceSec);
     }
 
     switch (cfg.scheme) {
@@ -97,6 +148,7 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
                                            analyses.get())
                            : runHwCache(w.kernel, hc, analyses.get());
         out.phases.executeSec = watch.lap();
+        recordPhaseSpan("execute", w.name, out.phases.executeSec);
         break;
       }
       case Scheme::SW_TWO_LEVEL:
@@ -106,6 +158,7 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         HierarchyAllocator alloc(cfg.energy, cfg.allocOptions());
         out.alloc = alloc.run(annotated, analyses.get());
         out.phases.allocateSec = watch.lap();
+        recordPhaseSpan("allocate", w.name, out.phases.allocateSec);
         SwExecConfig sc;
         sc.run = w.run;
         sc.idealNoFlush = cfg.idealNoFlush;
@@ -119,12 +172,29 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         out.counts = res.counts;
         out.error = res.error;
         out.phases.executeSec = watch.lap();
+        recordPhaseSpan("execute", w.name, out.phases.executeSec);
         break;
       }
     }
 
     out.phases.dynInstrs = out.counts.instructions;
     out.energyPJ = out.counts.totalEnergyPJ(em);
+
+    // Observability only: metrics never feed back into the outcome,
+    // so results stay byte-identical with any metrics state.
+    EngineMetrics &mm = engineMetrics();
+    mm.runs.add();
+    if (cfg.scheme != Scheme::BASELINE)
+        (engine == ExecEngine::REPLAY ? mm.runsReplay : mm.runsDirect)
+            .add();
+    mm.analyze.addSec(out.phases.analyzeSec);
+    if (trace)
+        mm.trace.addSec(out.phases.traceSec);
+    if (out.phases.allocateSec > 0)
+        mm.allocate.addSec(out.phases.allocateSec);
+    mm.execute.addSec(out.phases.executeSec);
+    mm.dynInstrs.add(out.counts.instructions);
+    mm.runInstrs.observe(out.counts.instructions);
     return out;
 }
 

@@ -1,6 +1,8 @@
 #include "core/json.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/memo.h"
 
@@ -75,7 +77,9 @@ JsonWriter &
 JsonWriter::key(const std::string &k)
 {
     separator();
-    out_ += "\"" + escape(k) + "\":";
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
     afterKey_ = true;
     return *this;
 }
@@ -84,7 +88,9 @@ JsonWriter &
 JsonWriter::value(const std::string &v)
 {
     separator();
-    out_ += "\"" + escape(v) + "\"";
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
     return *this;
 }
 
@@ -125,6 +131,14 @@ JsonWriter::value(bool v)
 {
     separator();
     out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &json)
+{
+    separator();
+    out_ += json;
     return *this;
 }
 
@@ -245,6 +259,295 @@ outcomeToJson(const RunOutcome &outcome)
     JsonWriter w;
     writeJson(w, outcome);
     return w.str();
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::OBJECT)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->string : fallback;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonParseResult
+    parse()
+    {
+        JsonParseResult r;
+        skipWs();
+        if (!parseValue(r.value)) {
+            r.error = "offset " + std::to_string(pos_) + ": " + error_;
+            return r;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            r.error = "offset " + std::to_string(pos_) +
+                      ": trailing characters after document";
+            return r;
+        }
+        r.ok = true;
+        return r;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            pos_++;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (depth_ > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.type = JsonValue::Type::STRING;
+            return parseString(out.string);
+          case 't':
+            out.type = JsonValue::Type::BOOL;
+            out.boolean = true;
+            return consumeWord("true") || fail("invalid literal");
+          case 'f':
+            out.type = JsonValue::Type::BOOL;
+            out.boolean = false;
+            return consumeWord("false") || fail("invalid literal");
+          case 'n':
+            out.type = JsonValue::Type::NUL;
+            return consumeWord("null") || fail("invalid literal");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.type = JsonValue::Type::OBJECT;
+        depth_++;
+        pos_++;  // '{'
+        skipWs();
+        if (consume('}')) {
+            depth_--;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}')) {
+                depth_--;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.type = JsonValue::Type::ARRAY;
+        depth_++;
+        pos_++;  // '['
+        skipWs();
+        if (consume(']')) {
+            depth_--;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']')) {
+                depth_--;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        pos_++;  // '"'
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            pos_++;
+        if (pos_ == start)
+            return fail("expected a value");
+        std::string num(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        out.number = std::strtod(num.c_str(), &end);
+        if (end != num.c_str() + num.size())
+            return fail("invalid number");
+        out.type = JsonValue::Type::NUMBER;
+        return true;
+    }
+
+    static constexpr int kMaxDepth = 128;
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+JsonParseResult
+parseJson(std::string_view text)
+{
+    return JsonParser(text).parse();
 }
 
 } // namespace rfh

@@ -1,8 +1,10 @@
 /**
  * @file
- * Minimal JSON emission for machine-readable results (the library's
- * equivalent of a stats dump): access counts, run outcomes, and sweep
- * series serialise to stable, ordered JSON for downstream tooling.
+ * Minimal JSON support for machine-readable results: a stable ordered
+ * writer (access counts, run outcomes, sweep series) plus a small
+ * recursive-descent parser used by the observability tooling — the
+ * `rfhc bench-diff` snapshot comparator and the manifest round-trip
+ * tests read documents back with parseJson().
  */
 
 #ifndef RFH_CORE_JSON_H
@@ -10,6 +12,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
@@ -33,6 +37,8 @@ class JsonWriter
     JsonWriter &value(std::uint64_t v);
     JsonWriter &value(int v);
     JsonWriter &value(bool v);
+    /** Splice @p json in verbatim (must be one complete JSON value). */
+    JsonWriter &rawValue(const std::string &json);
 
     const std::string &
     str() const
@@ -70,6 +76,72 @@ std::string sweepTimingsToJson(const std::vector<SweepPoint> &points,
 
 /** One-call helper: outcome as a JSON document. */
 std::string outcomeToJson(const RunOutcome &outcome);
+
+/**
+ * A parsed JSON document node. Objects preserve source key order;
+ * numbers are kept as double (adequate for every metric and timing
+ * value the tooling reads back).
+ */
+struct JsonValue
+{
+    enum class Type { NUL, BOOL, NUMBER, STRING, ARRAY, OBJECT };
+
+    Type type = Type::NUL;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool
+    isObject() const
+    {
+        return type == Type::OBJECT;
+    }
+
+    bool
+    isArray() const
+    {
+        return type == Type::ARRAY;
+    }
+
+    bool
+    isNumber() const
+    {
+        return type == Type::NUMBER;
+    }
+
+    bool
+    isString() const
+    {
+        return type == Type::STRING;
+    }
+
+    /** Object member by key, or nullptr (also when not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** find(key)->number, or @p fallback when absent / not a number. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** find(key)->string, or @p fallback when absent / not a string. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+};
+
+/** Outcome of parseJson: the document, or a positioned error. */
+struct JsonParseResult
+{
+    bool ok = false;
+    std::string error;  ///< "offset N: message" when !ok.
+    JsonValue value;
+};
+
+/**
+ * Parse one complete JSON document (trailing whitespace allowed,
+ * trailing garbage is an error). Supports the full scalar syntax
+ * including \\uXXXX escapes (encoded as UTF-8).
+ */
+JsonParseResult parseJson(std::string_view text);
 
 } // namespace rfh
 

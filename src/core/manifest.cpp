@@ -1,0 +1,124 @@
+#include "core/manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/memo.h"
+#include "core/metrics.h"
+#include "core/parallel.h"
+#include "core/trace_events.h"
+
+namespace rfh {
+
+std::string
+buildGitSha()
+{
+    if (const char *env = std::getenv("RFH_GIT_SHA"))
+        return env;
+#ifdef RFH_GIT_SHA
+    return RFH_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+manifestToJson(const ManifestInfo &m)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("rfh-manifest-v1");
+    w.key("tool").value(m.tool);
+    w.key("gitSha").value(buildGitSha());
+    w.key("threads").value(m.timing.threads > 0 ? m.timing.threads
+                                                : defaultThreadCount());
+    w.key("engine").value(m.engine);
+    w.key("config");
+    w.beginObject();
+    for (const auto &[k, v] : m.config)
+        w.key(k).value(v);
+    w.endObject();
+    w.key("timing");
+    w.beginObject();
+    w.key("wallSec").value(m.timing.wallSec);
+    w.key("cpuSec").value(m.timing.cpuSec);
+    w.key("speedup").value(m.timing.speedup());
+    w.endObject();
+    w.key("phases");
+    w.beginObject();
+    w.key("analyzeSec").value(m.phases.analyzeSec);
+    w.key("traceSec").value(m.phases.traceSec);
+    w.key("allocateSec").value(m.phases.allocateSec);
+    w.key("executeSec").value(m.phases.executeSec);
+    w.key("dynInstrs").value(m.phases.dynInstrs);
+    w.key("instrPerSec").value(m.phases.instrPerSec());
+    w.endObject();
+    ExperimentCache::Stats cs = globalExperimentCache().stats();
+    w.key("cache");
+    w.beginObject();
+    w.key("baselineHits").value(cs.baselineHits);
+    w.key("baselineMisses").value(cs.baselineMisses);
+    w.key("analysisHits").value(cs.analysisHits);
+    w.key("analysisMisses").value(cs.analysisMisses);
+    w.key("traceHits").value(cs.traceHits);
+    w.key("traceMisses").value(cs.traceMisses);
+    w.endObject();
+    w.key("metrics").rawValue(globalMetrics().toJson());
+    w.key("benchmarks");
+    w.beginArray();
+    for (const BenchEntry &b : m.benchmarks) {
+        w.beginObject();
+        w.key("name").value(b.name);
+        w.key("value").value(b.value);
+        w.key("unit").value(b.unit);
+        w.key("higherIsBetter").value(b.higherIsBetter);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeManifest(const std::string &path, const ManifestInfo &m)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << manifestToJson(m) << "\n";
+    return static_cast<bool>(out);
+}
+
+const std::string &
+manifestPath()
+{
+    static const std::string path = [] {
+        const char *p = std::getenv("RFH_MANIFEST");
+        return std::string(p ? p : "");
+    }();
+    return path;
+}
+
+void
+emitRunArtifacts(const ManifestInfo &m)
+{
+    if (!manifestPath().empty()) {
+        if (writeManifest(manifestPath(), m))
+            std::fprintf(stderr, "manifest: %s\n",
+                         manifestPath().c_str());
+        else
+            std::fprintf(stderr, "manifest: cannot write %s\n",
+                         manifestPath().c_str());
+    }
+    if (!traceEventsPath().empty()) {
+        if (TraceEventLog::global().writeTo(traceEventsPath()))
+            std::fprintf(stderr, "trace events: %s\n",
+                         traceEventsPath().c_str());
+        else
+            std::fprintf(stderr, "trace events: cannot write %s\n",
+                         traceEventsPath().c_str());
+    }
+}
+
+} // namespace rfh

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structured run manifests: one JSON document per sweep/figure/CLI run
+ * capturing everything needed to interpret and reproduce its numbers —
+ * git SHA, tool name, thread count, engine, configuration, per-phase
+ * timing, memoization hit/miss counters, the full metrics-registry
+ * snapshot (core/metrics.h), and a list of comparable benchmark
+ * scalars that `rfhc bench-diff` can gate on.
+ *
+ * Harnesses emit a manifest when the RFH_MANIFEST environment variable
+ * names an output path (emitRunArtifacts(), which also honours
+ * RFH_TRACE_EVENTS for the chrome-trace span file); the rfhc CLI takes
+ * an explicit `--manifest out.json` flag. Schema: "rfh-manifest-v1",
+ * documented in docs/observability.md.
+ */
+
+#ifndef RFH_CORE_MANIFEST_H
+#define RFH_CORE_MANIFEST_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/benchdiff.h"
+#include "core/sweep.h"
+#include "core/timing.h"
+
+namespace rfh {
+
+/** Everything a manifest records about one run. */
+struct ManifestInfo
+{
+    /** Emitting binary + subcommand ("fig13_energy", "rfhc run"). */
+    std::string tool;
+    /** Execute engine that produced the numbers (resolved, not AUTO). */
+    std::string engine;
+    /** Free-form configuration key/value pairs, emitted in order. */
+    std::vector<std::pair<std::string, std::string>> config;
+    /** Engine-level wall/CPU timing (threads <= 0 fills the default). */
+    SweepTiming timing;
+    /** Per-phase aggregate for the run. */
+    PhaseTimes phases;
+    /** Comparable scalars for bench-diff (may be empty). */
+    std::vector<BenchEntry> benchmarks;
+};
+
+/**
+ * Git SHA baked into the build (RFH_GIT_SHA compile definition,
+ * captured at configure time), overridable at runtime with the
+ * RFH_GIT_SHA environment variable; "unknown" when neither is set.
+ */
+std::string buildGitSha();
+
+/**
+ * Serialise @p m plus the current global state — metrics-registry
+ * snapshot and memoization cache counters — as one
+ * "rfh-manifest-v1" JSON document.
+ */
+std::string manifestToJson(const ManifestInfo &m);
+
+/** Write manifestToJson(m) to @p path; @return false on I/O failure. */
+bool writeManifest(const std::string &path, const ManifestInfo &m);
+
+/** RFH_MANIFEST output path ("" when unset). */
+const std::string &manifestPath();
+
+/**
+ * End-of-run hook for harnesses: writes the manifest to $RFH_MANIFEST
+ * and the chrome-trace span log to $RFH_TRACE_EVENTS when those
+ * variables are set, reporting each written path on stderr. A no-op
+ * when neither is set.
+ */
+void emitRunArtifacts(const ManifestInfo &m);
+
+} // namespace rfh
+
+#endif // RFH_CORE_MANIFEST_H

@@ -1,8 +1,30 @@
 #include "core/memo.h"
 
+#include "core/metrics.h"
+
 namespace rfh {
 
 namespace {
+
+/** Registry mirror of the cache counters (one-time registration). */
+struct MemoMetrics
+{
+    Counter &baselineHits = globalMetrics().counter("memo.baseline.hits");
+    Counter &baselineMisses =
+        globalMetrics().counter("memo.baseline.misses");
+    Counter &analysisHits = globalMetrics().counter("memo.analysis.hits");
+    Counter &analysisMisses =
+        globalMetrics().counter("memo.analysis.misses");
+    Counter &traceHits = globalMetrics().counter("memo.trace.hits");
+    Counter &traceMisses = globalMetrics().counter("memo.trace.misses");
+};
+
+MemoMetrics &
+memoMetrics()
+{
+    static MemoMetrics m;
+    return m;
+}
 
 /** FNV-1a 64-bit. */
 class Fnv
@@ -84,10 +106,13 @@ ExperimentCache::baseline(const Kernel &k, const RunConfig &run)
         e->counts = runBaseline(k, run);
         miss = true;
     });
-    if (miss)
+    if (miss) {
         baselineMisses_++;
-    else
+        memoMetrics().baselineMisses.add();
+    } else {
         baselineHits_++;
+        memoMetrics().baselineHits.add();
+    }
     return e->counts;
 }
 
@@ -108,10 +133,13 @@ ExperimentCache::analyses(const Kernel &k)
         e->bundle = std::make_shared<const AnalysisBundle>(k);
         miss = true;
     });
-    if (miss)
+    if (miss) {
         analysisMisses_++;
-    else
+        memoMetrics().analysisMisses.add();
+    } else {
         analysisHits_++;
+        memoMetrics().analysisHits.add();
+    }
     return e->bundle;
 }
 
@@ -134,10 +162,13 @@ ExperimentCache::trace(const Kernel &k, const RunConfig &run)
             std::make_shared<const DecodedTrace>(recordDecodedTrace(k, run));
         miss = true;
     });
-    if (miss)
+    if (miss) {
         traceMisses_++;
-    else
+        memoMetrics().traceMisses.add();
+    } else {
         traceHits_++;
+        memoMetrics().traceHits.add();
+    }
     return e->trace;
 }
 

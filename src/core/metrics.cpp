@@ -1,0 +1,173 @@
+#include "core/metrics.h"
+
+#include <stdexcept>
+
+#include "core/json.h"
+
+namespace rfh {
+
+int
+metricsThreadShard()
+{
+    static std::atomic<int> next{0};
+    thread_local int shard =
+        next.fetch_add(1, std::memory_order_relaxed) &
+        (kMetricShards - 1);
+    return shard;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::lookup(std::string_view name, MetricSample::Kind kind)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e;
+        e.kind = kind;
+        switch (kind) {
+          case MetricSample::Kind::COUNTER:
+            e.counter = std::make_unique<Counter>();
+            break;
+          case MetricSample::Kind::GAUGE:
+            e.gauge = std::make_unique<Gauge>();
+            break;
+          case MetricSample::Kind::TIMER:
+            e.timer = std::make_unique<Timer>();
+            break;
+          case MetricSample::Kind::HISTOGRAM:
+            e.histogram = std::make_unique<Histogram>();
+            break;
+        }
+        it = entries_.emplace(std::string(name), std::move(e)).first;
+    } else if (it->second.kind != kind) {
+        throw std::logic_error("metric '" + std::string(name) +
+                               "' registered with a different kind");
+    }
+    return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    return *lookup(name, MetricSample::Kind::COUNTER).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    return *lookup(name, MetricSample::Kind::GAUGE).gauge;
+}
+
+Timer &
+MetricsRegistry::timer(std::string_view name)
+{
+    return *lookup(name, MetricSample::Kind::TIMER).timer;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name)
+{
+    return *lookup(name, MetricSample::Kind::HISTOGRAM).histogram;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &[name, e] : entries_) {
+        switch (e.kind) {
+          case MetricSample::Kind::COUNTER: e.counter->reset(); break;
+          case MetricSample::Kind::GAUGE: e.gauge->reset(); break;
+          case MetricSample::Kind::TIMER: e.timer->reset(); break;
+          case MetricSample::Kind::HISTOGRAM:
+            e.histogram->reset();
+            break;
+        }
+    }
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<MetricSample> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, e] : entries_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = e.kind;
+        switch (e.kind) {
+          case MetricSample::Kind::COUNTER:
+            s.count = e.counter->value();
+            break;
+          case MetricSample::Kind::GAUGE:
+            s.number = e.gauge->value();
+            break;
+          case MetricSample::Kind::TIMER:
+            s.number = e.timer->totalSec();
+            s.count = e.timer->count();
+            break;
+          case MetricSample::Kind::HISTOGRAM:
+            s.count = e.histogram->count();
+            s.sum = e.histogram->sum();
+            for (int b = 0; b < Histogram::kBuckets; b++) {
+                std::uint64_t c = e.histogram->bucketCount(b);
+                if (c)
+                    s.buckets.emplace_back(1ull << b, c);
+            }
+            break;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    for (const MetricSample &s : snapshot()) {
+        w.key(s.name);
+        switch (s.kind) {
+          case MetricSample::Kind::COUNTER:
+            w.value(s.count);
+            break;
+          case MetricSample::Kind::GAUGE:
+            w.value(s.number);
+            break;
+          case MetricSample::Kind::TIMER:
+            w.beginObject();
+            w.key("totalSec").value(s.number);
+            w.key("count").value(s.count);
+            w.endObject();
+            break;
+          case MetricSample::Kind::HISTOGRAM:
+            w.beginObject();
+            w.key("count").value(s.count);
+            w.key("sum").value(s.sum);
+            w.key("buckets");
+            w.beginArray();
+            for (const auto &[le, c] : s.buckets) {
+                w.beginObject();
+                w.key("le").value(le);
+                w.key("count").value(c);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+            break;
+        }
+    }
+    w.endObject();
+    return w.str();
+}
+
+MetricsRegistry &
+globalMetrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace rfh

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Structured metrics registry: the process-wide observability spine.
+ *
+ * Every phase of the pipeline reports into one named-metric registry —
+ * the allocator's passes, the trace recorder, the direct and replay
+ * executors, the hardware-cache simulator, and the memoization caches.
+ * Four metric kinds cover the needs of the experiment engine:
+ *
+ *  - Counter   — monotonic event count (cache hits, runs, instructions),
+ *  - Gauge     — last-written value (pool size, thresholds),
+ *  - Timer     — accumulated wall-clock + invocation count per phase,
+ *  - Histogram — log2-bucketed sample distribution (dynamic
+ *                instructions per run, span durations).
+ *
+ * Counters and timers shard their accumulation across cache-line-sized
+ * slots indexed by a thread-local shard id, so the parallel sweep's
+ * workers never contend on one cache line; reads fold the shards.
+ * All mutation is lock-free after registration (relaxed atomics:
+ * metrics are diagnostics, and exact cross-thread ordering is not
+ * observable through the snapshot API anyway).
+ *
+ * Metrics never feed back into results: result JSON stays
+ * byte-identical for any thread count and any metrics state. Snapshots
+ * serialise deterministically (name-sorted) into run manifests
+ * (core/manifest.h) and the `rfhc` CLI.
+ */
+
+#ifndef RFH_CORE_METRICS_H
+#define RFH_CORE_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/timing.h"
+
+namespace rfh {
+
+/**
+ * Stable per-thread shard index in [0, kMetricShards). Threads are
+ * assigned round-robin on first use, so a pool of N workers spreads
+ * across min(N, kMetricShards) distinct cache lines.
+ */
+int metricsThreadShard();
+
+/** Shard count for sharded accumulators (power of two). */
+inline constexpr int kMetricShards = 16;
+
+/** Monotonic event counter with per-thread sharded accumulation. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1) noexcept
+    {
+        shards_[metricsThreadShard()].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Sum over all shards. */
+    std::uint64_t
+    value() const noexcept
+    {
+        std::uint64_t total = 0;
+        for (const Shard &s : shards_)
+            total += s.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    void
+    reset() noexcept
+    {
+        for (Shard &s : shards_)
+            s.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+    Shard shards_[kMetricShards];
+};
+
+/** Last-written value (not aggregated across threads). */
+class Gauge
+{
+  public:
+    void
+    set(double v) noexcept
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset() noexcept
+    {
+        v_.store(0.0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Accumulated duration + invocation count. Durations are stored as
+ * integer nanoseconds so accumulation is a single relaxed fetch_add
+ * and totals are exact (no floating-point accumulation-order drift).
+ */
+class Timer
+{
+  public:
+    void
+    addSec(double seconds) noexcept
+    {
+        auto ns = static_cast<std::uint64_t>(seconds * 1e9);
+        Shard &s = shards_[metricsThreadShard()];
+        s.nanos.fetch_add(ns, std::memory_order_relaxed);
+        s.count.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    double
+    totalSec() const noexcept
+    {
+        std::uint64_t ns = 0;
+        for (const Shard &s : shards_)
+            ns += s.nanos.load(std::memory_order_relaxed);
+        return static_cast<double>(ns) / 1e9;
+    }
+
+    std::uint64_t
+    count() const noexcept
+    {
+        std::uint64_t c = 0;
+        for (const Shard &s : shards_)
+            c += s.count.load(std::memory_order_relaxed);
+        return c;
+    }
+
+    void
+    reset() noexcept
+    {
+        for (Shard &s : shards_) {
+            s.nanos.store(0, std::memory_order_relaxed);
+            s.count.store(0, std::memory_order_relaxed);
+        }
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> nanos{0};
+        std::atomic<std::uint64_t> count{0};
+    };
+    Shard shards_[kMetricShards];
+};
+
+/** RAII phase timer: accumulates its lifetime into a Timer. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &t) : t_(t) {}
+    ~ScopedTimer() { t_.addSec(watch_.elapsedSec()); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Timer &t_;
+    Stopwatch watch_;
+};
+
+/**
+ * Log2-bucketed histogram of unsigned samples: bucket b counts
+ * samples whose value v satisfies 2^(b-1) < v <= 2^b (bucket 0 counts
+ * v <= 1). Fixed 64 buckets cover the whole uint64 range.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    void
+    observe(std::uint64_t sample) noexcept
+    {
+        buckets_[bucketOf(sample)].fetch_add(1,
+                                             std::memory_order_relaxed);
+        sum_.fetch_add(sample, std::memory_order_relaxed);
+    }
+
+    /** Bucket index for @p sample (see class comment). */
+    static int
+    bucketOf(std::uint64_t sample) noexcept
+    {
+        int b = 0;
+        while (sample > (1ull << b) && b < kBuckets - 1)
+            b++;
+        return b;
+    }
+
+    std::uint64_t
+    bucketCount(int b) const noexcept
+    {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    count() const noexcept
+    {
+        std::uint64_t c = 0;
+        for (const auto &b : buckets_)
+            c += b.load(std::memory_order_relaxed);
+        return c;
+    }
+
+    std::uint64_t
+    sum() const noexcept
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset() noexcept
+    {
+        for (auto &b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/** One metric's value at snapshot time. */
+struct MetricSample
+{
+    enum class Kind { COUNTER, GAUGE, TIMER, HISTOGRAM };
+
+    std::string name;
+    Kind kind = Kind::COUNTER;
+    std::uint64_t count = 0;  ///< Counter value / timer or hist count.
+    double number = 0.0;      ///< Gauge value / timer total seconds.
+    std::uint64_t sum = 0;    ///< Histogram sample sum.
+    /** Non-empty histogram buckets as (upper bound, count). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+/**
+ * Name → metric registry. Registration (the first counter("x") call)
+ * takes a mutex; the returned reference is stable for the process
+ * lifetime, so hot paths cache it in a function-local static and pay
+ * only the relaxed-atomic accumulation afterwards.
+ *
+ * Names are namespaced with dots by convention ("alloc.phase.orf",
+ * "memo.trace.hits"); one name maps to exactly one kind — requesting
+ * an existing name as a different kind throws std::logic_error.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Timer &timer(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /** Zero every value; registrations (and references) survive. */
+    void reset();
+
+    /** All metrics, name-sorted, deterministic given quiescence. */
+    std::vector<MetricSample> snapshot() const;
+
+    /**
+     * Snapshot as one JSON object: counters and gauges as numbers,
+     * timers as {"totalSec","count"}, histograms as
+     * {"count","sum","buckets":[{"le","count"}...]}.
+     */
+    std::string toJson() const;
+
+  private:
+    struct Entry
+    {
+        MetricSample::Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Timer> timer;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &lookup(std::string_view name, MetricSample::Kind kind);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/** The registry every pipeline phase reports into. */
+MetricsRegistry &globalMetrics();
+
+} // namespace rfh
+
+#endif // RFH_CORE_METRICS_H

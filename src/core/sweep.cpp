@@ -1,6 +1,8 @@
 #include "core/sweep.h"
 
 #include "core/memo.h"
+#include "core/metrics.h"
+#include "core/trace_events.h"
 #include "sim/baseline_exec.h"
 
 namespace rfh {
@@ -40,6 +42,9 @@ sweepEntries(const std::vector<Scheme> &schemes,
     // historical nesting order.
     std::vector<RunOutcome> cells(static_cast<std::size_t>(P) * W);
     std::vector<double> cellSec(cells.size(), 0.0);
+    TraceSpan span("sweepEntries", "sweep",
+                   "{\"points\":" + std::to_string(P) +
+                       ",\"cells\":" + std::to_string(P * W) + "}");
     Stopwatch wall;
     p.parallelFor(P * W, [&](int t) {
         Stopwatch cellWatch;
@@ -47,6 +52,10 @@ sweepEntries(const std::vector<Scheme> &schemes,
         cellSec[t] = cellWatch.elapsedSec();
     });
     double wallSec = wall.elapsedSec();
+    globalMetrics().counter("sweep.calls").add();
+    globalMetrics().counter("sweep.cells").add(
+        static_cast<std::uint64_t>(P) * W);
+    globalMetrics().timer("sweep.wall").addSec(wallSec);
 
     // Deterministic fold: workloads in registry order per point.
     double cpuSec = 0.0;

@@ -10,6 +10,11 @@
  * engine aggregates these per sweep point. Timing never feeds back
  * into results: the result JSON is byte-identical across thread
  * counts, and timings are serialised separately (sweepTimingsToJson).
+ *
+ * PhaseTimes is the deterministic per-outcome aggregate carried inside
+ * RunOutcome; the process-wide aggregation layer is the metrics
+ * registry (core/metrics.h), which the engine feeds from the same
+ * Stopwatch laps and which run manifests (core/manifest.h) snapshot.
  */
 
 #ifndef RFH_CORE_TIMING_H

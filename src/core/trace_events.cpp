@@ -1,0 +1,135 @@
+#include "core/trace_events.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/json.h"
+
+namespace rfh {
+
+namespace {
+
+/** Small integer track id per recording thread, assigned on first use. */
+int
+threadTrackId()
+{
+    static std::atomic<int> next{0};
+    thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::chrono::steady_clock::time_point
+processStart()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+} // namespace
+
+double
+TraceEventLog::nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - processStart())
+        .count();
+}
+
+void
+TraceEventLog::add(std::string name, std::string category,
+                   double startUs, double durUs, std::string args)
+{
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.args = std::move(args);
+    e.tid = threadTrackId();
+    e.startUs = startUs;
+    e.durUs = durUs;
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(std::move(e));
+}
+
+std::size_t
+TraceEventLog::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+}
+
+void
+TraceEventLog::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.clear();
+}
+
+std::string
+TraceEventLog::toJson() const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        events = events_;
+    }
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        if (!first)
+            out += ",";
+        first = false;
+        JsonWriter w;
+        w.beginObject();
+        w.key("name").value(e.name);
+        w.key("cat").value(e.category);
+        w.key("ph").value("X");
+        w.key("pid").value(1);
+        w.key("tid").value(e.tid);
+        w.key("ts").value(e.startUs);
+        w.key("dur").value(e.durUs);
+        w.endObject();
+        std::string obj = w.str();
+        // The args field is a pre-rendered JSON object; splice it in
+        // before the closing brace (JsonWriter emits scalars only).
+        if (!e.args.empty())
+            obj.insert(obj.size() - 1, ",\"args\":" + e.args);
+        out += obj;
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+bool
+TraceEventLog::writeTo(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson() << "\n";
+    return static_cast<bool>(out);
+}
+
+TraceEventLog &
+TraceEventLog::global()
+{
+    static TraceEventLog *log = [] {
+        auto *l = new TraceEventLog();
+        if (!traceEventsPath().empty())
+            l->enable();
+        return l;
+    }();
+    return *log;
+}
+
+const std::string &
+traceEventsPath()
+{
+    static const std::string path = [] {
+        const char *p = std::getenv("RFH_TRACE_EVENTS");
+        return std::string(p ? p : "");
+    }();
+    return path;
+}
+
+} // namespace rfh

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Chrome-trace profiling hooks: spans of engine phases and workloads,
+ * serialised in the chrome://tracing / Perfetto `trace_events` JSON
+ * format for flame-graph inspection.
+ *
+ * Recording is off by default and costs one relaxed atomic load per
+ * span when disabled. Enable it programmatically (enable()) or by
+ * pointing the RFH_TRACE_EVENTS environment variable at an output
+ * path; harnesses and the rfhc CLI write the file on exit via
+ * emitRunArtifacts() (core/manifest.h).
+ *
+ * Spans record as complete ("ph":"X") events with microsecond
+ * timestamps relative to process start, one pid, and a small integer
+ * tid assigned per recording thread — the parallel sweep's workers
+ * show up as parallel tracks in the viewer.
+ */
+
+#ifndef RFH_CORE_TRACE_EVENTS_H
+#define RFH_CORE_TRACE_EVENTS_H
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/timing.h"
+
+namespace rfh {
+
+/** One complete span (chrome trace "X" event). */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    std::string args;  ///< Pre-rendered JSON object, may be empty.
+    int tid = 0;
+    double startUs = 0.0;
+    double durUs = 0.0;
+};
+
+/** Process-wide span collector (see file comment). */
+class TraceEventLog
+{
+  public:
+    /**
+     * Whether spans are being recorded; TraceSpan checks this once at
+     * construction, so toggling mid-span only affects later spans.
+     */
+    bool
+    enabled() const noexcept
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void
+    enable(bool on = true) noexcept
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Microseconds since process start (the span timebase). */
+    static double nowUs();
+
+    /** Record a complete span on the calling thread's track. */
+    void add(std::string name, std::string category, double startUs,
+             double durUs, std::string args = "");
+
+    /** Recorded span count. */
+    std::size_t size() const;
+
+    /** Drop every recorded span (keeps the enabled flag). */
+    void clear();
+
+    /**
+     * Serialise as a chrome://tracing document:
+     * {"traceEvents":[...],"displayTimeUnit":"ms"}.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; @return false on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+    /**
+     * The global log. First use honours RFH_TRACE_EVENTS: when the
+     * variable names a path, recording starts enabled and
+     * traceEventsPath() returns that path.
+     */
+    static TraceEventLog &global();
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+    std::atomic<bool> enabled_{false};
+};
+
+/** RFH_TRACE_EVENTS output path ("" when unset). */
+const std::string &traceEventsPath();
+
+/**
+ * RAII span: records [construction, destruction) into the global log
+ * when recording is enabled. @p args, when non-empty, must be a JSON
+ * object literal (e.g. R"({"workload":"fft"})").
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(std::string name, std::string category,
+              std::string args = "")
+    {
+        if (!TraceEventLog::global().enabled())
+            return;
+        live_ = true;
+        name_ = std::move(name);
+        category_ = std::move(category);
+        args_ = std::move(args);
+        startUs_ = TraceEventLog::nowUs();
+    }
+
+    ~TraceSpan()
+    {
+        if (live_)
+            TraceEventLog::global().add(
+                std::move(name_), std::move(category_), startUs_,
+                TraceEventLog::nowUs() - startUs_, std::move(args_));
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    bool live_ = false;
+    std::string name_, category_, args_;
+    double startUs_ = 0.0;
+};
+
+} // namespace rfh
+
+#endif // RFH_CORE_TRACE_EVENTS_H

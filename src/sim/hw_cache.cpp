@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/metrics.h"
 #include "ir/liveness.h"
 #include "ir/reaching_defs.h"
 #include "sim/machine.h"
@@ -310,6 +311,24 @@ sharedConsumers(const Kernel &k, const ReachingDefs &rdefs)
 
 } // namespace
 
+namespace {
+
+/** Hardware-scheme observability, fed by both execution drivers. */
+void
+noteHwRun(const AccessCounts &counts, bool replay)
+{
+    static Counter &runs = globalMetrics().counter("sim.hw.runs");
+    static Counter &replays =
+        globalMetrics().counter("sim.hw.runs.replay");
+    static Counter &instrs = globalMetrics().counter("sim.hw.instrs");
+    runs.add();
+    if (replay)
+        replays.add();
+    instrs.add(counts.instructions);
+}
+
+} // namespace
+
 AccessCounts
 runHwCache(const Kernel &k, const HwCacheConfig &cfg,
            const AnalysisBundle *analyses)
@@ -339,6 +358,7 @@ runHwCache(const Kernel &k, const HwCacheConfig &cfg,
             sim.onInstr(lin, enabled, si.branchTaken);
         }
     }
+    noteHwRun(counts, /*replay=*/false);
     return counts;
 }
 
@@ -365,6 +385,7 @@ replayHwCache(const Kernel &k, const HwCacheConfig &cfg,
                         flags & kReplayBranchTaken);
         }
     }
+    noteHwRun(counts, /*replay=*/true);
     return counts;
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "compiler/strand.h"
+#include "core/metrics.h"
 #include "ir/liveness.h"
 #include "sim/machine.h"
 #include "sim/trace.h"
@@ -20,6 +21,27 @@ struct Slot
     Reg reg = 0;
     std::uint32_t value = 0;
 };
+
+/** Software-scheme observability, fed by both execution drivers. */
+void
+noteSwRun(const SwExecResult &result, bool replay)
+{
+    static Counter &runs = globalMetrics().counter("sim.sw.runs");
+    static Counter &replays =
+        globalMetrics().counter("sim.sw.runs.replay");
+    static Counter &instrs = globalMetrics().counter("sim.sw.instrs");
+    static Counter &deschedules =
+        globalMetrics().counter("sim.sw.deschedules");
+    static Counter &failures =
+        globalMetrics().counter("sim.sw.verifyFailures");
+    runs.add();
+    if (replay)
+        replays.add();
+    instrs.add(result.counts.instructions);
+    deschedules.add(result.counts.deschedules);
+    if (!result.ok())
+        failures.add();
+}
 
 } // namespace
 
@@ -230,6 +252,7 @@ runSwHierarchy(const Kernel &k, const AllocOptions &opts,
         }
 
     }
+    noteSwRun(result, /*replay=*/false);
     return result;
 }
 
@@ -368,6 +391,7 @@ replaySwHierarchy(const Kernel &k, const AllocOptions &opts,
             }
         }
     }
+    noteSwRun(result, /*replay=*/true);
     return result;
 }
 

@@ -3,11 +3,48 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/metrics.h"
+#include "core/trace_events.h"
 #include "ir/cfg_analysis.h"
 #include "sim/machine.h"
 #include "sim/simt.h"
 
 namespace rfh {
+
+namespace {
+
+/** Recorder observability (shared by the scalar and SIMT recorders). */
+struct RecorderMetrics
+{
+    Counter &recordings = globalMetrics().counter("trace.recordings");
+    Counter &instrs = globalMetrics().counter("trace.record.instrs");
+    Timer &record = globalMetrics().timer("trace.record");
+};
+
+RecorderMetrics &
+recorderMetrics()
+{
+    static RecorderMetrics m;
+    return m;
+}
+
+void
+noteRecording(const Kernel &k, const DecodedTrace &trace, double sec)
+{
+    RecorderMetrics &rm = recorderMetrics();
+    rm.recordings.add();
+    rm.instrs.add(trace.lin.size());
+    rm.record.addSec(sec);
+    TraceEventLog &log = TraceEventLog::global();
+    if (log.enabled()) {
+        double endUs = TraceEventLog::nowUs();
+        log.add("recordTrace", "trace", endUs - sec * 1e6, sec * 1e6,
+                "{\"kernel\":\"" + k.name + "\",\"instrs\":" +
+                    std::to_string(trace.lin.size()) + "}");
+    }
+}
+
+} // namespace
 
 KernelTrace
 recordTrace(const Kernel &k, const RunConfig &cfg)
@@ -88,6 +125,7 @@ dynamicInstrsPerBlock(const Kernel &k, const KernelTrace &t)
 DecodedTrace
 recordDecodedTrace(const Kernel &k, const RunConfig &cfg)
 {
+    Stopwatch watch;
     DecodedTrace trace;
     trace.warpBegin.reserve(cfg.numWarps + 1);
     trace.warpEndLin.reserve(cfg.numWarps);
@@ -113,6 +151,7 @@ recordDecodedTrace(const Kernel &k, const RunConfig &cfg)
             static_cast<std::uint32_t>(trace.lin.size()));
         trace.warpEndLin.push_back(warp.done ? -1 : warp.pc(k));
     }
+    noteRecording(k, trace, watch.elapsedSec());
     return trace;
 }
 
@@ -120,6 +159,7 @@ DecodedTrace
 recordSimtDecodedTrace(const Kernel &k, int numWarps, int width,
                        std::uint64_t maxInstrsPerWarp)
 {
+    Stopwatch watch;
     Cfg cfg_graph(k);
     DecodedTrace trace;
     trace.warpBegin.push_back(0);
@@ -156,6 +196,7 @@ recordSimtDecodedTrace(const Kernel &k, int numWarps, int width,
         trace.warpEndLin.push_back(warp.done() ? -1
                                                : warp.currentLin());
     }
+    noteRecording(k, trace, watch.elapsedSec());
     return trace;
 }
 

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Tests for the observability layer: metrics-registry exactness under
+ * the parallel engine's thread pool, histogram bucketing, manifest
+ * JSON schema round-trips through the parser, chrome-trace span
+ * serialisation, and the bench-diff regression gate (improvement,
+ * regression, threshold edges, missing benchmarks, format detection).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/benchdiff.h"
+#include "core/json.h"
+#include "core/manifest.h"
+#include "core/metrics.h"
+#include "core/parallel.h"
+#include "core/trace_events.h"
+
+namespace rfh {
+namespace {
+
+// ---------------------------------------------------------------------
+// Registry semantics.
+
+TEST(Metrics, CounterAccumulatesExactlyAcrossPoolThreads)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("test.counter");
+    ThreadPool pool(8);
+    // 64 tasks x 1000 increments: the sharded relaxed adds must still
+    // sum exactly — metrics are allowed to be unordered, not lossy.
+    pool.parallelFor(64, [&](int) {
+        for (int i = 0; i < 1000; i++)
+            c.add();
+    });
+    EXPECT_EQ(c.value(), 64u * 1000u);
+}
+
+TEST(Metrics, TimerTotalsAreExactIntegerNanoseconds)
+{
+    MetricsRegistry reg;
+    Timer &t = reg.timer("test.timer");
+    ThreadPool pool(4);
+    pool.parallelFor(32, [&](int) { t.addSec(0.001); });
+    EXPECT_EQ(t.count(), 32u);
+    // 32 x 1ms accumulates as integer nanoseconds: exactly 32ms.
+    EXPECT_DOUBLE_EQ(t.totalSec(), 0.032);
+}
+
+TEST(Metrics, SameNameReturnsSameInstance)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(&reg.counter("x"), &reg.counter("x"));
+    EXPECT_NE(&reg.counter("x"), &reg.counter("y"));
+}
+
+TEST(Metrics, KindMismatchThrows)
+{
+    MetricsRegistry reg;
+    reg.counter("test.kind");
+    EXPECT_THROW(reg.timer("test.kind"), std::logic_error);
+    EXPECT_THROW(reg.gauge("test.kind"), std::logic_error);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsReferencesValid)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("test.reset");
+    c.add(7);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.add(2);
+    EXPECT_EQ(reg.counter("test.reset").value(), 2u);
+}
+
+TEST(Metrics, SnapshotIsNameSorted)
+{
+    MetricsRegistry reg;
+    reg.counter("zeta");
+    reg.counter("alpha");
+    reg.gauge("mid");
+    std::vector<MetricSample> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "alpha");
+    EXPECT_EQ(snap[1].name, "mid");
+    EXPECT_EQ(snap[2].name, "zeta");
+}
+
+TEST(Metrics, HistogramBucketsAreLog2)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0);
+    EXPECT_EQ(Histogram::bucketOf(1), 0);
+    EXPECT_EQ(Histogram::bucketOf(2), 1);
+    EXPECT_EQ(Histogram::bucketOf(3), 2);
+    EXPECT_EQ(Histogram::bucketOf(4), 2);
+    EXPECT_EQ(Histogram::bucketOf(5), 3);
+    EXPECT_EQ(Histogram::bucketOf(1ull << 40), 40);
+
+    Histogram h;
+    h.observe(1);
+    h.observe(3);
+    h.observe(4);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 8u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+}
+
+TEST(Metrics, ToJsonParsesBackWithEveryKind)
+{
+    MetricsRegistry reg;
+    reg.counter("c").add(5);
+    reg.gauge("g").set(2.5);
+    reg.timer("t").addSec(0.25);
+    reg.histogram("h").observe(10);
+
+    JsonParseResult parsed = parseJson(reg.toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const JsonValue &doc = parsed.value;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_DOUBLE_EQ(doc.numberOr("c", -1), 5.0);
+    EXPECT_DOUBLE_EQ(doc.numberOr("g", -1), 2.5);
+    const JsonValue *t = doc.find("t");
+    ASSERT_NE(t, nullptr);
+    EXPECT_DOUBLE_EQ(t->numberOr("totalSec", -1), 0.25);
+    EXPECT_DOUBLE_EQ(t->numberOr("count", -1), 1.0);
+    const JsonValue *h = doc.find("h");
+    ASSERT_NE(h, nullptr);
+    const JsonValue *buckets = h->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_TRUE(buckets->isArray());
+    ASSERT_EQ(buckets->array.size(), 1u);
+    EXPECT_DOUBLE_EQ(buckets->array[0].numberOr("le", -1), 16.0);
+}
+
+// ---------------------------------------------------------------------
+// Manifest schema.
+
+TEST(Manifest, JsonRoundTripsWithRequiredFields)
+{
+    ManifestInfo m;
+    m.tool = "test-tool";
+    m.engine = "replay";
+    m.config = {{"scheme", "SW LRF"}, {"entries", "3"}};
+    m.timing.wallSec = 1.5;
+    m.timing.cpuSec = 3.0;
+    m.timing.threads = 2;
+    m.phases.analyzeSec = 0.5;
+    m.phases.executeSec = 1.0;
+    m.phases.dynInstrs = 1000;
+    m.benchmarks = {{"b/wall", 1.5, "sec", false},
+                    {"b/rate", 666.0, "instr/s", true}};
+
+    JsonParseResult parsed = parseJson(manifestToJson(m));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const JsonValue &doc = parsed.value;
+
+    EXPECT_EQ(doc.stringOr("schema", ""), "rfh-manifest-v1");
+    EXPECT_EQ(doc.stringOr("tool", ""), "test-tool");
+    EXPECT_EQ(doc.stringOr("engine", ""), "replay");
+    EXPECT_FALSE(doc.stringOr("gitSha", "").empty());
+    EXPECT_DOUBLE_EQ(doc.numberOr("threads", -1), 2.0);
+
+    const JsonValue *config = doc.find("config");
+    ASSERT_NE(config, nullptr);
+    EXPECT_EQ(config->stringOr("scheme", ""), "SW LRF");
+
+    const JsonValue *timing = doc.find("timing");
+    ASSERT_NE(timing, nullptr);
+    EXPECT_DOUBLE_EQ(timing->numberOr("wallSec", -1), 1.5);
+    EXPECT_DOUBLE_EQ(timing->numberOr("speedup", -1), 2.0);
+
+    const JsonValue *phases = doc.find("phases");
+    ASSERT_NE(phases, nullptr);
+    EXPECT_DOUBLE_EQ(phases->numberOr("analyzeSec", -1), 0.5);
+    EXPECT_DOUBLE_EQ(phases->numberOr("dynInstrs", -1), 1000.0);
+    EXPECT_DOUBLE_EQ(phases->numberOr("instrPerSec", -1), 1000.0);
+
+    // Cache counters and the metrics snapshot are global state; the
+    // schema only requires the sections to exist as objects.
+    const JsonValue *cache = doc.find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_TRUE(cache->isObject());
+    ASSERT_NE(cache->find("baselineHits"), nullptr);
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_TRUE(metrics->isObject());
+
+    const JsonValue *bench = doc.find("benchmarks");
+    ASSERT_NE(bench, nullptr);
+    ASSERT_TRUE(bench->isArray());
+    ASSERT_EQ(bench->array.size(), 2u);
+    EXPECT_EQ(bench->array[1].stringOr("name", ""), "b/rate");
+    const JsonValue *hib = bench->array[1].find("higherIsBetter");
+    ASSERT_NE(hib, nullptr);
+    EXPECT_TRUE(hib->boolean);
+}
+
+TEST(Manifest, BenchEntriesExtractFromManifestJson)
+{
+    ManifestInfo m;
+    m.tool = "t";
+    m.benchmarks = {{"a", 1.0, "sec", false}, {"b", 2.0, "instr/s", true}};
+    JsonParseResult parsed = parseJson(manifestToJson(m));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+
+    std::string err;
+    std::vector<BenchEntry> entries =
+        benchEntriesFromJson(parsed.value, &err);
+    ASSERT_EQ(entries.size(), 2u) << err;
+    EXPECT_EQ(entries[0].name, "a");
+    EXPECT_FALSE(entries[0].higherIsBetter);
+    EXPECT_EQ(entries[1].name, "b");
+    EXPECT_TRUE(entries[1].higherIsBetter);
+}
+
+TEST(Manifest, GitShaEnvOverrideWins)
+{
+    setenv("RFH_GIT_SHA", "cafe123", 1);
+    EXPECT_EQ(buildGitSha(), "cafe123");
+    unsetenv("RFH_GIT_SHA");
+}
+
+// ---------------------------------------------------------------------
+// Chrome-trace spans.
+
+TEST(TraceEvents, LogStartsDisabledAndClearEmpties)
+{
+    // add() itself is unconditional — TraceSpan checks enabled() and
+    // is the gate — so a fresh log must start disabled.
+    TraceEventLog log;
+    EXPECT_FALSE(log.enabled());
+    log.add("a", "cat", 0.0, 1.0);
+    EXPECT_EQ(log.size(), 1u);
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+    log.enable();
+    EXPECT_TRUE(log.enabled());
+}
+
+TEST(TraceEvents, JsonIsValidAndCarriesArgs)
+{
+    TraceEventLog log;
+    log.add("phase", "engine", 10.0, 5.0, R"({"workload":"fft"})");
+    log.add("other", "engine", 20.0, 1.0);
+
+    JsonParseResult parsed = parseJson(log.toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const JsonValue *events = parsed.value.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->array.size(), 2u);
+
+    const JsonValue &e0 = events->array[0];
+    EXPECT_EQ(e0.stringOr("name", ""), "phase");
+    EXPECT_EQ(e0.stringOr("ph", ""), "X");
+    EXPECT_DOUBLE_EQ(e0.numberOr("ts", -1), 10.0);
+    EXPECT_DOUBLE_EQ(e0.numberOr("dur", -1), 5.0);
+    const JsonValue *args = e0.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->stringOr("workload", ""), "fft");
+    // The args-free event must not grow an args member.
+    EXPECT_EQ(events->array[1].find("args"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Bench-diff gate.
+
+std::vector<BenchEntry>
+snap(std::vector<BenchEntry> entries)
+{
+    return entries;
+}
+
+TEST(BenchDiff, WithinThresholdIsUnchanged)
+{
+    BenchDiff d = diffBenchmarks(snap({{"a", 100.0, "ns", false}}),
+                                 snap({{"a", 105.0, "ns", false}}), 0.10);
+    ASSERT_EQ(d.rows.size(), 1u);
+    EXPECT_EQ(d.rows[0].kind, BenchDeltaKind::UNCHANGED);
+    EXPECT_NEAR(d.rows[0].deltaFrac, 0.05, 1e-12);
+    EXPECT_FALSE(d.hasRegression());
+}
+
+TEST(BenchDiff, SlowdownPastThresholdRegresses)
+{
+    BenchDiff d = diffBenchmarks(snap({{"a", 100.0, "ns", false}}),
+                                 snap({{"a", 125.0, "ns", false}}), 0.10);
+    ASSERT_EQ(d.rows.size(), 1u);
+    EXPECT_EQ(d.rows[0].kind, BenchDeltaKind::REGRESSED);
+    EXPECT_EQ(d.regressed, 1);
+    EXPECT_TRUE(d.hasRegression());
+}
+
+TEST(BenchDiff, SpeedupPastThresholdImproves)
+{
+    BenchDiff d = diffBenchmarks(snap({{"a", 100.0, "ns", false}}),
+                                 snap({{"a", 80.0, "ns", false}}), 0.10);
+    EXPECT_EQ(d.rows[0].kind, BenchDeltaKind::IMPROVED);
+    EXPECT_EQ(d.improved, 1);
+    EXPECT_FALSE(d.hasRegression());
+}
+
+TEST(BenchDiff, HigherIsBetterFlipsTheDirection)
+{
+    // Throughput dropping 30% is a regression even though the number
+    // went down; throughput rising is an improvement.
+    BenchDiff drop = diffBenchmarks(snap({{"r", 100.0, "i/s", true}}),
+                                    snap({{"r", 70.0, "i/s", true}}),
+                                    0.10);
+    EXPECT_EQ(drop.rows[0].kind, BenchDeltaKind::REGRESSED);
+    BenchDiff rise = diffBenchmarks(snap({{"r", 100.0, "i/s", true}}),
+                                    snap({{"r", 130.0, "i/s", true}}),
+                                    0.10);
+    EXPECT_EQ(rise.rows[0].kind, BenchDeltaKind::IMPROVED);
+}
+
+TEST(BenchDiff, MissingAndNewBenchmarksAreFlaggedNotFatal)
+{
+    BenchDiff d = diffBenchmarks(
+        snap({{"gone", 1.0, "ns", false}, {"kept", 2.0, "ns", false}}),
+        snap({{"kept", 2.0, "ns", false}, {"new", 3.0, "ns", false}}),
+        0.10);
+    ASSERT_EQ(d.rows.size(), 3u);
+    // New-snapshot order first, then removals in old order.
+    EXPECT_EQ(d.rows[0].name, "kept");
+    EXPECT_EQ(d.rows[0].kind, BenchDeltaKind::UNCHANGED);
+    EXPECT_EQ(d.rows[1].name, "new");
+    EXPECT_EQ(d.rows[1].kind, BenchDeltaKind::ADDED);
+    EXPECT_EQ(d.rows[2].name, "gone");
+    EXPECT_EQ(d.rows[2].kind, BenchDeltaKind::REMOVED);
+    EXPECT_FALSE(d.hasRegression());
+}
+
+TEST(BenchDiff, ZeroOldValueDoesNotDivide)
+{
+    BenchDiff d = diffBenchmarks(snap({{"a", 0.0, "ns", false}}),
+                                 snap({{"a", 5.0, "ns", false}}), 0.10);
+    EXPECT_EQ(d.rows[0].deltaFrac, 0.0);
+    EXPECT_EQ(d.rows[0].kind, BenchDeltaKind::UNCHANGED);
+}
+
+TEST(BenchDiff, RenderMentionsEveryRowAndTheThreshold)
+{
+    BenchDiff d = diffBenchmarks(snap({{"a", 100.0, "ns", false}}),
+                                 snap({{"a", 150.0, "ns", false}}), 0.10);
+    std::string out = renderBenchDiff(d, 0.10);
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("REGRESSED"), std::string::npos);
+    EXPECT_NE(out.find("threshold 10%"), std::string::npos);
+}
+
+TEST(BenchDiff, GoogleBenchmarkSnapshotFormatIsDetected)
+{
+    const char *snapshot = R"({
+      "microbenchmarks": {"benchmarks": [
+        {"name": "BM_alloc", "real_time": 120.5, "time_unit": "us"}
+      ]},
+      "fig13": {"wallSec": 0.5, "instrPerSec": 1e6}
+    })";
+    JsonParseResult parsed = parseJson(snapshot);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::string err;
+    std::vector<BenchEntry> entries =
+        benchEntriesFromJson(parsed.value, &err);
+    ASSERT_EQ(entries.size(), 3u) << err;
+    std::set<std::string> names;
+    for (const BenchEntry &e : entries)
+        names.insert(e.name);
+    EXPECT_TRUE(names.count("BM_alloc"));
+    EXPECT_TRUE(names.count("fig13/wallSec"));
+    EXPECT_TRUE(names.count("fig13/instrPerSec"));
+    for (const BenchEntry &e : entries)
+        EXPECT_EQ(e.higherIsBetter, e.name == "fig13/instrPerSec");
+}
+
+TEST(BenchDiff, UnrecognisedDocumentReportsAnError)
+{
+    JsonParseResult parsed = parseJson(R"({"something":"else"})");
+    ASSERT_TRUE(parsed.ok);
+    std::string err;
+    EXPECT_TRUE(benchEntriesFromJson(parsed.value, &err).empty());
+    EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------
+// JSON parser (new in this layer; the writer is covered by test_json).
+
+TEST(JsonParse, ScalarsArraysAndNesting)
+{
+    JsonParseResult r = parseJson(
+        R"({"a":1.5,"b":"x\n\"y\"","c":[true,false,null],"d":{"e":-2e3}})");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_DOUBLE_EQ(r.value.numberOr("a", 0), 1.5);
+    EXPECT_EQ(r.value.stringOr("b", ""), "x\n\"y\"");
+    const JsonValue *c = r.value.find("c");
+    ASSERT_NE(c, nullptr);
+    ASSERT_EQ(c->array.size(), 3u);
+    EXPECT_TRUE(c->array[0].boolean);
+    EXPECT_EQ(c->array[2].type, JsonValue::Type::NUL);
+    const JsonValue *d = r.value.find("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_DOUBLE_EQ(d->numberOr("e", 0), -2000.0);
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8)
+{
+    JsonParseResult r = parseJson("{\"s\":\"\\u00e9\"}");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.stringOr("s", ""), "\xc3\xa9");
+}
+
+TEST(JsonParse, ErrorsCarryAnOffset)
+{
+    JsonParseResult r = parseJson("{\"a\":}");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("offset"), std::string::npos);
+    EXPECT_FALSE(parseJson("[1,2").ok);
+    EXPECT_FALSE(parseJson("{} trailing").ok);
+    EXPECT_FALSE(parseJson("").ok);
+}
+
+} // namespace
+} // namespace rfh
