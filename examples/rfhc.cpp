@@ -7,6 +7,7 @@
  *   rfhc run      <file.rptx> [options]     execute + report accesses
  *   rfhc stats    <file.rptx>               strand / usage statistics
  *   rfhc bench-diff <old.json> <new.json>   compare two snapshots
+ *   rfhc fuzz [options]                     differential fuzz campaign
  *
  * Options (annotate / run / stats):
  *   --entries N        ORF entries per thread (default 3)
@@ -25,6 +26,22 @@
  *   --threshold F      relative regression gate, e.g. 0.10 (default);
  *                      exits 1 when any benchmark regresses past it
  *
+ * Options (fuzz):
+ *   --iters N          kernels to generate and check (default 100)
+ *   --seed S           campaign seed; same seed => same kernels,
+ *                      same manifest scalars (default 1)
+ *   --shrink           reduce the first failing kernel before writing
+ *                      the .rptx repro artifact
+ *   --inject           test-only fault injection: perturb one replay
+ *                      leg so the oracle must report a discrepancy
+ *   --dump DIR         write every generated kernel to DIR/<name>.rptx
+ *   --out F            repro artifact path (default repro.rptx)
+ *   --warps N          warps per oracle leg (default 4)
+ *   --entries N        ORF/RFC entries per thread (default 3)
+ *   --no-hw            skip the hardware-cache differential pairs
+ *   --no-simt          skip the SIMT differential pairs
+ *   --manifest F       write an rfh-manifest-v1 campaign manifest to F
+ *
  * The tool lets users drive the full pipeline on their own RPTX
  * kernels without writing any C++, and gates CI on performance
  * snapshots (see docs/observability.md).
@@ -33,6 +50,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -51,6 +69,9 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "sim/baseline_exec.h"
+#include "verify/oracle.h"
+#include "verify/rptx_fuzz.h"
+#include "verify/shrink.h"
 
 using namespace rfh;
 
@@ -68,7 +89,13 @@ usage()
                  "            [--manifest out.json] "
                  "[--trace-events out.json]\n"
                  "       rfhc bench-diff <old.json> <new.json> "
-                 "[--threshold F]\n");
+                 "[--threshold F]\n"
+                 "       rfhc fuzz [--iters N] [--seed S] [--shrink] "
+                 "[--inject]\n"
+                 "            [--dump DIR] [--out repro.rptx] "
+                 "[--warps N] [--entries N]\n"
+                 "            [--no-hw] [--no-simt] "
+                 "[--manifest out.json]\n");
     return 2;
 }
 
@@ -141,14 +168,242 @@ benchDiffMain(int argc, char **argv)
     return diff.hasRegression() ? 1 : 0;
 }
 
+/**
+ * `rfhc fuzz`: a differential fuzz campaign. Generates seeded kernels
+ * with the grammar fuzzer, runs every must-match scheme x engine pair
+ * plus the allocation-invariant checker over each (src/verify/), and
+ * exits 1 on the first finding, after optionally shrinking the
+ * failing kernel to a minimal .rptx repro artifact.
+ */
+int
+fuzzMain(int argc, char **argv)
+{
+    std::uint64_t seed = 1;
+    int iters = 100;
+    bool do_shrink = false;
+    bool inject = false;
+    std::string dump_dir;
+    std::string out_path = "repro.rptx";
+    std::string manifest_path;
+    OracleOptions oo;
+    oo.run.numWarps = 4;
+    oo.run.maxInstrsPerWarp = 1u << 16;
+
+    for (int i = 2; i < argc; i++) {
+        std::string a = argv[i];
+        auto next_int = [&](int &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = std::atoi(argv[++i]);
+            return out > 0;
+        };
+        auto next_str = [&](std::string &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = argv[++i];
+            return !out.empty();
+        };
+        if (a == "--iters") {
+            if (!next_int(iters))
+                return usage();
+        } else if (a == "--seed") {
+            if (i + 1 >= argc)
+                return usage();
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--shrink") {
+            do_shrink = true;
+        } else if (a == "--inject") {
+            inject = true;
+        } else if (a == "--dump") {
+            if (!next_str(dump_dir))
+                return usage();
+        } else if (a == "--out") {
+            if (!next_str(out_path))
+                return usage();
+        } else if (a == "--warps") {
+            if (!next_int(oo.run.numWarps))
+                return usage();
+        } else if (a == "--entries") {
+            if (!next_int(oo.entries) || oo.entries > kMaxOrfEntries)
+                return usage();
+        } else if (a == "--no-hw") {
+            oo.checkHwSchemes = false;
+        } else if (a == "--no-simt") {
+            oo.checkSimt = false;
+        } else if (a == "--manifest") {
+            if (!next_str(manifest_path))
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+    if (inject)
+        oo.perturb = OraclePerturb::EXTRA_MRF_READ;
+    if (!dump_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dump_dir, ec);
+        if (ec) {
+            std::fprintf(stderr, "rfhc: cannot create %s: %s\n",
+                         dump_dir.c_str(), ec.message().c_str());
+            return 1;
+        }
+    }
+
+    Counter &kernels = globalMetrics().counter("fuzz.kernels");
+    Counter &instrs = globalMetrics().counter("fuzz.instrs");
+    Counter &pairs = globalMetrics().counter("fuzz.pairs");
+    Counter &sites = globalMetrics().counter("fuzz.invariantSites");
+    Counter &discrepancies =
+        globalMetrics().counter("fuzz.discrepancies");
+    Counter &violations =
+        globalMetrics().counter("fuzz.invariantViolations");
+    Counter &execErrors = globalMetrics().counter("fuzz.execErrors");
+
+    auto writeFuzzManifest = [&](int ran, int findingCount,
+                                 double wallSec) {
+        if (manifest_path.empty())
+            return true;
+        ManifestInfo m;
+        m.tool = "rfhc fuzz";
+        m.engine = "direct+replay";
+        m.config = {
+            {"seed", std::to_string(seed)},
+            {"iters", std::to_string(iters)},
+            {"warps", std::to_string(oo.run.numWarps)},
+            {"entries", std::to_string(oo.entries)},
+            {"hwSchemes", oo.checkHwSchemes ? "true" : "false"},
+            {"simt", oo.checkSimt ? "true" : "false"},
+            {"inject", inject ? "true" : "false"},
+        };
+        m.timing.wallSec = wallSec;
+        m.timing.threads = 1;
+        // Benchmarks carry only seed-deterministic scalars, so two
+        // campaigns with the same seed produce byte-identical entries
+        // (wall time lives in the timing section only).
+        m.benchmarks = {
+            {"rfhc.fuzz/kernels", static_cast<double>(ran), "kernels",
+             true},
+            {"rfhc.fuzz/instrs", static_cast<double>(instrs.value()),
+             "instrs", true},
+            {"rfhc.fuzz/pairs", static_cast<double>(pairs.value()),
+             "pairs", true},
+            {"rfhc.fuzz/invariantSites",
+             static_cast<double>(sites.value()), "sites", true},
+            {"rfhc.fuzz/findings", static_cast<double>(findingCount),
+             "findings", false},
+        };
+        if (!writeManifest(manifest_path, m)) {
+            std::fprintf(stderr, "rfhc: cannot write %s\n",
+                         manifest_path.c_str());
+            return false;
+        }
+        std::fprintf(stderr, "rfhc: wrote manifest %s\n",
+                     manifest_path.c_str());
+        return true;
+    };
+
+    Stopwatch wall;
+    for (int iter = 0; iter < iters; iter++) {
+        FuzzParams fp = fuzzCase(seed, static_cast<std::uint64_t>(iter));
+        std::string name = "fuzz_" + std::to_string(seed) + "_" +
+            std::to_string(iter);
+        Kernel k = generateFuzzKernel(name, fp);
+        std::string invalid = k.validate();
+        if (!invalid.empty()) {
+            std::fprintf(stderr,
+                         "rfhc: fuzzer produced an invalid kernel "
+                         "(%s): %s\n", name.c_str(), invalid.c_str());
+            return 1;
+        }
+        if (!dump_dir.empty())
+            writeReproArtifact(k, dump_dir + "/" + name + ".rptx");
+
+        OracleReport rep = runOracle(k, oo);
+        if (rep.truncated) {
+            // Generated kernels are termination-guaranteed; hitting
+            // the cap means the generator itself is broken.
+            std::fprintf(stderr,
+                         "rfhc: fuzz kernel %s hit the instruction "
+                         "cap (generator termination bug)\n",
+                         name.c_str());
+            return 1;
+        }
+        kernels.add();
+        instrs.add(static_cast<std::uint64_t>(k.numInstrs()));
+        pairs.add(static_cast<std::uint64_t>(rep.pairsChecked));
+        sites.add(static_cast<std::uint64_t>(rep.invariantSites));
+        for (const OracleFinding &f : rep.findings) {
+            switch (f.kind) {
+              case FindingKind::DISCREPANCY: discrepancies.add(); break;
+              case FindingKind::INVARIANT: violations.add(); break;
+              case FindingKind::EXEC_ERROR: execErrors.add(); break;
+            }
+        }
+        // Each kernel memoizes its baseline/analyses/trace; drop them
+        // so a long campaign runs in bounded memory.
+        globalExperimentCache().clear();
+
+        if (!rep.ok()) {
+            std::printf("rfhc fuzz: FAILURE on kernel %s (iter %d)\n%s\n",
+                        name.c_str(), iter, rep.summary().c_str());
+            Kernel repro = k;
+            if (do_shrink) {
+                FailurePredicate still_fails =
+                    [&](const Kernel &cand) {
+                        globalExperimentCache().clear();
+                        return !runOracle(cand, oo).ok();
+                    };
+                ShrinkResult sr = shrinkKernel(k, still_fails);
+                globalExperimentCache().clear();
+                repro = sr.kernel;
+                std::printf("rfhc fuzz: shrunk %d -> %d instructions "
+                            "(%d candidates, %d rounds)\n",
+                            sr.originalInstrs, sr.finalInstrs,
+                            sr.candidatesTried, sr.rounds);
+            }
+            if (writeReproArtifact(repro, out_path))
+                std::printf("rfhc fuzz: wrote repro %s\n",
+                            out_path.c_str());
+            else
+                std::fprintf(stderr, "rfhc: cannot write %s\n",
+                             out_path.c_str());
+            writeFuzzManifest(iter + 1,
+                              static_cast<int>(rep.findings.size()),
+                              wall.elapsedSec());
+            return 1;
+        }
+        if ((iter + 1) % 100 == 0)
+            std::fprintf(stderr,
+                         "rfhc fuzz: %d/%d kernels clean (%.1fs)\n",
+                         iter + 1, iters, wall.elapsedSec());
+    }
+
+    // Seed-deterministic summary on stdout (timing goes to stderr).
+    std::printf("rfhc fuzz: %d kernels, %llu instructions, %llu "
+                "pairs, %llu invariant sites, 0 findings\n",
+                iters,
+                static_cast<unsigned long long>(instrs.value()),
+                static_cast<unsigned long long>(pairs.value()),
+                static_cast<unsigned long long>(sites.value()));
+    std::fprintf(stderr, "rfhc fuzz: clean in %.1fs\n",
+                 wall.elapsedSec());
+    if (!writeFuzzManifest(iters, 0, wall.elapsedSec()))
+        return 1;
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         return usage();
     std::string cmd = argv[1];
+    if (cmd == "fuzz")
+        return fuzzMain(argc, argv);
+    if (argc < 3)
+        return usage();
     if (cmd == "bench-diff")
         return benchDiffMain(argc, argv);
     std::string path = argv[2];

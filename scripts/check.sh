@@ -15,6 +15,12 @@
 #   scripts/check.sh --no-tsan  # skip the TSan stage
 #   scripts/check.sh --no-asan  # skip the ASan stage
 #   scripts/check.sh --no-perf  # skip the bench-diff perf gate
+#   scripts/check.sh --no-fuzz  # skip the differential fuzz smoke
+#
+# The fuzz smoke runs a fixed-seed `rfhc fuzz` campaign (differential
+# oracle + allocator-invariant checker over generated kernels) and, in
+# the ASan stage, the oracle over the checked-in corpus; any finding
+# fails the gate and leaves a shrunk .rptx repro behind.
 #
 # RFH_BENCH_THRESHOLD sets the perf gate's relative regression
 # threshold (default 0.50 — generous, since CI machines are noisy).
@@ -25,16 +31,25 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 run_tsan=1
 run_asan=1
 run_perf=1
+run_fuzz=1
 for arg in "$@"; do
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
     [[ "$arg" == "--no-asan" ]] && run_asan=0
     [[ "$arg" == "--no-perf" ]] && run_perf=0
+    [[ "$arg" == "--no-fuzz" ]] && run_fuzz=0
 done
 
 echo "== build + test (${jobs} jobs) =="
 cmake -B "$repo/build" -S "$repo" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "$run_fuzz" == 1 ]]; then
+    echo "== differential fuzz smoke: 200 kernels, fixed seed =="
+    # Deterministic: a finding here reproduces with the same seed, and
+    # the shrunk repro is written next to the working directory.
+    "$repo/build/examples/rfhc" fuzz --iters 200 --seed 1 --shrink
+fi
 
 if [[ "$run_tsan" == 1 ]]; then
     echo "== ThreadSanitizer: parallel engine =="
@@ -55,6 +70,15 @@ if [[ "$run_asan" == 1 ]]; then
     # replay executor's pointer-walking hot loop.
     "$repo/build-asan/tests/rfh_tests" \
         --gtest_filter='Trace.*:Replay.*:Seeds/ReplayProperty.*'
+    if [[ "$run_fuzz" == 1 ]]; then
+        # The differential oracle over the checked-in corpus: every
+        # scheme x engine pair runs under ASan, so an out-of-bounds
+        # RFC/ORF index aborts even when the counters happen to agree.
+        cmake --build "$repo/build-asan" -j "$jobs" \
+            --target rfh_verify_tests
+        "$repo/build-asan/tests/rfh_verify_tests" \
+            --gtest_filter='VerifyOracle.*:VerifyInvariants.*'
+    fi
 fi
 
 if command -v doxygen >/dev/null 2>&1; then

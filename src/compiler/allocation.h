@@ -161,6 +161,12 @@ valueInterval(const ValueInstance &vi, int num_uses)
 {
     int begin = vi.firstDefLin();
     int end = begin + 1;
+    // Every member def of a hammock group writes the entry, so the
+    // reservation must cover each def through its write phase — not
+    // just the served uses. A use at lin L only needs [.., L): reads
+    // happen before writes, so a new value may take the entry at L.
+    for (int d : vi.defLins)
+        end = std::max(end, d + 1);
     int n = 0;
     for (const auto &u : vi.uses) {
         if (n++ >= num_uses)

@@ -142,20 +142,31 @@ SimtWarp::step()
                 // Paths exit separately; no reconvergence entry.
                 stack_.pop_back();
             }
-            if (!fall_exits) {
-                SimtStackEntry e;
-                e.pcBlock = fall_block;
-                e.pcIdx = 0;
-                e.mask = not_taken;
-                e.rpcBlock = rpc;
-                stack_.push_back(e);
-            }
+            SimtStackEntry nt;
+            nt.pcBlock = fall_block;
+            nt.pcIdx = 0;
+            nt.mask = not_taken;
+            nt.rpcBlock = rpc;
             SimtStackEntry t;
             t.pcBlock = target;
             t.pcIdx = 0;
             t.mask = taken;
             t.rpcBlock = rpc;
-            stack_.push_back(t);
+            // The lower-PC side executes first (it goes on top). This
+            // keeps the warp's dynamic stream monotone in layout order
+            // between backward branches, which the strand model relies
+            // on: a forward-taken side past a strand cut must not run
+            // — and trigger the warp-level long-latency flush — while
+            // the fall-through side still holds mid-strand ORF/LRF
+            // bindings.
+            if (!fall_exits && target > fall_block) {
+                stack_.push_back(t);
+                stack_.push_back(nt);
+            } else {
+                if (!fall_exits)
+                    stack_.push_back(nt);
+                stack_.push_back(t);
+            }
             maybeReconverge();
         }
         return;

@@ -150,7 +150,12 @@ runSwHierarchySimt(const Kernel &k, const AllocOptions &opts,
                     counts.write(Level::ORF, dp);
                 }
                 for (int l = 0; l < cfg.width && result.ok(); l++) {
-                    if (!enabled(l))
+                    // Operands are fetched before the predicate
+                    // squashes the instruction, so every ACTIVE lane
+                    // reads (and is verified) — matching the scalar
+                    // executor, which reads operands regardless of
+                    // the predicate value.
+                    if (!((mask >> l) & 1u))
                         continue;
                     std::uint32_t arch = warp.laneRegsNow(l)[r];
                     LaneState &ls = lanes[l];
@@ -189,8 +194,9 @@ runSwHierarchySimt(const Kernel &k, const AllocOptions &opts,
                 if (in.srcs[s].isReg)
                     read_one(in.srcs[s].reg, in.readAnno[s]);
             if (in.pred && result.ok()) {
-                // The predicate itself is read by every active lane.
-                counts.read(in.predAnno.level, dp);
+                // The predicate is an operand like any other: it is
+                // read by every active lane and can carry a deposit.
+                read_one(*in.pred, in.predAnno);
             }
             if (!result.ok())
                 break;
@@ -338,8 +344,9 @@ replaySwHierarchySimt(const Kernel &k, const AllocOptions &opts,
                 if (in.srcs[s].isReg)
                     read_one(in.srcs[s].reg, in.readAnno[s]);
             if (in.pred && result.ok()) {
-                // The predicate itself is read by every active lane.
-                counts.read(in.predAnno.level, dp);
+                // The predicate is an operand like any other: it is
+                // read by every active lane and can carry a deposit.
+                read_one(*in.pred, in.predAnno);
             }
             if (!result.ok())
                 break;

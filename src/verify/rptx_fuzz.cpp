@@ -1,0 +1,555 @@
+#include "verify/rptx_fuzz.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace rfh {
+
+namespace {
+
+/** splitmix64: the same deterministic RNG the synthetic generator uses. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL)
+    {
+    }
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    int
+    range(int n)
+    {
+        return static_cast<int>(next() % static_cast<std::uint64_t>(n));
+    }
+
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+// Reserved registers. The fuzzer's termination argument rests on body
+// code never writing a loop counter: general-purpose destinations are
+// drawn strictly below kReservedBase.
+constexpr Reg kTid = 0;         // thread id (seeded by the machine)
+constexpr Reg kParam = 63;      // parameter base (seeded)
+constexpr Reg kCounter0 = 62;   // outer loop counter
+constexpr Reg kCounter1 = 61;   // inner loop counter
+constexpr Reg kPredScratch = 60; // branch/store predicates
+constexpr Reg kAddr0 = 59;      // global address
+constexpr Reg kAddr1 = 58;      // shared address
+constexpr Reg kAddr2 = 57;      // secondary global address
+constexpr Reg kAcc = 56;        // accumulator consumed by the epilogue
+constexpr int kReservedBase = 56;
+
+constexpr Opcode kAlu2Ops[] = {
+    Opcode::IADD, Opcode::ISUB, Opcode::IMUL, Opcode::IMIN, Opcode::IMAX,
+    Opcode::AND,  Opcode::OR,   Opcode::XOR,  Opcode::SHL,  Opcode::SHR,
+    Opcode::FADD, Opcode::FSUB, Opcode::FMUL, Opcode::FMIN, Opcode::FMAX,
+    Opcode::SETLT, Opcode::SETLE, Opcode::SETEQ, Opcode::SETNE,
+    Opcode::SETGT, Opcode::SETGE,
+};
+constexpr Opcode kAlu3Ops[] = {
+    Opcode::FFMA, Opcode::IMAD, Opcode::SEL,
+};
+constexpr Opcode kUnaryOps[] = {
+    Opcode::MOV, Opcode::CVT, Opcode::NOT,
+};
+constexpr Opcode kSfuOps[] = {
+    Opcode::RCP, Opcode::SQRT, Opcode::RSQRT, Opcode::SIN, Opcode::COS,
+    Opcode::LG2, Opcode::EX2,
+};
+
+/** Emitter: wraps KernelBuilder with fixups, budget, and a value pool. */
+class FuzzEmitter
+{
+  public:
+    FuzzEmitter(const std::string &name, const FuzzParams &p)
+        : p_(p), rng_(p.seed), b_(name), budget_(p.maxInstrs)
+    {
+        poolLimit_ = p.highPressure ? kReservedBase : 24;
+    }
+
+    Kernel
+    run()
+    {
+        curBlock_ = b_.block("entry");
+        curCount_ = 0;
+        prologue();
+        emitRegion(p_.maxLoopDepth, p_.maxHammockDepth);
+        epilogue();
+        Kernel k = b_.take();
+        for (const Fixup &fx : fixups_)
+            k.blocks[fx.block].instrs[fx.instr].branchTarget =
+                tagBlock_.at(fx.tag);
+        k.finalize();
+        return k;
+    }
+
+  private:
+    struct Fixup
+    {
+        int block;
+        int instr;
+        int tag;
+    };
+
+    void
+    emit(Instruction in)
+    {
+        b_.add(in);
+        curCount_++;
+        budget_--;
+    }
+
+    int
+    newBlock()
+    {
+        // Kernel::validate() rejects empty blocks; pad before closing.
+        if (curCount_ == 0)
+            emit(makeALU(Opcode::IADD, poolReg(),
+                         SrcOperand::makeReg(kTid),
+                         SrcOperand::makeImm(imm())));
+        curBlock_ = b_.block("L" + std::to_string(labelId_++));
+        curCount_ = 0;
+        return curBlock_;
+    }
+
+    /** Emit a conditional branch to a not-yet-created block. */
+    void
+    emitBranchToTag(int tag, bool predicated)
+    {
+        Instruction br = predicated ? makeCondBranch(kPredScratch, -1)
+                                    : makeBranch(-1);
+        fixups_.push_back({curBlock_, curCount_, tag});
+        emit(br);
+    }
+
+    /** Bind @p tag to a freshly started block. */
+    int
+    bindTag(int tag)
+    {
+        int blk = newBlock();
+        tagBlock_[tag] = blk;
+        return blk;
+    }
+
+    // ---- Operand sampling ----
+
+    Reg
+    poolReg()
+    {
+        return static_cast<Reg>(1 + rng_.range(poolLimit_ - 1));
+    }
+
+    std::uint32_t
+    imm()
+    {
+        // Small immediates keep shift counts and addresses tame.
+        return static_cast<std::uint32_t>(1 + rng_.range(0xff));
+    }
+
+    /** A source register, biased toward recently defined values. */
+    Reg
+    recentReg()
+    {
+        if (recent_.empty() || rng_.chance(0.25))
+            return poolReg();
+        int idx = 0;
+        int limit = static_cast<int>(recent_.size());
+        while (idx + 1 < limit && rng_.chance(0.5))
+            idx++;
+        return recent_[idx];
+    }
+
+    SrcOperand
+    src()
+    {
+        if (rng_.chance(0.2))
+            return SrcOperand::makeImm(imm());
+        return SrcOperand::makeReg(recentReg());
+    }
+
+    void
+    defined(Reg r)
+    {
+        recent_.push_front(r);
+        if (recent_.size() > 12)
+            recent_.pop_back();
+    }
+
+    /** Write a predicate into the scratch register and return it. */
+    Reg
+    emitPredicate()
+    {
+        emit(makeALU(Opcode::SETLT, kPredScratch,
+                     SrcOperand::makeReg(recentReg()),
+                     SrcOperand::makeImm(
+                         static_cast<std::uint32_t>(rng_.next() >> 33))));
+        return kPredScratch;
+    }
+
+    // ---- Structural features ----
+
+    void
+    prologue()
+    {
+        emit(makeLoad(Opcode::LD_PARAM, kAddr0, kParam));
+        emit(makeALU(Opcode::SHL, kAcc, SrcOperand::makeReg(kTid),
+                     SrcOperand::makeImm(2)));
+        emit(makeALU(Opcode::IADD, kAddr0, SrcOperand::makeReg(kAddr0),
+                     SrcOperand::makeReg(kAcc)));
+        emit(makeALU(Opcode::IADD, kAddr1, SrcOperand::makeReg(kAddr0),
+                     SrcOperand::makeImm(64)));
+        emit(makeALU(Opcode::XOR, kAddr2, SrcOperand::makeReg(kAddr1),
+                     SrcOperand::makeImm(128)));
+        emit(makeALU(Opcode::AND, kAcc, SrcOperand::makeReg(kAcc),
+                     SrcOperand::makeImm(0)));
+        defined(kAcc);
+        straightRun(2 + rng_.range(3));
+    }
+
+    void
+    epilogue()
+    {
+        // Consume the accumulator so it stays live throughout.
+        emit(makeALU(Opcode::IADD, kAcc, SrcOperand::makeReg(kAcc),
+                     SrcOperand::makeReg(recentReg())));
+        emit(makeStore(Opcode::ST_GLOBAL, kAddr0, kAcc));
+        emit(makeExit());
+    }
+
+    /**
+     * One region: a run of feature segments. Loops and hammocks
+     * recurse with decremented depth so nesting is bounded.
+     */
+    void
+    emitRegion(int loopsLeft, int hammocksLeft)
+    {
+        int segments = 2 + rng_.range(4);
+        for (int s = 0; s < segments && budget_ > 0; s++) {
+            double u = rng_.uniform();
+            if (loopsLeft > 0 && u < 0.22) {
+                emitLoop(loopsLeft, hammocksLeft);
+            } else if (hammocksLeft > 0 && u < 0.45) {
+                emitHammock(loopsLeft, hammocksLeft);
+            } else if (rng_.chance(p_.pForwardBranch) && u < 0.6) {
+                emitForwardSkip(hammocksLeft);
+            } else if (rng_.chance(p_.pDegenerateBlock) && u < 0.72) {
+                emitDegenerateChain();
+            } else if (u < 0.8) {
+                emitLoadGroup();
+            } else if (u < 0.9) {
+                emitStoreGroup();
+            } else {
+                straightRun(3 + rng_.range(6));
+            }
+        }
+        if (rng_.chance(p_.pSfuTail))
+            emitSfuTail();
+        // Fold something fresh into the live accumulator.
+        emit(makeALU(Opcode::IADD, kAcc, SrcOperand::makeReg(kAcc),
+                     SrcOperand::makeReg(recentReg())));
+    }
+
+    void
+    straightRun(int n)
+    {
+        for (int i = 0; i < n && budget_ > 0; i++) {
+            Reg dst = poolReg();
+            double u = rng_.uniform();
+            if (p_.allowWide && u < 0.07 &&
+                static_cast<int>(dst) + 1 < poolLimit_) {
+                Instruction w = makeALU(Opcode::IMUL, dst, src(), src());
+                w.wide = true;
+                emit(w);
+                defined(dst);
+                defined(static_cast<Reg>(dst + 1));
+                continue;
+            }
+            if (u < 0.15) {
+                Opcode op = kUnaryOps[rng_.range(std::size(kUnaryOps))];
+                emit(makeUnary(op, dst, src()));
+            } else if (u < 0.3) {
+                Opcode op = kAlu3Ops[rng_.range(std::size(kAlu3Ops))];
+                SrcOperand a = src(), b = src(), c = src();
+                if (rng_.chance(p_.pDuplicateOperand))
+                    c = a;  // duplicate-read operand
+                emit(makeALU3(op, dst, a, b, c));
+            } else if (u < 0.36) {
+                // Predicated merge into an already-defined register
+                // (PTX-style if-conversion).
+                Reg pred = emitPredicate();
+                Instruction alu = makeALU(
+                    kAlu2Ops[rng_.range(std::size(kAlu2Ops))],
+                    recent_.empty() ? dst : recent_.front(), src(), src());
+                alu.pred = pred;
+                dst = *alu.dst;
+                emit(alu);
+            } else {
+                Opcode op = kAlu2Ops[rng_.range(std::size(kAlu2Ops))];
+                SrcOperand a = src(), b = src();
+                if (rng_.chance(p_.pDuplicateOperand) && a.isReg)
+                    b = a;  // duplicate-read operand
+                emit(makeALU(op, dst, a, b));
+            }
+            defined(dst);
+        }
+        if (rng_.chance(0.08)) {
+            Instruction bar;
+            bar.op = Opcode::BAR;
+            emit(bar);
+        }
+    }
+
+    void
+    emitLoadGroup()
+    {
+        int n = 1 + rng_.range(3);
+        for (int i = 0; i < n && budget_ > 0; i++) {
+            Reg dst = poolReg();
+            double u = rng_.uniform();
+            std::uint32_t off = static_cast<std::uint32_t>(
+                4 * rng_.range(16));
+            if (p_.allowTex && u < 0.2)
+                emit(makeLoad(Opcode::TEX, dst, kAddr2, off));
+            else if (u < 0.45)
+                emit(makeLoad(Opcode::LD_SHARED, dst, kAddr1, off));
+            else if (u < 0.55)
+                emit(makeLoad(Opcode::LD_PARAM, dst, kParam, off));
+            else
+                emit(makeLoad(Opcode::LD_GLOBAL, dst,
+                              rng_.chance(0.5) ? kAddr0 : kAddr2, off));
+            defined(dst);
+        }
+    }
+
+    void
+    emitStoreGroup()
+    {
+        int n = 1 + rng_.range(2);
+        for (int i = 0; i < n && budget_ > 0; i++) {
+            bool shared = rng_.chance(0.5);
+            Instruction st = makeStore(
+                shared ? Opcode::ST_SHARED : Opcode::ST_GLOBAL,
+                shared ? kAddr1 : kAddr0, recentReg(),
+                static_cast<std::uint32_t>(4 * rng_.range(8)));
+            if (rng_.chance(p_.pPredicatedStore)) {
+                st.pred = emitPredicate();  // predicated store
+            }
+            emit(st);
+        }
+    }
+
+    void
+    emitSfuTail()
+    {
+        int n = 2 + rng_.range(4);
+        Reg chain = recentReg();
+        for (int i = 0; i < n && budget_ > 0; i++) {
+            Reg dst = poolReg();
+            Opcode op = kSfuOps[rng_.range(std::size(kSfuOps))];
+            emit(makeUnary(op, dst, SrcOperand::makeReg(chain)));
+            defined(dst);
+            chain = dst;
+        }
+    }
+
+    /** A chain of one-instruction fall-through blocks. */
+    void
+    emitDegenerateChain()
+    {
+        int n = 1 + rng_.range(3);
+        for (int i = 0; i < n; i++) {
+            newBlock();
+            Reg dst = poolReg();
+            emit(makeALU(Opcode::IADD, dst, src(), src()));
+            defined(dst);
+        }
+    }
+
+    /**
+     * Full or one-sided hammock. Full hammocks write the same
+     * register on both sides (the Figure 10(c) merge-group shape) and
+     * read it after the merge.
+     */
+    void
+    emitHammock(int loopsLeft, int hammocksLeft)
+    {
+        Reg pred = emitPredicate();
+        (void)pred;
+        int tagSide = nextTag_++;
+        int tagMerge = nextTag_++;
+        bool oneSided = rng_.chance(0.35);
+        emitBranchToTag(tagSide, /*predicated=*/true);
+        newBlock();
+        if (oneSided) {
+            straightRun(2 + rng_.range(4));
+            if (hammocksLeft > 1 && rng_.chance(0.4))
+                emitHammock(loopsLeft, hammocksLeft - 1);
+            bindTag(tagSide);
+            tagBlock_[tagMerge] = tagBlock_[tagSide];
+            return;
+        }
+        Reg merged = poolReg();
+        // Then side.
+        straightRun(1 + rng_.range(3));
+        emit(makeALU(Opcode::IADD, merged,
+                     SrcOperand::makeReg(recentReg()),
+                     SrcOperand::makeImm(imm())));
+        if (hammocksLeft > 1 && rng_.chance(0.35))
+            emitHammock(loopsLeft, hammocksLeft - 1);
+        emitBranchToTag(tagMerge, /*predicated=*/false);
+        // Else side.
+        bindTag(tagSide);
+        straightRun(1 + rng_.range(3));
+        emit(makeALU(Opcode::ISUB, merged,
+                     SrcOperand::makeReg(recentReg()),
+                     SrcOperand::makeImm(imm())));
+        // Merge: consume the merged value.
+        bindTag(tagMerge);
+        defined(merged);
+        emit(makeALU(Opcode::IADD, kAcc, SrcOperand::makeReg(kAcc),
+                     SrcOperand::makeReg(merged)));
+    }
+
+    /**
+     * Forward branch that skips over the next segment(s) and lands in
+     * the middle of later straight-line code — the "branch into a
+     * strand" shape the synthetic generator never produces.
+     */
+    void
+    emitForwardSkip(int hammocksLeft)
+    {
+        emitPredicate();
+        int tag = nextTag_++;
+        emitBranchToTag(tag, /*predicated=*/true);
+        newBlock();
+        straightRun(2 + rng_.range(4));
+        if (rng_.chance(0.3))
+            emitLoadGroup();
+        if (hammocksLeft > 0 && rng_.chance(0.25))
+            emitHammock(0, hammocksLeft - 1);
+        // The skip lands here, mid-region: code after the join reads
+        // values defined both before the branch and on the fallthrough.
+        bindTag(tag);
+        straightRun(1 + rng_.range(3));
+    }
+
+    void
+    emitLoop(int loopsLeft, int hammocksLeft)
+    {
+        Reg counter = loopsLeft == p_.maxLoopDepth ? kCounter0 : kCounter1;
+        int iters = 1 + rng_.range(std::max(1, p_.maxLoopIters));
+        emit(makeUnary(Opcode::MOV, counter,
+                       SrcOperand::makeImm(
+                           static_cast<std::uint32_t>(iters))));
+        int head = newBlock();
+        // Loop bodies may nest one level deeper but never write
+        // `counter` (general destinations stay below kReservedBase),
+        // so the countdown below is strictly monotonic: termination.
+        emitRegion(loopsLeft - 1, hammocksLeft);
+        if (curCount_ == 0)
+            straightRun(1);
+        emit(makeALU(Opcode::ISUB, counter, SrcOperand::makeReg(counter),
+                     SrcOperand::makeImm(1)));
+        emit(makeALU(Opcode::SETGT, kPredScratch,
+                     SrcOperand::makeReg(counter),
+                     SrcOperand::makeImm(0)));
+        emit(makeCondBranch(kPredScratch, head));
+        newBlock();
+    }
+
+    FuzzParams p_;
+    Rng rng_;
+    KernelBuilder b_;
+    int budget_;
+    int poolLimit_;
+    int curBlock_ = 0;
+    int curCount_ = 0;
+    int labelId_ = 0;
+    int nextTag_ = 0;
+    std::deque<Reg> recent_;
+    std::vector<Fixup> fixups_;
+    std::map<int, int> tagBlock_;
+};
+
+} // namespace
+
+Kernel
+generateFuzzKernel(const std::string &name, const FuzzParams &params)
+{
+    FuzzEmitter em(name, params);
+    return em.run();
+}
+
+FuzzParams
+fuzzCase(std::uint64_t seed, std::uint64_t iter)
+{
+    // Mix seed and iteration into one stream so campaigns with
+    // different seeds share no cases.
+    std::uint64_t h = seed * 0x9e3779b97f4a7c15ULL + iter;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+
+    FuzzParams p;
+    p.seed = h;
+    p.maxInstrs = 40 + static_cast<int>(h % 100);
+    // Cycle through structural extremes so short campaigns still hit
+    // every grammar feature.
+    switch (iter % 6) {
+      case 0:  // loop-free, branch-heavy
+        p.maxLoopDepth = 0;
+        p.maxHammockDepth = 2;
+        p.pForwardBranch = 0.6;
+        break;
+      case 1:  // deeply nested loops
+        p.maxLoopDepth = 2;
+        p.maxHammockDepth = 1;
+        p.maxLoopIters = 3 + static_cast<int>(h % 5);
+        break;
+      case 2:  // high register pressure
+        p.highPressure = true;
+        p.maxLoopDepth = 1;
+        break;
+      case 3:  // SFU-heavy tails, texture fetches
+        p.pSfuTail = 0.9;
+        p.allowTex = true;
+        p.maxLoopDepth = 1;
+        break;
+      case 4:  // degenerate blocks and predicated stores
+        p.pDegenerateBlock = 0.7;
+        p.pPredicatedStore = 0.7;
+        p.maxLoopDepth = 1;
+        break;
+      default: // everything mixed
+        p.maxLoopDepth = 2;
+        p.maxHammockDepth = 2;
+        p.pDuplicateOperand = 0.35;
+        break;
+    }
+    return p;
+}
+
+} // namespace rfh

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Grammar-driven RPTX program fuzzer.
+ *
+ * Generates deterministic, terminating, parser-valid kernels that go
+ * well beyond the Figure-2-calibrated synthetic generator
+ * (workloads/synthetic.h): where the synthetic generator deliberately
+ * mimics well-behaved compiler output, the fuzzer aims for the
+ * pathological control-flow and operand shapes on which allocation
+ * bugs surface — nested and one-sided hammocks, forward branches that
+ * land in the middle of later straight-line regions, predicated
+ * stores, duplicate-read operands, SFU-heavy tails, degenerate
+ * one-instruction blocks, wide results, and near-maximal register
+ * pressure.
+ *
+ * Every generated kernel passes Kernel::validate() and terminates:
+ * the only backward edges are counted loops whose dedicated counter
+ * registers are never written by generated body code.
+ */
+
+#ifndef RFH_VERIFY_RPTX_FUZZ_H
+#define RFH_VERIFY_RPTX_FUZZ_H
+
+#include <cstdint>
+#include <string>
+
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Fuzz-generator knobs. Defaults produce a mid-size wild kernel. */
+struct FuzzParams
+{
+    std::uint64_t seed = 1;
+    /** Approximate static instruction budget. */
+    int maxInstrs = 96;
+    /** Nesting depth of counted loops (0 = straight-line kernel). */
+    int maxLoopDepth = 2;
+    /** Nesting depth of if/else hammocks. */
+    int maxHammockDepth = 2;
+    /** Dynamic iterations of each counted loop (1..). */
+    int maxLoopIters = 6;
+    /** Emit imul.wide 64-bit producers. */
+    bool allowWide = true;
+    /** Emit texture fetches alongside global loads. */
+    bool allowTex = true;
+    /**
+     * Draw destinations from nearly the whole architectural register
+     * file instead of a compact window, maximising live pressure.
+     */
+    bool highPressure = false;
+    /** Probability that a store is predicated. */
+    double pPredicatedStore = 0.3;
+    /** Probability that a producer repeats one register operand. */
+    double pDuplicateOperand = 0.2;
+    /** Probability of a forward branch skipping into later code. */
+    double pForwardBranch = 0.3;
+    /** Probability of a degenerate one-instruction block. */
+    double pDegenerateBlock = 0.25;
+    /** Probability that a region ends in an SFU-heavy tail. */
+    double pSfuTail = 0.35;
+};
+
+/**
+ * Generate one kernel named @p name from @p params. Deterministic:
+ * identical params yield byte-identical kernels. The result always
+ * satisfies Kernel::validate() == "" and terminates within
+ * O(maxInstrs * maxLoopIters^maxLoopDepth) dynamic instructions.
+ */
+Kernel generateFuzzKernel(const std::string &name,
+                          const FuzzParams &params);
+
+/**
+ * The fuzz campaign's case schedule: derive the parameter set of
+ * iteration @p iter of a campaign seeded with @p seed. Iterations
+ * cycle through structural extremes (loop-free, deeply nested,
+ * high-pressure, SFU-heavy, degenerate-block-heavy) so a short
+ * campaign still covers every grammar feature.
+ */
+FuzzParams fuzzCase(std::uint64_t seed, std::uint64_t iter);
+
+} // namespace rfh
+
+#endif // RFH_VERIFY_RPTX_FUZZ_H

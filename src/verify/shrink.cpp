@@ -1,0 +1,233 @@
+#include "verify/shrink.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <vector>
+
+#include "ir/printer.h"
+
+namespace rfh {
+
+namespace {
+
+/**
+ * Rebuild @p k without the blocks marked in @p remove. Branches to a
+ * removed block retarget to the next surviving block (the fallthrough
+ * continuation); returns nullopt when a branch would point past the
+ * end.
+ */
+std::optional<Kernel>
+removeBlocks(const Kernel &k, const std::vector<bool> &remove)
+{
+    int n = static_cast<int>(k.blocks.size());
+    std::vector<int> redirect(n, -1);
+    int kept = 0;
+    for (int i = 0; i < n; i++)
+        if (!remove[i])
+            redirect[i] = kept++;
+    if (kept == 0)
+        return std::nullopt;
+    // A removed block redirects to the first surviving block at or
+    // after it.
+    std::vector<int> target(n, -1);
+    int next = -1;
+    for (int i = n - 1; i >= 0; i--) {
+        if (!remove[i])
+            next = redirect[i];
+        target[i] = next;
+    }
+
+    Kernel out;
+    out.name = k.name;
+    for (int i = 0; i < n; i++) {
+        if (remove[i])
+            continue;
+        BasicBlock bb = k.blocks[i];
+        for (Instruction &in : bb.instrs) {
+            if (in.branchTarget < 0)
+                continue;
+            if (in.branchTarget >= n || target[in.branchTarget] < 0)
+                return std::nullopt;
+            in.branchTarget = target[in.branchTarget];
+        }
+        out.blocks.push_back(std::move(bb));
+    }
+    out.finalize();
+    return out;
+}
+
+/**
+ * Rebuild @p k without linear instructions [begin, begin+count);
+ * blocks emptied by the drop are removed with retargeting.
+ */
+std::optional<Kernel>
+dropInstrRange(const Kernel &k, int begin, int count)
+{
+    Kernel pruned;
+    pruned.name = k.name;
+    std::vector<bool> empty;
+    int lin = 0;
+    for (const BasicBlock &bb : k.blocks) {
+        BasicBlock nb;
+        nb.label = bb.label;
+        for (const Instruction &in : bb.instrs) {
+            bool drop = lin >= begin && lin < begin + count;
+            lin++;
+            if (!drop)
+                nb.instrs.push_back(in);
+        }
+        empty.push_back(nb.instrs.empty());
+        pruned.blocks.push_back(std::move(nb));
+    }
+    pruned.finalize();
+    if (std::none_of(empty.begin(), empty.end(),
+                     [](bool e) { return e; }))
+        return pruned;
+    return removeBlocks(pruned, empty);
+}
+
+/** True when @p candidate is well formed and still failing. */
+bool
+accept(const std::optional<Kernel> &candidate,
+       const FailurePredicate &fails, ShrinkResult &result,
+       const ShrinkOptions &opts)
+{
+    if (!candidate || !candidate->validate().empty())
+        return false;
+    if (result.candidatesTried >= opts.maxCandidates)
+        return false;
+    result.candidatesTried++;
+    return fails(*candidate);
+}
+
+} // namespace
+
+ShrinkResult
+shrinkKernel(const Kernel &k, const FailurePredicate &fails,
+             const ShrinkOptions &opts)
+{
+    ShrinkResult result;
+    result.kernel = k;
+    result.kernel.finalize();
+    result.originalInstrs = result.kernel.numInstrs();
+    result.finalInstrs = result.originalInstrs;
+
+    bool progress = true;
+    while (progress && result.rounds < opts.maxRounds &&
+           result.candidatesTried < opts.maxCandidates) {
+        progress = false;
+        result.rounds++;
+        Kernel &cur = result.kernel;
+
+        // ---- Drop whole blocks ----
+        for (int b = 0; b < static_cast<int>(cur.blocks.size()); b++) {
+            std::vector<bool> remove(cur.blocks.size(), false);
+            remove[b] = true;
+            auto cand = removeBlocks(cur, remove);
+            if (accept(cand, fails, result, opts)) {
+                cur = std::move(*cand);
+                progress = true;
+                b = -1;  // restart over the smaller kernel
+            }
+        }
+
+        // ---- Drop instruction ranges, ddmin-style ----
+        for (int chunk = std::max(1, cur.numInstrs() / 2); chunk >= 1;
+             chunk /= 2) {
+            for (int begin = 0; begin + chunk <= cur.numInstrs();
+                 begin += chunk) {
+                auto cand = dropInstrRange(cur, begin, chunk);
+                if (accept(cand, fails, result, opts)) {
+                    cur = std::move(*cand);
+                    progress = true;
+                    begin -= chunk;  // retry the same position
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+
+        // ---- Shrink immediates toward 1 ----
+        for (int lin = 0; lin < cur.numInstrs(); lin++) {
+            const Instruction &in = cur.instr(lin);
+            for (int s = 0; s < in.numSrcs; s++) {
+                std::uint32_t imm = cur.instr(lin).srcs[s].imm;
+                if (cur.instr(lin).srcs[s].isReg || imm <= 1)
+                    continue;
+                for (std::uint32_t smaller :
+                     {std::uint32_t{1}, imm / 2}) {
+                    if (smaller >= imm || smaller == 0)
+                        continue;
+                    Kernel cand = cur;
+                    cand.instr(lin).srcs[s].imm = smaller;
+                    if (accept(cand, fails, result, opts)) {
+                        cur = std::move(cand);
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+            if (cur.instr(lin).memOffset > 0) {
+                Kernel cand = cur;
+                cand.instr(lin).memOffset = 0;
+                if (accept(cand, fails, result, opts)) {
+                    cur = std::move(cand);
+                    progress = true;
+                }
+            }
+        }
+
+        // ---- Demote operands ----
+        for (int lin = 0; lin < cur.numInstrs(); lin++) {
+            // Register source -> immediate (severs a dataflow edge).
+            // Memory/texture operands must stay registers to keep the
+            // candidate printable and parseable.
+            UnitClass uc = cur.instr(lin).unit();
+            bool mem = uc == UnitClass::MEM || uc == UnitClass::TEX;
+            for (int s = 0; s < cur.instr(lin).numSrcs && !mem; s++) {
+                if (!cur.instr(lin).srcs[s].isReg)
+                    continue;
+                Kernel cand = cur;
+                cand.instr(lin).srcs[s] = SrcOperand::makeImm(1);
+                if (accept(cand, fails, result, opts)) {
+                    cur = std::move(cand);
+                    progress = true;
+                }
+            }
+            if (cur.instr(lin).pred &&
+                cur.instr(lin).op != Opcode::BRA) {
+                Kernel cand = cur;
+                cand.instr(lin).pred.reset();
+                if (accept(cand, fails, result, opts)) {
+                    cur = std::move(cand);
+                    progress = true;
+                }
+            }
+            if (cur.instr(lin).wide) {
+                Kernel cand = cur;
+                cand.instr(lin).wide = false;
+                if (accept(cand, fails, result, opts)) {
+                    cur = std::move(cand);
+                    progress = true;
+                }
+            }
+        }
+    }
+
+    result.kernel.finalize();
+    result.finalInstrs = result.kernel.numInstrs();
+    return result;
+}
+
+bool
+writeReproArtifact(const Kernel &k, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << printKernel(k);
+    return static_cast<bool>(out);
+}
+
+} // namespace rfh

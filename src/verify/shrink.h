@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Delta-debugging reducer for failing RPTX kernels.
+ *
+ * Given a kernel and a failure predicate (typically "the differential
+ * oracle reports a finding"), the reducer searches for a smaller
+ * kernel on which the predicate still holds, using four
+ * transformation families:
+ *
+ *  - drop whole basic blocks (branches retarget to the following
+ *    block, mirroring fallthrough);
+ *  - drop contiguous instruction ranges, ddmin-style with shrinking
+ *    chunk sizes (blocks emptied by a drop are removed);
+ *  - shrink immediates toward 1 (halving loop trip counts and
+ *    offsets);
+ *  - demote operands (register source -> immediate, drop predicates,
+ *    clear the wide bit).
+ *
+ * Every candidate must satisfy Kernel::validate() == "" before the
+ * predicate is consulted, so the reducer can never escape the space
+ * of well-formed kernels. The result is written as a plain-text
+ * .rptx repro artifact that parses back with parseKernel.
+ */
+
+#ifndef RFH_VERIFY_SHRINK_H
+#define RFH_VERIFY_SHRINK_H
+
+#include <functional>
+#include <string>
+
+#include "ir/kernel.h"
+
+namespace rfh {
+
+/** Returns true when the kernel still exhibits the failure. */
+using FailurePredicate = std::function<bool(const Kernel &)>;
+
+/** Reducer limits. */
+struct ShrinkOptions
+{
+    /** Maximum full passes over all transformation families. */
+    int maxRounds = 24;
+    /** Hard cap on predicate evaluations. */
+    int maxCandidates = 4000;
+};
+
+/** Outcome of a reduction. */
+struct ShrinkResult
+{
+    /** The smallest failing kernel found (finalized). */
+    Kernel kernel;
+    int originalInstrs = 0;
+    int finalInstrs = 0;
+    /** Candidate kernels whose predicate was evaluated. */
+    int candidatesTried = 0;
+    /** Full passes executed before the fixpoint. */
+    int rounds = 0;
+};
+
+/**
+ * Minimise @p k while @p fails holds. @p k itself must satisfy the
+ * predicate (otherwise it is returned unchanged). Deterministic: the
+ * candidate order is a pure function of the kernel.
+ */
+ShrinkResult shrinkKernel(const Kernel &k, const FailurePredicate &fails,
+                          const ShrinkOptions &opts = {});
+
+/**
+ * Write @p k to @p path as canonical RPTX text (a parseKernel-able
+ * repro artifact). @return false when the file cannot be written.
+ */
+bool writeReproArtifact(const Kernel &k, const std::string &path);
+
+} // namespace rfh
+
+#endif // RFH_VERIFY_SHRINK_H

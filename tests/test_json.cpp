@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/benchdiff.h"
 #include "core/json.h"
 
 namespace rfh {
@@ -76,6 +77,105 @@ TEST(Json, SweepSeries)
     EXPECT_NE(s.find("\"normalizedEnergy\":0.4"), std::string::npos);
     EXPECT_EQ(s.front(), '[');
     EXPECT_EQ(s.back(), ']');
+}
+
+// ---- Parser negative paths: every error carries a byte offset ----
+
+/** Expect a parse failure whose message is "offset N: <needle>...". */
+void
+expectParseError(const std::string &text, const std::string &needle)
+{
+    JsonParseResult r = parseJson(text);
+    ASSERT_FALSE(r.ok) << text;
+    EXPECT_EQ(r.error.rfind("offset ", 0), 0u) << r.error;
+    EXPECT_NE(r.error.find(needle), std::string::npos)
+        << "input " << text << ": " << r.error;
+}
+
+TEST(JsonNegative, EmptyInput)
+{
+    expectParseError("", "unexpected end of input");
+}
+
+TEST(JsonNegative, MissingColonReportsOffset)
+{
+    JsonParseResult r = parseJson("{\"a\" 1}");
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.error.rfind("offset 5:", 0), 0u) << r.error;
+    EXPECT_NE(r.error.find("expected ':' after object key"),
+              std::string::npos)
+        << r.error;
+}
+
+TEST(JsonNegative, MalformedDocuments)
+{
+    expectParseError("{\"a\": 1", "in object");
+    expectParseError("[1 2]", "expected ',' or ']' in array");
+    expectParseError("[1, 2,]", "expected a value");
+    expectParseError("\"ab", "unterminated string");
+    expectParseError("truth", "invalid literal");
+    expectParseError("{\"a\":1} x", "trailing characters");
+    expectParseError("\"bad \\q escape\"", "invalid escape character");
+    expectParseError("\"\\u12", "truncated \\u escape");
+}
+
+TEST(JsonNegative, TrailingGarbageReportsOffsetPastDocument)
+{
+    JsonParseResult r = parseJson("{\"a\":1} x");
+    ASSERT_FALSE(r.ok);
+    // The offset points at the garbage, past the valid document.
+    EXPECT_EQ(r.error.rfind("offset 8:", 0), 0u) << r.error;
+}
+
+// ---- bench-diff negative paths: unrecognised snapshots ----
+
+TEST(BenchDiffNegative, NonObjectSnapshot)
+{
+    JsonParseResult r = parseJson("[1, 2]");
+    ASSERT_TRUE(r.ok);
+    std::string error;
+    auto entries = benchEntriesFromJson(r.value, &error);
+    EXPECT_TRUE(entries.empty());
+    EXPECT_EQ(error, "snapshot is not a JSON object");
+}
+
+TEST(BenchDiffNegative, UnrecognisedObject)
+{
+    JsonParseResult r = parseJson("{\"foo\": 1}");
+    ASSERT_TRUE(r.ok);
+    std::string error;
+    auto entries = benchEntriesFromJson(r.value, &error);
+    EXPECT_TRUE(entries.empty());
+    EXPECT_NE(error.find("unrecognised snapshot format"),
+              std::string::npos)
+        << error;
+}
+
+TEST(BenchDiffNegative, ManifestWithoutBenchmarks)
+{
+    JsonParseResult r =
+        parseJson("{\"schema\": \"rfh-manifest-v1\"}");
+    ASSERT_TRUE(r.ok);
+    std::string error;
+    auto entries = benchEntriesFromJson(r.value, &error);
+    EXPECT_TRUE(entries.empty());
+    EXPECT_EQ(error, "manifest has no benchmarks array");
+}
+
+TEST(BenchDiffNegative, MalformedEntriesAreSkippedNotFatal)
+{
+    // Nameless and non-object rows are skipped; the valid row remains.
+    JsonParseResult r = parseJson(
+        "{\"schema\":\"rfh-manifest-v1\",\"benchmarks\":["
+        "{\"value\":1},"
+        "7,"
+        "{\"name\":\"good\",\"value\":2,\"unit\":\"ns\"}]}");
+    ASSERT_TRUE(r.ok) << r.error;
+    std::string error;
+    auto entries = benchEntriesFromJson(r.value, &error);
+    ASSERT_EQ(entries.size(), 1u) << error;
+    EXPECT_EQ(entries[0].name, "good");
+    EXPECT_EQ(entries[0].value, 2.0);
 }
 
 } // namespace
