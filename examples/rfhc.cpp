@@ -8,6 +8,8 @@
  *   rfhc stats    <file.rptx>               strand / usage statistics
  *   rfhc bench-diff <old.json> <new.json>   compare two snapshots
  *   rfhc fuzz [options]                     differential fuzz campaign
+ *   rfhc serve [options]                    batch compile/sim service
+ *   rfhc loadgen [options]                  drive a running service
  *
  * Options (annotate / run / stats):
  *   --entries N        ORF entries per thread (default 3)
@@ -42,6 +44,29 @@
  *   --no-simt          skip the SIMT differential pairs
  *   --manifest F       write an rfh-manifest-v1 campaign manifest to F
  *
+ * Options (serve):
+ *   --socket PATH      listen on a Unix domain socket (default: stdio)
+ *   --workers N        request workers (default: pool size)
+ *   --queue N          admission queue capacity (default 64); full
+ *                      queue sheds requests with `overloaded`
+ *   --cache-max N      memo-cache entries before eviction (default 1024)
+ *   --manifest F       write a session manifest on drain
+ *   --trace-events F   record per-request chrome://tracing spans
+ *
+ * Options (loadgen):
+ *   --socket PATH      server socket (default rfhc.sock)
+ *   --clients N        concurrent connections (default 4)
+ *   --requests N       total run requests (default 100)
+ *   --workload W       pin one registry workload (default: mix)
+ *   --scheme S         pin one scheme token (default: mix)
+ *   --entries N        pin ORF entries (default: mix)
+ *   --warps N          warps per request (default 8)
+ *   --deadline MS      per-request deadline in milliseconds
+ *   --retries N        max retries of shed requests (default 8)
+ *   --verify           byte-compare every result vs local runScheme()
+ *   --shutdown         send {"op":"shutdown"} when done
+ *   --manifest F       write a loadgen manifest (throughput, p50/p99)
+ *
  * The tool lets users drive the full pipeline on their own RPTX
  * kernels without writing any C++, and gates CI on performance
  * snapshots (see docs/observability.md).
@@ -68,6 +93,8 @@
 #include "core/trace_events.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "service/loadgen.h"
+#include "service/server.h"
 #include "sim/baseline_exec.h"
 #include "verify/oracle.h"
 #include "verify/rptx_fuzz.h"
@@ -95,7 +122,18 @@ usage()
                  "            [--dump DIR] [--out repro.rptx] "
                  "[--warps N] [--entries N]\n"
                  "            [--no-hw] [--no-simt] "
-                 "[--manifest out.json]\n");
+                 "[--manifest out.json]\n"
+                 "       rfhc serve [--socket PATH] [--workers N] "
+                 "[--queue N]\n"
+                 "            [--cache-max N] [--manifest out.json] "
+                 "[--trace-events out.json]\n"
+                 "       rfhc loadgen [--socket PATH] [--clients N] "
+                 "[--requests N]\n"
+                 "            [--workload W] [--scheme S] [--entries N] "
+                 "[--warps N]\n"
+                 "            [--deadline MS] [--retries N] [--verify] "
+                 "[--shutdown]\n"
+                 "            [--manifest out.json]\n");
     return 2;
 }
 
@@ -392,6 +430,120 @@ fuzzMain(int argc, char **argv)
     return 0;
 }
 
+/**
+ * `rfhc serve`: the persistent batch compile/sim service. Accepts
+ * NDJSON requests on stdio or a Unix socket until a shutdown request,
+ * EOF, or SIGINT/SIGTERM, then drains gracefully (see docs/service.md).
+ */
+int
+serveMain(int argc, char **argv)
+{
+    ServeOptions so;
+    for (int i = 2; i < argc; i++) {
+        std::string a = argv[i];
+        auto next_int = [&](int &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = std::atoi(argv[++i]);
+            return out > 0;
+        };
+        auto next_str = [&](std::string &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = argv[++i];
+            return !out.empty();
+        };
+        if (a == "--socket") {
+            if (!next_str(so.socketPath))
+                return usage();
+        } else if (a == "--workers") {
+            if (!next_int(so.service.workers))
+                return usage();
+        } else if (a == "--queue") {
+            if (!next_int(so.service.queueCapacity))
+                return usage();
+        } else if (a == "--cache-max") {
+            int n = 0;
+            if (!next_int(n))
+                return usage();
+            so.service.cacheMaxEntries =
+                static_cast<std::size_t>(n);
+        } else if (a == "--manifest") {
+            if (!next_str(so.manifestPath))
+                return usage();
+        } else if (a == "--trace-events") {
+            if (!next_str(so.traceEventsPath))
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+    return runServe(so);
+}
+
+/** `rfhc loadgen`: drive a running service (see docs/service.md). */
+int
+loadgenMain(int argc, char **argv)
+{
+    LoadgenOptions lo;
+    for (int i = 2; i < argc; i++) {
+        std::string a = argv[i];
+        auto next_int = [&](int &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = std::atoi(argv[++i]);
+            return out > 0;
+        };
+        auto next_str = [&](std::string &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = argv[++i];
+            return !out.empty();
+        };
+        if (a == "--socket") {
+            if (!next_str(lo.socketPath))
+                return usage();
+        } else if (a == "--clients") {
+            if (!next_int(lo.clients))
+                return usage();
+        } else if (a == "--requests") {
+            if (!next_int(lo.requests))
+                return usage();
+        } else if (a == "--workload") {
+            if (!next_str(lo.workload))
+                return usage();
+        } else if (a == "--scheme") {
+            if (!next_str(lo.scheme))
+                return usage();
+        } else if (a == "--entries") {
+            if (!next_int(lo.entries) || lo.entries > kMaxOrfEntries)
+                return usage();
+        } else if (a == "--warps") {
+            if (!next_int(lo.warps))
+                return usage();
+        } else if (a == "--deadline") {
+            if (i + 1 >= argc)
+                return usage();
+            lo.deadlineMs = std::strtod(argv[++i], nullptr);
+            if (lo.deadlineMs <= 0)
+                return usage();
+        } else if (a == "--retries") {
+            if (!next_int(lo.maxRetries))
+                return usage();
+        } else if (a == "--verify") {
+            lo.verify = true;
+        } else if (a == "--shutdown") {
+            lo.shutdownAfter = true;
+        } else if (a == "--manifest") {
+            if (!next_str(lo.manifestPath))
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+    return runLoadgen(lo);
+}
+
 } // namespace
 
 int
@@ -402,6 +554,10 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     if (cmd == "fuzz")
         return fuzzMain(argc, argv);
+    if (cmd == "serve")
+        return serveMain(argc, argv);
+    if (cmd == "loadgen")
+        return loadgenMain(argc, argv);
     if (argc < 3)
         return usage();
     if (cmd == "bench-diff")

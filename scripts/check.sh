@@ -11,11 +11,13 @@
 # committed BENCH_<n>.json with `rfhc bench-diff` (skipped when no
 # snapshot exists). Usage:
 #
-#   scripts/check.sh            # build + ctest + sanitizers + gates
-#   scripts/check.sh --no-tsan  # skip the TSan stage
-#   scripts/check.sh --no-asan  # skip the ASan stage
-#   scripts/check.sh --no-perf  # skip the bench-diff perf gate
-#   scripts/check.sh --no-fuzz  # skip the differential fuzz smoke
+#   scripts/check.sh              # build + ctest + sanitizers + gates
+#   scripts/check.sh --no-tsan    # skip the TSan stage
+#   scripts/check.sh --no-asan    # skip the ASan stage
+#   scripts/check.sh --no-perf    # skip the bench-diff perf gate
+#   scripts/check.sh --no-fuzz    # skip the differential fuzz smoke
+#   scripts/check.sh --no-golden  # skip the golden figure-shape gate
+#   scripts/check.sh --no-serve   # skip the serve+loadgen smoke
 #
 # The fuzz smoke runs a fixed-seed `rfhc fuzz` campaign (differential
 # oracle + allocator-invariant checker over generated kernels) and, in
@@ -32,17 +34,52 @@ run_tsan=1
 run_asan=1
 run_perf=1
 run_fuzz=1
+run_golden=1
+run_serve=1
 for arg in "$@"; do
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
     [[ "$arg" == "--no-asan" ]] && run_asan=0
     [[ "$arg" == "--no-perf" ]] && run_perf=0
     [[ "$arg" == "--no-fuzz" ]] && run_fuzz=0
+    [[ "$arg" == "--no-golden" ]] && run_golden=0
+    [[ "$arg" == "--no-serve" ]] && run_serve=0
 done
 
 echo "== build + test (${jobs} jobs) =="
 cmake -B "$repo/build" -S "$repo" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
-ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+# The golden tier runs as its own gated stage below; keep the main run
+# on the unit/property/fuzz tiers.
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -LE golden
+
+if [[ "$run_golden" == 1 ]]; then
+    echo "== golden figure-shape gate: EXPERIMENTS.md bands =="
+    # Deterministic full-registry sweeps pinned to the headline bands
+    # (tests/test_golden.cpp); a failure means a result-moving change
+    # that must update the bands and EXPERIMENTS.md together.
+    ctest --test-dir "$repo/build" --output-on-failure -L golden
+fi
+
+if [[ "$run_serve" == 1 ]]; then
+    echo "== batch service smoke: serve + loadgen over a Unix socket =="
+    sock="$(mktemp -u /tmp/rfhc-check-XXXXXX.sock)"
+    "$repo/build/examples/rfhc" serve --socket "$sock" --queue 8 &
+    serve_pid=$!
+    # loadgen retries until the socket appears, verifies every result
+    # byte-for-byte against a local runScheme(), and sends shutdown;
+    # the server must then drain and exit 0 on its own.
+    if ! "$repo/build/examples/rfhc" loadgen --socket "$sock" \
+        --clients 4 --requests 50 --verify --shutdown; then
+        kill "$serve_pid" 2>/dev/null || true
+        echo "check.sh: service loadgen failed" >&2
+        exit 1
+    fi
+    if ! wait "$serve_pid"; then
+        echo "check.sh: rfhc serve did not exit cleanly" >&2
+        exit 1
+    fi
+    rm -f "$sock"
+fi
 
 if [[ "$run_fuzz" == 1 ]]; then
     echo "== differential fuzz smoke: 200 kernels, fixed seed =="

@@ -114,6 +114,15 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     ExperimentCache &cache = globalExperimentCache();
     Stopwatch watch;
 
+    // Cooperative cancellation: polled between phases so a deadline
+    // can stop a request before its most expensive work, without ever
+    // interrupting a memoized computation mid-flight.
+    auto cancelled = [&] { return cfg.cancel && cfg.cancel(); };
+    if (cancelled()) {
+        out.error = "cancelled";
+        return out;
+    }
+
     // ---- Analyze: structural analyses + baseline execution, both
     // memoized (configuration-independent) ----
     std::shared_ptr<const AnalysisBundle> analyses;
@@ -123,6 +132,10 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     out.baselineEnergyPJ = base.totalEnergyPJ(em);
     out.phases.analyzeSec = watch.lap();
     recordPhaseSpan("analyze", w.name, out.phases.analyzeSec);
+    if (cancelled()) {
+        out.error = "cancelled";
+        return out;
+    }
 
     // ---- Trace: the pre-decoded dynamic stream, recorded once per
     // (kernel, RunConfig) and shared by every replay grid cell ----
@@ -131,6 +144,10 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         trace = cache.trace(w.kernel, w.run);
         out.phases.traceSec = watch.lap();
         recordPhaseSpan("trace", w.name, out.phases.traceSec);
+    }
+    if (cancelled()) {
+        out.error = "cancelled";
+        return out;
     }
 
     switch (cfg.scheme) {
@@ -159,6 +176,10 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         out.alloc = alloc.run(annotated, analyses.get());
         out.phases.allocateSec = watch.lap();
         recordPhaseSpan("allocate", w.name, out.phases.allocateSec);
+        if (cancelled()) {
+            out.error = "cancelled";
+            return out;
+        }
         SwExecConfig sc;
         sc.run = w.run;
         sc.idealNoFlush = cfg.idealNoFlush;

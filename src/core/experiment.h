@@ -10,6 +10,7 @@
 #ifndef RFH_CORE_EXPERIMENT_H
 #define RFH_CORE_EXPERIMENT_H
 
+#include <functional>
 #include <string>
 
 #include "compiler/allocation.h"
@@ -88,6 +89,17 @@ struct ExperimentConfig
      * runAllWorkloads; the choice never changes any report byte.
      */
     ExecEngine engine = ExecEngine::AUTO;
+    /**
+     * Cooperative cancellation probe, polled by runScheme between
+     * phases (after analyze, after trace, after allocate). When it
+     * returns true the run stops early with error "cancelled" and
+     * later phases are skipped. Null (the default) disables polling.
+     * Memoized sub-results (baseline, analyses, trace) are only ever
+     * stored fully computed, so cancellation never poisons the shared
+     * caches. Used by the batch service to enforce per-request
+     * deadlines (src/service/).
+     */
+    std::function<bool()> cancel;
     /** Technology constants. */
     EnergyParams energy;
 

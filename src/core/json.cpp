@@ -287,6 +287,13 @@ JsonValue::stringOr(const std::string &key,
     return v && v->isString() ? v->string : fallback;
 }
 
+bool
+JsonValue::boolOr(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->type == Type::BOOL ? v->boolean : fallback;
+}
+
 namespace {
 
 /** Recursive-descent JSON parser over a string_view. */

@@ -126,6 +126,9 @@ struct JsonValue
     /** find(key)->string, or @p fallback when absent / not a string. */
     std::string stringOr(const std::string &key,
                          const std::string &fallback) const;
+
+    /** find(key)->boolean, or @p fallback when absent / not a bool. */
+    bool boolOr(const std::string &key, bool fallback) const;
 };
 
 /** Outcome of parseJson: the document, or a positioned error. */

@@ -181,6 +181,13 @@ ExperimentCache::clear()
     traces_.clear();
 }
 
+std::size_t
+ExperimentCache::entryCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return baseline_.size() + analyses_.size() + traces_.size();
+}
+
 ExperimentCache::Stats
 ExperimentCache::stats() const
 {

@@ -71,6 +71,13 @@ class ExperimentCache
     /** Drop every entry (tests; not thread-safe vs. active lookups). */
     void clear();
 
+    /**
+     * Total cached entries across the three maps. Long-lived callers
+     * (the batch service) poll this to bound memory: when it exceeds
+     * their budget they quiesce lookups and clear(). Thread-safe.
+     */
+    std::size_t entryCount() const;
+
     /** Hit/miss counters (monotonic; for benchmarks and tests). */
     struct Stats
     {
@@ -108,7 +115,7 @@ class ExperimentCache
         std::tuple<std::uint64_t, int, int, std::uint64_t>;
     using AnalysisKey = std::pair<std::uint64_t, int>;
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::map<BaselineKey, std::shared_ptr<BaselineEntry>> baseline_;
     std::map<AnalysisKey, std::shared_ptr<AnalysisEntry>> analyses_;
     std::map<BaselineKey, std::shared_ptr<TraceEntry>> traces_;

@@ -1,0 +1,426 @@
+#include "service/loadgen.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/json.h"
+#include "core/manifest.h"
+#include "core/parallel.h"
+#include "core/timing.h"
+#include "service/protocol.h"
+#include "workloads/registry.h"
+
+namespace rfh {
+
+namespace {
+
+// Default request mix: small registry kernels and every scheme, so a
+// modest --requests count still exercises memo-cache sharing across
+// clients and all five allocator paths.
+const char *const kMixWorkloads[] = {"vectoradd", "reduction",
+                                     "matrixmul", "histogram"};
+const char *const kMixSchemes[] = {"sw3", "sw2", "hw2", "hw3",
+                                   "baseline"};
+const int kMixEntries[] = {3, 2, 4, 1};
+
+/** The deterministic (workload, scheme, entries) of request @p i. */
+struct RequestPlan
+{
+    std::string workload;
+    std::string scheme;
+    int entries;
+};
+
+RequestPlan
+planFor(const LoadgenOptions &opts, int i)
+{
+    RequestPlan p;
+    p.workload = !opts.workload.empty()
+                     ? opts.workload
+                     : kMixWorkloads[i % 4];
+    p.scheme = !opts.scheme.empty() ? opts.scheme : kMixSchemes[i % 5];
+    p.entries = opts.entries > 0 ? opts.entries : kMixEntries[i % 4];
+    return p;
+}
+
+std::string
+requestLine(const LoadgenOptions &opts, int i, const RequestPlan &p)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("id").value(i);
+    w.key("op").value("run");
+    w.key("workload").value(p.workload);
+    w.key("scheme").value(p.scheme);
+    w.key("entries").value(p.entries);
+    w.key("warps").value(opts.warps);
+    if (opts.deadlineMs > 0)
+        w.key("deadline_ms").value(opts.deadlineMs);
+    w.endObject();
+    return w.str();
+}
+
+/**
+ * The result the service must return for @p p — computed through the
+ * same runScheme() path the server uses, in this process.
+ */
+std::string
+expectedResult(const LoadgenOptions &opts, const RequestPlan &p,
+               std::string *error)
+{
+    const Workload *reg = findWorkload(p.workload);
+    if (!reg) {
+        *error = "unknown workload '" + p.workload + "'";
+        return "";
+    }
+    std::optional<Scheme> s = schemeFromToken(p.scheme);
+    if (!s) {
+        *error = "unknown scheme '" + p.scheme + "'";
+        return "";
+    }
+    Workload w = *reg;
+    w.run.numWarps = opts.warps;
+    ExperimentConfig cfg;
+    cfg.scheme = *s;
+    cfg.entries = p.entries;
+    RunOutcome o = runScheme(w, cfg);
+    if (!o.ok()) {
+        *error = o.error;
+        return "";
+    }
+    return outcomeToJson(o);
+}
+
+int
+connectSocket(const std::string &path)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+        return -1;
+    // Retry briefly: check.sh starts the server in the background and
+    // the socket may not exist yet on the first attempt.
+    for (int attempt = 0; attempt < 50; attempt++) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        sockaddr_un addr = {};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) == 0)
+            return fd;
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return -1;
+}
+
+bool
+sendLine(int fd, const std::string &line)
+{
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+        ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readLine(int fd, std::string &buf, std::string &line)
+{
+    for (;;) {
+        std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf, 0, nl);
+            buf.erase(0, nl + 1);
+            return true;
+        }
+        char tmp[4096];
+        ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+}
+
+/** The raw bytes of the "result" member of a success envelope. */
+std::string
+extractResult(const std::string &envelope)
+{
+    const std::string marker = "\"result\":";
+    std::size_t pos = envelope.find(marker);
+    if (pos == std::string::npos || envelope.empty() ||
+        envelope.back() != '}')
+        return "";
+    pos += marker.size();
+    return envelope.substr(pos, envelope.size() - pos - 1);
+}
+
+/** Per-client tallies, merged after the join. */
+struct ClientResult
+{
+    std::vector<double> latenciesMs;
+    int ok = 0;
+    int mismatches = 0;
+    int timeouts = 0;
+    int errors = 0;       ///< Non-timeout error responses.
+    int retries = 0;      ///< Overloaded responses retried.
+    int exhausted = 0;    ///< Gave up after maxRetries.
+    bool transportFailed = false;
+};
+
+void
+clientLoop(const LoadgenOptions &opts, int clientIndex,
+           const std::map<std::tuple<std::string, std::string, int>,
+                          std::string> &expected,
+           ClientResult &out)
+{
+    int fd = connectSocket(opts.socketPath);
+    if (fd < 0) {
+        out.transportFailed = true;
+        return;
+    }
+    std::string buf, response;
+    for (int i = clientIndex; i < opts.requests; i += opts.clients) {
+        RequestPlan plan = planFor(opts, i);
+        std::string line = requestLine(opts, i, plan);
+        Stopwatch sw;
+        bool answered = false;
+        for (int attempt = 0; attempt <= opts.maxRetries; attempt++) {
+            if (!sendLine(fd, line) || !readLine(fd, buf, response)) {
+                out.transportFailed = true;
+                ::close(fd);
+                return;
+            }
+            JsonParseResult parsed = parseJson(response);
+            if (!parsed.ok) {
+                out.errors++;
+                answered = true;
+                break;
+            }
+            if (parsed.value.boolOr("ok", false)) {
+                out.latenciesMs.push_back(sw.elapsedSec() * 1e3);
+                out.ok++;
+                if (opts.verify) {
+                    auto it = expected.find(
+                        {plan.workload, plan.scheme, plan.entries});
+                    if (it == expected.end() ||
+                        extractResult(response) != it->second) {
+                        out.mismatches++;
+                        if (out.mismatches == 1)
+                            std::fprintf(
+                                stderr,
+                                "rfhc loadgen: MISMATCH on request "
+                                "%d (%s/%s/%d):\n  got      %s\n"
+                                "  expected %s\n",
+                                i, plan.workload.c_str(),
+                                plan.scheme.c_str(), plan.entries,
+                                extractResult(response).c_str(),
+                                it == expected.end()
+                                    ? "<none>"
+                                    : it->second.c_str());
+                    }
+                }
+                answered = true;
+                break;
+            }
+            const JsonValue *err = parsed.value.find("error");
+            std::string code =
+                err ? err->stringOr("code", "") : "";
+            if (code == "overloaded") {
+                out.retries++;
+                // Exponential backoff: 5, 10, 20, ... ms (capped).
+                int sleepMs = std::min(5 << std::min(attempt, 7), 500);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(sleepMs));
+                continue;
+            }
+            if (code == "deadline_exceeded")
+                out.timeouts++;
+            else
+                out.errors++;
+            answered = true;
+            break;
+        }
+        if (!answered)
+            out.exhausted++;
+    }
+    ::close(fd);
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+int
+runLoadgen(const LoadgenOptions &opts)
+{
+    if (opts.clients < 1 || opts.requests < 1) {
+        std::fprintf(stderr,
+                     "rfhc loadgen: --clients and --requests must be "
+                     ">= 1\n");
+        return 2;
+    }
+
+    // Precompute the expected result of every distinct configuration
+    // in the stream (the mix has at most 20) before opening any
+    // connection, so verification never races the measurement.
+    std::map<std::tuple<std::string, std::string, int>, std::string>
+        expected;
+    if (opts.verify) {
+        for (int i = 0; i < opts.requests; i++) {
+            RequestPlan p = planFor(opts, i);
+            auto key =
+                std::make_tuple(p.workload, p.scheme, p.entries);
+            if (expected.count(key))
+                continue;
+            std::string error;
+            std::string result = expectedResult(opts, p, &error);
+            if (result.empty()) {
+                std::fprintf(
+                    stderr,
+                    "rfhc loadgen: cannot compute reference for "
+                    "%s/%s/%d: %s\n",
+                    p.workload.c_str(), p.scheme.c_str(), p.entries,
+                    error.c_str());
+                return 2;
+            }
+            expected.emplace(std::move(key), std::move(result));
+        }
+    }
+
+    std::vector<ClientResult> results(
+        static_cast<std::size_t>(opts.clients));
+    Stopwatch wall;
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(opts.clients));
+        for (int c = 0; c < opts.clients; c++)
+            threads.emplace_back([&opts, c, &expected, &results] {
+                clientLoop(opts, c, expected, results[c]);
+            });
+        for (std::thread &t : threads)
+            t.join();
+    }
+    double wallSec = wall.elapsedSec();
+
+    ClientResult total;
+    bool transportFailed = false;
+    for (const ClientResult &r : results) {
+        total.ok += r.ok;
+        total.mismatches += r.mismatches;
+        total.timeouts += r.timeouts;
+        total.errors += r.errors;
+        total.retries += r.retries;
+        total.exhausted += r.exhausted;
+        transportFailed |= r.transportFailed;
+        total.latenciesMs.insert(total.latenciesMs.end(),
+                                 r.latenciesMs.begin(),
+                                 r.latenciesMs.end());
+    }
+    std::sort(total.latenciesMs.begin(), total.latenciesMs.end());
+    double p50 = percentile(total.latenciesMs, 0.50);
+    double p99 = percentile(total.latenciesMs, 0.99);
+    double throughput = wallSec > 0 ? total.ok / wallSec : 0.0;
+
+    std::printf("rfhc loadgen: %d clients, %d requests, %.2fs wall\n",
+                opts.clients, opts.requests, wallSec);
+    std::printf("  ok %d, errors %d, timeouts %d, retries %d, "
+                "exhausted %d\n",
+                total.ok, total.errors, total.timeouts, total.retries,
+                total.exhausted);
+    std::printf("  throughput %.1f req/s, latency p50 %.2f ms, "
+                "p99 %.2f ms\n",
+                throughput, p50, p99);
+    if (opts.verify)
+        std::printf("  verify: %d mismatches across %d results\n",
+                    total.mismatches, total.ok);
+    if (transportFailed)
+        std::fprintf(stderr,
+                     "rfhc loadgen: transport failure (is the server "
+                     "running on %s?)\n",
+                     opts.socketPath.c_str());
+
+    if (opts.shutdownAfter) {
+        int fd = connectSocket(opts.socketPath);
+        if (fd >= 0) {
+            std::string buf, response;
+            if (sendLine(fd, R"({"op":"shutdown"})"))
+                readLine(fd, buf, response);
+            ::close(fd);
+        } else {
+            std::fprintf(stderr,
+                         "rfhc loadgen: could not reconnect to send "
+                         "shutdown\n");
+            transportFailed = true;
+        }
+    }
+
+    if (!opts.manifestPath.empty() || !manifestPath().empty()) {
+        ManifestInfo m;
+        m.tool = "rfhc loadgen";
+        m.engine = "service";
+        m.config = {
+            {"socket", opts.socketPath},
+            {"clients", std::to_string(opts.clients)},
+            {"requests", std::to_string(opts.requests)},
+            {"verify", opts.verify ? "true" : "false"},
+        };
+        m.timing.wallSec = wallSec;
+        m.timing.threads = opts.clients;
+        m.benchmarks = {
+            {"rfhc.loadgen/throughput", throughput, "req/s", true},
+            {"rfhc.loadgen/p50", p50, "ms", false},
+            {"rfhc.loadgen/p99", p99, "ms", false},
+        };
+        if (!opts.manifestPath.empty()) {
+            if (!writeManifest(opts.manifestPath, m)) {
+                std::fprintf(stderr, "rfhc: cannot write %s\n",
+                             opts.manifestPath.c_str());
+                return 2;
+            }
+            std::fprintf(stderr, "rfhc: wrote manifest %s\n",
+                         opts.manifestPath.c_str());
+        }
+        emitRunArtifacts(m);
+    }
+
+    bool failed = transportFailed || total.mismatches > 0 ||
+                  total.exhausted > 0 || total.errors > 0 ||
+                  (total.timeouts > 0 && opts.deadlineMs <= 0);
+    return failed ? 1 : 0;
+}
+
+} // namespace rfh

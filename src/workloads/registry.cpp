@@ -99,11 +99,19 @@ suiteWorkloads(const std::string &suite)
 const Workload &
 workloadByName(const std::string &name)
 {
-    for (const auto &w : allWorkloads())
-        if (w.name == name)
-            return w;
+    if (const Workload *w = findWorkload(name))
+        return *w;
     std::fprintf(stderr, "rfh: unknown workload '%s'\n", name.c_str());
     std::abort();
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w.name == name)
+            return &w;
+    return nullptr;
 }
 
 const std::vector<std::string> &

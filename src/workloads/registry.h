@@ -34,6 +34,12 @@ std::vector<const Workload *> suiteWorkloads(const std::string &suite);
 /** Look up one workload by name (aborts if unknown). */
 const Workload &workloadByName(const std::string &name);
 
+/**
+ * Non-aborting lookup for callers serving untrusted names (the batch
+ * service): @return the workload, or nullptr when unknown.
+ */
+const Workload *findWorkload(const std::string &name);
+
 /** Names of the three suites in presentation order. */
 const std::vector<std::string> &suiteNames();
 

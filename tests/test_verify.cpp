@@ -292,6 +292,42 @@ TEST(VerifyShrink, ArtifactRoundTrips)
     std::filesystem::remove(path);
 }
 
+// ---- Corpus drift ----
+
+/**
+ * The committed corpus is the seed-7 output of the grammar fuzzer
+ * (`rfhc fuzz --seed 7 --iters 12 --dump tests/corpus`). Re-generate
+ * it and require byte identity with the checked-in files: a change to
+ * the generator, the IR printer, or the RNG stream silently
+ * invalidates every corpus-derived baseline, and this is the test
+ * that makes such a change loud. To update legitimately, re-run the
+ * dump command above and commit the new files (see docs/testing.md).
+ */
+TEST(VerifyCorpus, RegeneratedSeed7CorpusIsByteIdentical)
+{
+    auto dir = std::filesystem::path(RFH_SOURCE_DIR) / "tests" /
+        "corpus";
+    int found = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        if (e.path().extension() == ".rptx")
+            found++;
+    EXPECT_EQ(found, 12) << "corpus file set changed";
+
+    for (int i = 0; i < 12; i++) {
+        std::string name = "fuzz_7_" + std::to_string(i);
+        Kernel k = generateFuzzKernel(
+            name, fuzzCase(7, static_cast<std::uint64_t>(i)));
+        std::ifstream in(dir / (name + ".rptx"));
+        ASSERT_TRUE(in.good()) << name << ".rptx missing";
+        std::ostringstream committed;
+        committed << in.rdbuf();
+        // writeReproArtifact writes exactly printKernel(k), so this
+        // comparison covers the same bytes `rfhc fuzz --dump` emits.
+        EXPECT_EQ(committed.str(), printKernel(k))
+            << name << ".rptx drifted from the generator";
+    }
+}
+
 /** The reducer never invents an invalid kernel, whatever the oracle. */
 TEST(VerifyShrink, CandidatesStayValidUnderAlwaysFail)
 {
