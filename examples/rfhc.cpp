@@ -49,6 +49,8 @@
  *   --workers N        request workers (default: pool size)
  *   --queue N          admission queue capacity (default 64); full
  *                      queue sheds requests with `overloaded`
+ *   --batch N          max requests a worker drains per wakeup into
+ *                      one batched replay (default 8; 1 disables)
  *   --cache-max N      memo-cache entries before eviction (default 1024)
  *   --manifest F       write a session manifest on drain
  *   --trace-events F   record per-request chrome://tracing spans
@@ -124,7 +126,7 @@ usage()
                  "            [--no-hw] [--no-simt] "
                  "[--manifest out.json]\n"
                  "       rfhc serve [--socket PATH] [--workers N] "
-                 "[--queue N]\n"
+                 "[--queue N] [--batch N]\n"
                  "            [--cache-max N] [--manifest out.json] "
                  "[--trace-events out.json]\n"
                  "       rfhc loadgen [--socket PATH] [--clients N] "
@@ -461,6 +463,9 @@ serveMain(int argc, char **argv)
                 return usage();
         } else if (a == "--queue") {
             if (!next_int(so.service.queueCapacity))
+                return usage();
+        } else if (a == "--batch") {
+            if (!next_int(so.service.batchMax))
                 return usage();
         } else if (a == "--cache-max") {
             int n = 0;

@@ -33,7 +33,11 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 echo "== perf_micro =="
+# Repetitions + aggregates: the diff gate compares the median row of
+# each benchmark, which is robust to scheduler noise on loaded hosts.
 "$repo/build/bench/perf_micro" --benchmark_format=json \
+    --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=true \
     >"$tmp/micro.json"
 
 echo "== fig13_energy (engine timing) =="

@@ -18,6 +18,7 @@
 #   scripts/check.sh --no-fuzz    # skip the differential fuzz smoke
 #   scripts/check.sh --no-golden  # skip the golden figure-shape gate
 #   scripts/check.sh --no-serve   # skip the serve+loadgen smoke
+#   scripts/check.sh --no-vec     # skip the vectorize-report gate
 #
 # The fuzz smoke runs a fixed-seed `rfhc fuzz` campaign (differential
 # oracle + allocator-invariant checker over generated kernels) and, in
@@ -36,6 +37,7 @@ run_perf=1
 run_fuzz=1
 run_golden=1
 run_serve=1
+run_vec=1
 for arg in "$@"; do
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
     [[ "$arg" == "--no-asan" ]] && run_asan=0
@@ -43,6 +45,7 @@ for arg in "$@"; do
     [[ "$arg" == "--no-fuzz" ]] && run_fuzz=0
     [[ "$arg" == "--no-golden" ]] && run_golden=0
     [[ "$arg" == "--no-serve" ]] && run_serve=0
+    [[ "$arg" == "--no-vec" ]] && run_vec=0
 done
 
 echo "== build + test (${jobs} jobs) =="
@@ -51,6 +54,32 @@ cmake --build "$repo/build" -j "$jobs"
 # The golden tier runs as its own gated stage below; keep the main run
 # on the unit/property/fuzz tiers.
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -LE golden
+
+if [[ "$run_vec" == 1 ]]; then
+    echo "== vectorize report: replay classification loop =="
+    # The SoA flags-classification sweep in sim/replay_kernels.cpp is
+    # the replay engine's innermost loop; the build compiles that TU
+    # at -O3 (src/CMakeLists.txt) precisely so it autovectorizes.
+    # Recompile it standalone with the vectorizer report and fail the
+    # gate if the loop ever stops vectorizing.
+    veclog="$(mktemp)"
+    if ! c++ -std=c++20 -O3 -fopt-info-vec-optimized \
+        -I "$repo/src" -c "$repo/src/sim/replay_kernels.cpp" \
+        -o /dev/null 2>"$veclog"; then
+        cat "$veclog" >&2
+        echo "check.sh: replay_kernels.cpp failed to compile" >&2
+        rm -f "$veclog"
+        exit 1
+    fi
+    if ! grep -q "loop vectorized" "$veclog"; then
+        cat "$veclog" >&2
+        echo "check.sh: replay classification loop no longer" \
+             "vectorizes (see report above)" >&2
+        rm -f "$veclog"
+        exit 1
+    fi
+    rm -f "$veclog"
+fi
 
 if [[ "$run_golden" == 1 ]]; then
     echo "== golden figure-shape gate: EXPERIMENTS.md bands =="
@@ -127,7 +156,7 @@ if command -v doxygen >/dev/null 2>&1; then
             >/dev/null)
     # New-in-this-layer headers must stay warning-free; the gate is
     # scoped so pre-existing debt elsewhere does not block CI.
-    gated='core/metrics\.|core/trace_events\.|core/manifest\.|core/benchdiff\.|sim/replay_exec\.|sim/decoded_trace\.'
+    gated='core/metrics\.|core/trace_events\.|core/manifest\.|core/benchdiff\.|sim/replay_kernels\.|sim/replay_arena\.'
     if grep -E "$gated" "$doxlog"; then
         echo "check.sh: doxygen warnings in gated headers (above)" >&2
         exit 1

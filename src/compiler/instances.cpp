@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <map>
 #include <numeric>
 #include <optional>
+#include <tuple>
+#include <utility>
 
 #include "ir/liveness.h"
 
@@ -100,17 +101,24 @@ InstanceAnalysis::InstanceAnalysis(const Kernel &k, const Cfg &cfg,
         const Strand &st = strands.strand(s);
 
         // ---- Collect local defs of this strand ----
+        // Defs are appended in lin order, so a (lin, reg) key resolves
+        // to def_start[lin - firstLin] plus the register's half index —
+        // no associative lookup on the scan path.
+        const int strandLen = st.lastLin - st.firstLin + 1;
         std::vector<LocalDef> defs;
-        std::map<std::pair<int, Reg>, int> def_index;
+        defs.reserve(static_cast<std::size_t>(strandLen));
+        std::vector<int> def_start(
+            static_cast<std::size_t>(strandLen), -1);
         for (int lin = st.firstLin; lin <= st.lastLin; lin++) {
             const Instruction &in = k.instr(lin);
             if (!in.dst)
                 continue;
             Reg base = *in.dst;
             int n = in.wide ? 2 : 1;
+            def_start[lin - st.firstLin] =
+                static_cast<int>(defs.size());
             for (int w = 0; w < n; w++) {
                 Reg r = static_cast<Reg>(base + w);
-                def_index[{lin, r}] = static_cast<int>(defs.size());
                 defs.push_back({lin, r, in.wide, base});
             }
         }
@@ -130,13 +138,22 @@ InstanceAnalysis::InstanceAnalysis(const Kernel &k, const Cfg &cfg,
         };
         std::vector<DefUses> def_uses(defs.size());
 
-        // Read instances keyed by anchor lin.
-        std::map<std::pair<int, Reg>, std::vector<InstanceUse>> read_inst;
+        // Read instances keyed by (anchor lin, reg): a dense
+        // slot table maps the key to its entry, entries are emitted
+        // in sorted key order below.
+        using ReadEntry =
+            std::pair<std::pair<int, Reg>, std::vector<InstanceUse>>;
+        std::vector<ReadEntry> read_inst;
+        std::vector<int> read_slot(
+            static_cast<std::size_t>(strandLen) * kMaxRegs, -1);
 
         // ---- Intra-strand forward scan ----
         // State saved at the end of each block whose last instruction
         // belongs to this strand.
-        std::map<int, StrandState> state_out;
+        std::vector<StrandState> state_out(
+            static_cast<std::size_t>(nblocks));
+        std::vector<char> state_present(
+            static_cast<std::size_t>(nblocks), 0);
 
         for (int b = 0; b < nblocks; b++) {
             int bstart = k.blockStart(b);
@@ -156,12 +173,13 @@ InstanceAnalysis::InstanceAnalysis(const Kernel &k, const Cfg &cfg,
                 for (int p : cfg.preds(b)) {
                     int pend = k.blockStart(p) +
                         static_cast<int>(k.blocks[p].instrs.size()) - 1;
-                    if (p < b && strands.strandOf(pend) == s) {
+                    if (p < b && strands.strandOf(pend) == s &&
+                        state_present[p]) {
                         if (!have) {
-                            state = state_out.at(p);
+                            state = state_out[p];
                             have = true;
                         } else {
-                            mergeInto(state, state_out.at(p));
+                            mergeInto(state, state_out[p]);
                         }
                     } else {
                         outside = true;
@@ -187,7 +205,15 @@ InstanceAnalysis::InstanceAnalysis(const Kernel &k, const Cfg &cfg,
                         // Pure boundary read: read-operand candidate.
                         if (rs.anchor < 0)
                             rs.anchor = lin;
-                        read_inst[{rs.anchor, r}].push_back(use);
+                        int &slot = read_slot
+                            [(rs.anchor - st.firstLin) * kMaxRegs + r];
+                        if (slot < 0) {
+                            slot = static_cast<int>(read_inst.size());
+                            read_inst.emplace_back(
+                                std::make_pair(rs.anchor, r),
+                                std::vector<InstanceUse>());
+                        }
+                        read_inst[slot].second.push_back(use);
                     } else if (!rs.boundary) {
                         if (rs.defs.size() == 1) {
                             def_uses[rs.defs[0]].servable.push_back(use);
@@ -218,7 +244,7 @@ InstanceAnalysis::InstanceAnalysis(const Kernel &k, const Cfg &cfg,
                     for (int w = 0; w < n; w++) {
                         Reg r = static_cast<Reg>(*in.dst + w);
                         RegState &rs = state[r];
-                        int local = def_index.at({lin, r});
+                        int local = def_start[lin - st.firstLin] + w;
                         if (kills) {
                             rs.defs = {local};
                             rs.boundary = false;
@@ -238,17 +264,23 @@ InstanceAnalysis::InstanceAnalysis(const Kernel &k, const Cfg &cfg,
                 }
             }
 
-            if (hi == bend)
-                state_out[b] = state;
+            if (hi == bend) {
+                state_out[b] = std::move(state);
+                state_present[b] = 1;
+            }
         }
 
         // ---- Fold local defs into grouped value instances ----
-        std::map<int, std::vector<int>> groups;
+        // Group roots are local def ids, so a defs-sized vector
+        // indexed by root reproduces the old map's ascending-root
+        // emission order; empty slots are non-roots.
+        std::vector<std::vector<int>> groups(defs.size());
         for (int d = 0; d < static_cast<int>(defs.size()); d++)
             groups[uf.find(d)].push_back(d);
 
-        for (auto &[root, members] : groups) {
-            (void)root;
+        for (auto &members : groups) {
+            if (members.empty())
+                continue;
             ValueInstance vi;
             vi.strand = s;
             vi.reg = defs[members.front()].reg;
@@ -332,6 +364,12 @@ InstanceAnalysis::InstanceAnalysis(const Kernel &k, const Cfg &cfg,
         }
 
         // ---- Read instances ----
+        // Entries were appended in first-touch order; sort by key to
+        // match the old map's ascending (anchor, reg) emission.
+        std::sort(read_inst.begin(), read_inst.end(),
+                  [](const ReadEntry &a, const ReadEntry &b) {
+                      return a.first < b.first;
+                  });
         for (auto &[key, uses] : read_inst) {
             ReadInstance ri;
             ri.strand = s;

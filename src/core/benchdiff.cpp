@@ -31,12 +31,31 @@ collectMicrobenchmarks(const JsonValue &micro,
     const JsonValue *benchmarks = micro.find("benchmarks");
     if (!benchmarks || !benchmarks->isArray())
         return;
+    // Repeated runs (--benchmark_repetitions) are the noise-robust
+    // form: when aggregate rows are present, compare only the median
+    // of each benchmark, stripping the "_median" suffix so the rows
+    // pair against single-shot names from older snapshots, and drop
+    // the per-repetition and mean/stddev/cv rows.
+    bool hasAggregates = false;
+    for (const JsonValue &b : benchmarks->array) {
+        if (b.stringOr("run_type", "") == "aggregate") {
+            hasAggregates = true;
+            break;
+        }
+    }
     for (const JsonValue &b : benchmarks->array) {
         std::string name = b.stringOr("name", "");
         if (name.empty())
             continue;
-        // Aggregate rows (mean/median/stddev repetitions) would pair
-        // against themselves fine, but plain runs are the common case.
+        if (hasAggregates) {
+            if (b.stringOr("aggregate_name", "") != "median")
+                continue;
+            const std::string_view suffix = "_median";
+            if (name.size() > suffix.size() &&
+                name.compare(name.size() - suffix.size(),
+                             suffix.size(), suffix) == 0)
+                name.erase(name.size() - suffix.size());
+        }
         BenchEntry e;
         e.name = name;
         e.value = b.numberOr("real_time", 0.0);

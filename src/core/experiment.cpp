@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include <map>
+
 #include "compiler/allocator.h"
 #include "core/memo.h"
 #include "core/metrics.h"
@@ -161,8 +163,13 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         hc.useLRF = cfg.scheme == Scheme::HW_THREE_LEVEL;
         hc.flushOnBackwardBranch = cfg.hwFlushOnBackwardBranch;
         hc.run = w.run;
+        // Replay shares the memoized pre-decode (SoA op records +
+        // shared-consumer flags) across every grid cell of the kernel.
+        std::shared_ptr<const ReplayDecode> dec;
+        if (trace)
+            dec = cache.decode(w.kernel);
         out.counts = trace ? replayHwCache(w.kernel, hc, *trace,
-                                           analyses.get())
+                                           analyses.get(), dec.get())
                            : runHwCache(w.kernel, hc, analyses.get());
         out.phases.executeSec = watch.lap();
         recordPhaseSpan("execute", w.name, out.phases.executeSec);
@@ -254,6 +261,81 @@ runAllWorkloads(const ExperimentConfig &cfg, ThreadPool *pool)
     for (std::size_t i = 0; i < ws.size(); i++)
         accumulateOutcome(agg, outs[i], ws[i].name);
     return agg;
+}
+
+std::vector<RunOutcome>
+replayBatch(const std::vector<BatchItem> &items, ThreadPool *pool)
+{
+    static Counter &batches =
+        globalMetrics().counter("engine.replayBatch.calls");
+    static Histogram &sizes =
+        globalMetrics().histogram("engine.replayBatch.items");
+    batches.add();
+    sizes.observe(items.size());
+
+    ThreadPool &p = pool ? *pool : globalPool();
+    ExperimentCache &cache = globalExperimentCache();
+
+    // Resolve engines up front; the pre-warm below only matters for
+    // replay items.
+    std::vector<ExperimentConfig> cfgs(items.size());
+    for (std::size_t i = 0; i < items.size(); i++) {
+        cfgs[i] = items[i].cfg;
+        if (cfgs[i].engine == ExecEngine::AUTO)
+            cfgs[i].engine = ExecEngine::REPLAY;
+    }
+
+    // ---- Pre-warm: one slot per distinct kernel ----
+    // Materialise the shared sub-results once each, in parallel, so
+    // the fan-out below never serialises on a cold cache entry (the
+    // memo's call_once would otherwise block every grid cell of a
+    // kernel behind the first).
+    struct Warm
+    {
+        const Workload *w = nullptr;
+        bool wantTrace = false;
+        bool wantDecode = false;
+    };
+    std::vector<Warm> warm;
+    std::map<std::uint64_t, std::size_t> slot;
+    for (std::size_t i = 0; i < items.size(); i++) {
+        const Workload *w = items[i].workload;
+        if (!w)
+            continue;
+        auto [it, fresh] =
+            slot.try_emplace(kernelFingerprint(w->kernel), warm.size());
+        if (fresh)
+            warm.push_back(Warm{w, false, false});
+        Warm &entry = warm[it->second];
+        if (cfgs[i].engine == ExecEngine::REPLAY &&
+            cfgs[i].scheme != Scheme::BASELINE) {
+            entry.wantTrace = true;
+            if (cfgs[i].scheme == Scheme::HW_TWO_LEVEL ||
+                cfgs[i].scheme == Scheme::HW_THREE_LEVEL)
+                entry.wantDecode = true;
+        }
+    }
+    p.parallelFor(static_cast<int>(warm.size()), [&](int i) {
+        const Warm &e = warm[i];
+        cache.baseline(e.w->kernel, e.w->run);
+        if (e.wantTrace || e.wantDecode)
+            cache.analyses(e.w->kernel);
+        if (e.wantTrace)
+            cache.trace(e.w->kernel, e.w->run);
+        if (e.wantDecode)
+            cache.decode(e.w->kernel);
+    });
+
+    // ---- Fan out ----
+    std::vector<RunOutcome> outs(items.size());
+    p.parallelFor(static_cast<int>(items.size()), [&](int i) {
+        if (!items[i].workload) {
+            outs[i].error = "batch item has no workload";
+            return;
+        }
+        outs[i] = runScheme(*items[i].workload, cfgs[i]);
+    });
+    return outs;
 }
 
 } // namespace rfh

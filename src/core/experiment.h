@@ -172,6 +172,30 @@ class ThreadPool;
 RunOutcome runAllWorkloads(const ExperimentConfig &cfg,
                            ThreadPool *pool = nullptr);
 
+/** One request of a batched replay (see replayBatch). */
+struct BatchItem
+{
+    /** Workload to run; must outlive the replayBatch call. */
+    const Workload *workload = nullptr;
+    ExperimentConfig cfg;
+};
+
+/**
+ * Run a batch of experiments through the replay engine, amortising
+ * the per-kernel setup across the batch: every distinct kernel's
+ * analyses, decoded trace, and replay pre-decode are materialised in
+ * the ExperimentCache once (in parallel) before the items fan out, so
+ * no two items race to record the same trace and every item starts
+ * with warm caches and a reusable per-thread replay arena.
+ *
+ * Each item's AUTO engine resolves to REPLAY (this is the batch fast
+ * path; callers wanting the direct oracle say so explicitly).
+ * Outcomes are byte-identical to running each item through a lone
+ * runScheme call with the same resolved engine, in item order.
+ */
+std::vector<RunOutcome> replayBatch(const std::vector<BatchItem> &items,
+                                    ThreadPool *pool = nullptr);
+
 } // namespace rfh
 
 #endif // RFH_CORE_EXPERIMENT_H

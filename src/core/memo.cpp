@@ -17,6 +17,9 @@ struct MemoMetrics
         globalMetrics().counter("memo.analysis.misses");
     Counter &traceHits = globalMetrics().counter("memo.trace.hits");
     Counter &traceMisses = globalMetrics().counter("memo.trace.misses");
+    Counter &decodeHits = globalMetrics().counter("memo.decode.hits");
+    Counter &decodeMisses =
+        globalMetrics().counter("memo.decode.misses");
 };
 
 MemoMetrics &
@@ -172,6 +175,35 @@ ExperimentCache::trace(const Kernel &k, const RunConfig &run)
     return e->trace;
 }
 
+std::shared_ptr<const ReplayDecode>
+ExperimentCache::decode(const Kernel &k)
+{
+    AnalysisKey key{kernelFingerprint(k), k.numInstrs()};
+    std::shared_ptr<DecodeEntry> e;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto &slot = decodes_[key];
+        if (!slot)
+            slot = std::make_shared<DecodeEntry>();
+        e = slot;
+    }
+    bool miss = false;
+    std::call_once(e->once, [&] {
+        auto bundle = analyses(k);
+        e->decode = std::make_shared<const ReplayDecode>(
+            k, &bundle->reachingDefs);
+        miss = true;
+    });
+    if (miss) {
+        decodeMisses_++;
+        memoMetrics().decodeMisses.add();
+    } else {
+        decodeHits_++;
+        memoMetrics().decodeHits.add();
+    }
+    return e->decode;
+}
+
 void
 ExperimentCache::clear()
 {
@@ -179,13 +211,15 @@ ExperimentCache::clear()
     baseline_.clear();
     analyses_.clear();
     traces_.clear();
+    decodes_.clear();
 }
 
 std::size_t
 ExperimentCache::entryCount() const
 {
     std::lock_guard<std::mutex> lk(mu_);
-    return baseline_.size() + analyses_.size() + traces_.size();
+    return baseline_.size() + analyses_.size() + traces_.size() +
+        decodes_.size();
 }
 
 ExperimentCache::Stats
@@ -198,6 +232,8 @@ ExperimentCache::stats() const
     s.analysisMisses = analysisMisses_.load();
     s.traceHits = traceHits_.load();
     s.traceMisses = traceMisses_.load();
+    s.decodeHits = decodeHits_.load();
+    s.decodeMisses = decodeMisses_.load();
     return s;
 }
 

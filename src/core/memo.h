@@ -68,6 +68,15 @@ class ExperimentCache
     std::shared_ptr<const DecodedTrace> trace(const Kernel &k,
                                               const RunConfig &run);
 
+    /**
+     * Shared replay pre-decode of @p k, built (with shared-consumer
+     * info from the cached reaching definitions) on first request.
+     * Keyed by the structural fingerprint, so annotated copies share
+     * one entry — consumers must not read annotations out of the
+     * cached decode's instruction snapshots (see ReplayDecode).
+     */
+    std::shared_ptr<const ReplayDecode> decode(const Kernel &k);
+
     /** Drop every entry (tests; not thread-safe vs. active lookups). */
     void clear();
 
@@ -87,6 +96,8 @@ class ExperimentCache
         std::uint64_t analysisMisses = 0;
         std::uint64_t traceHits = 0;
         std::uint64_t traceMisses = 0;
+        std::uint64_t decodeHits = 0;
+        std::uint64_t decodeMisses = 0;
     };
 
     Stats stats() const;
@@ -110,6 +121,12 @@ class ExperimentCache
         std::shared_ptr<const DecodedTrace> trace;
     };
 
+    struct DecodeEntry
+    {
+        std::once_flag once;
+        std::shared_ptr<const ReplayDecode> decode;
+    };
+
     /** Fingerprint + instruction count + run parameters. */
     using BaselineKey =
         std::tuple<std::uint64_t, int, int, std::uint64_t>;
@@ -119,12 +136,15 @@ class ExperimentCache
     std::map<BaselineKey, std::shared_ptr<BaselineEntry>> baseline_;
     std::map<AnalysisKey, std::shared_ptr<AnalysisEntry>> analyses_;
     std::map<BaselineKey, std::shared_ptr<TraceEntry>> traces_;
+    std::map<AnalysisKey, std::shared_ptr<DecodeEntry>> decodes_;
     std::atomic<std::uint64_t> baselineHits_{0};
     std::atomic<std::uint64_t> baselineMisses_{0};
     std::atomic<std::uint64_t> analysisHits_{0};
     std::atomic<std::uint64_t> analysisMisses_{0};
     std::atomic<std::uint64_t> traceHits_{0};
     std::atomic<std::uint64_t> traceMisses_{0};
+    std::atomic<std::uint64_t> decodeHits_{0};
+    std::atomic<std::uint64_t> decodeMisses_{0};
 };
 
 /** The cache shared by runScheme, the sweeps, and the limit study. */

@@ -1,5 +1,6 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -41,6 +42,8 @@ struct ServiceMetrics
     Timer &handle = globalMetrics().timer("service.handleSec");
     Histogram &queueDepth =
         globalMetrics().histogram("service.queueDepth");
+    Histogram &batchSize =
+        globalMetrics().histogram("service.batch_size");
 };
 
 ServiceMetrics &
@@ -58,6 +61,8 @@ BatchService::BatchService(const ServiceOptions &opts) : opts_(opts)
     workers_ = opts_.workers > 0 ? opts_.workers : pool_->threadCount();
     if (opts_.queueCapacity < 1)
         opts_.queueCapacity = 1;
+    if (opts_.batchMax < 1)
+        opts_.batchMax = 1;
 }
 
 BatchService::~BatchService()
@@ -174,50 +179,124 @@ void
 BatchService::workerLoop()
 {
     ServiceMetrics &m = serviceMetrics();
+    std::vector<Job> batch;
     for (;;) {
-        Job job;
+        batch.clear();
         {
             std::unique_lock<std::mutex> lk(mu_);
             queueReady_.wait(
                 lk, [&] { return closed_ || !queue_.empty(); });
             if (queue_.empty())
                 return;  // closed_ and drained
-            job = std::move(queue_.front());
-            queue_.pop_front();
+            // Drain the requests already waiting, up to the batch
+            // cap: under load the whole slice shares one
+            // replayBatch() pre-warm; a slice of one keeps the
+            // historical single-run path.
+            int take = std::min(opts_.batchMax,
+                                static_cast<int>(queue_.size()));
+            for (int i = 0; i < take; i++) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
         }
+        m.batchSize.observe(static_cast<double>(batch.size()));
+        handleBatch(batch);
+        maybeEvictCaches();
+    }
+}
 
-        std::string response;
-        bool isOk = false, isTimeout = false;
-        // A request must never take its worker down with it: any
-        // failure becomes a structured response and the worker moves
-        // on to the next request.
+void
+BatchService::handleBatch(std::vector<Job> &batch)
+{
+    ServiceMetrics &m = serviceMetrics();
+    const std::size_t n = batch.size();
+
+    // Per-job responses, filled in three waves: pre-dispatch failures
+    // (expired deadline, bad kernel source) inline, then every
+    // runnable request through one replayBatch, then the envelopes.
+    std::vector<std::string> responses(n);
+    // Stable storage: BatchItem keeps a pointer to its workload.
+    std::vector<Workload> workloads(n);
+    std::vector<BatchItem> items;
+    std::vector<std::size_t> itemJob;
+    items.reserve(n);
+    itemJob.reserve(n);
+
+    // A request must never take its worker down with it: any failure
+    // becomes a structured response and the worker moves on.
+    for (std::size_t j = 0; j < n; j++) {
+        Job &job = batch[j];
         try {
             if (job.deadlineNs && nowNs() > job.deadlineNs) {
                 ServiceError err;
                 err.code = ServiceErrorCode::DEADLINE_EXCEEDED;
                 err.message = "deadline expired while queued";
-                response =
-                    makeErrorLine(job.request.idJson, err);
-                isTimeout = true;
-            } else {
-                if (opts_.onBeforeHandle)
-                    opts_.onBeforeHandle();
+                responses[j] = makeErrorLine(job.request.idJson, err);
+                continue;
+            }
+            if (opts_.onBeforeHandle)
+                opts_.onBeforeHandle();
+            if (n == 1) {
+                // Lone request: the historical path (AUTO engine
+                // resolves to the direct oracle).
                 TraceSpan span("service.request", "service");
                 ScopedTimer timer(m.handle);
                 std::shared_lock<std::shared_mutex> cl(cacheMu_);
-                response = executeRun(job.request, job.deadlineNs);
-                isOk = response.find("\"ok\":true") != std::string::npos;
-                isTimeout = !isOk &&
-                    response.find("\"deadline_exceeded\"") !=
-                        std::string::npos;
+                responses[j] =
+                    executeRun(job.request, job.deadlineNs);
+                continue;
             }
+            std::string errLine;
+            if (!prepareRun(job.request, workloads[j], errLine)) {
+                responses[j] = errLine;
+                continue;
+            }
+            BatchItem item;
+            item.workload = &workloads[j];
+            item.cfg = job.request.config();
+            if (job.deadlineNs) {
+                const std::uint64_t deadlineNs = job.deadlineNs;
+                item.cfg.cancel = [deadlineNs] {
+                    return nowNs() > deadlineNs;
+                };
+            }
+            itemJob.push_back(j);
+            items.push_back(std::move(item));
         } catch (const std::exception &e) {
             ServiceError err;
             err.code = ServiceErrorCode::EXEC_ERROR;
             err.message = std::string("internal error: ") + e.what();
-            response = makeErrorLine(job.request.idJson, err);
+            responses[j] = makeErrorLine(job.request.idJson, err);
         }
+    }
 
+    if (!items.empty()) {
+        try {
+            TraceSpan span("service.batch", "service");
+            ScopedTimer timer(m.handle);
+            std::shared_lock<std::shared_mutex> cl(cacheMu_);
+            std::vector<RunOutcome> outcomes =
+                replayBatch(items, pool_);
+            for (std::size_t i = 0; i < items.size(); i++)
+                responses[itemJob[i]] = finishRun(
+                    batch[itemJob[i]].request, outcomes[i]);
+        } catch (const std::exception &e) {
+            ServiceError err;
+            err.code = ServiceErrorCode::EXEC_ERROR;
+            err.message = std::string("internal error: ") + e.what();
+            for (std::size_t i = 0; i < items.size(); i++)
+                responses[itemJob[i]] = makeErrorLine(
+                    batch[itemJob[i]].request.idJson, err);
+        }
+    }
+
+    for (std::size_t j = 0; j < n; j++) {
+        const std::string &response = responses[j];
+        bool isOk =
+            response.find("\"ok\":true") != std::string::npos;
+        bool isTimeout = !isOk &&
+            response.find("\"deadline_exceeded\"") !=
+                std::string::npos;
         {
             std::lock_guard<std::mutex> lk(statsMu_);
             stats_.completed++;
@@ -234,24 +313,22 @@ BatchService::workerLoop()
             m.errors.add();
         if (isTimeout)
             m.timeouts.add();
-
-        job.respond(response);
-        maybeEvictCaches();
+        batch[j].respond(response);
     }
 }
 
-std::string
-BatchService::executeRun(const ServiceRequest &req,
-                         std::uint64_t deadlineNs)
+bool
+BatchService::prepareRun(const ServiceRequest &req, Workload &w,
+                         std::string &errorLine)
 {
     auto error = [&](ServiceErrorCode code, std::string message) {
         ServiceError err;
         err.code = code;
         err.message = std::move(message);
-        return makeErrorLine(req.idJson, err);
+        errorLine = makeErrorLine(req.idJson, err);
+        return false;
     };
 
-    Workload w;
     if (!req.workload.empty()) {
         const Workload *reg = findWorkload(req.workload);
         if (!reg)
@@ -268,18 +345,40 @@ BatchService::executeRun(const ServiceRequest &req,
         w.kernel = std::move(parsed.kernel);
     }
     w.run.numWarps = req.warps;
+    return true;
+}
 
-    ExperimentConfig cfg = req.config();
-    if (deadlineNs)
-        cfg.cancel = [deadlineNs] { return nowNs() > deadlineNs; };
-
-    RunOutcome o = runScheme(w, cfg);
+std::string
+BatchService::finishRun(const ServiceRequest &req, const RunOutcome &o)
+{
+    auto error = [&](ServiceErrorCode code, std::string message) {
+        ServiceError err;
+        err.code = code;
+        err.message = std::move(message);
+        return makeErrorLine(req.idJson, err);
+    };
     if (o.error == "cancelled")
         return error(ServiceErrorCode::DEADLINE_EXCEEDED,
                      "deadline expired during the run");
     if (!o.ok())
         return error(ServiceErrorCode::EXEC_ERROR, o.error);
     return makeResultLine(req.idJson, outcomeToJson(o));
+}
+
+std::string
+BatchService::executeRun(const ServiceRequest &req,
+                         std::uint64_t deadlineNs)
+{
+    Workload w;
+    std::string errorLine;
+    if (!prepareRun(req, w, errorLine))
+        return errorLine;
+
+    ExperimentConfig cfg = req.config();
+    if (deadlineNs)
+        cfg.cancel = [deadlineNs] { return nowNs() > deadlineNs; };
+
+    return finishRun(req, runScheme(w, cfg));
 }
 
 void
@@ -546,6 +645,7 @@ runServe(const ServeOptions &opts)
                             : globalPool().threadCount())},
         {"queue_capacity",
          std::to_string(opts.service.queueCapacity)},
+        {"batch_max", std::to_string(opts.service.batchMax)},
         {"cache_max_entries",
          std::to_string(opts.service.cacheMaxEntries)},
     };

@@ -7,6 +7,7 @@
 #include "ir/liveness.h"
 #include "ir/reaching_defs.h"
 #include "sim/machine.h"
+#include "sim/replay_arena.h"
 #include "sim/trace.h"
 
 namespace rfh {
@@ -17,14 +18,17 @@ namespace {
  * Per-warp RFC state: a register bitset for O(1) membership tests on
  * the read path plus a ring buffer preserving FIFO insertion order
  * for eviction. Both executors probe this on every operand, so the
- * membership test must not scan.
+ * membership test must not scan. The ring lives in the per-run replay
+ * arena — one contiguous block shared with the rest of the executor
+ * state, reused across grid cells.
  */
 class Rfc
 {
   public:
-    explicit Rfc(int entries)
+    Rfc(int entries, ReplayArena &arena)
         : entries_(entries),
-          fifo_(static_cast<std::size_t>(entries > 0 ? entries : 1))
+          fifo_(arena.alloc<Reg>(
+              static_cast<std::size_t>(entries > 0 ? entries : 1)))
     {
     }
 
@@ -102,7 +106,7 @@ class Rfc
 
     int entries_;
     RegSet present_;
-    std::vector<Reg> fifo_;
+    Reg *fifo_;
     int head_ = 0;
     int size_ = 0;
 };
@@ -114,17 +118,20 @@ class Rfc
  * the same onInstr(), so their counts are identical by construction:
  * everything value-dependent is folded into the @c enabled and
  * @c branchTaken inputs.
+ *
+ * The inner loop reads only the compact ReplayOp records and the
+ * derived register sets of the decode — never the Instruction
+ * snapshots — so a decode shared across annotated copies is safe.
+ * The decode must carry shared-consumer info (kOpLrfAble).
  */
 class HwWarpSim
 {
   public:
     HwWarpSim(const ReplayDecode &dec, const HwCacheConfig &cfg,
-              const Liveness &liveness,
-              const std::vector<bool> &shared_consumer,
-              AccessCounts &counts)
-        : dec_(dec), cfg_(cfg), liveness_(liveness),
-          shared_consumer_(shared_consumer), counts_(counts),
-          rfc_(cfg.rfcEntries)
+              const Liveness &liveness, AccessCounts &counts,
+              ReplayArena &arena)
+        : dec_(dec), cfg_(cfg), liveness_(liveness), counts_(counts),
+          rfc_(cfg.rfcEntries, arena)
     {
     }
 
@@ -145,9 +152,9 @@ class HwWarpSim
     void
     onInstr(int lin, bool enabled, bool branch_taken)
     {
-        const Instruction &in = dec_.instr[lin];
-        Datapath dp = static_cast<Datapath>(dec_.datapath[lin]);
-        bool shared = dec_.shared[lin] != 0;
+        const ReplayOp &o = dec_.op[lin];
+        const Datapath dp = static_cast<Datapath>(o.dp);
+        const bool shared = (o.flags & kOpShared) != 0;
 
         // Two-level scheduler: deschedule on a dependence on an
         // outstanding long-latency operation (reads, writes, or
@@ -156,7 +163,7 @@ class HwWarpSim
             // Liveness immediately before this instruction.
             RegSet live_before =
                 (liveness_.liveAfter(lin) & ~dec_.defined[lin]) |
-                usedRegs(in);
+                dec_.used[lin];
             flushAll(live_before);
             pending_.reset();
             counts_.deschedules++;
@@ -172,39 +179,37 @@ class HwWarpSim
                 counts_.read(Level::MRF, dp);
             }
         };
-        for (int s = 0; s < in.numSrcs; s++)
-            if (in.srcs[s].isReg)
-                read_one(in.srcs[s].reg);
-        if (in.pred)
-            read_one(*in.pred);
+        for (int s = 0; s < o.nsrc; s++)
+            read_one(o.src[s]);
+        if (o.pred >= 0)
+            read_one(static_cast<Reg>(o.pred));
 
         // Result write (suppressed when predicated off).
-        if (in.dst && enabled) {
-            int halves = in.wide ? 2 : 1;
-            if (in.longLatency()) {
+        if (o.dst >= 0 && enabled) {
+            const Reg dst = static_cast<Reg>(o.dst);
+            const int halves = o.halves;
+            if (o.flags & kOpLongLat) {
                 // Long-latency results bypass the hierarchy.
                 counts_.write(Level::MRF, dp, halves);
                 // Their destination must not linger in the caches.
                 for (int h = 0; h < halves; h++) {
-                    Reg r = static_cast<Reg>(*in.dst + h);
+                    Reg r = static_cast<Reg>(dst + h);
                     rfc_.erase(r);
                     if (lrf_valid_ && lrf_reg_ == r)
                         lrf_valid_ = false;
                 }
                 pending_ |= dec_.defined[lin];
-            } else if (cfg_.useLRF && !in.wide &&
-                       in.unit() == UnitClass::ALU &&
-                       !shared_consumer_[lin]) {
+            } else if (cfg_.useLRF && (o.flags & kOpLrfAble)) {
                 // Private result consumed privately: goes to LRF.
-                if (lrf_valid_ && lrf_reg_ != *in.dst)
+                if (lrf_valid_ && lrf_reg_ != dst)
                     spillLrfToRfc(lin);
-                rfc_.erase(*in.dst);  // keep a single location
+                rfc_.erase(dst);  // keep a single location
                 lrf_valid_ = true;
-                lrf_reg_ = *in.dst;
+                lrf_reg_ = dst;
                 counts_.write(Level::LRF, dp);
             } else {
                 for (int h = 0; h < halves; h++) {
-                    Reg r = static_cast<Reg>(*in.dst + h);
+                    Reg r = static_cast<Reg>(dst + h);
                     if (cfg_.useLRF && lrf_valid_ && lrf_reg_ == r)
                         lrf_valid_ = false;  // overwritten
                     Reg victim = 0;
@@ -225,7 +230,7 @@ class HwWarpSim
 
         // Backward branch taken: optional flush variant.
         if (cfg_.flushOnBackwardBranch && branch_taken &&
-            dec_.backwardBranch[lin])
+            (o.flags & kOpBackward))
             flushAll(liveness_.liveAfter(lin));
     }
 
@@ -278,40 +283,12 @@ class HwWarpSim
     const ReplayDecode &dec_;
     const HwCacheConfig &cfg_;
     const Liveness &liveness_;
-    const std::vector<bool> &shared_consumer_;
     AccessCounts &counts_;
     Rfc rfc_;
     bool lrf_valid_ = false;
     Reg lrf_reg_ = 0;
     RegSet pending_;
 };
-
-/**
- * Static per-instruction flag: does any consumer of this result run
- * on the shared datapath? Such values bypass the hardware LRF
- * (Section 6.2: the compiler guarantees shared-unit operands are
- * available in the RFC or MRF).
- */
-std::vector<bool>
-sharedConsumers(const Kernel &k, const ReachingDefs &rdefs)
-{
-    std::vector<bool> shared_consumer(k.numInstrs(), false);
-    for (int lin = 0; lin < k.numInstrs(); lin++) {
-        for (DefId d : rdefs.defsAt(lin)) {
-            for (const UseSite &u : rdefs.uses(d)) {
-                if (u.slot == kPredSlot)
-                    continue;
-                if (isSharedUnit(k.instr(u.lin).unit()))
-                    shared_consumer[lin] = true;
-            }
-        }
-    }
-    return shared_consumer;
-}
-
-} // namespace
-
-namespace {
 
 /** Hardware-scheme observability, fed by both execution drivers. */
 void
@@ -327,23 +304,38 @@ noteHwRun(const AccessCounts &counts, bool replay)
     instrs.add(counts.instructions);
 }
 
+/**
+ * Resolve the shared decode for the hardware executors: use the
+ * caller's when it carries shared-consumer info, else build one
+ * locally from the (cached or local) analyses.
+ */
+const ReplayDecode &
+resolveDecode(const Kernel &k, const ReplayDecode *dec,
+              const AnalysisBundle &analyses,
+              std::optional<ReplayDecode> &local)
+{
+    if (dec && dec->hasSharedConsumerInfo())
+        return *dec;
+    return local.emplace(k, &analyses.reachingDefs);
+}
+
 } // namespace
 
 AccessCounts
 runHwCache(const Kernel &k, const HwCacheConfig &cfg,
-           const AnalysisBundle *analyses)
+           const AnalysisBundle *analyses, const ReplayDecode *dec)
 {
     // The analyses are structure-only, so a shared precomputed bundle
     // is equivalent to computing them here.
     std::optional<AnalysisBundle> local;
     if (!analyses)
         analyses = &local.emplace(k);
-    std::vector<bool> shared_consumer =
-        sharedConsumers(k, analyses->reachingDefs);
-    ReplayDecode dec(k);
+    std::optional<ReplayDecode> localDec;
+    const ReplayDecode &d = resolveDecode(k, dec, *analyses, localDec);
 
+    ReplayArena &arena = acquireThreadReplayArena();
     AccessCounts counts;
-    HwWarpSim sim(dec, cfg, analyses->liveness, shared_consumer, counts);
+    HwWarpSim sim(d, cfg, analyses->liveness, counts, arena);
     for (int w = 0; w < cfg.run.numWarps; w++) {
         WarpContext warp;
         warp.reset(static_cast<std::uint32_t>(w));
@@ -364,17 +356,18 @@ runHwCache(const Kernel &k, const HwCacheConfig &cfg,
 
 AccessCounts
 replayHwCache(const Kernel &k, const HwCacheConfig &cfg,
-              const DecodedTrace &trace, const AnalysisBundle *analyses)
+              const DecodedTrace &trace, const AnalysisBundle *analyses,
+              const ReplayDecode *dec)
 {
     std::optional<AnalysisBundle> local;
     if (!analyses)
         analyses = &local.emplace(k);
-    std::vector<bool> shared_consumer =
-        sharedConsumers(k, analyses->reachingDefs);
-    ReplayDecode dec(k);
+    std::optional<ReplayDecode> localDec;
+    const ReplayDecode &d = resolveDecode(k, dec, *analyses, localDec);
 
+    ReplayArena &arena = acquireThreadReplayArena();
     AccessCounts counts;
-    HwWarpSim sim(dec, cfg, analyses->liveness, shared_consumer, counts);
+    HwWarpSim sim(d, cfg, analyses->liveness, counts, arena);
     for (int w = 0; w < trace.numWarps(); w++) {
         sim.beginWarp();
         for (std::uint32_t t = trace.warpBegin[w];

@@ -41,16 +41,21 @@ struct HwCacheConfig
     RunConfig run;
 };
 
+struct DecodedTrace;
+struct ReplayDecode;
+
 /**
  * Execute @p k under the hardware-managed cache and count accesses.
  *
  * @param analyses optional precomputed analyses of a kernel with
  *        @p k's structure; computed locally when null.
+ * @param dec optional shared pre-decode with shared-consumer info
+ *        (ExperimentCache::decode); built locally when null or when
+ *        it lacks that info.
  */
 AccessCounts runHwCache(const Kernel &k, const HwCacheConfig &cfg = {},
-                        const AnalysisBundle *analyses = nullptr);
-
-struct DecodedTrace;
+                        const AnalysisBundle *analyses = nullptr,
+                        const ReplayDecode *dec = nullptr);
 
 /**
  * Replay-mode counterpart of runHwCache: walk the pre-decoded dynamic
@@ -61,7 +66,8 @@ struct DecodedTrace;
  */
 AccessCounts replayHwCache(const Kernel &k, const HwCacheConfig &cfg,
                            const DecodedTrace &trace,
-                           const AnalysisBundle *analyses = nullptr);
+                           const AnalysisBundle *analyses = nullptr,
+                           const ReplayDecode *dec = nullptr);
 
 } // namespace rfh
 

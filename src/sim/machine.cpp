@@ -16,19 +16,59 @@ hashU32(std::uint32_t x)
     return x;
 }
 
+std::size_t
+Memory::probe(std::uint32_t addr) const
+{
+    std::size_t i = hashU32(addr) & mask_;
+    while (used_[i] && keys_[i] != addr)
+        i = (i + 1) & mask_;
+    return i;
+}
+
+void
+Memory::rehash(std::size_t capacity)
+{
+    std::vector<std::uint32_t> oldKeys = std::move(keys_);
+    std::vector<std::uint32_t> oldVals = std::move(vals_);
+    std::vector<std::uint8_t> oldUsed = std::move(used_);
+    keys_.assign(capacity, 0);
+    vals_.assign(capacity, 0);
+    used_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    for (std::size_t i = 0; i < oldUsed.size(); i++) {
+        if (!oldUsed[i])
+            continue;
+        std::size_t j = probe(oldKeys[i]);
+        used_[j] = 1;
+        keys_[j] = oldKeys[i];
+        vals_[j] = oldVals[i];
+    }
+}
+
 std::uint32_t
 Memory::load(std::uint32_t addr) const
 {
-    auto it = stores_.find(addr);
-    if (it != stores_.end())
-        return it->second;
+    std::size_t i = probe(addr);
+    if (used_[i])
+        return vals_[i];
     return hashU32(addr ^ seed_ ^ 0x9e3779b9U);
 }
 
 void
 Memory::store(std::uint32_t addr, std::uint32_t value)
 {
-    stores_[addr] = value;
+    std::size_t i = probe(addr);
+    if (!used_[i]) {
+        // Keep the table under ~70% full so probes stay short.
+        if ((size_ + 1) * 10 >= (mask_ + 1) * 7) {
+            rehash((mask_ + 1) * 2);
+            i = probe(addr);
+        }
+        used_[i] = 1;
+        keys_[i] = addr;
+        size_++;
+    }
+    vals_[i] = value;
 }
 
 void

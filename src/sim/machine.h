@@ -9,15 +9,16 @@
  *
  * Each warp is modelled scalarly (one representative thread); memory
  * returns deterministic hashed values so loads are reproducible, and
- * stores are kept in a map so load-after-store round-trips work.
+ * stores are remembered so load-after-store round-trips work.
  */
 
 #ifndef RFH_SIM_MACHINE_H
 #define RFH_SIM_MACHINE_H
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "ir/kernel.h"
 
@@ -29,17 +30,29 @@ class Memory
   public:
     explicit Memory(std::uint32_t seed = 0) : seed_(seed)
     {
-        // Sized for a typical warp's store footprint up front so the
-        // executors' hot loops never pay for incremental rehashing.
-        stores_.reserve(256);
+        // An open-addressing flat table (linear probing, power-of-two
+        // capacity) keyed by address: the load/store path is hot in
+        // the direct oracle and a node-based map's pointer chase and
+        // per-store allocation dominated it. Sized for a typical
+        // warp's store footprint up front.
+        rehash(512);
     }
 
     std::uint32_t load(std::uint32_t addr) const;
     void store(std::uint32_t addr, std::uint32_t value);
 
   private:
+    /** Slot holding @p addr, or the first free probe slot. */
+    std::size_t probe(std::uint32_t addr) const;
+    /** Grow to @p capacity (a power of two) and reinsert. */
+    void rehash(std::size_t capacity);
+
     std::uint32_t seed_;
-    std::unordered_map<std::uint32_t, std::uint32_t> stores_;
+    std::vector<std::uint32_t> keys_;
+    std::vector<std::uint32_t> vals_;
+    std::vector<std::uint8_t> used_;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;
 };
 
 /** Architectural state of one warp. */

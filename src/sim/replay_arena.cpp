@@ -1,0 +1,46 @@
+#include "sim/replay_arena.h"
+
+#include "core/metrics.h"
+
+namespace rfh {
+
+void *
+ReplayArena::allocBytes(std::size_t bytes, std::size_t align)
+{
+    for (; cur_ < blocks_.size(); cur_++) {
+        Block &b = blocks_[cur_];
+        std::size_t off = (b.used + align - 1) & ~(align - 1);
+        if (off + bytes <= b.size) {
+            b.used = off + bytes;
+            return b.data.get() + off;
+        }
+        // Too small for this request; later requests may still fit in
+        // an earlier block, but a linear cursor keeps reset() O(1)
+        // amortized and fragmentation is bounded by one block.
+    }
+    constexpr std::size_t kMinBlock = 64 * 1024;
+    Block b;
+    b.size = bytes > kMinBlock ? bytes : kMinBlock;
+    b.data = std::make_unique<std::byte[]>(b.size);
+    b.used = bytes;
+    blocks_.push_back(std::move(b));
+    cur_ = blocks_.size() - 1;
+    return blocks_.back().data.get();
+}
+
+ReplayArena &
+acquireThreadReplayArena()
+{
+    static thread_local ReplayArena arena;
+    static Counter &reuse =
+        globalMetrics().counter("replay.arena_reuse");
+    static Gauge &bytes = globalMetrics().gauge("replay.arena_bytes");
+    if (arena.capacityBytes() > 0) {
+        reuse.add();
+        bytes.set(static_cast<double>(arena.capacityBytes()));
+    }
+    arena.reset();
+    return arena;
+}
+
+} // namespace rfh

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bump allocator for per-run replay executor state.
+ *
+ * Every replay call needs a handful of short-lived flat tables —
+ * per-instruction histograms, annotation cost tables, RFC rings —
+ * whose sizes depend on the kernel. Allocating them from the heap per
+ * grid cell costs a malloc/free pair each and scatters them across
+ * the address space; the arena instead carves them out of a few
+ * retained blocks with pointer bumps, and a sweep over the
+ * (scheme x entries) grid reuses the same memory for every cell.
+ *
+ * Blocks are never freed by reset(), only rewound, so pointers handed
+ * out after the last reset() stay valid until the next one. Each
+ * executor call acquires the thread-local arena (which resets it), so
+ * allocations never outlive the call that made them.
+ */
+
+#ifndef RFH_SIM_REPLAY_ARENA_H
+#define RFH_SIM_REPLAY_ARENA_H
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace rfh {
+
+/** Growable block-list bump allocator; see file comment. */
+class ReplayArena
+{
+  public:
+    /**
+     * Allocate @p n objects of trivially-destructible type T,
+     * uninitialized (reused blocks hand back dirty memory).
+     */
+    template <typename T>
+    T *
+    alloc(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is rewound, never destructed");
+        return static_cast<T *>(
+            allocBytes(n * sizeof(T), alignof(T)));
+    }
+
+    /** Allocate @p n objects of type T, zero-filled. */
+    template <typename T>
+    T *
+    allocZeroed(std::size_t n)
+    {
+        T *p = alloc<T>(n);
+        std::memset(static_cast<void *>(p), 0, n * sizeof(T));
+        return p;
+    }
+
+    /** Rewind every block; capacity (and block list) is retained. */
+    void
+    reset()
+    {
+        for (Block &b : blocks_)
+            b.used = 0;
+        cur_ = 0;
+    }
+
+    /** Total bytes of retained block capacity. */
+    std::size_t
+    capacityBytes() const
+    {
+        std::size_t total = 0;
+        for (const Block &b : blocks_)
+            total += b.size;
+        return total;
+    }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    void *allocBytes(std::size_t bytes, std::size_t align);
+
+    std::vector<Block> blocks_;
+    std::size_t cur_ = 0;
+};
+
+/**
+ * Acquire this thread's replay arena: resets it (all prior
+ * allocations die) and returns it ready for one executor call. Bumps
+ * the replay.arena_reuse counter when the arena already holds
+ * capacity from an earlier call, and keeps the replay.arena_bytes
+ * gauge at the high-water retained capacity.
+ */
+ReplayArena &acquireThreadReplayArena();
+
+} // namespace rfh
+
+#endif // RFH_SIM_REPLAY_ARENA_H

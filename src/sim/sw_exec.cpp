@@ -8,6 +8,8 @@
 #include "core/metrics.h"
 #include "ir/liveness.h"
 #include "sim/machine.h"
+#include "sim/replay_arena.h"
+#include "sim/replay_kernels.h"
 #include "sim/trace.h"
 
 namespace rfh {
@@ -256,10 +258,113 @@ runSwHierarchy(const Kernel &k, const AllocOptions &opts,
     return result;
 }
 
+namespace {
+
+/**
+ * Per-record counting deltas of one static instruction under its
+ * current annotations: reads happen on every dynamic record (operands
+ * are fetched before the predicate squashes the instruction), writes
+ * only on executed records with a destination. All deltas land on the
+ * instruction's own datapath.
+ */
+struct SwLinCost
+{
+    std::uint8_t reads[3] = {0, 0, 0};  ///< Per level.
+    std::uint8_t depositWrites = 0;     ///< ORF writes from deposits.
+    std::uint8_t wLRF = 0, wORF = 0, wMRF = 0;  ///< Executed-only.
+};
+
+/**
+ * Scan the annotated kernel once, filling @p cost per instruction and
+ * @p touched / @p defined for the deschedule pass. @return false when
+ * any instruction could trigger a replay verification failure — the
+ * caller must take the slow per-record path, which reproduces the
+ * failing run (message, stop point, partial counts) byte-exactly.
+ */
+bool
+scanSwAnnotations(const Kernel &k, const AllocOptions &opts,
+                  const SwExecConfig &cfg, SwLinCost *cost,
+                  RegSet *touched, RegSet *defined)
+{
+    const int lrf_banks = opts.useLRF ? (opts.splitLRF ? 3 : 1) : 0;
+    const int n = k.numInstrs();
+    for (int lin = 0; lin < n; lin++) {
+        const Instruction &in = k.instr(lin);
+        const bool shared = isSharedUnit(in.unit());
+        RegSet def = definedRegs(in);
+        defined[lin] = def;
+        touched[lin] = usedRegs(in) | def;
+        SwLinCost &c = cost[lin];
+
+        auto scan_read = [&](const ReadAnnotation &ra) {
+            c.reads[static_cast<int>(ra.level)]++;
+            if (ra.level == Level::MRF && ra.depositToORF)
+                c.depositWrites++;
+            if (ra.level == Level::LRF &&
+                (shared ||
+                 ra.lrfBank >= static_cast<std::uint8_t>(lrf_banks)))
+                return false;
+            return true;
+        };
+        for (int s = 0; s < in.numSrcs; s++)
+            if (in.srcs[s].isReg && !scan_read(in.readAnno[s]))
+                return false;
+        if (in.pred && !scan_read(in.predAnno))
+            return false;
+
+        if (in.dst) {
+            const WriteAnnotation &wa = in.writeAnno;
+            const int halves = in.wide ? 2 : 1;
+            if (in.longLatency() && wa.anyUpper() && !cfg.idealNoFlush)
+                return false;
+            if (wa.toLRF) {
+                if (in.wide || lrf_banks == 0 || wa.toORF)
+                    return false;
+                c.wLRF = 1;
+            }
+            if (wa.toORF) {
+                if (wa.orfEntry + halves > opts.orfEntries)
+                    return false;
+                c.wORF = static_cast<std::uint8_t>(halves);
+            }
+            if (wa.toMRF)
+                c.wMRF = static_cast<std::uint8_t>(halves);
+        }
+    }
+    return true;
+}
+
+/** First set bit of @p words in [@p from, @p end), or @p end. */
+std::uint32_t
+nextSetBit(const std::vector<std::uint64_t> &words, std::uint32_t from,
+           std::uint32_t end)
+{
+    if (from >= end)
+        return end;
+    std::uint32_t w = from / 64;
+    const std::uint32_t last = (end - 1) / 64;
+    std::uint64_t word = words[w] & (~std::uint64_t{0} << (from % 64));
+    while (true) {
+        if (word) {
+            std::uint32_t t = w * 64 + __builtin_ctzll(word);
+            return t < end ? t : end;
+        }
+        if (w == last)
+            return end;
+        word = words[++w];
+    }
+}
+
+/**
+ * The original per-record replay loop, kept verbatim as the fallback
+ * for traces without bit-planes and for runs that can fail
+ * verification (so a failing allocation stops at the same record with
+ * the same message and the same partial counts as before).
+ */
 SwExecResult
-replaySwHierarchy(const Kernel &k, const AllocOptions &opts,
-                  const DecodedTrace &trace, const SwExecConfig &cfg,
-                  const AnalysisBundle *analyses)
+replaySwHierarchySlow(const Kernel &k, const AllocOptions &opts,
+                      const DecodedTrace &trace, const SwExecConfig &cfg,
+                      const AnalysisBundle *analyses)
 {
     SwExecResult result;
     AccessCounts &counts = result.counts;
@@ -391,6 +496,115 @@ replaySwHierarchy(const Kernel &k, const AllocOptions &opts,
             }
         }
     }
+    return result;
+}
+
+} // namespace
+
+SwExecResult
+replaySwHierarchy(const Kernel &k, const AllocOptions &opts,
+                  const DecodedTrace &trace, const SwExecConfig &cfg,
+                  const AnalysisBundle *analyses)
+{
+    // ---- Fast path: histogram counting + popcount sweeps ----
+    // Every count is a sum over dynamic records of a per-instruction
+    // delta, so instead of walking the stream doing per-record
+    // annotation dispatch, histogram the stream by static instruction
+    // and apply each instruction's delta once — byte-identical totals
+    // in O(records) trivial work plus O(instrs) finalisation. Only the
+    // deschedule count is order-dependent; a dedicated pass handles it
+    // by bit-scanning directly between the rare records that can make
+    // a long-latency register outstanding.
+    const int n = k.numInstrs();
+    ReplayArena &arena = acquireThreadReplayArena();
+    SwLinCost *cost = arena.allocZeroed<SwLinCost>(n);
+    RegSet *touched = arena.alloc<RegSet>(n);
+    RegSet *defined = arena.alloc<RegSet>(n);
+    if (!trace.hasPlanes() ||
+        !scanSwAnnotations(k, opts, cfg, cost, touched, defined)) {
+        SwExecResult slow =
+            replaySwHierarchySlow(k, opts, trace, cfg, analyses);
+        noteSwRun(slow, /*replay=*/true);
+        return slow;
+    }
+
+    SwExecResult result;
+    AccessCounts &counts = result.counts;
+
+    // ---- Deschedule pass ----
+    // pending can only become non-empty at an executed long-latency
+    // record with a destination (llWords); while it is empty every
+    // other record is a no-op for this pass, so skip between set bits.
+    // A mid-strand touch of an outstanding register is a verification
+    // failure outside the ideal model — delegate the whole run to the
+    // slow path so the failure is reproduced byte-exactly.
+    std::optional<Cfg> localCfg;
+    const Cfg &cfg_graph =
+        analyses ? analyses->cfg : localCfg.emplace(k);
+    StrandAnalysis strands(k, cfg_graph, opts.strandOptions);
+    const bool cut_backward = opts.strandOptions.cutAtBackwardBranch;
+    for (int w = 0; w < trace.numWarps(); w++) {
+        const std::uint32_t end = trace.warpBegin[w + 1];
+        std::uint32_t t = trace.warpBegin[w];
+        RegSet pending;
+        while (t < end) {
+            const bool first_ll = pending.none();
+            if (first_ll) {
+                t = nextSetBit(trace.llWords, t, end);
+                if (t == end)
+                    break;
+            }
+            const int lin = trace.lin[t];
+            if (!first_ll && (touched[lin] & pending).any()) {
+                if (!cfg.idealNoFlush) {
+                    SwExecResult slow = replaySwHierarchySlow(
+                        k, opts, trace, cfg, analyses);
+                    noteSwRun(slow, /*replay=*/true);
+                    return slow;
+                }
+                counts.deschedules++;
+                pending.reset();
+            }
+            if ((trace.llWords[t / 64] >> (t % 64)) & 1u)
+                pending |= defined[lin];
+            if (!cfg.idealNoFlush && pending.any()) {
+                const std::int32_t next = trace.nextLin(w, t);
+                if (next >= 0 &&
+                    (strands.strandOf(next) != strands.strandOf(lin) ||
+                     (next <= lin && cut_backward))) {
+                    counts.deschedules++;
+                    pending.reset();
+                }
+            }
+            t++;
+        }
+    }
+
+    // ---- Access counting: histogram + per-instruction deltas ----
+    const std::size_t total = trace.lin.size();
+    std::uint32_t *histAll = arena.allocZeroed<std::uint32_t>(n);
+    std::uint32_t *histOff = arena.allocZeroed<std::uint32_t>(n);
+    histogramRecords(trace.lin.data(), total, histAll);
+    if (trace.executedInstrs != total)
+        histogramClearBits(trace.execWords.data(), trace.lin.data(),
+                           total, histOff);
+    for (int lin = 0; lin < n; lin++) {
+        const std::uint64_t all = histAll[lin];
+        if (all == 0)
+            continue;
+        const std::uint64_t ex = all - histOff[lin];
+        const SwLinCost &c = cost[lin];
+        const Datapath dp = datapathOf(k.instr(lin).unit());
+        for (int l = 0; l < 3; l++)
+            counts.read(static_cast<Level>(l), dp, c.reads[l] * all);
+        counts.write(Level::ORF, dp,
+                     c.depositWrites * all + c.wORF * ex);
+        if (c.wLRF)
+            counts.write(Level::LRF, dp, c.wLRF * ex);
+        if (c.wMRF)
+            counts.write(Level::MRF, dp, c.wMRF * ex);
+    }
+    counts.instructions = total;
     noteSwRun(result, /*replay=*/true);
     return result;
 }

@@ -37,6 +37,8 @@
 
 namespace rfh {
 
+class ReachingDefs;
+
 /** Recorded dynamic behaviour of one kernel launch. */
 struct KernelTrace
 {
@@ -120,6 +122,41 @@ struct DecodedTrace
      */
     std::vector<std::int32_t> warpEndLin;
 
+    // ---- Bit-planes over the record stream ----
+    // Bit (t % 64) of word (t / 64) classifies record t. Built once by
+    // the recorders (buildPlanes); the replay executors consume them
+    // with popcount sweeps and bit scans instead of per-record
+    // branching. Unused bits of the final word are zero.
+
+    /** kReplayExecuted per record. */
+    std::vector<std::uint64_t> execWords;
+    /** kReplayBranchTaken per record. */
+    std::vector<std::uint64_t> takenWords;
+    /**
+     * Records that executed AND name a long-latency instruction with a
+     * destination — exactly the records that can set the outstanding
+     * (pending) register set during replay. Structural: annotations
+     * never affect it, so it is valid for any annotated copy of the
+     * recorded kernel.
+     */
+    std::vector<std::uint64_t> llWords;
+    /** Total records with kReplayExecuted (classification pass). */
+    std::uint64_t executedInstrs = 0;
+    /** Total records with kReplayBranchTaken (classification pass). */
+    std::uint64_t takenBranches = 0;
+
+    /** True when the planes match the current record stream. */
+    bool
+    hasPlanes() const
+    {
+        const std::size_t words = (lin.size() + 63) / 64;
+        return execWords.size() == words &&
+            takenWords.size() == words && llWords.size() == words;
+    }
+
+    /** (Re)build the planes and classification totals from @p k. */
+    void buildPlanes(const Kernel &k);
+
     int
     numWarps() const
     {
@@ -164,20 +201,61 @@ DecodedTrace recordSimtDecodedTrace(const Kernel &k, int numWarps,
                                     int width,
                                     std::uint64_t maxInstrsPerWarp);
 
+/** Packed classification bits of one ReplayOp. */
+enum ReplayOpFlags : std::uint8_t
+{
+    kOpLongLat = 1u << 0,   ///< isLongLatency(op).
+    kOpShared = 1u << 1,    ///< isSharedUnit(unit()).
+    kOpBackward = 1u << 2,  ///< BRA with target block <= own block.
+    kOpWide = 1u << 3,      ///< 64-bit destination (two halves).
+    /**
+     * Hardware-LRF eligible result: private non-wide ALU value with no
+     * shared-datapath consumer. Only meaningful when the decode was
+     * built with reaching definitions (hasSharedConsumerInfo()).
+     */
+    kOpLrfAble = 1u << 4,
+};
+
+/**
+ * Compact structure-of-arrays record of one static instruction: the
+ * 10 bytes the replay inner loops actually touch, instead of the
+ * ~200-byte Instruction. One cache line holds six of them.
+ */
+struct ReplayOp
+{
+    std::array<Reg, kMaxSrcs> src{};  ///< Register sources, packed.
+    std::uint8_t nsrc = 0;            ///< Count of register sources.
+    std::int16_t pred = -1;           ///< Predicate register or -1.
+    std::int16_t dst = -1;            ///< Destination register or -1.
+    std::uint8_t halves = 1;          ///< Registers written (1 or 2).
+    std::uint8_t dp = 0;              ///< Datapath index.
+    std::uint8_t flags = 0;           ///< ReplayOpFlags.
+};
+
 /**
  * Flat static pre-decode of a kernel for replay, indexed by linear
  * instruction id: the instructions themselves in one contiguous
- * array (operand registers, immediates, wide halves, and — on an
- * allocator-annotated kernel — the level annotations), plus the
- * derived sets and classifications the hot loops would otherwise
- * recompute per dynamic instruction.
+ * array, compact ReplayOp records for the hot loops, plus the derived
+ * sets and classifications the loops would otherwise recompute per
+ * dynamic instruction.
+ *
+ * A decode built from a pristine kernel is structurally identical to
+ * one built from any allocator-annotated copy except for the @c instr
+ * snapshots, which carry whatever annotations the source kernel had.
+ * Cached decodes (ExperimentCache::decode) are therefore shared
+ * across annotated copies, and consumers of a shared decode must not
+ * read annotations out of @c instr.
  */
 struct ReplayDecode
 {
     /** Contiguous instruction copies in layout (linear) order. */
     std::vector<Instruction> instr;
+    /** Compact per-instruction records for the replay inner loops. */
+    std::vector<ReplayOp> op;
     /** usedRegs | definedRegs per instruction. */
     std::vector<RegSet> touched;
+    /** usedRegs per instruction. */
+    std::vector<RegSet> used;
     /** definedRegs per instruction. */
     std::vector<RegSet> defined;
     /** Datapath index (static_cast<int>(datapathOf(unit))). */
@@ -186,8 +264,28 @@ struct ReplayDecode
     std::vector<std::uint8_t> shared;
     /** BRA with a valid target block <= its own block. */
     std::vector<std::uint8_t> backwardBranch;
+    /** numRegReads() per instruction (baseline accounting). */
+    std::vector<std::uint8_t> regReads;
+    /** numRegWrites() per instruction (baseline accounting). */
+    std::vector<std::uint8_t> regWrites;
 
-    explicit ReplayDecode(const Kernel &k);
+    /**
+     * @param rdefs when given, kOpLrfAble is resolved from the
+     *        shared-consumer analysis (hardware-cache LRF bypass,
+     *        Section 6.2); when null the flag is left unset and
+     *        hasSharedConsumerInfo() is false.
+     */
+    explicit ReplayDecode(const Kernel &k,
+                          const ReachingDefs *rdefs = nullptr);
+
+    bool
+    hasSharedConsumerInfo() const
+    {
+        return hasSharedConsumerInfo_;
+    }
+
+  private:
+    bool hasSharedConsumerInfo_ = false;
 };
 
 } // namespace rfh

@@ -162,6 +162,52 @@ TEST(BenchDiffNegative, ManifestWithoutBenchmarks)
     EXPECT_EQ(error, "manifest has no benchmarks array");
 }
 
+TEST(BenchDiff, AggregateSnapshotsCompareMediansOnly)
+{
+    // A repetitions snapshot carries per-iteration rows plus
+    // mean/median/stddev aggregates; only the median survives, with
+    // the suffix stripped so it pairs against single-shot names.
+    JsonParseResult r = parseJson(
+        "{\"microbenchmarks\":{\"benchmarks\":["
+        "{\"name\":\"BM_X\",\"run_type\":\"iteration\","
+        "\"real_time\":11.0,\"time_unit\":\"ns\"},"
+        "{\"name\":\"BM_X\",\"run_type\":\"iteration\","
+        "\"real_time\":13.0,\"time_unit\":\"ns\"},"
+        "{\"name\":\"BM_X_mean\",\"run_type\":\"aggregate\","
+        "\"aggregate_name\":\"mean\",\"real_time\":12.0,"
+        "\"time_unit\":\"ns\"},"
+        "{\"name\":\"BM_X_median\",\"run_type\":\"aggregate\","
+        "\"aggregate_name\":\"median\",\"real_time\":11.5,"
+        "\"time_unit\":\"ns\"},"
+        "{\"name\":\"BM_X_stddev\",\"run_type\":\"aggregate\","
+        "\"aggregate_name\":\"stddev\",\"real_time\":1.0,"
+        "\"time_unit\":\"ns\"}]}}");
+    ASSERT_TRUE(r.ok) << r.error;
+    std::string error;
+    auto entries = benchEntriesFromJson(r.value, &error);
+    ASSERT_EQ(entries.size(), 1u) << error;
+    EXPECT_EQ(entries[0].name, "BM_X");
+    EXPECT_EQ(entries[0].value, 11.5);
+    EXPECT_EQ(entries[0].unit, "ns");
+}
+
+TEST(BenchDiff, SingleShotSnapshotsKeepEveryRow)
+{
+    // Without aggregate rows the historical behaviour is unchanged.
+    JsonParseResult r = parseJson(
+        "{\"microbenchmarks\":{\"benchmarks\":["
+        "{\"name\":\"BM_X\",\"real_time\":11.0,"
+        "\"time_unit\":\"ns\"},"
+        "{\"name\":\"BM_Y\",\"real_time\":7.0,"
+        "\"time_unit\":\"ns\"}]}}");
+    ASSERT_TRUE(r.ok) << r.error;
+    std::string error;
+    auto entries = benchEntriesFromJson(r.value, &error);
+    ASSERT_EQ(entries.size(), 2u) << error;
+    EXPECT_EQ(entries[0].name, "BM_X");
+    EXPECT_EQ(entries[1].name, "BM_Y");
+}
+
 TEST(BenchDiffNegative, MalformedEntriesAreSkippedNotFatal)
 {
     // Nameless and non-object rows are skipped; the valid row remains.

@@ -16,8 +16,10 @@
 #include <gtest/gtest.h>
 
 #include "compiler/allocator.h"
+#include "core/experiment.h"
 #include "core/json.h"
 #include "core/memo.h"
+#include "core/metrics.h"
 #include "core/sweep.h"
 #include "sim/baseline_exec.h"
 #include "sim/hw_cache.h"
@@ -108,6 +110,80 @@ TEST(Replay, TraceIsRecordedOnceAndShared)
     alloc.run(annotated);
     auto t3 = cache.trace(annotated, w.run);
     EXPECT_EQ(t1.get(), t3.get());
+}
+
+// ---- Batched replay: byte-identity with lone runs ----
+
+TEST(Replay, BatchMatchesLoneRunsAcrossSchemes)
+{
+    const Workload &wl = workloadByName("nbody");
+    std::vector<BatchItem> items;
+    for (Scheme s : allSchemes()) {
+        for (int entries : {1, 3, 8}) {
+            BatchItem it;
+            it.workload = &wl;
+            it.cfg.scheme = s;
+            it.cfg.entries = entries;  // engine AUTO -> REPLAY
+            items.push_back(it);
+        }
+    }
+    std::vector<RunOutcome> outs = replayBatch(items);
+    ASSERT_EQ(outs.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); i++) {
+        ExperimentConfig lone = items[i].cfg;
+        lone.engine = ExecEngine::REPLAY;
+        RunOutcome d = runScheme(wl, lone);
+        EXPECT_EQ(outcomeToJson(outs[i]), outcomeToJson(d))
+            << schemeName(items[i].cfg.scheme) << " @"
+            << items[i].cfg.entries;
+    }
+}
+
+TEST(Replay, BatchSizesOneThreeEightMixedWorkloads)
+{
+    const char *names[] = {"vectoradd", "reduction", "lu"};
+    for (int size : {1, 3, 8}) {
+        std::vector<BatchItem> items;
+        for (int i = 0; i < size; i++) {
+            BatchItem it;
+            it.workload = &workloadByName(names[i % 3]);
+            it.cfg.scheme = allSchemes()[i % allSchemes().size()];
+            it.cfg.entries = 1 + i % 4;
+            items.push_back(it);
+        }
+        std::vector<RunOutcome> outs = replayBatch(items);
+        ASSERT_EQ(outs.size(), items.size());
+        for (int i = 0; i < size; i++) {
+            ExperimentConfig lone = items[i].cfg;
+            lone.engine = ExecEngine::REPLAY;
+            EXPECT_EQ(
+                outcomeToJson(outs[i]),
+                outcomeToJson(runScheme(*items[i].workload, lone)))
+                << "size=" << size << " item=" << i;
+        }
+    }
+}
+
+// ---- Arena reuse: no state bleed between consecutive runs ----
+
+TEST(Replay, ArenaReuseKeepsConsecutiveRunsByteIdentical)
+{
+    Counter &reuse = globalMetrics().counter("replay.arena_reuse");
+    const std::uint64_t before = reuse.value();
+    // Alternating kernels through this thread's arena: stale state
+    // surviving a reset would change the second round's counts.
+    const Workload &a = workloadByName("nbody");
+    const Workload &b = workloadByName("reduction");
+    ExperimentConfig cfg;
+    cfg.engine = ExecEngine::REPLAY;
+    RunOutcome a1 = runScheme(a, cfg);
+    RunOutcome b1 = runScheme(b, cfg);
+    RunOutcome a2 = runScheme(a, cfg);
+    RunOutcome b2 = runScheme(b, cfg);
+    EXPECT_EQ(outcomeToJson(a1), outcomeToJson(a2));
+    EXPECT_EQ(outcomeToJson(b1), outcomeToJson(b2));
+    // The arena block was handed out again, not reallocated.
+    EXPECT_GT(reuse.value(), before);
 }
 
 // ---- Property: per-executor count equality on random kernels ----

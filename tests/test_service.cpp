@@ -341,6 +341,77 @@ TEST(ServiceServer, ConcurrentClientsMatchDirectRunByteForByte)
               static_cast<std::uint64_t>(kClients * kPerClient));
 }
 
+TEST(ServiceServer, BatchedSliceMatchesDirectRunByteForByte)
+{
+    ThreadPool pool(1);
+    ServiceOptions so;
+    so.pool = &pool;
+    so.workers = 1;
+    so.queueCapacity = 16;
+    so.batchMax = 8;
+
+    // Hold the single worker on the first request so the next five
+    // pile up behind it and are drained as one batched slice.
+    std::mutex gateMu;
+    std::condition_variable gateCv;
+    bool gateOpen = false;
+    std::promise<void> handling;
+    std::atomic<bool> handlingSignalled{false};
+    so.onBeforeHandle = [&] {
+        if (!handlingSignalled.exchange(true))
+            handling.set_value();
+        std::unique_lock<std::mutex> lk(gateMu);
+        gateCv.wait(lk, [&] { return gateOpen; });
+    };
+
+    BatchService svc(so);
+    svc.start();
+
+    const char *workloads[] = {"vectoradd", "reduction", "matrixmul"};
+    const char *schemes[] = {"baseline", "hw2", "hw3", "sw2", "sw3"};
+
+    auto p0 = std::make_shared<std::promise<std::string>>();
+    auto f0 = p0->get_future();
+    svc.submit(R"({"id":0,"workload":"vectoradd"})",
+               [p0](const std::string &r) { p0->set_value(r); });
+    handling.get_future().wait();  // worker parked at the gate
+
+    const int kBatched = 5;
+    std::vector<std::future<std::string>> futs;
+    for (int i = 1; i <= kBatched; i++) {
+        auto p = std::make_shared<std::promise<std::string>>();
+        futs.push_back(p->get_future());
+        JsonWriter w;
+        w.beginObject();
+        w.key("id").value(i);
+        w.key("workload").value(workloads[i % 3]);
+        w.key("scheme").value(schemes[i % 5]);
+        w.key("entries").value(1 + i % 4);
+        w.endObject();
+        svc.submit(w.str(),
+                   [p](const std::string &r) { p->set_value(r); });
+    }
+    {
+        std::lock_guard<std::mutex> lk(gateMu);
+        gateOpen = true;
+    }
+    gateCv.notify_all();
+
+    EXPECT_NE(f0.get().find("\"ok\":true"), std::string::npos);
+    // The batched responses must be byte-identical to direct runs —
+    // the batch path resolves AUTO to the replay engine, whose
+    // result documents match the direct oracle byte for byte.
+    for (int i = 1; i <= kBatched; i++) {
+        std::string expected = makeResultLine(
+            std::to_string(i),
+            expectedResult(workloads[i % 3], schemes[i % 5],
+                           1 + i % 4));
+        EXPECT_EQ(futs[i - 1].get(), expected) << "request " << i;
+    }
+    svc.drain();
+    EXPECT_EQ(svc.stats().ok, 6u);
+}
+
 TEST(ServiceServer, ShutdownDrainsAndRejectsLateRequests)
 {
     ThreadPool pool(2);
