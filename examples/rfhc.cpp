@@ -52,8 +52,22 @@
  *   --batch N          max requests a worker drains per wakeup into
  *                      one batched replay (default 8; 1 disables)
  *   --cache-max N      memo-cache entries before eviction (default 1024)
+ *   --cache-dir D      persistent disk compile cache directory
+ *   --cache-max-bytes N disk-cache size cap before LRU eviction
  *   --manifest F       write a session manifest on drain
  *   --trace-events F   record per-request chrome://tracing spans
+ *
+ * Options (router):
+ *   --socket PATH      front socket (default rfhc-router.sock)
+ *   --fleet N          worker processes (default 4)
+ *   --cache-dir D      shared persistent disk cache for the fleet
+ *   --cache-max-bytes N disk-cache size cap before LRU eviction
+ *   --worker-threads N RFH_THREADS for each worker (default: inherit)
+ *   --queue N          per-worker admission queue (default 64)
+ *   --batch N          per-worker batch cap (default 8)
+ *   --vnodes N         virtual ring nodes per worker (default 64)
+ *   --max-restarts N   restart budget per worker (default 8)
+ *   --manifest F       write a router session manifest on drain
  *
  * Options (loadgen):
  *   --socket PATH      server socket (default rfhc.sock)
@@ -66,6 +80,8 @@
  *   --deadline MS      per-request deadline in milliseconds
  *   --retries N        max retries of shed requests (default 8)
  *   --verify           byte-compare every result vs local runScheme()
+ *   --router           target is a router fleet: per-shard breakdown
+ *                      and disk-cache hit ratio in the report
  *   --shutdown         send {"op":"shutdown"} when done
  *   --manifest F       write a loadgen manifest (throughput, p50/p99)
  *
@@ -96,6 +112,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "service/loadgen.h"
+#include "service/router.h"
 #include "service/server.h"
 #include "sim/baseline_exec.h"
 #include "verify/oracle.h"
@@ -127,14 +144,22 @@ usage()
                  "[--manifest out.json]\n"
                  "       rfhc serve [--socket PATH] [--workers N] "
                  "[--queue N] [--batch N]\n"
-                 "            [--cache-max N] [--manifest out.json] "
+                 "            [--cache-max N] [--cache-dir DIR] "
+                 "[--cache-max-bytes N]\n"
+                 "            [--manifest out.json] "
                  "[--trace-events out.json]\n"
+                 "       rfhc router [--socket PATH] [--fleet N] "
+                 "[--cache-dir DIR]\n"
+                 "            [--cache-max-bytes N] "
+                 "[--worker-threads N] [--queue N]\n"
+                 "            [--batch N] [--vnodes N] "
+                 "[--max-restarts N] [--manifest out.json]\n"
                  "       rfhc loadgen [--socket PATH] [--clients N] "
                  "[--requests N]\n"
                  "            [--workload W] [--scheme S] [--entries N] "
                  "[--warps N]\n"
                  "            [--deadline MS] [--retries N] [--verify] "
-                 "[--shutdown]\n"
+                 "[--router] [--shutdown]\n"
                  "            [--manifest out.json]\n");
     return 2;
 }
@@ -473,6 +498,13 @@ serveMain(int argc, char **argv)
                 return usage();
             so.service.cacheMaxEntries =
                 static_cast<std::size_t>(n);
+        } else if (a == "--cache-dir") {
+            if (!next_str(so.cacheDir))
+                return usage();
+        } else if (a == "--cache-max-bytes") {
+            if (i + 1 >= argc)
+                return usage();
+            so.cacheMaxBytes = std::strtoull(argv[++i], nullptr, 10);
         } else if (a == "--manifest") {
             if (!next_str(so.manifestPath))
                 return usage();
@@ -484,6 +516,67 @@ serveMain(int argc, char **argv)
         }
     }
     return runServe(so);
+}
+
+/**
+ * `rfhc router`: sharded fleet front-end. Spawns and supervises N
+ * `rfhc serve` workers and routes requests by kernel fingerprint
+ * (see docs/service.md).
+ */
+int
+routerMain(int argc, char **argv)
+{
+    RouterOptions ro;
+    for (int i = 2; i < argc; i++) {
+        std::string a = argv[i];
+        auto next_int = [&](int &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = std::atoi(argv[++i]);
+            return out > 0;
+        };
+        auto next_str = [&](std::string &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = argv[++i];
+            return !out.empty();
+        };
+        if (a == "--socket") {
+            if (!next_str(ro.socketPath))
+                return usage();
+        } else if (a == "--fleet") {
+            if (!next_int(ro.workers))
+                return usage();
+        } else if (a == "--cache-dir") {
+            if (!next_str(ro.cacheDir))
+                return usage();
+        } else if (a == "--cache-max-bytes") {
+            if (i + 1 >= argc)
+                return usage();
+            ro.cacheMaxBytes = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--worker-threads") {
+            if (!next_int(ro.workerThreads))
+                return usage();
+        } else if (a == "--queue") {
+            if (!next_int(ro.queueCapacity))
+                return usage();
+        } else if (a == "--batch") {
+            if (!next_int(ro.batchMax))
+                return usage();
+        } else if (a == "--vnodes") {
+            if (!next_int(ro.virtualNodes))
+                return usage();
+        } else if (a == "--max-restarts") {
+            if (!next_int(ro.maxRestarts))
+                return usage();
+        } else if (a == "--manifest") {
+            if (!next_str(ro.manifestPath))
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+    return runRouter(ro);
 }
 
 /** `rfhc loadgen`: drive a running service (see docs/service.md). */
@@ -537,6 +630,8 @@ loadgenMain(int argc, char **argv)
                 return usage();
         } else if (a == "--verify") {
             lo.verify = true;
+        } else if (a == "--router") {
+            lo.router = true;
         } else if (a == "--shutdown") {
             lo.shutdownAfter = true;
         } else if (a == "--manifest") {
@@ -561,6 +656,8 @@ main(int argc, char **argv)
         return fuzzMain(argc, argv);
     if (cmd == "serve")
         return serveMain(argc, argv);
+    if (cmd == "router")
+        return routerMain(argc, argv);
     if (cmd == "loadgen")
         return loadgenMain(argc, argv);
     if (argc < 3)

@@ -18,6 +18,7 @@
 #   scripts/check.sh --no-fuzz    # skip the differential fuzz smoke
 #   scripts/check.sh --no-golden  # skip the golden figure-shape gate
 #   scripts/check.sh --no-serve   # skip the serve+loadgen smoke
+#   scripts/check.sh --no-router  # skip the router fleet smoke
 #   scripts/check.sh --no-vec     # skip the vectorize-report gate
 #
 # The fuzz smoke runs a fixed-seed `rfhc fuzz` campaign (differential
@@ -37,6 +38,7 @@ run_perf=1
 run_fuzz=1
 run_golden=1
 run_serve=1
+run_router=1
 run_vec=1
 for arg in "$@"; do
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
@@ -45,6 +47,7 @@ for arg in "$@"; do
     [[ "$arg" == "--no-fuzz" ]] && run_fuzz=0
     [[ "$arg" == "--no-golden" ]] && run_golden=0
     [[ "$arg" == "--no-serve" ]] && run_serve=0
+    [[ "$arg" == "--no-router" ]] && run_router=0
     [[ "$arg" == "--no-vec" ]] && run_vec=0
 done
 
@@ -110,6 +113,32 @@ if [[ "$run_serve" == 1 ]]; then
     rm -f "$sock"
 fi
 
+if [[ "$run_router" == 1 ]]; then
+    echo "== router fleet smoke: 3 workers + shared disk cache =="
+    rsock="$(mktemp -u /tmp/rfhc-router-XXXXXX.sock)"
+    rcache="$(mktemp -d /tmp/rfhc-cache-XXXXXX)"
+    "$repo/build/examples/rfhc" router --socket "$rsock" --fleet 3 \
+        --cache-dir "$rcache" &
+    router_pid=$!
+    # loadgen verifies every result byte-for-byte, prints the
+    # per-shard breakdown and disk-cache hit ratio, and sends
+    # shutdown; the router must then drain its fleet and exit 0.
+    if ! "$repo/build/examples/rfhc" loadgen --socket "$rsock" \
+        --clients 4 --requests 60 --verify --router --shutdown; then
+        kill "$router_pid" 2>/dev/null || true
+        rm -rf "$rcache"
+        echo "check.sh: router loadgen failed" >&2
+        exit 1
+    fi
+    if ! wait "$router_pid"; then
+        rm -rf "$rcache"
+        echo "check.sh: rfhc router did not exit cleanly" >&2
+        exit 1
+    fi
+    rm -f "$rsock"
+    rm -rf "$rcache"
+fi
+
 if [[ "$run_fuzz" == 1 ]]; then
     echo "== differential fuzz smoke: 200 kernels, fixed seed =="
     # Deterministic: a finding here reproduces with the same seed, and
@@ -124,8 +153,10 @@ if [[ "$run_tsan" == 1 ]]; then
     # Exercise the thread pool and the parallel sweep (the code that
     # actually runs concurrently) with a real multi-thread pool even
     # on small CI hosts.
+    # DiskCache.* covers concurrent readers racing store()/eviction in
+    # the persistent compile cache.
     RFH_THREADS=4 "$repo/build-tsan/tests/rfh_tests" \
-        --gtest_filter='Parallel.*:Sweep.*:Memo.*'
+        --gtest_filter='Parallel.*:Sweep.*:Memo.*:DiskCache.*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -134,8 +165,10 @@ if [[ "$run_asan" == 1 ]]; then
     cmake --build "$repo/build-asan" -j "$jobs" --target rfh_tests
     # The recording walk, the pre-decoded SoA buffers, and every
     # replay executor's pointer-walking hot loop.
+    # DiskCache.* adds the serializer round-trips and torn-entry
+    # parsing (length-prefixed reads over untrusted file bytes).
     "$repo/build-asan/tests/rfh_tests" \
-        --gtest_filter='Trace.*:Replay.*:Seeds/ReplayProperty.*'
+        --gtest_filter='Trace.*:Replay.*:Seeds/ReplayProperty.*:DiskCache.*'
     if [[ "$run_fuzz" == 1 ]]; then
         # The differential oracle over the checked-in corpus: every
         # scheme x engine pair runs under ASan, so an out-of-bounds

@@ -1,0 +1,273 @@
+#include "core/diskcache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/serialize.h"
+
+namespace fs = std::filesystem;
+
+namespace rfh {
+
+namespace {
+
+/** "RFHC" little-endian. */
+constexpr std::uint32_t kMagic = 0x43484652u;
+
+/** Entry filename suffix (everything else in the dir is ignored). */
+constexpr const char *kSuffix = ".rfc";
+
+/** Registry mirror of the cache counters (one-time registration). */
+struct CacheMetrics
+{
+    Counter &hits = globalMetrics().counter("service.cache.disk_hits");
+    Counter &misses = globalMetrics().counter("service.cache.disk_misses");
+    Counter &writes = globalMetrics().counter("service.cache.disk_writes");
+    Counter &writeErrors =
+        globalMetrics().counter("service.cache.disk_write_errors");
+    Counter &evictions =
+        globalMetrics().counter("service.cache.disk_evictions");
+    Counter &invalidated =
+        globalMetrics().counter("service.cache.disk_invalidated");
+    Counter &bytesRead =
+        globalMetrics().counter("service.cache.disk_bytes_read");
+    Counter &bytesWritten =
+        globalMetrics().counter("service.cache.disk_bytes_written");
+    Gauge &bytesStored = globalMetrics().gauge("service.cache.disk_bytes");
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics m;
+    return m;
+}
+
+/** FNV-1a 64-bit over raw bytes (payload checksum). */
+std::uint64_t
+fnv64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Read a whole file; false on any error (open race, I/O). */
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream f(p, std::ios::binary);
+    if (!f)
+        return false;
+    std::string data((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    if (f.bad())
+        return false;
+    out = std::move(data);
+    return true;
+}
+
+} // namespace
+
+DiskCache::DiskCache(const DiskCacheOptions &opts) : opts_(opts)
+{
+    std::error_code ec;
+    fs::create_directories(opts_.dir, ec);
+    usable_ = !opts_.dir.empty() && fs::is_directory(opts_.dir, ec);
+    if (usable_) {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.bytesStored = scanBytes();
+        cacheMetrics().bytesStored.set(
+            static_cast<double>(stats_.bytesStored));
+    }
+}
+
+std::string
+DiskCache::entryPath(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx",
+                  static_cast<unsigned long long>(fnv64(key)));
+    return (fs::path(opts_.dir) / (std::string(name) + kSuffix)).string();
+}
+
+bool
+DiskCache::load(const std::string &key, std::string &payload)
+{
+    if (!usable_)
+        return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string path = entryPath(key);
+    std::string raw;
+    if (!readFile(path, raw)) {
+        stats_.misses++;
+        cacheMetrics().misses.add();
+        return false;
+    }
+    ByteReader r(raw);
+    std::uint32_t magic = r.u32();
+    std::uint32_t version = r.u32();
+    std::string storedKey = r.str();
+    std::uint64_t checksum = r.u64();
+    std::string body = r.str();
+    bool valid = r.atEnd() && magic == kMagic && version == opts_.version &&
+        storedKey == key && checksum == fnv64(body);
+    if (!valid) {
+        // Torn, truncated, corrupt, stale-version, or hash-collision
+        // entry: drop it and recompute.
+        invalidate(path);
+        stats_.misses++;
+        cacheMetrics().misses.add();
+        return false;
+    }
+    // Touch the LRU clock so hot entries survive eviction.
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    stats_.hits++;
+    stats_.bytesRead += body.size();
+    cacheMetrics().hits.add();
+    cacheMetrics().bytesRead.add(body.size());
+    payload = std::move(body);
+    return true;
+}
+
+void
+DiskCache::store(const std::string &key, std::string_view payload)
+{
+    if (!usable_)
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    ByteWriter w;
+    w.u32(kMagic);
+    w.u32(opts_.version);
+    w.str(key);
+    w.u64(fnv64(payload));
+    w.str(payload);
+    const std::string &entry = w.bytes();
+
+    // Write-then-rename: the entry never exists half-written under its
+    // final name, and concurrent same-key writers (deterministic
+    // content) just race renames harmlessly.
+    fs::path tmp = fs::path(opts_.dir) /
+        ("tmp-" + std::to_string(static_cast<unsigned long long>(
+                      reinterpret_cast<std::uintptr_t>(this))) +
+         "-" + std::to_string(tmpSeq_++));
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        f.write(entry.data(),
+                static_cast<std::streamsize>(entry.size()));
+        f.flush();
+        if (!f) {
+            stats_.writeErrors++;
+            cacheMetrics().writeErrors.add();
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, entryPath(key), ec);
+    if (ec) {
+        stats_.writeErrors++;
+        cacheMetrics().writeErrors.add();
+        fs::remove(tmp, ec);
+        return;
+    }
+    stats_.writes++;
+    stats_.bytesWritten += payload.size();
+    stats_.bytesStored += entry.size();
+    cacheMetrics().writes.add();
+    cacheMetrics().bytesWritten.add(payload.size());
+    if (opts_.maxBytes != 0 && stats_.bytesStored > opts_.maxBytes)
+        enforceCap();
+    cacheMetrics().bytesStored.set(static_cast<double>(stats_.bytesStored));
+}
+
+void
+DiskCache::invalidate(const std::string &path)
+{
+    std::error_code ec;
+    std::uint64_t sz = fs::file_size(path, ec);
+    if (fs::remove(path, ec) && !ec) {
+        stats_.invalidated++;
+        cacheMetrics().invalidated.add();
+        stats_.bytesStored -= std::min(stats_.bytesStored, sz);
+        cacheMetrics().bytesStored.set(
+            static_cast<double>(stats_.bytesStored));
+    }
+}
+
+void
+DiskCache::enforceCap()
+{
+    // Rescan for an exact figure (same-key overwrites make the running
+    // total an overestimate), then drop oldest-first to ~90% of cap.
+    stats_.bytesStored = scanBytes();
+    if (stats_.bytesStored <= opts_.maxBytes)
+        return;
+    struct Ent
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::uint64_t size;
+    };
+    std::vector<Ent> ents;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(opts_.dir, ec)) {
+        if (de.path().extension() != kSuffix)
+            continue;
+        std::error_code fec;
+        Ent e{de.path(), fs::last_write_time(de.path(), fec),
+              fs::file_size(de.path(), fec)};
+        if (!fec)
+            ents.push_back(std::move(e));
+    }
+    std::sort(ents.begin(), ents.end(),
+              [](const Ent &a, const Ent &b) { return a.mtime < b.mtime; });
+    std::uint64_t target = opts_.maxBytes - opts_.maxBytes / 10;
+    for (const Ent &e : ents) {
+        if (stats_.bytesStored <= target)
+            break;
+        std::error_code rec;
+        // A reader that opened this entry before the unlink keeps a
+        // valid descriptor; one that loses the race just misses.
+        if (fs::remove(e.path, rec) && !rec) {
+            stats_.evictions++;
+            cacheMetrics().evictions.add();
+            stats_.bytesStored -= std::min(stats_.bytesStored, e.size);
+        }
+    }
+}
+
+std::uint64_t
+DiskCache::scanBytes()
+{
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(opts_.dir, ec)) {
+        if (de.path().extension() != kSuffix)
+            continue;
+        std::error_code fec;
+        std::uint64_t sz = fs::file_size(de.path(), fec);
+        if (!fec)
+            total += sz;
+    }
+    return total;
+}
+
+DiskCacheStats
+DiskCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+} // namespace rfh

@@ -1,6 +1,10 @@
 #include "core/memo.h"
 
+#include <cstdio>
+
+#include "core/diskcache.h"
 #include "core/metrics.h"
+#include "core/serialize.h"
 
 namespace rfh {
 
@@ -62,6 +66,24 @@ class Fnv
     std::uint64_t h_ = 0xcbf29ce484222325ull;
 };
 
+/**
+ * Disk-cache key strings. The key embeds every input the entry depends
+ * on (the structural fingerprint plus the run parameters); the cache
+ * stores the full string in the entry header, so a 64-bit filename
+ * collision can never serve the wrong entry.
+ */
+std::string
+diskKey(const char *kind, std::uint64_t fp, int numInstrs, int numWarps,
+        std::uint64_t maxInstrs)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s:fp=%016llx:n=%d:warps=%d:cap=%llu", kind,
+                  static_cast<unsigned long long>(fp), numInstrs, numWarps,
+                  static_cast<unsigned long long>(maxInstrs));
+    return buf;
+}
+
 } // namespace
 
 std::uint64_t
@@ -106,8 +128,28 @@ ExperimentCache::baseline(const Kernel &k, const RunConfig &run)
     }
     bool miss = false;
     std::call_once(e->once, [&] {
-        e->counts = runBaseline(k, run);
         miss = true;
+        DiskCache *dc = diskCache();
+        std::string dkey;
+        if (dc) {
+            dkey = diskKey("baseline", std::get<0>(key), std::get<1>(key),
+                           std::get<2>(key), std::get<3>(key));
+            std::string payload;
+            if (dc->load(dkey, payload)) {
+                ByteReader r(payload);
+                AccessCounts c = deserializeAccessCounts(r);
+                if (r.ok() && r.atEnd()) {
+                    e->counts = c;
+                    return;
+                }
+            }
+        }
+        e->counts = runBaseline(k, run);
+        if (dc) {
+            ByteWriter w;
+            serializeAccessCounts(w, e->counts);
+            dc->store(dkey, w.bytes());
+        }
     });
     if (miss) {
         baselineMisses_++;
@@ -133,8 +175,27 @@ ExperimentCache::analyses(const Kernel &k)
     }
     bool miss = false;
     std::call_once(e->once, [&] {
-        e->bundle = std::make_shared<const AnalysisBundle>(k);
         miss = true;
+        DiskCache *dc = diskCache();
+        std::string dkey;
+        if (dc) {
+            dkey = diskKey("analysis", key.first, key.second, 0, 0);
+            std::string payload;
+            if (dc->load(dkey, payload)) {
+                ByteReader r(payload);
+                auto bundle = std::make_shared<const AnalysisBundle>(r);
+                if (r.ok() && r.atEnd()) {
+                    e->bundle = std::move(bundle);
+                    return;
+                }
+            }
+        }
+        e->bundle = std::make_shared<const AnalysisBundle>(k);
+        if (dc) {
+            ByteWriter w;
+            e->bundle->serialize(w);
+            dc->store(dkey, w.bytes());
+        }
     });
     if (miss) {
         analysisMisses_++;
@@ -161,9 +222,30 @@ ExperimentCache::trace(const Kernel &k, const RunConfig &run)
     }
     bool miss = false;
     std::call_once(e->once, [&] {
+        miss = true;
+        DiskCache *dc = diskCache();
+        std::string dkey;
+        if (dc) {
+            dkey = diskKey("trace", std::get<0>(key), std::get<1>(key),
+                           std::get<2>(key), std::get<3>(key));
+            std::string payload;
+            if (dc->load(dkey, payload)) {
+                ByteReader r(payload);
+                DecodedTrace t = deserializeDecodedTrace(r);
+                if (r.ok() && r.atEnd()) {
+                    e->trace = std::make_shared<const DecodedTrace>(
+                        std::move(t));
+                    return;
+                }
+            }
+        }
         e->trace =
             std::make_shared<const DecodedTrace>(recordDecodedTrace(k, run));
-        miss = true;
+        if (dc) {
+            ByteWriter w;
+            serializeDecodedTrace(w, *e->trace);
+            dc->store(dkey, w.bytes());
+        }
     });
     if (miss) {
         traceMisses_++;

@@ -36,6 +36,8 @@
 
 namespace rfh {
 
+class DiskCache;
+
 /**
  * Structural fingerprint of a kernel: name, block layout, opcodes and
  * operands. Allocator annotations are deliberately excluded so a
@@ -47,6 +49,28 @@ std::uint64_t kernelFingerprint(const Kernel &k);
 class ExperimentCache
 {
   public:
+    /**
+     * Back this in-memory cache with a persistent compile cache
+     * (core/diskcache.h). A miss in baseline(), analyses(), or trace()
+     * first consults the disk — a valid entry deserializes to
+     * bit-identical contents and skips the computation entirely — and
+     * a computed result is written back so later processes start warm.
+     * decode() is not persisted: it rebuilds cheaply from the kernel
+     * plus the (cached) reaching definitions. Pass nullptr to detach.
+     * The cache must outlive every lookup; attach before serving.
+     */
+    void
+    attachDiskCache(DiskCache *dc)
+    {
+        disk_.store(dc, std::memory_order_release);
+    }
+
+    DiskCache *
+    diskCache() const
+    {
+        return disk_.load(std::memory_order_acquire);
+    }
+
     /**
      * Flat-MRF baseline counts of @p k under @p run, computed on first
      * request and cached. Concurrent first requests block until the
@@ -133,6 +157,7 @@ class ExperimentCache
     using AnalysisKey = std::pair<std::uint64_t, int>;
 
     mutable std::mutex mu_;
+    std::atomic<DiskCache *> disk_{nullptr};
     std::map<BaselineKey, std::shared_ptr<BaselineEntry>> baseline_;
     std::map<AnalysisKey, std::shared_ptr<AnalysisEntry>> analyses_;
     std::map<BaselineKey, std::shared_ptr<TraceEntry>> traces_;

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Binary serialization primitives for the persistent compile cache.
+ *
+ * ByteWriter/ByteReader implement a tiny little-endian wire format —
+ * fixed-width integers, length-prefixed strings and vectors — with no
+ * schema evolution: the disk cache (core/diskcache.h) versions whole
+ * entries, so a format change is a cache-version bump, never an
+ * in-place migration. Serialization is exact: every analysis structure
+ * round-trips to bit-identical contents, which is what lets a disk-hit
+ * worker produce result JSON byte-identical to a cold computation
+ * (tests/test_diskcache.cpp pins this).
+ *
+ * ByteReader is checked, not throwing: a read past the end sets a
+ * sticky failure flag and returns zero values. Callers that parse
+ * untrusted bytes (the disk cache validates a checksum first, so this
+ * is defence in depth) must test ok() after deserializing.
+ */
+
+#ifndef RFH_CORE_SERIALIZE_H
+#define RFH_CORE_SERIALIZE_H
+
+#include <bitset>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfh {
+
+struct AccessCounts;
+struct DecodedTrace;
+
+/** Append-only little-endian binary encoder. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; i++)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; i++)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    i32(std::int32_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    void
+    str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.append(s.data(), s.size());
+    }
+
+    template <std::size_t N>
+    void
+    bits(const std::bitset<N> &b)
+    {
+        static_assert(N <= 64, "widen bits() for larger sets");
+        u64(b.to_ullong());
+    }
+
+    /** Length-prefixed vector of integral elements. */
+    template <typename T>
+    void
+    vec(const std::vector<T> &v)
+    {
+        u32(static_cast<std::uint32_t>(v.size()));
+        for (const T &e : v)
+            u64(static_cast<std::uint64_t>(e));
+    }
+
+    /** vector<bool> as one byte per element. */
+    void
+    boolVec(const std::vector<bool> &v)
+    {
+        u32(static_cast<std::uint32_t>(v.size()));
+        for (bool b : v)
+            u8(b ? 1 : 0);
+    }
+
+    const std::string &
+    bytes() const
+    {
+        return buf_;
+    }
+
+    std::string
+    take()
+    {
+        return std::move(buf_);
+    }
+
+  private:
+    std::string buf_;
+};
+
+/** Checked sequential decoder over a byte buffer. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<std::uint8_t>(bytes_[off_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; i++)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes_[off_ + i]))
+                << (8 * i);
+        off_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; i++)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes_[off_ + i]))
+                << (8 * i);
+        off_ += 8;
+        return v;
+    }
+
+    std::int32_t
+    i32()
+    {
+        return static_cast<std::int32_t>(u32());
+    }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        if (!need(n))
+            return "";
+        std::string s(bytes_.substr(off_, n));
+        off_ += n;
+        return s;
+    }
+
+    template <std::size_t N>
+    std::bitset<N>
+    bits()
+    {
+        static_assert(N <= 64, "widen bits() for larger sets");
+        return std::bitset<N>(u64());
+    }
+
+    template <typename T>
+    std::vector<T>
+    vec()
+    {
+        std::uint32_t n = u32();
+        // A length that cannot fit in the remaining bytes is corrupt;
+        // fail instead of allocating it.
+        if (!need(static_cast<std::size_t>(n) * 8))
+            return {};
+        std::vector<T> v;
+        v.reserve(n);
+        for (std::uint32_t i = 0; i < n; i++)
+            v.push_back(static_cast<T>(u64()));
+        return v;
+    }
+
+    std::vector<bool>
+    boolVec()
+    {
+        std::uint32_t n = u32();
+        if (!need(n))
+            return {};
+        std::vector<bool> v;
+        v.reserve(n);
+        for (std::uint32_t i = 0; i < n; i++)
+            v.push_back(u8() != 0);
+        return v;
+    }
+
+    /** True when every read so far was in bounds. */
+    bool
+    ok() const
+    {
+        return ok_;
+    }
+
+    /** True when the whole buffer was consumed (and ok()). */
+    bool
+    atEnd() const
+    {
+        return ok_ && off_ == bytes_.size();
+    }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        if (!ok_ || bytes_.size() - off_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::string_view bytes_;
+    std::size_t off_ = 0;
+    bool ok_ = true;
+};
+
+/** Exact binary encoding of flat access counts. */
+void serializeAccessCounts(ByteWriter &w, const AccessCounts &c);
+/** Inverse of serializeAccessCounts (all-zero on a failed reader). */
+AccessCounts deserializeAccessCounts(ByteReader &r);
+
+/** Exact binary encoding of a pre-decoded dynamic stream. */
+void serializeDecodedTrace(ByteWriter &w, const DecodedTrace &t);
+/** Inverse of serializeDecodedTrace. */
+DecodedTrace deserializeDecodedTrace(ByteReader &r);
+
+} // namespace rfh
+
+#endif // RFH_CORE_SERIALIZE_H

@@ -5,11 +5,20 @@
  * Drives a running `rfhc serve --socket <path>` instance with N
  * concurrent client connections issuing a deterministic request
  * stream, retrying `overloaded` rejections with exponential backoff,
- * and reports throughput plus p50/p99 request latency. With
- * `--verify` every successful response's result document is compared
- * byte-for-byte against a locally computed runScheme() of the same
- * configuration — the end-to-end check that the service path changes
- * nothing about the numbers.
+ * and reports throughput plus p50/p99 request latency. Latencies are
+ * accumulated in log-spaced histograms (one per client, merged
+ * bucket-wise after the join), so the reported percentiles are true
+ * percentiles over every request rather than an artifact of how the
+ * stream was split across clients. With `--verify` every successful
+ * response's result document is compared byte-for-byte against a
+ * locally computed runScheme() of the same configuration — the
+ * end-to-end check that the service path changes nothing about the
+ * numbers.
+ *
+ * Against an `rfhc router` fleet (`--router`), responses carry a
+ * `"shard":<n>` field; loadgen additionally reports per-shard request
+ * counts, throughput, and p50/p99, and queries the fleet's `stats` op
+ * after the run to report the persistent disk-cache hit ratio.
  */
 
 #ifndef RFH_SERVICE_LOADGEN_H
@@ -42,6 +51,12 @@ struct LoadgenOptions
     int maxRetries = 8;
     /** Compare every result byte-for-byte against local runScheme(). */
     bool verify = false;
+    /**
+     * Target is an `rfhc router` fleet: read the `"shard"` field of
+     * each response, print the per-shard breakdown, and query the
+     * aggregated `stats` op for the disk-cache hit ratio afterwards.
+     */
+    bool router = false;
     /** Send `{"op":"shutdown"}` once all clients finish. */
     bool shutdownAfter = false;
     /** Manifest output path ("" = only $RFH_MANIFEST). */

@@ -166,9 +166,11 @@ parseServiceRequest(const std::string &line)
                 req.op = ServiceOp::PING;
             else if (value.string == "shutdown")
                 req.op = ServiceOp::SHUTDOWN;
+            else if (value.string == "stats")
+                req.op = ServiceOp::STATS;
             else
                 return bad("unknown op '" + value.string +
-                           "' (valid: run, ping, shutdown)");
+                           "' (valid: run, ping, shutdown, stats)");
         } else if (key == "kernel") {
             if (!value.isString() || value.string.empty())
                 return bad("field 'kernel' must be a non-empty string "
@@ -249,6 +251,39 @@ parseServiceRequest(const std::string &line)
     p.ok = true;
     p.request = std::move(req);
     return p;
+}
+
+std::string
+serviceRequestToJson(const ServiceRequest &req)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("id").rawValue(req.idJson.empty() ? "null" : req.idJson);
+    switch (req.op) {
+      case ServiceOp::RUN: w.key("op").value("run"); break;
+      case ServiceOp::PING: w.key("op").value("ping"); break;
+      case ServiceOp::SHUTDOWN: w.key("op").value("shutdown"); break;
+      case ServiceOp::STATS: w.key("op").value("stats"); break;
+    }
+    if (!req.kernelText.empty())
+        w.key("kernel").value(req.kernelText);
+    if (!req.workload.empty())
+        w.key("workload").value(req.workload);
+    w.key("scheme").value(std::string(schemeToken(req.scheme)));
+    switch (req.engine) {
+      case ExecEngine::AUTO: w.key("engine").value("auto"); break;
+      case ExecEngine::DIRECT: w.key("engine").value("direct"); break;
+      case ExecEngine::REPLAY: w.key("engine").value("replay"); break;
+    }
+    w.key("entries").value(req.entries);
+    w.key("warps").value(req.warps);
+    w.key("split_lrf").value(req.splitLRF);
+    w.key("partial_ranges").value(req.partialRanges);
+    w.key("read_operands").value(req.readOperands);
+    if (req.deadlineMs)
+        w.key("deadline_ms").value(*req.deadlineMs);
+    w.endObject();
+    return w.str();
 }
 
 std::string

@@ -61,6 +61,7 @@ enum class ServiceOp
     RUN,       ///< Compile + simulate one kernel (the default).
     PING,      ///< Liveness probe; answered inline.
     SHUTDOWN,  ///< Begin graceful drain.
+    STATS,     ///< Snapshot of service + cache counters; answered inline.
 };
 
 /** One parsed request line. */
@@ -102,6 +103,15 @@ struct ParsedRequest
  * all produce BAD_REQUEST errors naming the offending field.
  */
 ParsedRequest parseServiceRequest(const std::string &line);
+
+/**
+ * Canonical re-serialization of a parsed request. The router forwards
+ * client lines to workers with a router-assigned id; since clients may
+ * order fields arbitrarily, it re-serialises through this (id first,
+ * then every field in a fixed order) rather than patching text.
+ * parseServiceRequest(serviceRequestToJson(r)) reproduces r exactly.
+ */
+std::string serviceRequestToJson(const ServiceRequest &req);
 
 /** Scheme wire tokens: baseline, hw2, hw3, sw2, sw3. */
 std::optional<Scheme> schemeFromToken(const std::string &token);

@@ -1,0 +1,1373 @@
+#include "service/router.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <list>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/json.h"
+#include "core/manifest.h"
+#include "core/memo.h"
+#include "core/metrics.h"
+#include "core/timing.h"
+#include "ir/parser.h"
+#include "service/protocol.h"
+#include "workloads/registry.h"
+
+namespace rfh {
+
+namespace {
+
+/** Registry mirror of the router counters (one-time registration). */
+struct RouterMetrics
+{
+    Counter &routed =
+        globalMetrics().counter("service.cache.router_routed");
+    Counter &rerouted =
+        globalMetrics().counter("service.cache.router_rerouted");
+    Counter &restarts =
+        globalMetrics().counter("service.cache.router_restarts");
+    Counter &failed =
+        globalMetrics().counter("service.cache.router_failed");
+};
+
+RouterMetrics &
+routerMetrics()
+{
+    static RouterMetrics m;
+    return m;
+}
+
+/** FNV-1a 64-bit over raw bytes. */
+std::uint64_t
+fnv64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Ring position of virtual node @p v of worker @p worker. */
+std::uint64_t
+ringHash(int worker, int v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "w%d:v%d", worker, v);
+    return fnv64(buf);
+}
+
+bool
+sendLine(int fd, const std::string &line)
+{
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+        ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readLine(int fd, std::string &buf, std::string &line)
+{
+    for (;;) {
+        std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf, 0, nl);
+            buf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return true;
+        }
+        char tmp[4096];
+        ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+}
+
+/** Recursive JsonValue re-serialization (for merged stats fan-outs). */
+void
+writeValue(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.type) {
+      case JsonValue::Type::NUL:
+        w.rawValue("null");
+        break;
+      case JsonValue::Type::BOOL:
+        w.value(v.boolean);
+        break;
+      case JsonValue::Type::NUMBER:
+        // Counters are integral; print them without a decimal point.
+        if (v.number == static_cast<double>(
+                            static_cast<long long>(v.number))) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%lld",
+                          static_cast<long long>(v.number));
+            w.rawValue(buf);
+        } else {
+            w.value(v.number);
+        }
+        break;
+      case JsonValue::Type::STRING:
+        w.value(v.string);
+        break;
+      case JsonValue::Type::ARRAY:
+        w.beginArray();
+        for (const JsonValue &e : v.array)
+            writeValue(w, e);
+        w.endArray();
+        break;
+      case JsonValue::Type::OBJECT:
+        w.beginObject();
+        for (const auto &[k, e] : v.object) {
+            w.key(k);
+            writeValue(w, e);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+/**
+ * Merge one worker's stats object into the fleet aggregate: numbers
+ * add, booleans OR (the `attached` flag), objects recurse. Keys keep
+ * first-seen order, so the merged document is deterministic.
+ */
+void
+mergeStats(JsonValue &into, const JsonValue &from)
+{
+    if (!from.isObject())
+        return;
+    if (!into.isObject()) {
+        into = JsonValue{};
+        into.type = JsonValue::Type::OBJECT;
+    }
+    for (const auto &[key, value] : from.object) {
+        JsonValue *slot = nullptr;
+        for (auto &[k, v] : into.object)
+            if (k == key) {
+                slot = &v;
+                break;
+            }
+        if (!slot) {
+            into.object.emplace_back(key, value);
+            continue;
+        }
+        if (value.isNumber() && slot->isNumber())
+            slot->number += value.number;
+        else if (value.type == JsonValue::Type::BOOL &&
+                 slot->type == JsonValue::Type::BOOL)
+            slot->boolean = slot->boolean || value.boolean;
+        else if (value.isObject())
+            mergeStats(*slot, value);
+    }
+}
+
+/** One accepted client connection. */
+struct ClientConn
+{
+    int fd = -1;
+    std::mutex writeMu;
+    std::thread reader;
+};
+
+using Clock = std::chrono::steady_clock;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// RouterImpl
+// ---------------------------------------------------------------------
+
+struct RouterImpl
+{
+    enum class WorkerState { DOWN, UP };
+
+    struct Worker
+    {
+        int id = -1;
+        std::string sock;
+        pid_t pid = -1;
+        int fd = -1;
+        WorkerState state = WorkerState::DOWN;
+        int restarts = 0;
+        double backoffMs = 0.0;
+        Clock::time_point nextRestartAt{};
+        Clock::time_point nextPingAt{};
+        std::thread reader;
+        std::mutex writeMu;
+    };
+
+    struct StatsAgg
+    {
+        std::string origId;
+        std::shared_ptr<ClientConn> client;
+        int outstanding = 0;
+        JsonValue merged;
+    };
+
+    struct Pending
+    {
+        enum class Kind { RUN, PING, STATS };
+        Kind kind = Kind::RUN;
+        std::string origId = "null";
+        ServiceRequest request;
+        std::uint64_t fp = 0;
+        std::shared_ptr<ClientConn> client;
+        int worker = -1;
+        int attempts = 1;
+        std::shared_ptr<StatsAgg> agg;
+    };
+
+    explicit RouterImpl(const RouterOptions &o) : opts(o)
+    {
+        if (opts.workers < 1)
+            opts.workers = 1;
+        if (opts.virtualNodes < 1)
+            opts.virtualNodes = 1;
+        if (opts.maxRouteAttempts < 1)
+            opts.maxRouteAttempts = 1;
+    }
+
+    RouterOptions opts;
+    std::string exe;
+    std::vector<std::unique_ptr<Worker>> workers;
+    /** (position, worker) sorted by position. */
+    std::vector<std::pair<std::uint64_t, int>> ring;
+    std::map<std::string, std::uint64_t> workloadFp;
+
+    int listenFd = -1;
+    std::thread acceptThread;
+    std::thread supervisorThread;
+
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, Pending> pending;
+    std::unordered_map<std::uint64_t, std::uint64_t> inlineFp;
+    std::uint64_t nextRid = 1;
+    RouterStats stats;
+    std::list<std::shared_ptr<ClientConn>> conns;
+    std::condition_variable pendingDrained;
+
+    std::atomic<bool> admitting{true};
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> stopAccept{false};
+    std::atomic<bool> stopSupervisor{false};
+    bool started = false;
+    bool drained = false;
+
+    std::mutex stopMu;
+    std::condition_variable stopCv;
+    bool stopRequested = false;
+
+    // ---- lifecycle -------------------------------------------------
+
+    bool
+    start()
+    {
+        exe = opts.workerExe;
+        if (exe.empty())
+            exe = "/proc/self/exe";
+        std::string dir = opts.socketDir;
+        if (dir.empty()) {
+            std::filesystem::path p(opts.socketPath);
+            dir = p.has_parent_path() ? p.parent_path().string() : ".";
+        }
+
+        workers.reserve(static_cast<std::size_t>(opts.workers));
+        for (int i = 0; i < opts.workers; i++) {
+            auto w = std::make_unique<Worker>();
+            w->id = i;
+            w->sock = dir + "/rfhc-worker-" + std::to_string(::getpid()) +
+                "-" + std::to_string(i) + ".sock";
+            w->backoffMs = opts.restartBackoffMs;
+            workers.push_back(std::move(w));
+        }
+        for (int i = 0; i < opts.workers; i++)
+            for (int v = 0; v < opts.virtualNodes; v++)
+                ring.emplace_back(ringHash(i, v), i);
+        std::sort(ring.begin(), ring.end());
+
+        // Fingerprint every registry workload once so routing a
+        // workload request is a map lookup, not a hash of its text.
+        for (const Workload &w : allWorkloads())
+            workloadFp[w.name] = kernelFingerprint(w.kernel);
+
+        for (auto &w : workers) {
+            if (!bringUp(*w)) {
+                std::fprintf(stderr,
+                             "rfhc router: worker %d failed to start\n",
+                             w->id);
+                teardownFleet();
+                return false;
+            }
+        }
+
+        if (!listen()) {
+            teardownFleet();
+            return false;
+        }
+        acceptThread = std::thread([this] { acceptLoop(); });
+        supervisorThread = std::thread([this] { supervisorLoop(); });
+        started = true;
+        return true;
+    }
+
+    bool
+    listen()
+    {
+        if (opts.socketPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+            std::fprintf(stderr,
+                         "rfhc router: socket path too long: %s\n",
+                         opts.socketPath.c_str());
+            return false;
+        }
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd < 0) {
+            std::perror("rfhc router: socket");
+            return false;
+        }
+        sockaddr_un addr = {};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(opts.socketPath.c_str());
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) < 0 ||
+            ::listen(listenFd, 64) < 0) {
+            std::fprintf(stderr,
+                         "rfhc router: cannot listen on %s: %s\n",
+                         opts.socketPath.c_str(), std::strerror(errno));
+            ::close(listenFd);
+            listenFd = -1;
+            return false;
+        }
+        std::fprintf(stderr, "rfhc router: listening on %s (%d workers)\n",
+                     opts.socketPath.c_str(), opts.workers);
+        return true;
+    }
+
+    // ---- worker lifecycle ------------------------------------------
+
+    /** Fork+exec one `rfhc serve` child for @p w. */
+    bool
+    spawn(Worker &w)
+    {
+        std::vector<std::string> args = {
+            exe,       "serve",
+            "--socket", w.sock,
+            "--queue",  std::to_string(opts.queueCapacity),
+            "--batch",  std::to_string(opts.batchMax),
+        };
+        if (!opts.cacheDir.empty()) {
+            args.push_back("--cache-dir");
+            args.push_back(opts.cacheDir);
+            args.push_back("--cache-max-bytes");
+            args.push_back(std::to_string(opts.cacheMaxBytes));
+        }
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            std::perror("rfhc router: fork");
+            return false;
+        }
+        if (pid == 0) {
+            if (opts.workerThreads > 0)
+                ::setenv("RFH_THREADS",
+                         std::to_string(opts.workerThreads).c_str(), 1);
+            // Workers must not inherit the router's manifest/trace
+            // destinations; their own session manifests are opt-in.
+            ::unsetenv("RFH_MANIFEST");
+            ::unsetenv("RFH_TRACE_EVENTS");
+            std::vector<char *> argv;
+            argv.reserve(args.size() + 1);
+            for (std::string &a : args)
+                argv.push_back(a.data());
+            argv.push_back(nullptr);
+            ::execv(exe.c_str(), argv.data());
+            std::perror("rfhc router: execv");
+            ::_exit(127);
+        }
+        w.pid = pid;
+        return true;
+    }
+
+    /** Connect to @p w's socket, retrying while the child boots. */
+    int
+    connectTo(const Worker &w)
+    {
+        if (w.sock.size() >= sizeof(sockaddr_un{}.sun_path))
+            return -1;
+        for (int attempt = 0; attempt < 100; attempt++) {
+            int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (fd < 0)
+                return -1;
+            sockaddr_un addr = {};
+            addr.sun_family = AF_UNIX;
+            std::strncpy(addr.sun_path, w.sock.c_str(),
+                         sizeof(addr.sun_path) - 1);
+            if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof addr) == 0)
+                return fd;
+            ::close(fd);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+        return -1;
+    }
+
+    /**
+     * Spawn + connect + synchronous ping + reader start. The caller
+     * must have joined any previous reader of @p w.
+     */
+    bool
+    bringUp(Worker &w)
+    {
+        if (!spawn(w))
+            return false;
+        int fd = connectTo(w);
+        if (fd < 0) {
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+            w.pid = -1;
+            return false;
+        }
+        // Synchronous health check before the reader owns the fd.
+        std::string buf, line;
+        if (!sendLine(fd, R"({"id":0,"op":"ping"})") ||
+            !readLine(fd, buf, line) ||
+            line.find("\"pong\"") == std::string::npos) {
+            ::close(fd);
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+            w.pid = -1;
+            return false;
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            w.fd = fd;
+            w.state = WorkerState::UP;
+            w.nextPingAt = Clock::now() +
+                std::chrono::milliseconds(
+                    static_cast<int>(opts.pingIntervalMs));
+        }
+        w.reader = std::thread([this, &w] { workerReadLoop(w); });
+        return true;
+    }
+
+    void
+    workerReadLoop(Worker &w)
+    {
+        std::string buf, line;
+        int fd = w.fd;
+        while (readLine(fd, buf, line))
+            if (!line.empty())
+                onWorkerLine(w.id, line);
+        onWorkerDown(w.id);
+    }
+
+    /**
+     * Mark @p wk down and fail its in-flight requests over to ring
+     * successors. Idempotent: the reader EOF, a failed forward, and
+     * the supervisor's reap can all race into here.
+     */
+    void
+    onWorkerDown(int wk)
+    {
+        std::vector<std::uint64_t> orphans;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            Worker &w = *workers[wk];
+            if (w.state != WorkerState::UP)
+                return;
+            w.state = WorkerState::DOWN;
+            w.nextRestartAt = Clock::now() +
+                std::chrono::milliseconds(
+                    static_cast<int>(w.backoffMs));
+            w.backoffMs = std::min(w.backoffMs * 2,
+                                   opts.restartBackoffMaxMs);
+            // Unblock the reader and any forwarder; the fd itself is
+            // closed by the supervisor after joining the reader, so
+            // no concurrent send can hit a recycled descriptor.
+            ::shutdown(w.fd, SHUT_RDWR);
+            for (const auto &[rid, p] : pending)
+                if (p.worker == wk)
+                    orphans.push_back(rid);
+        }
+        if (!stopping.load())
+            std::fprintf(stderr,
+                         "rfhc router: worker %d down; re-routing %d "
+                         "in-flight request(s)\n",
+                         wk, static_cast<int>(orphans.size()));
+        for (std::uint64_t rid : orphans)
+            reroute(rid);
+    }
+
+    void
+    supervisorLoop()
+    {
+        while (!stopSupervisor.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            for (auto &wp : workers) {
+                Worker &w = *wp;
+                reap(w);
+                WorkerState st;
+                {
+                    std::lock_guard<std::mutex> lk(mu);
+                    st = w.state;
+                }
+                if (st == WorkerState::UP)
+                    healthCheck(w);
+                else if (!stopping.load())
+                    maybeRestart(w);
+            }
+        }
+    }
+
+    /** Collect the child if it exited; a dead pid means worker down. */
+    void
+    reap(Worker &w)
+    {
+        if (w.pid <= 0)
+            return;
+        int status = 0;
+        pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+        if (r != w.pid)
+            return;
+        w.pid = -1;
+        onWorkerDown(w.id);
+    }
+
+    /** Send a correlated ping; a send failure marks the worker down. */
+    void
+    healthCheck(Worker &w)
+    {
+        std::uint64_t rid;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (w.state != WorkerState::UP ||
+                Clock::now() < w.nextPingAt)
+                return;
+            w.nextPingAt = Clock::now() +
+                std::chrono::milliseconds(
+                    static_cast<int>(opts.pingIntervalMs));
+            rid = nextRid++;
+            Pending p;
+            p.kind = Pending::Kind::PING;
+            p.worker = w.id;
+            pending.emplace(rid, std::move(p));
+            stats.pings++;
+        }
+        std::string line =
+            "{\"id\":" + std::to_string(rid) + ",\"op\":\"ping\"}";
+        bool sent;
+        {
+            std::lock_guard<std::mutex> wl(w.writeMu);
+            sent = sendLine(w.fd, line);
+        }
+        if (!sent)
+            onWorkerDown(w.id);
+    }
+
+    /** Respawn a down worker once its backoff window has passed. */
+    void
+    maybeRestart(Worker &w)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (w.state != WorkerState::DOWN ||
+                w.restarts >= opts.maxRestarts ||
+                Clock::now() < w.nextRestartAt)
+                return;
+        }
+        if (w.pid > 0) {
+            // The process is alive but its connection broke (hung or
+            // wedged): replace it.
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, nullptr, 0);
+            w.pid = -1;
+        }
+        if (w.reader.joinable())
+            w.reader.join();
+        {
+            std::lock_guard<std::mutex> wl(w.writeMu);
+            if (w.fd >= 0)
+                ::close(w.fd);
+            w.fd = -1;
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            w.restarts++;
+            stats.restarts++;
+        }
+        routerMetrics().restarts.add();
+        std::fprintf(stderr,
+                     "rfhc router: restarting worker %d (attempt %d)\n",
+                     w.id, w.restarts);
+        if (!bringUp(w)) {
+            std::lock_guard<std::mutex> lk(mu);
+            w.nextRestartAt = Clock::now() +
+                std::chrono::milliseconds(
+                    static_cast<int>(w.backoffMs));
+            w.backoffMs = std::min(w.backoffMs * 2,
+                                   opts.restartBackoffMaxMs);
+        }
+    }
+
+    // ---- routing ---------------------------------------------------
+
+    /**
+     * The routing key: the same structural fingerprint the memo and
+     * disk caches use, so one kernel's requests always land on the
+     * same (live) worker and hit its warm caches. Unparsable inline
+     * kernels hash their text — the worker answers the parse error,
+     * deterministically.
+     */
+    std::uint64_t
+    requestFingerprint(const ServiceRequest &req)
+    {
+        if (!req.workload.empty()) {
+            auto it = workloadFp.find(req.workload);
+            return it != workloadFp.end() ? it->second
+                                          : fnv64(req.workload);
+        }
+        std::uint64_t h = fnv64(req.kernelText);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            auto it = inlineFp.find(h);
+            if (it != inlineFp.end())
+                return it->second;
+        }
+        ParseResult parsed = parseKernel(req.kernelText);
+        std::uint64_t fp =
+            parsed.ok ? kernelFingerprint(parsed.kernel) : h;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (inlineFp.size() >= 4096)
+                inlineFp.clear();
+            inlineFp[h] = fp;
+        }
+        return fp;
+    }
+
+    /** First live worker at or after @p fp on the ring (mu held). */
+    int
+    pickWorker(std::uint64_t fp)
+    {
+        auto it = std::lower_bound(
+            ring.begin(), ring.end(),
+            std::make_pair(fp, -1));
+        for (std::size_t step = 0; step < ring.size(); step++) {
+            if (it == ring.end())
+                it = ring.begin();
+            if (workers[static_cast<std::size_t>(it->second)]->state ==
+                WorkerState::UP)
+                return it->second;
+            ++it;
+        }
+        return -1;
+    }
+
+    std::string
+    canonicalLine(const ServiceRequest &req, std::uint64_t rid)
+    {
+        ServiceRequest copy = req;
+        copy.idJson = std::to_string(rid);
+        return serviceRequestToJson(copy);
+    }
+
+    bool
+    forwardTo(int wk, const std::string &line)
+    {
+        Worker &w = *workers[static_cast<std::size_t>(wk)];
+        std::lock_guard<std::mutex> wl(w.writeMu);
+        if (w.fd < 0)
+            return false;
+        return sendLine(w.fd, line);
+    }
+
+    void
+    respond(const std::shared_ptr<ClientConn> &cc,
+            const std::string &line)
+    {
+        if (!cc)
+            return;
+        std::lock_guard<std::mutex> lk(cc->writeMu);
+        sendLine(cc->fd, line);
+    }
+
+    void
+    respondError(const std::shared_ptr<ClientConn> &cc,
+                 const std::string &idJson, ServiceErrorCode code,
+                 std::string message,
+                 std::vector<std::pair<std::string, std::string>>
+                     context = {})
+    {
+        ServiceError err;
+        err.code = code;
+        err.message = std::move(message);
+        err.context = std::move(context);
+        respond(cc, makeErrorLine(idJson, err));
+    }
+
+    void
+    submitRun(const std::shared_ptr<ClientConn> &cc,
+              ServiceRequest &&req)
+    {
+        if (!admitting.load()) {
+            respondError(cc, req.idJson,
+                         ServiceErrorCode::SHUTTING_DOWN,
+                         "router is draining; request rejected");
+            return;
+        }
+        std::uint64_t fp = requestFingerprint(req);
+        std::uint64_t rid;
+        int wk;
+        std::string line;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            wk = pickWorker(fp);
+            if (wk < 0) {
+                stats.failed++;
+                routerMetrics().failed.add();
+                // Escape the lock before writing to the client.
+            }
+            if (wk >= 0) {
+                rid = nextRid++;
+                Pending p;
+                p.kind = Pending::Kind::RUN;
+                p.origId = req.idJson;
+                p.fp = fp;
+                p.client = cc;
+                p.worker = wk;
+                p.request = std::move(req);
+                line = canonicalLine(p.request, rid);
+                pending.emplace(rid, std::move(p));
+                stats.routed++;
+            }
+        }
+        if (wk < 0) {
+            respondError(cc, req.idJson, ServiceErrorCode::OVERLOADED,
+                         "no workers available; retry with backoff",
+                         {{"workers", std::to_string(opts.workers)},
+                          {"up", "0"}});
+            return;
+        }
+        routerMetrics().routed.add();
+        if (!forwardTo(wk, line))
+            onWorkerDown(wk);  // its orphan sweep re-routes this rid
+    }
+
+    /**
+     * Re-route one in-flight request after its worker died. Run
+     * results are deterministic functions of the request, so a retry
+     * on another worker can never change the answer the client sees.
+     */
+    void
+    reroute(std::uint64_t rid)
+    {
+        for (;;) {
+            std::shared_ptr<StatsAgg> finishedAgg;
+            std::shared_ptr<ClientConn> failClient;
+            std::string failId;
+            int failShard = -1;
+            int wk = -1;
+            std::string line;
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                auto it = pending.find(rid);
+                if (it == pending.end())
+                    return;  // answered before the worker died
+                Pending &p = it->second;
+                if (p.kind == Pending::Kind::PING) {
+                    pending.erase(it);
+                    notifyIfDrained();
+                    return;
+                }
+                if (p.kind == Pending::Kind::STATS) {
+                    auto agg = p.agg;
+                    pending.erase(it);
+                    notifyIfDrained();
+                    if (agg && --agg->outstanding == 0)
+                        finishedAgg = agg;
+                } else if (p.attempts >= opts.maxRouteAttempts ||
+                           (wk = pickWorker(p.fp)) < 0) {
+                    failClient = p.client;
+                    failId = p.origId;
+                    failShard = p.worker;
+                    pending.erase(it);
+                    stats.failed++;
+                    notifyIfDrained();
+                } else {
+                    p.attempts++;
+                    p.worker = wk;
+                    stats.rerouted++;
+                    line = canonicalLine(p.request, rid);
+                }
+            }
+            if (finishedAgg) {
+                finishStats(finishedAgg);
+                return;
+            }
+            if (failClient || wk < 0) {
+                routerMetrics().failed.add();
+                respondError(
+                    failClient, failId, ServiceErrorCode::OVERLOADED,
+                    "worker died and no retry capacity remains; "
+                    "retry with backoff",
+                    {{"shard", std::to_string(failShard)},
+                     {"reason", "\"worker_unavailable\""}});
+                return;
+            }
+            routerMetrics().rerouted.add();
+            if (forwardTo(wk, line))
+                return;
+            // The replacement died between pick and send: mark it and
+            // loop — onWorkerDown may already have re-routed this rid,
+            // in which case the next iteration finds nothing to do.
+            onWorkerDown(wk);
+        }
+    }
+
+    void
+    notifyIfDrained()
+    {
+        // mu held.
+        if (pending.empty())
+            pendingDrained.notify_all();
+    }
+
+    // ---- responses -------------------------------------------------
+
+    void
+    onWorkerLine(int wk, const std::string &line)
+    {
+        // Response envelopes always lead with the id we assigned:
+        // {"id":<rid>,...
+        const char *prefix = "{\"id\":";
+        if (line.compare(0, 6, prefix) != 0)
+            return;
+        char *end = nullptr;
+        std::uint64_t rid = std::strtoull(line.c_str() + 6, &end, 10);
+        if (!end || end == line.c_str() + 6)
+            return;  // null/non-numeric id (e.g. a shutdown ack)
+        std::size_t rest = static_cast<std::size_t>(end - line.c_str());
+
+        Pending p;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            auto it = pending.find(rid);
+            if (it == pending.end())
+                return;  // stale duplicate after a re-route
+            p = std::move(it->second);
+            pending.erase(it);
+            notifyIfDrained();
+        }
+        switch (p.kind) {
+          case Pending::Kind::PING:
+            return;
+          case Pending::Kind::STATS: {
+            JsonParseResult parsed = parseJson(line);
+            bool finished = false;
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                if (parsed.ok)
+                    if (const JsonValue *s = parsed.value.find("stats"))
+                        mergeStats(p.agg->merged, *s);
+                finished = --p.agg->outstanding == 0;
+            }
+            if (finished)
+                finishStats(p.agg);
+            return;
+          }
+          case Pending::Kind::RUN: {
+            // Rewrite the envelope prefix: our rid back to the
+            // client's id, plus the answering shard. Everything after
+            // the id — including the byte-exact result document — is
+            // relayed untouched.
+            std::string out = "{\"id\":" + p.origId +
+                ",\"shard\":" + std::to_string(wk) + line.substr(rest);
+            respond(p.client, out);
+            return;
+          }
+        }
+    }
+
+    void
+    finishStats(const std::shared_ptr<StatsAgg> &agg)
+    {
+        int up = 0;
+        RouterStats s;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            for (const auto &w : workers)
+                if (w->state == WorkerState::UP)
+                    up++;
+            s = stats;
+        }
+        JsonWriter w;
+        w.beginObject();
+        w.key("id").rawValue(agg->origId.empty() ? "null"
+                                                 : agg->origId);
+        w.key("ok").value(true);
+        w.key("op").value("stats");
+        w.key("workers").value(opts.workers);
+        w.key("up").value(up);
+        w.key("router").beginObject();
+        w.key("routed").value(s.routed);
+        w.key("rerouted").value(s.rerouted);
+        w.key("restarts").value(s.restarts);
+        w.key("failed").value(s.failed);
+        w.key("pings").value(s.pings);
+        w.endObject();
+        w.key("stats");
+        if (agg->merged.isObject())
+            writeValue(w, agg->merged);
+        else
+            w.rawValue("{}");
+        w.endObject();
+        respond(agg->client, w.str());
+    }
+
+    /** Fan an `op:"stats"` out to every live worker and aggregate. */
+    void
+    fanoutStats(const std::shared_ptr<ClientConn> &cc,
+                const std::string &origId)
+    {
+        auto agg = std::make_shared<StatsAgg>();
+        agg->origId = origId;
+        agg->client = cc;
+        std::vector<std::pair<int, std::uint64_t>> legs;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            for (const auto &w : workers) {
+                if (w->state != WorkerState::UP)
+                    continue;
+                std::uint64_t rid = nextRid++;
+                Pending p;
+                p.kind = Pending::Kind::STATS;
+                p.worker = w->id;
+                p.agg = agg;
+                pending.emplace(rid, std::move(p));
+                agg->outstanding++;
+                legs.emplace_back(w->id, rid);
+            }
+        }
+        if (legs.empty()) {
+            finishStats(agg);
+            return;
+        }
+        for (const auto &[wk, rid] : legs) {
+            std::string line = "{\"id\":" + std::to_string(rid) +
+                ",\"op\":\"stats\"}";
+            if (!forwardTo(wk, line))
+                onWorkerDown(wk);  // the orphan sweep settles this leg
+        }
+    }
+
+    // ---- client side -----------------------------------------------
+
+    void
+    acceptLoop()
+    {
+        while (!stopAccept.load()) {
+            pollfd pfd = {listenFd, POLLIN, 0};
+            int r = ::poll(&pfd, 1, 200);
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            if (r == 0)
+                continue;
+            int cfd = ::accept(listenFd, nullptr, nullptr);
+            if (cfd < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            auto cc = std::make_shared<ClientConn>();
+            cc->fd = cfd;
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                conns.push_back(cc);
+            }
+            cc->reader =
+                std::thread([this, cc] { clientReadLoop(cc); });
+        }
+    }
+
+    void
+    clientReadLoop(const std::shared_ptr<ClientConn> &cc)
+    {
+        std::string buf, line;
+        while (readLine(cc->fd, buf, line)) {
+            if (line.empty())
+                continue;
+            handleClientLine(cc, line);
+        }
+    }
+
+    void
+    handleClientLine(const std::shared_ptr<ClientConn> &cc,
+                     const std::string &line)
+    {
+        ParsedRequest parsed = parseServiceRequest(line);
+        if (!parsed.ok) {
+            respond(cc, makeErrorLine(parsed.request.idJson,
+                                      parsed.error));
+            return;
+        }
+        ServiceRequest &req = parsed.request;
+        switch (req.op) {
+          case ServiceOp::PING:
+            respond(cc, makeAckLine(req.idJson, "pong"));
+            return;
+          case ServiceOp::SHUTDOWN:
+            respond(cc, makeAckLine(req.idJson, "shutdown"));
+            requestStop();
+            return;
+          case ServiceOp::STATS:
+            fanoutStats(cc, req.idJson);
+            return;
+          case ServiceOp::RUN:
+            submitRun(cc, std::move(req));
+            return;
+        }
+    }
+
+    // ---- stop ------------------------------------------------------
+
+    void
+    requestStop()
+    {
+        {
+            std::lock_guard<std::mutex> lk(stopMu);
+            stopRequested = true;
+        }
+        stopCv.notify_all();
+    }
+
+    void
+    waitUntilStopRequested()
+    {
+        std::unique_lock<std::mutex> lk(stopMu);
+        stopCv.wait(lk, [this] { return stopRequested; });
+    }
+
+    /** Gracefully shut one worker down through its own drain path. */
+    void
+    drainWorker(Worker &w)
+    {
+        bool up;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            up = w.state == WorkerState::UP;
+        }
+        if (up) {
+            std::lock_guard<std::mutex> wl(w.writeMu);
+            sendLine(w.fd, R"({"op":"shutdown"})");
+        }
+        if (w.pid > 0) {
+            // Bounded wait for the child's graceful exit, then force.
+            for (int i = 0; i < 100; i++) {
+                int status = 0;
+                if (::waitpid(w.pid, &status, WNOHANG) == w.pid) {
+                    w.pid = -1;
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            }
+            if (w.pid > 0) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, nullptr, 0);
+                w.pid = -1;
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (w.state == WorkerState::UP) {
+                w.state = WorkerState::DOWN;
+                ::shutdown(w.fd, SHUT_RDWR);
+            }
+        }
+        if (w.reader.joinable())
+            w.reader.join();
+        std::lock_guard<std::mutex> wl(w.writeMu);
+        if (w.fd >= 0)
+            ::close(w.fd);
+        w.fd = -1;
+        ::unlink(w.sock.c_str());
+    }
+
+    void
+    teardownFleet()
+    {
+        for (auto &wp : workers) {
+            Worker &w = *wp;
+            if (w.pid > 0) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, nullptr, 0);
+                w.pid = -1;
+            }
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                if (w.state == WorkerState::UP) {
+                    w.state = WorkerState::DOWN;
+                    ::shutdown(w.fd, SHUT_RDWR);
+                }
+            }
+            if (w.reader.joinable())
+                w.reader.join();
+            if (w.fd >= 0)
+                ::close(w.fd);
+            w.fd = -1;
+            ::unlink(w.sock.c_str());
+        }
+    }
+
+    void
+    shutdown()
+    {
+        if (drained)
+            return;
+        drained = true;
+        stopping = true;
+        admitting = false;
+
+        // 1. Close the front door.
+        stopAccept = true;
+        if (acceptThread.joinable())
+            acceptThread.join();
+
+        // 2. Wait (bounded) for in-flight requests to finish; the
+        //    workers keep answering while we wait.
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            pendingDrained.wait_for(
+                lk, std::chrono::seconds(30),
+                [this] { return pending.empty(); });
+        }
+
+        // 3. Stop restarts and health checks.
+        stopSupervisor = true;
+        if (supervisorThread.joinable())
+            supervisorThread.join();
+
+        // 4. Rolling drain: one worker at a time through its own
+        //    graceful-shutdown path.
+        for (auto &wp : workers)
+            drainWorker(*wp);
+
+        // 5. Unblock and join the client readers.
+        std::vector<std::shared_ptr<ClientConn>> cs;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            cs.assign(conns.begin(), conns.end());
+        }
+        for (auto &cc : cs)
+            ::shutdown(cc->fd, SHUT_RDWR);
+        for (auto &cc : cs) {
+            if (cc->reader.joinable())
+                cc->reader.join();
+            ::close(cc->fd);
+        }
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+        ::unlink(opts.socketPath.c_str());
+    }
+};
+
+// ---------------------------------------------------------------------
+// Router facade
+// ---------------------------------------------------------------------
+
+Router::Router(const RouterOptions &opts)
+    : impl_(std::make_unique<RouterImpl>(opts))
+{
+}
+
+Router::~Router()
+{
+    if (impl_->started)
+        impl_->shutdown();
+    else
+        impl_->teardownFleet();
+}
+
+bool
+Router::start()
+{
+    return impl_->start();
+}
+
+void
+Router::waitUntilStopRequested()
+{
+    impl_->waitUntilStopRequested();
+}
+
+void
+Router::requestStop()
+{
+    impl_->requestStop();
+}
+
+void
+Router::shutdown()
+{
+    impl_->shutdown();
+}
+
+int
+Router::workerPid(int i) const
+{
+    if (i < 0 || i >= static_cast<int>(impl_->workers.size()))
+        return -1;
+    return static_cast<int>(impl_->workers[static_cast<std::size_t>(i)]
+                                ->pid);
+}
+
+int
+Router::upWorkers() const
+{
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    int up = 0;
+    for (const auto &w : impl_->workers)
+        if (w->state == RouterImpl::WorkerState::UP)
+            up++;
+    return up;
+}
+
+RouterStats
+Router::stats() const
+{
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    return impl_->stats;
+}
+
+// ---------------------------------------------------------------------
+// CLI entry
+// ---------------------------------------------------------------------
+
+namespace {
+
+volatile std::sig_atomic_t g_routerStop = 0;
+
+void
+routerStopSignal(int)
+{
+    g_routerStop = 1;
+}
+
+} // namespace
+
+int
+runRouter(const RouterOptions &opts)
+{
+    struct sigaction sa = {};
+    sa.sa_handler = routerStopSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
+    g_routerStop = 0;
+
+    Router router(opts);
+    Stopwatch wall;
+    if (!router.start())
+        return 1;
+
+    // Wake the stop wait when a signal lands: poll the flag cheaply.
+    std::thread signalPump([&router] {
+        while (!g_routerStop) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+        router.requestStop();
+    });
+    router.waitUntilStopRequested();
+    g_routerStop = 1;  // stop the pump when a client asked to stop
+    signalPump.join();
+    router.shutdown();
+
+    RouterStats s = router.stats();
+    std::fprintf(stderr,
+                 "rfhc router: routed %llu (rerouted %llu, failed "
+                 "%llu), %llu restarts in %.1fs\n",
+                 static_cast<unsigned long long>(s.routed),
+                 static_cast<unsigned long long>(s.rerouted),
+                 static_cast<unsigned long long>(s.failed),
+                 static_cast<unsigned long long>(s.restarts),
+                 wall.elapsedSec());
+
+    ManifestInfo m;
+    m.tool = "rfhc router";
+    m.engine = "service";
+    m.config = {
+        {"socket", opts.socketPath},
+        {"workers", std::to_string(opts.workers)},
+        {"virtual_nodes", std::to_string(opts.virtualNodes)},
+        {"cache_dir",
+         opts.cacheDir.empty() ? std::string("(none)") : opts.cacheDir},
+        {"worker_threads", std::to_string(opts.workerThreads)},
+    };
+    m.timing.wallSec = wall.elapsedSec();
+    m.timing.threads = opts.workers;
+    m.benchmarks = {
+        {"rfhc.router/routed", static_cast<double>(s.routed),
+         "requests", true},
+        {"rfhc.router/rerouted", static_cast<double>(s.rerouted),
+         "requests", false},
+        {"rfhc.router/restarts", static_cast<double>(s.restarts),
+         "restarts", false},
+        {"rfhc.router/failed", static_cast<double>(s.failed),
+         "requests", false},
+    };
+    if (!opts.manifestPath.empty()) {
+        if (!writeManifest(opts.manifestPath, m)) {
+            std::fprintf(stderr, "rfhc: cannot write %s\n",
+                         opts.manifestPath.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "rfhc: wrote manifest %s\n",
+                     opts.manifestPath.c_str());
+    }
+    emitRunArtifacts(m);
+    return 0;
+}
+
+} // namespace rfh

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Sharded service fleet front-end (`rfhc router`).
+ *
+ * One `rfhc serve` process on one socket is the served-throughput
+ * ceiling; the router scales out by accepting the existing NDJSON
+ * protocol on a single front socket and sharding run requests across
+ * N `rfhc serve` worker processes it spawns and supervises. Placement
+ * is consistent hashing over the kernel fingerprint (core/memo.h) —
+ * the same key the memo and disk caches use — so each worker's warm
+ * memo/trace/decode caches see an affine request stream, and adding
+ * or losing a worker remaps only the neighbouring ring segment
+ * instead of reshuffling every kernel.
+ *
+ * Supervision model:
+ *  - **spawn** — workers are `<exe> serve --socket <dir>/worker-<i>.sock`
+ *    children sharing one persistent disk cache directory, so a cold
+ *    worker starts warm from the fleet's prior compilations.
+ *  - **health** — a periodic `ping` request per worker; a broken pipe
+ *    or reader EOF marks the worker down immediately.
+ *  - **failover** — requests in flight on a dead worker are re-routed
+ *    to ring successors (results are deterministic, so a retry can
+ *    never change an answer); requests that exhaust their attempts get
+ *    a structured `overloaded` error naming the dead shard.
+ *  - **restart** — crashed workers are reaped and respawned with
+ *    capped exponential backoff, up to a restart budget.
+ *  - **rolling drain** — shutdown stops admission (`shutting_down`
+ *    errors), waits for in-flight requests, then shuts workers down
+ *    one at a time through their own graceful-drain path.
+ *
+ * Responses are relayed verbatim except for the envelope prefix: the
+ * router rewrites its internal correlation id back to the client's id
+ * and inserts a `"shard":<n>` field, so `loadgen --verify`'s
+ * byte-compare of the result document still holds end-to-end.
+ */
+
+#ifndef RFH_SERVICE_ROUTER_H
+#define RFH_SERVICE_ROUTER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace rfh {
+
+/** `rfhc router` configuration. */
+struct RouterOptions
+{
+    /** Front socket clients connect to. */
+    std::string socketPath = "rfhc-router.sock";
+    /** Fleet size. */
+    int workers = 4;
+    /**
+     * Worker executable; empty resolves to /proc/self/exe (the rfhc
+     * binary itself). Tests point this at the built rfhc explicitly.
+     */
+    std::string workerExe;
+    /** Directory for worker sockets ("" = alongside socketPath). */
+    std::string socketDir;
+    /** Shared persistent compile cache directory ("" = none). */
+    std::string cacheDir;
+    /** Disk-cache size cap, forwarded to workers (0 = unlimited). */
+    std::uint64_t cacheMaxBytes = 256ull << 20;
+    /** RFH_THREADS for each worker (0 = inherit the environment). */
+    int workerThreads = 0;
+    /** Per-worker admission queue capacity (rfhc serve --queue). */
+    int queueCapacity = 64;
+    /** Per-worker batch cap (rfhc serve --batch). */
+    int batchMax = 8;
+    /** Virtual ring nodes per worker. */
+    int virtualNodes = 64;
+    /** Restart budget per worker before it stays down. */
+    int maxRestarts = 8;
+    /** First restart backoff; doubles per consecutive restart. */
+    double restartBackoffMs = 50.0;
+    /** Backoff cap. */
+    double restartBackoffMaxMs = 2000.0;
+    /** Route attempts per request before a structured give-up. */
+    int maxRouteAttempts = 3;
+    /** Health-check ping interval. */
+    double pingIntervalMs = 500.0;
+    /** Session manifest output path ("" = only $RFH_MANIFEST). */
+    std::string manifestPath;
+};
+
+/** Monotonic router accounting (mirrored into service.cache.*). */
+struct RouterStats
+{
+    std::uint64_t routed = 0;     ///< Run requests forwarded.
+    std::uint64_t rerouted = 0;   ///< Re-forwarded after a worker died.
+    std::uint64_t restarts = 0;   ///< Worker respawns.
+    std::uint64_t failed = 0;     ///< Answered with a router error.
+    std::uint64_t pings = 0;      ///< Health probes sent.
+};
+
+struct RouterImpl;
+
+/**
+ * The embeddable fleet front-end (see file comment). runRouter() wraps
+ * it for the CLI; tests construct it directly so they can kill worker
+ * processes mid-load and drive the drain themselves.
+ */
+class Router
+{
+  public:
+    explicit Router(const RouterOptions &opts);
+    /** shutdown()s if still running. */
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /**
+     * Spawn the fleet, connect and health-check every worker, start
+     * the front listener. @return false (with the fleet torn down)
+     * when any worker fails to come up or the socket cannot listen.
+     */
+    bool start();
+
+    /**
+     * Block until a client sends `{"op":"shutdown"}` or requestStop()
+     * is called (e.g. from a signal handler loop).
+     */
+    void waitUntilStopRequested();
+
+    /** Make waitUntilStopRequested() return. */
+    void requestStop();
+
+    /**
+     * Rolling drain: stop admission, wait for in-flight requests,
+     * then shut each worker down in turn through its graceful-drain
+     * path. Idempotent.
+     */
+    void shutdown();
+
+    /** Worker process id of shard @p i (-1 when down). Tests kill it. */
+    int workerPid(int i) const;
+
+    /** Workers currently serving. */
+    int upWorkers() const;
+
+    RouterStats stats() const;
+
+  private:
+    std::unique_ptr<RouterImpl> impl_;
+};
+
+/**
+ * Run the router until a `{"op":"shutdown"}` request or
+ * SIGINT/SIGTERM, then drain the fleet. @return process exit code.
+ */
+int runRouter(const RouterOptions &opts);
+
+} // namespace rfh
+
+#endif // RFH_SERVICE_ROUTER_H

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <iostream>
 #include <list>
+#include <memory>
 #include <string>
 
 #include <poll.h>
@@ -15,6 +16,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "core/diskcache.h"
 #include "core/json.h"
 #include "core/manifest.h"
 #include "core/memo.h"
@@ -114,6 +116,10 @@ BatchService::submit(const std::string &line, Responder respond)
 
     if (req.op == ServiceOp::PING) {
         respond(makeAckLine(req.idJson, "pong"));
+        return true;
+    }
+    if (req.op == ServiceOp::STATS) {
+        respond(makeStatsLine(req.idJson));
         return true;
     }
     if (req.op == ServiceOp::SHUTDOWN) {
@@ -397,6 +403,54 @@ BatchService::maybeEvictCaches()
     }
 }
 
+std::string
+BatchService::makeStatsLine(const std::string &idJson) const
+{
+    ServiceStats s = stats();
+    ExperimentCache &cache = globalExperimentCache();
+    ExperimentCache::Stats mc = cache.stats();
+    JsonWriter w;
+    w.beginObject();
+    w.key("id").rawValue(idJson.empty() ? "null" : idJson);
+    w.key("ok").value(true);
+    w.key("op").value("stats");
+    w.key("stats").beginObject();
+    w.key("service").beginObject();
+    w.key("accepted").value(s.accepted);
+    w.key("completed").value(s.completed);
+    w.key("ok").value(s.ok);
+    w.key("errors").value(s.errors);
+    w.key("shed").value(s.shed);
+    w.key("timeouts").value(s.timeouts);
+    w.endObject();
+    w.key("memo").beginObject();
+    w.key("baseline_hits").value(mc.baselineHits);
+    w.key("baseline_misses").value(mc.baselineMisses);
+    w.key("analysis_hits").value(mc.analysisHits);
+    w.key("analysis_misses").value(mc.analysisMisses);
+    w.key("trace_hits").value(mc.traceHits);
+    w.key("trace_misses").value(mc.traceMisses);
+    w.key("entries").value(
+        static_cast<std::uint64_t>(cache.entryCount()));
+    w.endObject();
+    w.key("disk").beginObject();
+    DiskCache *dc = cache.diskCache();
+    w.key("attached").value(dc != nullptr);
+    DiskCacheStats d = dc ? dc->stats() : DiskCacheStats{};
+    w.key("hits").value(d.hits);
+    w.key("misses").value(d.misses);
+    w.key("writes").value(d.writes);
+    w.key("evictions").value(d.evictions);
+    w.key("invalidated").value(d.invalidated);
+    w.key("bytes_read").value(d.bytesRead);
+    w.key("bytes_written").value(d.bytesWritten);
+    w.key("bytes_stored").value(d.bytesStored);
+    w.endObject();
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
 void
 BatchService::drain()
 {
@@ -612,6 +666,24 @@ runServe(const ServeOptions &opts)
     if (!opts.traceEventsPath.empty())
         TraceEventLog::global().enable();
 
+    // Attach the persistent compile cache before serving: memo misses
+    // then hydrate from disk (a restarted worker skips recompilation)
+    // and write computed entries back for the rest of the fleet.
+    std::unique_ptr<DiskCache> diskCache;
+    if (!opts.cacheDir.empty()) {
+        DiskCacheOptions dco;
+        dco.dir = opts.cacheDir;
+        dco.maxBytes = opts.cacheMaxBytes;
+        diskCache = std::make_unique<DiskCache>(dco);
+        if (!diskCache->usable())
+            std::fprintf(stderr,
+                         "rfhc serve: cache dir %s unusable; running "
+                         "without a disk cache\n",
+                         opts.cacheDir.c_str());
+        else
+            globalExperimentCache().attachDiskCache(diskCache.get());
+    }
+
     BatchService svc(opts.service);
     svc.start();
     Stopwatch wall;
@@ -648,6 +720,8 @@ runServe(const ServeOptions &opts)
         {"batch_max", std::to_string(opts.service.batchMax)},
         {"cache_max_entries",
          std::to_string(opts.service.cacheMaxEntries)},
+        {"cache_dir",
+         opts.cacheDir.empty() ? std::string("(none)") : opts.cacheDir},
     };
     m.timing.wallSec = wall.elapsedSec();
     m.timing.threads = opts.service.workers > 0
@@ -681,6 +755,8 @@ runServe(const ServeOptions &opts)
                      opts.traceEventsPath.c_str());
     }
     emitRunArtifacts(m);
+    if (diskCache)
+        globalExperimentCache().attachDiskCache(nullptr);
     return rc;
 }
 

@@ -131,6 +131,14 @@ class BatchService
 
     ServiceStats stats() const;
 
+    /**
+     * `op:"stats"` response: service counters plus the memo-cache and
+     * (when attached) disk-cache counters. The router fans this out to
+     * aggregate a fleet-wide cache picture; loadgen reports the disk
+     * hit ratio from it.
+     */
+    std::string makeStatsLine(const std::string &idJson) const;
+
   private:
     struct Job
     {
@@ -187,6 +195,15 @@ struct ServeOptions
     std::string manifestPath;
     /** Chrome-trace span output path ("" = only $RFH_TRACE_EVENTS). */
     std::string traceEventsPath;
+    /**
+     * Persistent compile-cache directory (core/diskcache.h); empty
+     * disables. When set, memo misses consult and populate the disk
+     * cache, so a restarted worker skips recompiling every kernel it
+     * (or any fleet sibling sharing the directory) has seen.
+     */
+    std::string cacheDir;
+    /** Disk-cache size cap before LRU eviction (0 = unlimited). */
+    std::uint64_t cacheMaxBytes = 256ull << 20;
 };
 
 /**

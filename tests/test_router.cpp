@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the sharded fleet front-end (src/service/router.h).
+ *
+ * These are process-level tests: the Router under test forks real
+ * `rfhc serve` workers (the built CLI binary, via RFH_RFHC_BIN) and
+ * the loadgen client verifies results byte-for-byte against local
+ * runScheme() — so what is pinned here is the full failover story:
+ * a worker killed with SIGKILL mid-load loses no requests and changes
+ * no bytes, the supervisor restarts it, and a rolling drain answers
+ * every in-flight request before the fleet goes down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/json.h"
+#include "service/loadgen.h"
+#include "service/router.h"
+
+namespace rfh {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Short unique socket path under /tmp (sun_path is ~107 bytes). */
+std::string
+socketPath(const char *tag)
+{
+    return "/tmp/rfh-rt-" + std::to_string(::getpid()) + "-" + tag +
+        ".sock";
+}
+
+RouterOptions
+baseOptions(const char *tag)
+{
+    RouterOptions ro;
+    ro.socketPath = socketPath(tag);
+    ro.workerExe = RFH_RFHC_BIN;
+    ro.workers = 3;
+    ro.workerThreads = 2;
+    // Fast restart so the kill test sees the respawn within its wait.
+    ro.restartBackoffMs = 20;
+    ro.pingIntervalMs = 100;
+    return ro;
+}
+
+int
+connectTo(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read until @p count newline-terminated lines or EOF. */
+std::vector<std::string>
+readLines(int fd, int count)
+{
+    std::vector<std::string> lines;
+    std::string buf;
+    char tmp[4096];
+    while (static_cast<int>(lines.size()) < count) {
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos &&
+               static_cast<int>(lines.size()) < count) {
+            lines.push_back(buf.substr(0, nl));
+            buf.erase(0, nl + 1);
+        }
+        if (static_cast<int>(lines.size()) >= count)
+            break;
+        ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+    return lines;
+}
+
+TEST(Router, KillNineMidLoadLosesNothing)
+{
+    RouterOptions ro = baseOptions("kill");
+    Router router(ro);
+    ASSERT_TRUE(router.start());
+    ASSERT_EQ(router.upWorkers(), 3);
+
+    LoadgenOptions lo;
+    lo.socketPath = ro.socketPath;
+    lo.clients = 4;
+    lo.requests = 200;
+    lo.verify = true;
+    lo.router = true;
+    int exitCode = -1;
+    std::thread load([&] { exitCode = runLoadgen(lo); });
+
+    // Wait until the stream is demonstrably in flight, then SIGKILL a
+    // worker out from under it.
+    for (int i = 0; i < 200 && router.stats().routed < 20; i++)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    int victim = router.workerPid(0);
+    ASSERT_GT(victim, 0);
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+    load.join();
+    // Every request answered, zero verify mismatches: requests that
+    // were in flight on the victim were re-routed to ring successors
+    // and produced the same bytes.
+    EXPECT_EQ(exitCode, 0);
+
+    // The supervisor respawns the victim with backoff.
+    for (int i = 0; i < 200 && router.upWorkers() < 3; i++)
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    EXPECT_EQ(router.upWorkers(), 3);
+    EXPECT_GE(router.stats().restarts, 1u);
+    EXPECT_NE(router.workerPid(0), victim);
+
+    router.shutdown();
+}
+
+TEST(Router, RollingDrainAnswersEveryInFlightRequest)
+{
+    RouterOptions ro = baseOptions("drain");
+    Router router(ro);
+    ASSERT_TRUE(router.start());
+
+    int fd = connectTo(ro.socketPath);
+    ASSERT_GE(fd, 0);
+
+    // Pipeline a burst, then start the drain while it is in flight.
+    const int kRequests = 24;
+    std::string burst;
+    for (int i = 0; i < kRequests; i++)
+        burst += "{\"id\":" + std::to_string(i) +
+            ",\"op\":\"run\",\"workload\":\"vectoradd\","
+            "\"scheme\":\"sw3\"}\n";
+    ASSERT_TRUE(sendAll(fd, burst));
+    std::thread drain([&] { router.shutdown(); });
+
+    std::vector<std::string> lines = readLines(fd, kRequests);
+    drain.join();
+    ::close(fd);
+
+    // No request may be dropped: each of the 24 gets exactly one
+    // response — a result (admitted before the drain) or a structured
+    // shutting_down error (admission already stopped) — never EOF.
+    ASSERT_EQ(static_cast<int>(lines.size()), kRequests);
+    std::vector<bool> seen(kRequests, false);
+    for (const std::string &line : lines) {
+        JsonParseResult parsed = parseJson(line);
+        ASSERT_TRUE(parsed.ok) << line;
+        int id = static_cast<int>(parsed.value.numberOr("id", -1.0));
+        ASSERT_GE(id, 0);
+        ASSERT_LT(id, kRequests);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(id)])
+            << "duplicate response for id " << id;
+        seen[static_cast<std::size_t>(id)] = true;
+        if (!parsed.value.boolOr("ok", false)) {
+            const JsonValue *err = parsed.value.find("error");
+            ASSERT_NE(err, nullptr) << line;
+            EXPECT_EQ(err->stringOr("code", ""), "shutting_down")
+                << line;
+        }
+    }
+    for (int i = 0; i < kRequests; i++)
+        EXPECT_TRUE(seen[static_cast<std::size_t>(i)])
+            << "no response for id " << i;
+}
+
+TEST(Router, StatsOpAggregatesTheFleet)
+{
+    RouterOptions ro = baseOptions("stats");
+    ro.workers = 2;
+    Router router(ro);
+    ASSERT_TRUE(router.start());
+
+    int fd = connectTo(ro.socketPath);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(sendAll(
+        fd,
+        "{\"id\":1,\"op\":\"run\",\"workload\":\"histogram\"}\n"));
+    ASSERT_EQ(readLines(fd, 1).size(), 1u);
+
+    ASSERT_TRUE(sendAll(fd, "{\"id\":2,\"op\":\"stats\"}\n"));
+    std::vector<std::string> lines = readLines(fd, 1);
+    ASSERT_EQ(lines.size(), 1u);
+    JsonParseResult parsed = parseJson(lines[0]);
+    ASSERT_TRUE(parsed.ok) << lines[0];
+    EXPECT_TRUE(parsed.value.boolOr("ok", false));
+    EXPECT_EQ(parsed.value.numberOr("workers", 0.0), 2.0);
+    EXPECT_EQ(parsed.value.numberOr("up", 0.0), 2.0);
+    const JsonValue *rt = parsed.value.find("router");
+    ASSERT_NE(rt, nullptr);
+    EXPECT_GE(rt->numberOr("routed", 0.0), 1.0);
+    // The merged per-worker stats carry the service counters summed
+    // across the fleet: exactly one run completed somewhere.
+    const JsonValue *stats = parsed.value.find("stats");
+    ASSERT_NE(stats, nullptr);
+    const JsonValue *service = stats->find("service");
+    ASSERT_NE(service, nullptr);
+    EXPECT_EQ(service->numberOr("completed", -1.0), 1.0);
+
+    ::close(fd);
+    router.shutdown();
+}
+
+TEST(Router, SharedDiskCacheWarmsAColdFleet)
+{
+    fs::path cacheDir = fs::temp_directory_path() /
+        ("rfh-rt-cache-" + std::to_string(::getpid()));
+    fs::remove_all(cacheDir);
+
+    LoadgenOptions lo;
+    lo.clients = 2;
+    lo.requests = 20;
+    lo.workload = "matrixmul";
+    lo.verify = true;
+    lo.router = true;
+
+    // Fleet #1 populates the cache from scratch.
+    {
+        RouterOptions ro = baseOptions("warm1");
+        ro.workers = 2;
+        ro.cacheDir = cacheDir.string();
+        Router router(ro);
+        ASSERT_TRUE(router.start());
+        lo.socketPath = ro.socketPath;
+        EXPECT_EQ(runLoadgen(lo), 0);
+        router.shutdown();
+    }
+    ASSERT_FALSE(fs::is_empty(cacheDir));
+
+    // Fleet #2 is all new processes against the warm directory; the
+    // verified byte-compare proves disk-cached results are identical.
+    {
+        RouterOptions ro = baseOptions("warm2");
+        ro.workers = 2;
+        ro.cacheDir = cacheDir.string();
+        Router router(ro);
+        ASSERT_TRUE(router.start());
+        lo.socketPath = ro.socketPath;
+        EXPECT_EQ(runLoadgen(lo), 0);
+        router.shutdown();
+    }
+    fs::remove_all(cacheDir);
+}
+
+} // namespace
+} // namespace rfh

@@ -137,6 +137,39 @@ TEST(ServiceProtocol, EnvelopesAreExactBytes)
               R"("message":"full","queue_capacity":64}})");
 }
 
+TEST(ServiceProtocol, CanonicalSerializationRoundTrips)
+{
+    // The router re-serializes parsed requests before forwarding, so
+    // parse(toJson(parse(line))) must reproduce every field exactly —
+    // regardless of the original key order.
+    const char *lines[] = {
+        R"({"id":7,"op":"run","workload":"vectoradd"})",
+        R"({"scheme":"hw2","id":"abc","op":"run","entries":4,)"
+        R"("kernel":"k","warps":2,"engine":"replay",)"
+        R"("split_lrf":false,"partial_ranges":false,)"
+        R"("read_operands":false,"deadline_ms":250})",
+        R"({"op":"ping"})",
+        R"({"id":1,"op":"stats"})",
+    };
+    for (const char *line : lines) {
+        ParsedRequest first = parseServiceRequest(line);
+        ASSERT_TRUE(first.ok) << line;
+        std::string canonical = serviceRequestToJson(first.request);
+        ParsedRequest second = parseServiceRequest(canonical);
+        ASSERT_TRUE(second.ok) << canonical;
+        EXPECT_EQ(serviceRequestToJson(second.request), canonical);
+        EXPECT_EQ(second.request.op, first.request.op);
+        EXPECT_EQ(second.request.idJson, first.request.idJson);
+        EXPECT_EQ(second.request.workload, first.request.workload);
+        EXPECT_EQ(second.request.kernelText, first.request.kernelText);
+        EXPECT_EQ(second.request.scheme, first.request.scheme);
+        EXPECT_EQ(second.request.engine, first.request.engine);
+        EXPECT_EQ(second.request.entries, first.request.entries);
+        EXPECT_EQ(second.request.warps, first.request.warps);
+        EXPECT_EQ(second.request.deadlineMs, first.request.deadlineMs);
+    }
+}
+
 // ---- BatchService ----
 
 /** Submit one line and wait for its (possibly async) response. */
@@ -176,6 +209,33 @@ TEST(ServiceServer, ResultIsByteIdenticalToDirectRun)
     svc.drain();
     EXPECT_EQ(resp, makeResultLine(
                         "1", expectedResult("vectoradd", "sw3", 3)));
+}
+
+TEST(ServiceServer, StatsOpReportsServiceAndCacheCounters)
+{
+    ThreadPool pool(2);
+    ServiceOptions so;
+    so.pool = &pool;
+    BatchService svc(so);
+    svc.start();
+    runOne(svc, R"({"id":1,"workload":"vectoradd","scheme":"sw3"})");
+    std::string resp = runOne(svc, R"({"id":2,"op":"stats"})");
+    svc.drain();
+
+    JsonParseResult parsed = parseJson(resp);
+    ASSERT_TRUE(parsed.ok) << resp;
+    EXPECT_TRUE(parsed.value.boolOr("ok", false));
+    const JsonValue *stats = parsed.value.find("stats");
+    ASSERT_NE(stats, nullptr) << resp;
+    const JsonValue *service = stats->find("service");
+    ASSERT_NE(service, nullptr);
+    EXPECT_EQ(service->numberOr("completed", -1.0), 1.0);
+    EXPECT_EQ(service->numberOr("ok", -1.0), 1.0);
+    ASSERT_NE(stats->find("memo"), nullptr);
+    const JsonValue *disk = stats->find("disk");
+    ASSERT_NE(disk, nullptr);
+    // No disk cache is attached in this test.
+    EXPECT_FALSE(disk->boolOr("attached", true));
 }
 
 TEST(ServiceServer, KernelTextAndStructuredErrors)
