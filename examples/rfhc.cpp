@@ -7,6 +7,7 @@
  *   rfhc run      <file.rptx> [options]     execute + report accesses
  *   rfhc stats    <file.rptx>               strand / usage statistics
  *   rfhc bench-diff <old.json> <new.json>   compare two snapshots
+ *   rfhc compare [options]                  cross-scheme leaderboard
  *   rfhc fuzz [options]                     differential fuzz campaign
  *   rfhc serve [options]                    batch compile/sim service
  *   rfhc loadgen [options]                  drive a running service
@@ -20,6 +21,8 @@
  *   --schedule         run the lifetime-shortening scheduler first
  *   --regalloc N       linear-scan onto N architectural registers
  *   --warps N          warps to execute (run; default 8)
+ *   --scheme TOKEN     run any registered scheme by wire token (run;
+ *                      default sw3, or sw2 under --no-lrf)
  *   --json             machine-readable outcome (run)
  *   --manifest F       write an rfh-manifest-v1 run manifest to F (run)
  *   --trace-events F   write chrome://tracing phase spans to F (run)
@@ -27,6 +30,11 @@
  * Options (bench-diff):
  *   --threshold F      relative regression gate, e.g. 0.10 (default);
  *                      exits 1 when any benchmark regresses past it
+ *
+ * Options (compare):
+ *   --entries N        entries for fixed (non-sweeping) schemes
+ *   --json             print the leaderboard JSON instead of the table
+ *   --out F            also write the leaderboard JSON to F
  *
  * Options (fuzz):
  *   --iters N          kernels to generate and check (default 100)
@@ -104,6 +112,7 @@
 #include "core/benchdiff.h"
 #include "core/experiment.h"
 #include "core/json.h"
+#include "core/leaderboard.h"
 #include "core/manifest.h"
 #include "core/memo.h"
 #include "core/metrics.h"
@@ -131,11 +140,14 @@ usage()
                  "[--entries N] [--no-lrf]\n"
                  "            [--unified-lrf] [--no-partial] "
                  "[--no-readops] [--schedule]\n"
-                 "            [--regalloc N] [--warps N] [--json]\n"
+                 "            [--regalloc N] [--warps N] "
+                 "[--scheme TOKEN] [--json]\n"
                  "            [--manifest out.json] "
                  "[--trace-events out.json]\n"
                  "       rfhc bench-diff <old.json> <new.json> "
                  "[--threshold F]\n"
+                 "       rfhc compare [--entries N] [--json] "
+                 "[--out F]\n"
                  "       rfhc fuzz [--iters N] [--seed S] [--shrink] "
                  "[--inject]\n"
                  "            [--dump DIR] [--out repro.rptx] "
@@ -231,6 +243,59 @@ benchDiffMain(int argc, char **argv)
     BenchDiff diff = diffBenchmarks(olds, news, threshold);
     std::printf("%s", renderBenchDiff(diff, threshold).c_str());
     return diff.hasRegression() ? 1 : 0;
+}
+
+/**
+ * `rfhc compare`: run every registered scheme over the full workload
+ * suite and print the ranked cross-scheme leaderboard (sweeping the
+ * entries axis for schemes that have one). The JSON document backs
+ * the leaderboard section of EXPERIMENTS.md.
+ */
+int
+compareMain(int argc, char **argv)
+{
+    ExperimentConfig base;
+    bool json = false;
+    std::string out_path;
+    for (int i = 2; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--entries" && i + 1 < argc) {
+            base.entries = std::atoi(argv[++i]);
+            if (base.entries < 1 || base.entries > kMaxOrfEntries)
+                return usage();
+        } else if (a == "--json") {
+            json = true;
+        } else if (a == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+            if (out_path.empty())
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+
+    Leaderboard lb = runLeaderboard(base);
+    std::string doc = leaderboardToJson(lb);
+    if (json)
+        std::printf("%s\n", doc.c_str());
+    else
+        std::printf("%s", renderLeaderboard(lb).c_str());
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "rfhc: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << doc << "\n";
+        std::fprintf(stderr, "rfhc: wrote leaderboard %s\n",
+                     out_path.c_str());
+    }
+    std::fprintf(stderr,
+                 "rfhc compare: %d schemes in %.1fs (%.1fx speedup)\n",
+                 static_cast<int>(lb.rows.size()), lb.timing.wallSec,
+                 lb.timing.speedup());
+    return 0;
 }
 
 /**
@@ -652,6 +717,8 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     std::string cmd = argv[1];
+    if (cmd == "compare")
+        return compareMain(argc, argv);
     if (cmd == "fuzz")
         return fuzzMain(argc, argv);
     if (cmd == "serve")
@@ -675,6 +742,7 @@ main(int argc, char **argv)
     int warps = 8;
     std::string manifest_path;
     std::string trace_events_path;
+    std::string scheme_token;
     for (int i = 3; i < argc; i++) {
         std::string a = argv[i];
         auto next_int = [&](int &out) {
@@ -716,6 +784,9 @@ main(int argc, char **argv)
                 return usage();
         } else if (a == "--warps") {
             if (!next_int(warps))
+                return usage();
+        } else if (a == "--scheme") {
+            if (!next_str(scheme_token))
                 return usage();
         } else {
             return usage();
@@ -824,6 +895,18 @@ main(int argc, char **argv)
         ExperimentConfig cfg;
         cfg.scheme = opts.useLRF ? Scheme::SW_THREE_LEVEL
                                  : Scheme::SW_TWO_LEVEL;
+        if (!scheme_token.empty()) {
+            const SchemeInfo *si =
+                SchemeRegistry::instance().findToken(scheme_token);
+            if (!si) {
+                std::fprintf(
+                    stderr, "rfhc: unknown scheme '%s' (valid: %s)\n",
+                    scheme_token.c_str(),
+                    SchemeRegistry::instance().tokenList().c_str());
+                return 1;
+            }
+            cfg.scheme = si->scheme;
+        }
         cfg.entries = opts.orfEntries;
         cfg.splitLRF = opts.splitLRF;
         cfg.partialRanges = opts.partialRanges;

@@ -20,6 +20,7 @@
 #   scripts/check.sh --no-serve   # skip the serve+loadgen smoke
 #   scripts/check.sh --no-router  # skip the router fleet smoke
 #   scripts/check.sh --no-vec     # skip the vectorize-report gate
+#   scripts/check.sh --no-compare # skip the leaderboard smoke
 #
 # The fuzz smoke runs a fixed-seed `rfhc fuzz` campaign (differential
 # oracle + allocator-invariant checker over generated kernels) and, in
@@ -40,6 +41,7 @@ run_golden=1
 run_serve=1
 run_router=1
 run_vec=1
+run_compare=1
 for arg in "$@"; do
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
     [[ "$arg" == "--no-asan" ]] && run_asan=0
@@ -49,6 +51,7 @@ for arg in "$@"; do
     [[ "$arg" == "--no-serve" ]] && run_serve=0
     [[ "$arg" == "--no-router" ]] && run_router=0
     [[ "$arg" == "--no-vec" ]] && run_vec=0
+    [[ "$arg" == "--no-compare" ]] && run_compare=0
 done
 
 echo "== build + test (${jobs} jobs) =="
@@ -139,6 +142,29 @@ if [[ "$run_router" == 1 ]]; then
     rm -rf "$rcache"
 fi
 
+if [[ "$run_compare" == 1 ]]; then
+    echo "== cross-scheme leaderboard smoke: rfhc compare =="
+    # Every registered backend must rank cleanly: the leaderboard JSON
+    # must parse, carry one row per scheme, and report no per-row run
+    # errors. The ranking values themselves are pinned by the golden
+    # tier; this smoke only proves the registry-driven board stays
+    # runnable end to end.
+    cmpjson="$(mktemp)"
+    if ! "$repo/build/examples/rfhc" compare --json --out "$cmpjson"
+    then
+        rm -f "$cmpjson"
+        echo "check.sh: rfhc compare failed" >&2
+        exit 1
+    fi
+    if grep -q '"error"' "$cmpjson"; then
+        cat "$cmpjson" >&2
+        echo "check.sh: leaderboard row reported a run error" >&2
+        rm -f "$cmpjson"
+        exit 1
+    fi
+    rm -f "$cmpjson"
+fi
+
 if [[ "$run_fuzz" == 1 ]]; then
     echo "== differential fuzz smoke: 200 kernels, fixed seed =="
     # Deterministic: a finding here reproduces with the same seed, and
@@ -189,7 +215,7 @@ if command -v doxygen >/dev/null 2>&1; then
             >/dev/null)
     # New-in-this-layer headers must stay warning-free; the gate is
     # scoped so pre-existing debt elsewhere does not block CI.
-    gated='core/metrics\.|core/trace_events\.|core/manifest\.|core/benchdiff\.|sim/replay_kernels\.|sim/replay_arena\.'
+    gated='core/metrics\.|core/trace_events\.|core/manifest\.|core/benchdiff\.|sim/replay_kernels\.|sim/replay_arena\.|core/scheme\.|core/leaderboard\.|sim/cc_rfc\.|sim/regdem\.|sim/greener\.|sim/rfc_ring\.'
     if grep -E "$gated" "$doxlog"; then
         echo "check.sh: doxygen warnings in gated headers (above)" >&2
         exit 1

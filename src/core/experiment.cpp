@@ -2,14 +2,13 @@
 
 #include <map>
 
-#include "compiler/allocator.h"
 #include "core/memo.h"
 #include "core/metrics.h"
 #include "core/parallel.h"
+#include "core/scheme.h"
 #include "core/trace_events.h"
 #include "sim/baseline_exec.h"
-#include "sim/hw_cache.h"
-#include "sim/sw_exec.h"
+#include "sim/trace.h"
 
 namespace rfh {
 
@@ -63,14 +62,8 @@ recordPhaseSpan(const char *phase, const std::string &workload,
 std::string_view
 schemeName(Scheme s)
 {
-    switch (s) {
-      case Scheme::BASELINE: return "Baseline";
-      case Scheme::HW_TWO_LEVEL: return "HW";
-      case Scheme::HW_THREE_LEVEL: return "HW LRF";
-      case Scheme::SW_TWO_LEVEL: return "SW";
-      case Scheme::SW_THREE_LEVEL: return "SW LRF";
-    }
-    return "?";
+    const SchemeInfo *si = SchemeRegistry::instance().find(s);
+    return si ? std::string_view(si->display) : std::string_view("?");
 }
 
 std::string_view
@@ -87,11 +80,13 @@ engineName(ExecEngine e)
 AllocOptions
 ExperimentConfig::allocOptions() const
 {
+    const SchemeInfo *si = SchemeRegistry::instance().find(scheme);
+    if (si)
+        return si->backend->allocOptions(*this);
+    // Unregistered handle: the scheme-independent defaults.
     AllocOptions a;
     a.orfEntries = entries;
     a.orfPriceEntries = orfPriceEntries;
-    a.useLRF = scheme == Scheme::SW_THREE_LEVEL;
-    a.splitLRF = a.useLRF && splitLRF;
     a.lrfAllowSharedProducers = lrfAllowSharedProducers;
     a.partialRanges = partialRanges;
     a.readOperands = readOperands;
@@ -103,9 +98,17 @@ RunOutcome
 runScheme(const Workload &w, const ExperimentConfig &cfg)
 {
     RunOutcome out;
-    bool split = cfg.scheme == Scheme::SW_THREE_LEVEL && cfg.splitLRF;
+    const SchemeInfo *si = SchemeRegistry::instance().find(cfg.scheme);
+    if (!si) {
+        out.error = "unregistered scheme id " +
+            std::to_string(cfg.scheme.id()) + " (valid: " +
+            SchemeRegistry::instance().tokenList() + ")";
+        return out;
+    }
+    const SchemeBackend &backend = *si->backend;
+    const SchemeCaps &caps = si->caps;
     int price = cfg.orfPriceEntries ? cfg.orfPriceEntries : cfg.entries;
-    EnergyModel em(cfg.energy, price, split);
+    EnergyModel em(cfg.energy, price, backend.splitLrfEnergy(cfg));
 
     // A lone runScheme call defaults to the value-verifying engine;
     // the sweeps resolve AUTO to REPLAY before fanning out.
@@ -128,7 +131,7 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     // ---- Analyze: structural analyses + baseline execution, both
     // memoized (configuration-independent) ----
     std::shared_ptr<const AnalysisBundle> analyses;
-    if (cfg.scheme != Scheme::BASELINE)
+    if (caps.usesAnalyses)
         analyses = cache.analyses(w.kernel);
     const AccessCounts &base = cache.baseline(w.kernel, w.run);
     out.baselineEnergyPJ = base.totalEnergyPJ(em);
@@ -142,7 +145,7 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     // ---- Trace: the pre-decoded dynamic stream, recorded once per
     // (kernel, RunConfig) and shared by every replay grid cell ----
     std::shared_ptr<const DecodedTrace> trace;
-    if (engine == ExecEngine::REPLAY && cfg.scheme != Scheme::BASELINE) {
+    if (engine == ExecEngine::REPLAY && caps.usesTrace) {
         trace = cache.trace(w.kernel, w.run);
         out.phases.traceSec = watch.lap();
         recordPhaseSpan("trace", w.name, out.phases.traceSec);
@@ -152,67 +155,53 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
         return out;
     }
 
-    switch (cfg.scheme) {
-      case Scheme::BASELINE:
-        out.counts = base;
-        break;
-      case Scheme::HW_TWO_LEVEL:
-      case Scheme::HW_THREE_LEVEL: {
-        HwCacheConfig hc;
-        hc.rfcEntries = cfg.entries;
-        hc.useLRF = cfg.scheme == Scheme::HW_THREE_LEVEL;
-        hc.flushOnBackwardBranch = cfg.hwFlushOnBackwardBranch;
-        hc.run = w.run;
-        // Replay shares the memoized pre-decode (SoA op records +
-        // shared-consumer flags) across every grid cell of the kernel.
-        std::shared_ptr<const ReplayDecode> dec;
-        if (trace)
-            dec = cache.decode(w.kernel);
-        out.counts = trace ? replayHwCache(w.kernel, hc, *trace,
-                                           analyses.get(), dec.get())
-                           : runHwCache(w.kernel, hc, analyses.get());
-        out.phases.executeSec = watch.lap();
-        recordPhaseSpan("execute", w.name, out.phases.executeSec);
-        break;
-      }
-      case Scheme::SW_TWO_LEVEL:
-      case Scheme::SW_THREE_LEVEL: {
-        // The allocator annotates a private copy of the kernel.
-        Kernel annotated = w.kernel;
-        HierarchyAllocator alloc(cfg.energy, cfg.allocOptions());
-        out.alloc = alloc.run(annotated, analyses.get());
+    // Replay shares the memoized pre-decode (SoA op records +
+    // shared-consumer flags) across every grid cell of the kernel.
+    std::shared_ptr<const ReplayDecode> dec;
+    if (trace && caps.wantsDecode)
+        dec = cache.decode(w.kernel);
+
+    // ---- Allocate: the compiler annotates a private kernel copy ----
+    Kernel annotated;
+    const Kernel *kernel = &w.kernel;
+    if (caps.usesAllocator) {
+        annotated = w.kernel;
+        out.alloc = backend.allocate(annotated, cfg, analyses.get());
+        kernel = &annotated;
         out.phases.allocateSec = watch.lap();
         recordPhaseSpan("allocate", w.name, out.phases.allocateSec);
         if (cancelled()) {
             out.error = "cancelled";
             return out;
         }
-        SwExecConfig sc;
-        sc.run = w.run;
-        sc.idealNoFlush = cfg.idealNoFlush;
-        // Annotations never change the dynamic path, so the pristine
-        // kernel's trace replays the annotated copy exactly.
-        SwExecResult res =
-            trace ? replaySwHierarchy(annotated, cfg.allocOptions(),
-                                      *trace, sc, analyses.get())
-                  : runSwHierarchy(annotated, cfg.allocOptions(), sc,
-                                   analyses.get());
-        out.counts = res.counts;
-        out.error = res.error;
+    }
+
+    // ---- Execute ----
+    SchemeRunContext ctx;
+    ctx.workload = &w;
+    ctx.cfg = &cfg;
+    ctx.engine = trace ? ResolvedEngine::REPLAY : ResolvedEngine::DIRECT;
+    ctx.kernel = kernel;
+    ctx.analyses = analyses.get();
+    ctx.trace = trace.get();
+    ctx.decode = dec.get();
+    ctx.baseline = &base;
+    SchemeSimResult res = backend.simulate(ctx);
+    out.counts = res.counts;
+    out.error = res.error;
+    if (caps.usesTrace) {
         out.phases.executeSec = watch.lap();
         recordPhaseSpan("execute", w.name, out.phases.executeSec);
-        break;
-      }
     }
 
     out.phases.dynInstrs = out.counts.instructions;
-    out.energyPJ = out.counts.totalEnergyPJ(em);
+    out.energyPJ = backend.accountEnergyPJ(ctx, out.counts, em);
 
     // Observability only: metrics never feed back into the outcome,
     // so results stay byte-identical with any metrics state.
     EngineMetrics &mm = engineMetrics();
     mm.runs.add();
-    if (cfg.scheme != Scheme::BASELINE)
+    if (caps.usesTrace)
         (engine == ExecEngine::REPLAY ? mm.runsReplay : mm.runsDirect)
             .add();
     mm.analyze.addSec(out.phases.analyzeSec);
@@ -293,9 +282,11 @@ replayBatch(const std::vector<BatchItem> &items, ThreadPool *pool)
     struct Warm
     {
         const Workload *w = nullptr;
+        bool wantAnalyses = false;
         bool wantTrace = false;
         bool wantDecode = false;
     };
+    SchemeRegistry &registry = SchemeRegistry::instance();
     std::vector<Warm> warm;
     std::map<std::uint64_t, std::size_t> slot;
     for (std::size_t i = 0; i < items.size(); i++) {
@@ -305,20 +296,21 @@ replayBatch(const std::vector<BatchItem> &items, ThreadPool *pool)
         auto [it, fresh] =
             slot.try_emplace(kernelFingerprint(w->kernel), warm.size());
         if (fresh)
-            warm.push_back(Warm{w, false, false});
+            warm.push_back(Warm{w, false, false, false});
         Warm &entry = warm[it->second];
-        if (cfgs[i].engine == ExecEngine::REPLAY &&
-            cfgs[i].scheme != Scheme::BASELINE) {
+        const SchemeInfo *si = registry.find(cfgs[i].scheme);
+        if (!si)
+            continue;
+        if (cfgs[i].engine == ExecEngine::REPLAY && si->caps.usesTrace) {
             entry.wantTrace = true;
-            if (cfgs[i].scheme == Scheme::HW_TWO_LEVEL ||
-                cfgs[i].scheme == Scheme::HW_THREE_LEVEL)
-                entry.wantDecode = true;
+            entry.wantAnalyses |= si->caps.usesAnalyses;
+            entry.wantDecode |= si->caps.wantsDecode;
         }
     }
     p.parallelFor(static_cast<int>(warm.size()), [&](int i) {
         const Warm &e = warm[i];
         cache.baseline(e.w->kernel, e.w->run);
-        if (e.wantTrace || e.wantDecode)
+        if (e.wantAnalyses || e.wantDecode)
             cache.analyses(e.w->kernel);
         if (e.wantTrace)
             cache.trace(e.w->kernel, e.w->run);

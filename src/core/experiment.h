@@ -14,6 +14,7 @@
 #include <string>
 
 #include "compiler/allocation.h"
+#include "core/scheme.h"
 #include "core/timing.h"
 #include "energy/energy_params.h"
 #include "sim/access_counters.h"
@@ -21,17 +22,10 @@
 
 namespace rfh {
 
-/** Register file organisations evaluated in the paper. */
-enum class Scheme
-{
-    BASELINE,        ///< Flat single-level MRF.
-    HW_TWO_LEVEL,    ///< RFC + MRF, hardware managed (Section 2.2).
-    HW_THREE_LEVEL,  ///< LRF + RFC + MRF, hardware managed (Section 6.2).
-    SW_TWO_LEVEL,    ///< ORF + MRF, compiler managed (Section 3.1).
-    SW_THREE_LEVEL,  ///< LRF + ORF + MRF, compiler managed (Section 3.2).
-};
-
-/** @return a short display name ("HW", "SW LRF", ...). */
+/**
+ * @return the registered display name of @p s ("HW", "SW LRF", ...),
+ * or "?" for an unregistered handle.
+ */
 std::string_view schemeName(Scheme s);
 
 /**

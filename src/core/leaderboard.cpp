@@ -1,0 +1,127 @@
+#include "core/leaderboard.h"
+
+#include <algorithm>
+
+#include "core/json.h"
+
+namespace rfh {
+
+Leaderboard
+runLeaderboard(const ExperimentConfig &base, ThreadPool *pool)
+{
+    Leaderboard lb;
+    Stopwatch wall;
+
+    std::vector<Scheme> swept;
+    for (const SchemeInfo *si : SchemeRegistry::instance().schemes())
+        if (si->caps.sweepsEntries)
+            swept.push_back(si->scheme);
+    std::vector<SweepPoint> points =
+        sweepEntries(swept, base, pool, &lb.timing);
+    lb.baseline = aggregateBaselineCounts();
+
+    for (const SchemeInfo *si : SchemeRegistry::instance().schemes()) {
+        LeaderboardRow row;
+        row.scheme = si->scheme;
+        row.token = si->token;
+        row.display = si->display;
+        row.paper = si->paper;
+        if (si->caps.sweepsEntries) {
+            const SweepPoint *best = bestPoint(points, si->scheme);
+            row.swept = true;
+            row.entries = best->entries;
+            row.outcome = best->outcome;
+        } else {
+            ExperimentConfig cfg = base;
+            cfg.scheme = si->scheme;
+            row.entries = cfg.entries;
+            row.outcome = runAllWorkloads(cfg, pool);
+        }
+        row.breakdown =
+            normalizeAccesses(row.outcome.counts, lb.baseline);
+        lb.rows.push_back(std::move(row));
+    }
+
+    // Rank by ascending normalised energy; stable sort keeps registry
+    // order on ties so the board is deterministic.
+    std::stable_sort(lb.rows.begin(), lb.rows.end(),
+                     [](const LeaderboardRow &a,
+                        const LeaderboardRow &b) {
+                         return a.outcome.normalizedEnergy() <
+                             b.outcome.normalizedEnergy();
+                     });
+    lb.timing.wallSec = wall.elapsedSec();
+    return lb;
+}
+
+std::string
+renderLeaderboard(const Leaderboard &lb)
+{
+    TextTable t({"Rank", "Scheme", "Token", "Entries", "Energy",
+                 "Saved", "Reads M/O/L", "Writes M/O/L"});
+    int rank = 0;
+    for (const LeaderboardRow &row : lb.rows) {
+        rank++;
+        const AccessBreakdown &b = row.breakdown;
+        t.addRow({std::to_string(rank),
+                  row.display + (row.paper ? "" : " *"), row.token,
+                  row.swept ? std::to_string(row.entries)
+                            : std::to_string(row.entries) + " (fixed)",
+                  fmt(row.outcome.normalizedEnergy(), 3),
+                  pct(1.0 - row.outcome.normalizedEnergy()),
+                  pct(b.mrfReads) + "/" + pct(b.orfReads) + "/" +
+                      pct(b.lrfReads),
+                  pct(b.mrfWrites) + "/" + pct(b.orfWrites) + "/" +
+                      pct(b.lrfWrites)});
+    }
+    return t.str() + "(* = contributed backend, not a paper scheme; "
+                     "M/O/L = MRF/ORF/LRF fraction of baseline)\n";
+}
+
+std::string
+leaderboardToJson(const Leaderboard &lb)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("rows");
+    w.beginArray();
+    int rank = 0;
+    for (const LeaderboardRow &row : lb.rows) {
+        rank++;
+        const AccessBreakdown &b = row.breakdown;
+        w.beginObject();
+        w.key("rank").value(rank);
+        w.key("scheme").value(row.token);
+        w.key("display").value(row.display);
+        w.key("paper").value(row.paper);
+        w.key("swept").value(row.swept);
+        w.key("entries").value(row.entries);
+        w.key("energyPJ").value(row.outcome.energyPJ);
+        w.key("baselineEnergyPJ")
+            .value(row.outcome.baselineEnergyPJ);
+        w.key("normalizedEnergy")
+            .value(row.outcome.normalizedEnergy());
+        w.key("reads");
+        w.beginObject();
+        w.key("mrf").value(b.mrfReads);
+        w.key("orf").value(b.orfReads);
+        w.key("lrf").value(b.lrfReads);
+        w.endObject();
+        w.key("writes");
+        w.beginObject();
+        w.key("mrf").value(b.mrfWrites);
+        w.key("orf").value(b.orfWrites);
+        w.key("lrf").value(b.lrfWrites);
+        w.endObject();
+        w.key("wbReads").value(row.outcome.counts.wbReads);
+        w.key("wbWrites").value(row.outcome.counts.wbWrites);
+        if (!row.outcome.ok())
+            w.key("error").value(row.outcome.error);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace rfh

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cross-scheme leaderboard: every scheme in the SchemeRegistry run
+ * over the full workload suite and ranked by normalised energy.
+ *
+ * Schemes whose capabilities advertise an entries axis
+ * (SchemeCaps::sweepsEntries) are swept from 1 to kMaxOrfEntries and
+ * enter the board at their best point; fixed-configuration schemes
+ * (the flat baseline, power-gating variants) contribute one aggregate
+ * point. The board is the competitive backbone of `rfhc compare` and
+ * the leaderboard section of EXPERIMENTS.md: registering a new
+ * backend is all it takes to appear in the ranking.
+ */
+
+#ifndef RFH_CORE_LEADERBOARD_H
+#define RFH_CORE_LEADERBOARD_H
+
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/scheme.h"
+#include "core/sweep.h"
+
+namespace rfh {
+
+/** One ranked row of the cross-scheme leaderboard. */
+struct LeaderboardRow
+{
+    Scheme scheme;
+    /** Registry identity, copied so rows outlive registry locks. */
+    std::string token;
+    std::string display;
+    /** One of the source paper's five organisations. */
+    bool paper = false;
+    /** The entries axis was swept; `entries` is the best point. */
+    bool swept = false;
+    /** Best (or fixed) entries-per-thread configuration. */
+    int entries = 0;
+    /** Aggregate outcome over every workload at `entries`. */
+    RunOutcome outcome;
+    /** Per-level accesses as fractions of the flat baseline. */
+    AccessBreakdown breakdown;
+};
+
+/** The ranked cross-scheme comparison. */
+struct Leaderboard
+{
+    /** Rows by ascending normalised energy; ties keep registry order. */
+    std::vector<LeaderboardRow> rows;
+    /** Flat-MRF counts aggregated over all workloads. */
+    AccessCounts baseline;
+    /** Engine timing of the underlying sweep (observability only). */
+    SweepTiming timing;
+};
+
+class ThreadPool;
+
+/**
+ * Run every registered scheme over the full workload suite and rank
+ * the results. @p base supplies every non-swept configuration knob
+ * (entries for fixed schemes, energy constants, engine override).
+ * Deterministic for any thread count, like the sweep engine beneath.
+ */
+Leaderboard runLeaderboard(const ExperimentConfig &base = {},
+                           ThreadPool *pool = nullptr);
+
+/** Aligned text table of @p lb, one row per scheme. */
+std::string renderLeaderboard(const Leaderboard &lb);
+
+/**
+ * Machine-readable leaderboard document (the EXPERIMENTS.md figure
+ * format): ranked rows with energy, normalised energy, and the
+ * per-level read/write breakdown as fractions of the baseline.
+ */
+std::string leaderboardToJson(const Leaderboard &lb);
+
+} // namespace rfh
+
+#endif // RFH_CORE_LEADERBOARD_H

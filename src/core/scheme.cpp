@@ -1,0 +1,147 @@
+#include "core/scheme.h"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "core/experiment.h"
+
+namespace rfh {
+
+AllocOptions
+SchemeBackend::allocOptions(const ExperimentConfig &cfg) const
+{
+    AllocOptions a;
+    a.orfEntries = cfg.entries;
+    a.orfPriceEntries = cfg.orfPriceEntries;
+    a.useLRF = false;
+    a.splitLRF = false;
+    a.lrfAllowSharedProducers = cfg.lrfAllowSharedProducers;
+    a.partialRanges = cfg.partialRanges;
+    a.readOperands = cfg.readOperands;
+    a.strandOptions = cfg.strandOptions;
+    return a;
+}
+
+AllocStats
+SchemeBackend::allocate(Kernel &, const ExperimentConfig &,
+                        const AnalysisBundle *) const
+{
+    return AllocStats{};
+}
+
+bool
+SchemeBackend::splitLrfEnergy(const ExperimentConfig &) const
+{
+    return false;
+}
+
+double
+SchemeBackend::accountEnergyPJ(const SchemeRunContext &,
+                               const AccessCounts &c,
+                               const EnergyModel &em) const
+{
+    return c.totalEnergyPJ(em);
+}
+
+std::vector<std::string>
+SchemeBackend::checkConservation(const AccessCounts &,
+                                 const AccessCounts &) const
+{
+    return {};
+}
+
+SchemeRegistry::SchemeRegistry() = default;
+
+SchemeRegistry &
+SchemeRegistry::instance()
+{
+    static SchemeRegistry *reg = [] {
+        auto *r = new SchemeRegistry();
+        registerBuiltinSchemes(*r);
+        return r;
+    }();
+    return *reg;
+}
+
+Scheme
+SchemeRegistry::add(SchemeSpec spec,
+                    std::unique_ptr<SchemeBackend> backend)
+{
+    if (spec.token.empty())
+        throw std::invalid_argument(
+            "scheme registration needs a non-empty token");
+    if (!backend)
+        throw std::invalid_argument("scheme '" + spec.token +
+                                    "' registered without a backend");
+    std::unique_lock lock(mu_);
+    for (const SchemeInfo &si : infos_)
+        if (si.token == spec.token)
+            throw std::invalid_argument(
+                "duplicate scheme token '" + spec.token +
+                "' (already registered as #" +
+                std::to_string(si.scheme.id()) + ", display '" +
+                si.display + "')");
+    SchemeInfo info;
+    info.scheme = Scheme(static_cast<std::uint8_t>(infos_.size()));
+    info.token = std::move(spec.token);
+    info.display = std::move(spec.display);
+    info.tag = spec.tag.empty() ? info.token : std::move(spec.tag);
+    info.summary = std::move(spec.summary);
+    info.paper = spec.paper;
+    info.caps = spec.caps;
+    info.backend = std::move(backend);
+    infos_.push_back(std::move(info));
+    return infos_.back().scheme;
+}
+
+const SchemeInfo *
+SchemeRegistry::find(Scheme s) const
+{
+    std::shared_lock lock(mu_);
+    if (s.id() >= infos_.size())
+        return nullptr;
+    return &infos_[s.id()];
+}
+
+const SchemeInfo *
+SchemeRegistry::findToken(std::string_view token) const
+{
+    std::shared_lock lock(mu_);
+    for (const SchemeInfo &si : infos_)
+        if (si.token == token)
+            return &si;
+    return nullptr;
+}
+
+std::vector<const SchemeInfo *>
+SchemeRegistry::schemes() const
+{
+    std::shared_lock lock(mu_);
+    std::vector<const SchemeInfo *> out;
+    out.reserve(infos_.size());
+    for (const SchemeInfo &si : infos_)
+        out.push_back(&si);
+    return out;
+}
+
+std::size_t
+SchemeRegistry::size() const
+{
+    std::shared_lock lock(mu_);
+    return infos_.size();
+}
+
+std::string
+SchemeRegistry::tokenList() const
+{
+    std::shared_lock lock(mu_);
+    std::string out;
+    for (const SchemeInfo &si : infos_) {
+        if (!out.empty())
+            out += ", ";
+        out += si.token;
+    }
+    return out;
+}
+
+} // namespace rfh

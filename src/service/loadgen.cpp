@@ -21,6 +21,7 @@
 #include "core/json.h"
 #include "core/manifest.h"
 #include "core/parallel.h"
+#include "core/scheme.h"
 #include "core/timing.h"
 #include "service/protocol.h"
 #include "workloads/registry.h"
@@ -29,14 +30,27 @@ namespace rfh {
 
 namespace {
 
-// Default request mix: small registry kernels and every scheme, so a
-// modest --requests count still exercises memo-cache sharing across
-// clients and all five allocator paths.
+// Default request mix: small registry kernels and every registered
+// scheme, so a modest --requests count still exercises memo-cache
+// sharing across clients and every backend's dispatch path. The
+// scheme rotation is pulled from the registry so newly registered
+// backends join the mix without touching the load generator.
 const char *const kMixWorkloads[] = {"vectoradd", "reduction",
                                      "matrixmul", "histogram"};
-const char *const kMixSchemes[] = {"sw3", "sw2", "hw2", "hw3",
-                                   "baseline"};
 const int kMixEntries[] = {3, 2, 4, 1};
+
+const std::string &
+mixScheme(int i)
+{
+    static const std::vector<std::string> tokens = [] {
+        std::vector<std::string> t;
+        for (const SchemeInfo *si :
+             SchemeRegistry::instance().schemes())
+            t.push_back(si->token);
+        return t;
+    }();
+    return tokens[static_cast<std::size_t>(i) % tokens.size()];
+}
 
 /** The deterministic (workload, scheme, entries) of request @p i. */
 struct RequestPlan
@@ -53,7 +67,7 @@ planFor(const LoadgenOptions &opts, int i)
     p.workload = !opts.workload.empty()
                      ? opts.workload
                      : kMixWorkloads[i % 4];
-    p.scheme = !opts.scheme.empty() ? opts.scheme : kMixSchemes[i % 5];
+    p.scheme = !opts.scheme.empty() ? opts.scheme : mixScheme(i);
     p.entries = opts.entries > 0 ? opts.entries : kMixEntries[i % 4];
     return p;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/json.h"
+#include "core/scheme.h"
 #include "energy/energy_params.h"
 
 namespace rfh {
@@ -91,29 +92,17 @@ ServiceRequest::config() const
 std::optional<Scheme>
 schemeFromToken(const std::string &token)
 {
-    if (token == "baseline")
-        return Scheme::BASELINE;
-    if (token == "hw2")
-        return Scheme::HW_TWO_LEVEL;
-    if (token == "hw3")
-        return Scheme::HW_THREE_LEVEL;
-    if (token == "sw2")
-        return Scheme::SW_TWO_LEVEL;
-    if (token == "sw3")
-        return Scheme::SW_THREE_LEVEL;
+    if (const SchemeInfo *si =
+            SchemeRegistry::instance().findToken(token))
+        return si->scheme;
     return std::nullopt;
 }
 
 std::string_view
 schemeToken(Scheme s)
 {
-    switch (s) {
-      case Scheme::BASELINE: return "baseline";
-      case Scheme::HW_TWO_LEVEL: return "hw2";
-      case Scheme::HW_THREE_LEVEL: return "hw3";
-      case Scheme::SW_TWO_LEVEL: return "sw2";
-      case Scheme::SW_THREE_LEVEL: return "sw3";
-    }
+    if (const SchemeInfo *si = SchemeRegistry::instance().find(s))
+        return si->token;
     return "?";
 }
 
@@ -186,11 +175,11 @@ parseServiceRequest(const std::string &line)
                 return bad("field 'scheme' must be a string");
             std::optional<Scheme> s = schemeFromToken(value.string);
             if (!s) {
-                ParsedRequest p =
-                    fail(ServiceErrorCode::UNKNOWN_SCHEME,
-                         "unknown scheme '" + value.string +
-                             "' (valid: baseline, hw2, hw3, sw2, sw3)",
-                         req.idJson);
+                ParsedRequest p = fail(
+                    ServiceErrorCode::UNKNOWN_SCHEME,
+                    "unknown scheme '" + value.string + "' (valid: " +
+                        SchemeRegistry::instance().tokenList() + ")",
+                    req.idJson);
                 return p;
             }
             req.scheme = *s;

@@ -113,7 +113,11 @@ ParsedRequest parseServiceRequest(const std::string &line);
  */
 std::string serviceRequestToJson(const ServiceRequest &req);
 
-/** Scheme wire tokens: baseline, hw2, hw3, sw2, sw3. */
+/**
+ * Scheme wire tokens, resolved against the SchemeRegistry: every
+ * registered backend's token is accepted ("baseline", "hw2", ...,
+ * "ccrfc", "regdem", "greener", plus any runtime registrations).
+ */
 std::optional<Scheme> schemeFromToken(const std::string &token);
 std::string_view schemeToken(Scheme s);
 

@@ -1,0 +1,281 @@
+#include "sim/cc_rfc.h"
+
+#include <optional>
+
+#include "core/metrics.h"
+#include "ir/liveness.h"
+#include "sim/machine.h"
+#include "sim/replay_arena.h"
+#include "sim/rfc_ring.h"
+#include "sim/trace.h"
+
+namespace rfh {
+
+namespace {
+
+/**
+ * Hierarchy state + access accounting of one warp under the
+ * compiler-assisted RFC. The direct executor drives it from the
+ * functional machine; the replay executor drives it from a
+ * pre-decoded trace. Both feed the same onInstr(), so their counts
+ * are identical by construction: everything value-dependent is folded
+ * into the @c enabled input, and the compile-time hints are a pure
+ * function of the static kernel.
+ */
+class CcWarpSim
+{
+  public:
+    CcWarpSim(const ReplayDecode &dec, const CcRfcConfig &cfg,
+              const Liveness &liveness,
+              const std::vector<std::uint8_t> &insertHint,
+              AccessCounts &counts, ReplayArena &arena)
+        : dec_(dec), liveness_(liveness), insertHint_(insertHint),
+          counts_(counts), rfc_(cfg.entries, arena)
+    {
+    }
+
+    /** Reset the hierarchy for a fresh warp. */
+    void
+    beginWarp()
+    {
+        rfc_.clear();
+        pending_.reset();
+    }
+
+    /**
+     * Account one dynamic instruction. @p enabled is the predicate
+     * outcome at issue.
+     */
+    void
+    onInstr(int lin, bool enabled)
+    {
+        const ReplayOp &o = dec_.op[lin];
+        const Datapath dp = static_cast<Datapath>(o.dp);
+
+        // Two-level scheduler: deschedule on a dependence on an
+        // outstanding long-latency operation.
+        if ((dec_.touched[lin] & pending_).any()) {
+            RegSet live_before =
+                (liveness_.liveAfter(lin) & ~dec_.defined[lin]) |
+                dec_.used[lin];
+            flushAll(live_before);
+            pending_.reset();
+            counts_.deschedules++;
+        }
+
+        // Operand reads: RFC -> MRF. Last-read erasure is applied
+        // after every operand of the instruction has been fetched, so
+        // a register named twice is served at one level both times;
+        // the erase frees the slot early and ensures a dead value
+        // never reaches the eviction writeback path.
+        auto read_one = [&](Reg r) {
+            counts_.read(rfc_.contains(r) ? Level::ORF : Level::MRF,
+                         dp);
+        };
+        for (int s = 0; s < o.nsrc; s++)
+            read_one(o.src[s]);
+        if (o.pred >= 0)
+            read_one(static_cast<Reg>(o.pred));
+        auto erase_dead = [&](Reg r) {
+            if (rfc_.contains(r) && !liveness_.liveAfter(lin, r))
+                rfc_.erase(r);
+        };
+        for (int s = 0; s < o.nsrc; s++)
+            erase_dead(o.src[s]);
+        if (o.pred >= 0)
+            erase_dead(static_cast<Reg>(o.pred));
+
+        // Result write (suppressed when predicated off).
+        if (o.dst >= 0 && enabled) {
+            const Reg dst = static_cast<Reg>(o.dst);
+            const int halves = o.halves;
+            if (o.flags & kOpLongLat) {
+                // Long-latency results bypass the hierarchy.
+                counts_.write(Level::MRF, dp, halves);
+                for (int h = 0; h < halves; h++)
+                    rfc_.erase(static_cast<Reg>(dst + h));
+                pending_ |= dec_.defined[lin];
+            } else if (insertHint_[lin]) {
+                // Allocation hint: a nearby read exists, cache it.
+                Reg victim = 0;
+                if (rfc_.insert(dst, victim)) {
+                    if (liveness_.liveAfter(lin, victim)) {
+                        counts_.read(Level::ORF, dp);
+                        counts_.wbReads++;
+                        counts_.write(Level::MRF, dp);
+                        counts_.wbWrites++;
+                    }
+                }
+                counts_.write(Level::ORF, dp);
+            } else {
+                // Bypass: straight to the MRF; drop any stale copy.
+                counts_.write(Level::MRF, dp, halves);
+                for (int h = 0; h < halves; h++)
+                    rfc_.erase(static_cast<Reg>(dst + h));
+            }
+        }
+
+        counts_.instructions++;
+    }
+
+  private:
+    /** Flush everything live back to the MRF (deschedule). */
+    void
+    flushAll(const RegSet &live)
+    {
+        rfc_.forEach([&](Reg r) {
+            if (live.test(r)) {
+                counts_.read(Level::ORF, Datapath::PRIVATE);
+                counts_.wbReads++;
+                counts_.write(Level::MRF, Datapath::PRIVATE);
+                counts_.wbWrites++;
+            }
+        });
+        rfc_.clear();
+    }
+
+    const ReplayDecode &dec_;
+    const Liveness &liveness_;
+    const std::vector<std::uint8_t> &insertHint_;
+    AccessCounts &counts_;
+    RfcRing rfc_;
+    RegSet pending_;
+};
+
+/** Compiler-assisted-RFC observability, fed by both drivers. */
+void
+noteCcRun(const AccessCounts &counts, bool replay)
+{
+    static Counter &runs = globalMetrics().counter("sim.ccrfc.runs");
+    static Counter &replays =
+        globalMetrics().counter("sim.ccrfc.runs.replay");
+    static Counter &instrs =
+        globalMetrics().counter("sim.ccrfc.instrs");
+    runs.add();
+    if (replay)
+        replays.add();
+    instrs.add(counts.instructions);
+}
+
+const ReplayDecode &
+resolveDecode(const Kernel &k, const ReplayDecode *dec,
+              std::optional<ReplayDecode> &local)
+{
+    // Any decode works here: the compiler-assisted RFC never reads
+    // the kOpLrfAble flag, so shared-consumer info is not required.
+    if (dec)
+        return *dec;
+    return local.emplace(k);
+}
+
+} // namespace
+
+int
+ccRfcHintWindow(int entries)
+{
+    return 8 + 4 * entries;
+}
+
+std::vector<std::uint8_t>
+ccRfcAllocationHints(const Kernel &k, int entries)
+{
+    const int n = k.numInstrs();
+    const int window = ccRfcHintWindow(entries);
+    std::vector<std::uint8_t> hint(static_cast<std::size_t>(n), 0);
+    for (int lin = 0; lin < n; lin++) {
+        const Instruction &in = k.instr(lin);
+        if (!in.dst || in.wide || in.longLatency())
+            continue;
+        const Reg r = *in.dst;
+        // Scan forward in layout order for a read of r before it is
+        // redefined. Layout distance is the compiler's static stand-in
+        // for dynamic distance — the same approximation a real
+        // compiler pass would make without a profile.
+        for (int j = lin + 1; j < n && j <= lin + window; j++) {
+            const Instruction &next = k.instr(j);
+            bool reads = false;
+            for (int s = 0; s < next.numSrcs; s++)
+                if (next.srcs[s].isReg && next.srcs[s].reg == r)
+                    reads = true;
+            if (next.pred && *next.pred == r)
+                reads = true;
+            if (reads) {
+                hint[static_cast<std::size_t>(lin)] = 1;
+                break;
+            }
+            if (next.dst) {
+                const int halves = next.wide ? 2 : 1;
+                bool redefined = false;
+                for (int h = 0; h < halves; h++)
+                    if (static_cast<Reg>(*next.dst + h) == r)
+                        redefined = true;
+                if (redefined)
+                    break;
+            }
+        }
+    }
+    return hint;
+}
+
+AccessCounts
+runCcRfc(const Kernel &k, const CcRfcConfig &cfg,
+         const AnalysisBundle *analyses, const ReplayDecode *dec)
+{
+    std::optional<AnalysisBundle> local;
+    if (!analyses)
+        analyses = &local.emplace(k);
+    std::optional<ReplayDecode> localDec;
+    const ReplayDecode &d = resolveDecode(k, dec, localDec);
+    const std::vector<std::uint8_t> hints =
+        ccRfcAllocationHints(k, cfg.entries);
+
+    ReplayArena &arena = acquireThreadReplayArena();
+    AccessCounts counts;
+    CcWarpSim sim(d, cfg, analyses->liveness, hints, counts, arena);
+    for (int w = 0; w < cfg.run.numWarps; w++) {
+        WarpContext warp;
+        warp.reset(static_cast<std::uint32_t>(w));
+        sim.beginWarp();
+        std::uint64_t executed = 0;
+        while (!warp.done && executed < cfg.run.maxInstrsPerWarp) {
+            int lin = warp.pc(k);
+            const Instruction &in = k.instr(lin);
+            bool enabled = !in.pred || warp.regs[*in.pred] != 0;
+            step(k, warp);
+            executed++;
+            sim.onInstr(lin, enabled);
+        }
+    }
+    noteCcRun(counts, /*replay=*/false);
+    return counts;
+}
+
+AccessCounts
+replayCcRfc(const Kernel &k, const CcRfcConfig &cfg,
+            const DecodedTrace &trace, const AnalysisBundle *analyses,
+            const ReplayDecode *dec)
+{
+    std::optional<AnalysisBundle> local;
+    if (!analyses)
+        analyses = &local.emplace(k);
+    std::optional<ReplayDecode> localDec;
+    const ReplayDecode &d = resolveDecode(k, dec, localDec);
+    const std::vector<std::uint8_t> hints =
+        ccRfcAllocationHints(k, cfg.entries);
+
+    ReplayArena &arena = acquireThreadReplayArena();
+    AccessCounts counts;
+    CcWarpSim sim(d, cfg, analyses->liveness, hints, counts, arena);
+    for (int w = 0; w < trace.numWarps(); w++) {
+        sim.beginWarp();
+        for (std::uint32_t t = trace.warpBegin[w];
+             t < trace.warpBegin[w + 1]; t++) {
+            int lin = trace.lin[t];
+            sim.onInstr(lin, trace.flags[t] & kReplayExecuted);
+        }
+    }
+    noteCcRun(counts, /*replay=*/true);
+    return counts;
+}
+
+} // namespace rfh

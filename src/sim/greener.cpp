@@ -1,0 +1,26 @@
+#include "sim/greener.h"
+
+#include <algorithm>
+
+namespace rfh {
+
+int
+greenerActiveBanks(const Kernel &k)
+{
+    const int regsPerBank = kMaxRegs / kGreenerBanks;
+    const int banks = (k.numRegs() + regsPerBank - 1) / regsPerBank;
+    return std::clamp(banks, 1, kGreenerBanks);
+}
+
+double
+greenerEnergyPJ(const AccessCounts &c, const EnergyModel &em,
+                int activeBanks)
+{
+    const double fraction =
+        static_cast<double>(std::clamp(activeBanks, 1, kGreenerBanks)) /
+        static_cast<double>(kGreenerBanks);
+    const double mrfArray = c.accessEnergyPJ(em, Level::MRF);
+    return c.totalEnergyPJ(em) - (1.0 - fraction) * mrfArray;
+}
+
+} // namespace rfh

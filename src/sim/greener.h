@@ -1,0 +1,46 @@
+/**
+ * @file
+ * GREENER-style power-gated MRF banks: an energy-accounting variant.
+ *
+ * GREENER (GPU register file at eighteen nanometers, power-gating
+ * line of work in PAPERS.md) partitions the main register file into
+ * banks and power-gates the banks a kernel never allocates. Access
+ * traffic is exactly the flat baseline's — the scheme changes no
+ * dynamic behaviour — but MRF storage-array energy is charged only
+ * for the powered fraction of the file, derived statically from the
+ * kernel's register footprint. Wire energy is unchanged (operands
+ * still traverse the full datapath distance), as is the energy of
+ * idealised gating: this backend is an optimistic accounting bound,
+ * documented as such in docs/schemes.md.
+ */
+
+#ifndef RFH_SIM_GREENER_H
+#define RFH_SIM_GREENER_H
+
+#include "energy/energy_model.h"
+#include "ir/kernel.h"
+#include "sim/access_counters.h"
+
+namespace rfh {
+
+/** MRF banks available for power gating. */
+inline constexpr int kGreenerBanks = 8;
+
+/**
+ * Banks of the MRF that must stay powered for @p k: one bank serves
+ * kMaxRegs / kGreenerBanks registers, and the kernel's footprint is
+ * its highest referenced register plus one. Always at least 1.
+ */
+int greenerActiveBanks(const Kernel &k);
+
+/**
+ * Energy of @p c with the MRF storage array scaled to the powered
+ * fraction @p activeBanks / kGreenerBanks. Upper-level and wire
+ * energies are unchanged.
+ */
+double greenerEnergyPJ(const AccessCounts &c, const EnergyModel &em,
+                       int activeBanks);
+
+} // namespace rfh
+
+#endif // RFH_SIM_GREENER_H

@@ -1,0 +1,189 @@
+#include "sim/regdem.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/metrics.h"
+#include "sim/machine.h"
+#include "sim/trace.h"
+
+namespace rfh {
+
+namespace {
+
+/**
+ * Pure counting walk shared by both drivers: everything the counts
+ * depend on is (lin, enabled) plus the static demotion set.
+ */
+class RegDemWarpSim
+{
+  public:
+    RegDemWarpSim(const ReplayDecode &dec, const RegSet &demoted,
+                  AccessCounts &counts)
+        : dec_(dec), demoted_(demoted), counts_(counts)
+    {
+    }
+
+    void
+    onInstr(int lin, bool enabled)
+    {
+        const ReplayOp &o = dec_.op[lin];
+        const Datapath dp = static_cast<Datapath>(o.dp);
+
+        auto read_one = [&](Reg r) {
+            if (demoted_.test(r))
+                counts_.wbReads++;  // shared-memory spill read
+            else
+                counts_.read(Level::MRF, dp);
+        };
+        for (int s = 0; s < o.nsrc; s++)
+            read_one(o.src[s]);
+        if (o.pred >= 0)
+            read_one(static_cast<Reg>(o.pred));
+
+        if (o.dst >= 0 && enabled) {
+            for (int h = 0; h < o.halves; h++) {
+                Reg r = static_cast<Reg>(o.dst + h);
+                if (demoted_.test(r))
+                    counts_.wbWrites++;  // shared-memory spill write
+                else
+                    counts_.write(Level::MRF, dp);
+            }
+        }
+
+        counts_.instructions++;
+    }
+
+  private:
+    const ReplayDecode &dec_;
+    const RegSet &demoted_;
+    AccessCounts &counts_;
+};
+
+/** Register-demotion observability, fed by both drivers. */
+void
+noteRegDemRun(const AccessCounts &counts, bool replay)
+{
+    static Counter &runs = globalMetrics().counter("sim.regdem.runs");
+    static Counter &replays =
+        globalMetrics().counter("sim.regdem.runs.replay");
+    static Counter &spills =
+        globalMetrics().counter("sim.regdem.spillAccesses");
+    runs.add();
+    if (replay)
+        replays.add();
+    spills.add(counts.wbReads + counts.wbWrites);
+}
+
+const ReplayDecode &
+resolveDecode(const Kernel &k, const ReplayDecode *dec,
+              std::optional<ReplayDecode> &local)
+{
+    if (dec)
+        return *dec;
+    return local.emplace(k);
+}
+
+} // namespace
+
+RegSet
+regdemDemotedSet(const Kernel &k, int residentBudget)
+{
+    // Static access frequency per register: every named source,
+    // predicate, and destination half counts one site.
+    std::array<std::uint32_t, kMaxRegs> uses{};
+    const int n = k.numInstrs();
+    for (int lin = 0; lin < n; lin++) {
+        const Instruction &in = k.instr(lin);
+        for (int s = 0; s < in.numSrcs; s++)
+            if (in.srcs[s].isReg)
+                uses[in.srcs[s].reg]++;
+        if (in.pred)
+            uses[*in.pred]++;
+        if (in.dst) {
+            const int halves = in.wide ? 2 : 1;
+            for (int h = 0; h < halves; h++)
+                uses[static_cast<Reg>(*in.dst + h)]++;
+        }
+    }
+
+    std::vector<int> regs;
+    for (int r = 0; r < kMaxRegs; r++)
+        if (uses[r] > 0)
+            regs.push_back(r);
+    // Hottest first; ties keep the lower register resident.
+    std::stable_sort(regs.begin(), regs.end(), [&](int a, int b) {
+        if (uses[a] != uses[b])
+            return uses[a] > uses[b];
+        return a < b;
+    });
+
+    RegSet demoted;
+    for (std::size_t i = static_cast<std::size_t>(
+             residentBudget < 0 ? 0 : residentBudget);
+         i < regs.size(); i++)
+        demoted.set(static_cast<std::size_t>(regs[i]));
+    return demoted;
+}
+
+double
+regdemSpillEnergyPJ(const AccessCounts &c, const EnergyParams &params)
+{
+    return static_cast<double>(c.wbReads) * kRegDemSpillFactor *
+        params.mrfReadPJ +
+        static_cast<double>(c.wbWrites) * kRegDemSpillFactor *
+        params.mrfWritePJ;
+}
+
+AccessCounts
+runRegDem(const Kernel &k, const RegDemConfig &cfg,
+          const ReplayDecode *dec)
+{
+    std::optional<ReplayDecode> localDec;
+    const ReplayDecode &d = resolveDecode(k, dec, localDec);
+    const RegSet demoted =
+        regdemDemotedSet(k, kRegDemRegsPerEntry * cfg.entries);
+
+    AccessCounts counts;
+    RegDemWarpSim sim(d, demoted, counts);
+    for (int w = 0; w < cfg.run.numWarps; w++) {
+        WarpContext warp;
+        warp.reset(static_cast<std::uint32_t>(w));
+        std::uint64_t executed = 0;
+        while (!warp.done && executed < cfg.run.maxInstrsPerWarp) {
+            int lin = warp.pc(k);
+            const Instruction &in = k.instr(lin);
+            bool enabled = !in.pred || warp.regs[*in.pred] != 0;
+            step(k, warp);
+            executed++;
+            sim.onInstr(lin, enabled);
+        }
+    }
+    noteRegDemRun(counts, /*replay=*/false);
+    return counts;
+}
+
+AccessCounts
+replayRegDem(const Kernel &k, const RegDemConfig &cfg,
+             const DecodedTrace &trace, const ReplayDecode *dec)
+{
+    std::optional<ReplayDecode> localDec;
+    const ReplayDecode &d = resolveDecode(k, dec, localDec);
+    const RegSet demoted =
+        regdemDemotedSet(k, kRegDemRegsPerEntry * cfg.entries);
+
+    AccessCounts counts;
+    RegDemWarpSim sim(d, demoted, counts);
+    for (int w = 0; w < trace.numWarps(); w++) {
+        for (std::uint32_t t = trace.warpBegin[w];
+             t < trace.warpBegin[w + 1]; t++) {
+            sim.onInstr(trace.lin[t],
+                        trace.flags[t] & kReplayExecuted);
+        }
+    }
+    noteRegDemRun(counts, /*replay=*/true);
+    return counts;
+}
+
+} // namespace rfh

@@ -2,22 +2,26 @@
  * @file
  * Differential oracle and allocator-invariant checker.
  *
- * The oracle runs one kernel through every scheme x engine pair that
- * must agree and diffs the full result JSON (access counters, energy,
- * allocation statistics):
+ * The oracle enumerates the SchemeRegistry and runs one kernel
+ * through every scheme x engine pair that must agree, diffing the
+ * full result JSON (access counters, energy, allocation statistics):
  *
- *  - direct vs replay for baseline, hardware cache (2- and 3-level),
- *    and the software hierarchy (2- and 3-level);
- *  - the scalar verifying executor vs the SIMT executor at width 1
- *    (lane l of warp w seeds as scalar thread w*width+l, so the warp
- *    path and the warp-level access counts must match exactly);
- *  - the SIMT direct executor vs SIMT replay at the full warp width.
+ *  - direct vs replay for every registered scheme (hardware-managed
+ *    schemes are skipped when OracleOptions::checkHwSchemes is off);
+ *  - each scheme's own conservation laws against the flat-MRF
+ *    baseline counts of the same run (SchemeBackend::checkConservation);
+ *  - for allocator-driven schemes additionally: the paper's static
+ *    allocation invariants (checkAllocationInvariants), the scalar
+ *    verifying executor vs the SIMT executor at width 1 (lane l of
+ *    warp w seeds as scalar thread w*width+l, so the warp path and
+ *    the warp-level access counts must match exactly), and the SIMT
+ *    direct executor vs SIMT replay at the full warp width.
  *
- * On top of the differential pairs it checks the paper's allocation
- * invariants statically (checkAllocationInvariants) and dynamically
- * (read/write conservation against the flat-MRF baseline). Any
- * violation is a finding; a clean tree reports zero findings for any
- * fuzz seed, which scripts/check.sh enforces.
+ * Registering a new backend therefore grows the differential sweep
+ * automatically; the expected pair count is a pure function of the
+ * registry's capability flags (asserted in tests/test_schemes.cpp).
+ * Any violation is a finding; a clean tree reports zero findings for
+ * any fuzz seed, which scripts/check.sh enforces.
  */
 
 #ifndef RFH_VERIFY_ORACLE_H
