@@ -17,6 +17,8 @@
 #include "ir/reaching_defs.h"
 #include "sim/baseline_exec.h"
 #include "sim/hw_cache.h"
+#include "sim/pipeline.h"
+#include "sim/pipeline_account.h"
 #include "sim/sw_exec.h"
 #include "sim/trace.h"
 #include "workloads/registry.h"
@@ -182,6 +184,55 @@ BM_ExecReplay(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ExecReplay);
+
+// ---- Cycle-level pipeline benchmarks ----
+//
+// BM_PipelineCycle prices one simulated cycle of the staged SM
+// pipeline (issue / collector+banks / exec / writeback) on a recorded
+// trace; items/sec is cycles/sec. The Arg is the two-level active-set
+// size — 32 degenerates to flat round-robin, so the pair also shows
+// what the swap machinery costs. BM_PipelineOneBank maximises bank
+// pressure (every operand pair conflicts), the collector's worst case.
+
+void
+BM_PipelineCycle(benchmark::State &state)
+{
+    const Workload &w = workloadByName("nbody");
+    DecodedTrace trace = recordDecodedTrace(w.kernel, w.run);
+    trace.buildPlanes(w.kernel);
+    ReplayDecode dec(w.kernel);
+    PipelineConfig cfg;
+    cfg.activeWarps = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        AccessCounts counts;
+        auto acct = makeFlatAccounting(w.kernel, &dec, counts);
+        PipelineResult r = runPipeline(trace, dec, *acct, cfg);
+        benchmark::DoNotOptimize(r.stats.cycles);
+        state.SetItemsProcessed(state.items_processed() +
+                                r.stats.cycles);
+    }
+}
+BENCHMARK(BM_PipelineCycle)->Arg(8)->Arg(32);
+
+void
+BM_PipelineOneBank(benchmark::State &state)
+{
+    const Workload &w = workloadByName("nbody");
+    DecodedTrace trace = recordDecodedTrace(w.kernel, w.run);
+    trace.buildPlanes(w.kernel);
+    ReplayDecode dec(w.kernel);
+    PipelineConfig cfg;
+    cfg.banks.numBanks = 1;
+    for (auto _ : state) {
+        AccessCounts counts;
+        auto acct = makeFlatAccounting(w.kernel, &dec, counts);
+        PipelineResult r = runPipeline(trace, dec, *acct, cfg);
+        benchmark::DoNotOptimize(r.stats.bankConflicts);
+        state.SetItemsProcessed(state.items_processed() +
+                                r.stats.cycles);
+    }
+}
+BENCHMARK(BM_PipelineOneBank);
 
 // ---- Experiment-engine benchmarks ----
 

@@ -23,6 +23,11 @@
  *   --warps N          warps to execute (run; default 8)
  *   --scheme TOKEN     run any registered scheme by wire token (run;
  *                      default sw3, or sw2 under --no-lrf)
+ *   --perf             also run the cycle-level SM pipeline: IPC,
+ *                      stall breakdown, swaps, bank conflicts (run)
+ *   --sched P          pipeline warp scheduler: flat, two-level (the
+ *                      default), or gto (run, with --perf)
+ *   --active N         two-level active-set size (run; default 8)
  *   --json             machine-readable outcome (run)
  *   --manifest F       write an rfh-manifest-v1 run manifest to F (run)
  *   --trace-events F   write chrome://tracing phase spans to F (run)
@@ -33,6 +38,11 @@
  *
  * Options (compare):
  *   --entries N        entries for fixed (non-sweeping) schemes
+ *   --perf             add per-scheme IPC / stall columns (one
+ *                      pipeline pass per scheme at its best entries)
+ *   --sched P          pipeline scheduler for --perf (default
+ *                      two-level)
+ *   --active N         two-level active-set size for --perf
  *   --json             print the leaderboard JSON instead of the table
  *   --out F            also write the leaderboard JSON to F
  *
@@ -142,12 +152,15 @@ usage()
                  "[--no-readops] [--schedule]\n"
                  "            [--regalloc N] [--warps N] "
                  "[--scheme TOKEN] [--json]\n"
+                 "            [--perf] [--sched flat|two-level|gto] "
+                 "[--active N]\n"
                  "            [--manifest out.json] "
                  "[--trace-events out.json]\n"
                  "       rfhc bench-diff <old.json> <new.json> "
                  "[--threshold F]\n"
-                 "       rfhc compare [--entries N] [--json] "
-                 "[--out F]\n"
+                 "       rfhc compare [--entries N] [--perf] "
+                 "[--sched P] [--active N]\n"
+                 "            [--json] [--out F]\n"
                  "       rfhc fuzz [--iters N] [--seed S] [--shrink] "
                  "[--inject]\n"
                  "            [--dump DIR] [--out repro.rptx] "
@@ -265,6 +278,15 @@ compareMain(int argc, char **argv)
                 return usage();
         } else if (a == "--json") {
             json = true;
+        } else if (a == "--perf") {
+            base.perf = true;
+        } else if (a == "--sched" && i + 1 < argc) {
+            if (!parseSchedPolicy(argv[++i], base.pipeline.policy))
+                return usage();
+        } else if (a == "--active" && i + 1 < argc) {
+            base.pipeline.activeWarps = std::atoi(argv[++i]);
+            if (base.pipeline.activeWarps < 1)
+                return usage();
         } else if (a == "--out" && i + 1 < argc) {
             out_path = argv[++i];
             if (out_path.empty())
@@ -738,6 +760,8 @@ main(int argc, char **argv)
     opts.splitLRF = true;
     bool do_schedule = false;
     bool json = false;
+    bool perf = false;
+    PipelineConfig pcfg;
     int regalloc_budget = 0;
     int warps = 8;
     std::string manifest_path;
@@ -784,6 +808,16 @@ main(int argc, char **argv)
                 return usage();
         } else if (a == "--warps") {
             if (!next_int(warps))
+                return usage();
+        } else if (a == "--perf") {
+            perf = true;
+        } else if (a == "--sched") {
+            std::string tok;
+            if (!next_str(tok) ||
+                !parseSchedPolicy(tok, pcfg.policy))
+                return usage();
+        } else if (a == "--active") {
+            if (!next_int(pcfg.activeWarps))
                 return usage();
         } else if (a == "--scheme") {
             if (!next_str(scheme_token))
@@ -913,6 +947,8 @@ main(int argc, char **argv)
         cfg.readOperands = opts.readOperands;
         cfg.strandOptions = opts.strandOptions;
         cfg.engine = ExecEngine::DIRECT;
+        cfg.perf = perf;
+        cfg.pipeline = pcfg;
 
         Stopwatch wall;
         RunOutcome o = runScheme(w, cfg);
@@ -990,6 +1026,28 @@ main(int argc, char **argv)
         double be = o.baselineEnergyPJ;
         std::printf("energy: %.1f pJ (flat register file: %.1f pJ, "
                     "saved %.1f%%)\n", e, be, 100.0 * (1 - e / be));
+        if (o.hasPerf) {
+            const PipelineStats &p = o.perf;
+            std::printf(
+                "perf:   %llu cycles  IPC %.3f  (%s, %d active; "
+                "%llu swaps, %llu bank conflicts)\n",
+                static_cast<unsigned long long>(p.cycles), p.ipc(),
+                std::string(schedPolicyName(cfg.pipeline.policy))
+                    .c_str(),
+                cfg.pipeline.activeWarps,
+                static_cast<unsigned long long>(p.swaps),
+                static_cast<unsigned long long>(p.bankConflicts));
+            double cyc = p.cycles ? static_cast<double>(p.cycles)
+                                  : 1.0;
+            std::printf(
+                "stalls: scoreboard %.1f%%  collector %.1f%%  "
+                "exec-busy %.1f%%  swap %.1f%%  drain %.1f%%\n",
+                100.0 * p.stalls.scoreboard / cyc,
+                100.0 * p.stalls.collector / cyc,
+                100.0 * p.stalls.execBusy / cyc,
+                100.0 * p.stalls.swap / cyc,
+                100.0 * p.stalls.drain / cyc);
+        }
         return 0;
     }
 

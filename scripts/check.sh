@@ -17,6 +17,7 @@
 #   scripts/check.sh --no-perf    # skip the bench-diff perf gate
 #   scripts/check.sh --no-fuzz    # skip the differential fuzz smoke
 #   scripts/check.sh --no-golden  # skip the golden figure-shape gate
+#   scripts/check.sh --no-pipeline # skip the cycle-level pipeline gate
 #   scripts/check.sh --no-serve   # skip the serve+loadgen smoke
 #   scripts/check.sh --no-router  # skip the router fleet smoke
 #   scripts/check.sh --no-vec     # skip the vectorize-report gate
@@ -38,6 +39,7 @@ run_asan=1
 run_perf=1
 run_fuzz=1
 run_golden=1
+run_pipeline=1
 run_serve=1
 run_router=1
 run_vec=1
@@ -48,6 +50,7 @@ for arg in "$@"; do
     [[ "$arg" == "--no-perf" ]] && run_perf=0
     [[ "$arg" == "--no-fuzz" ]] && run_fuzz=0
     [[ "$arg" == "--no-golden" ]] && run_golden=0
+    [[ "$arg" == "--no-pipeline" ]] && run_pipeline=0
     [[ "$arg" == "--no-serve" ]] && run_serve=0
     [[ "$arg" == "--no-router" ]] && run_router=0
     [[ "$arg" == "--no-vec" ]] && run_vec=0
@@ -57,9 +60,10 @@ done
 echo "== build + test (${jobs} jobs) =="
 cmake -B "$repo/build" -S "$repo" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
-# The golden tier runs as its own gated stage below; keep the main run
-# on the unit/property/fuzz tiers.
-ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -LE golden
+# The golden and pipeline tiers run as their own gated stages below;
+# keep the main run on the unit/property/fuzz tiers.
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" \
+    -LE 'golden|pipeline'
 
 if [[ "$run_vec" == 1 ]]; then
     echo "== vectorize report: replay classification loop =="
@@ -85,6 +89,14 @@ if [[ "$run_vec" == 1 ]]; then
         exit 1
     fi
     rm -f "$veclog"
+fi
+
+if [[ "$run_pipeline" == 1 ]]; then
+    echo "== cycle-level pipeline gate: stage/port/scheduler suite =="
+    # Port conservation, tick determinism, scheduler-policy
+    # equivalences, and the pipeline-vs-functional count cross-checks
+    # (tests/test_pipeline.cpp); `--no-pipeline` skips.
+    ctest --test-dir "$repo/build" --output-on-failure -L pipeline
 fi
 
 if [[ "$run_golden" == 1 ]]; then
@@ -215,7 +227,7 @@ if command -v doxygen >/dev/null 2>&1; then
             >/dev/null)
     # New-in-this-layer headers must stay warning-free; the gate is
     # scoped so pre-existing debt elsewhere does not block CI.
-    gated='core/metrics\.|core/trace_events\.|core/manifest\.|core/benchdiff\.|sim/replay_kernels\.|sim/replay_arena\.|core/scheme\.|core/leaderboard\.|sim/cc_rfc\.|sim/regdem\.|sim/greener\.|sim/rfc_ring\.'
+    gated='core/metrics\.|core/trace_events\.|core/manifest\.|core/benchdiff\.|sim/replay_kernels\.|sim/replay_arena\.|core/scheme\.|core/leaderboard\.|sim/cc_rfc\.|sim/regdem\.|sim/greener\.|sim/rfc_ring\.|sim/tick\.|sim/port\.|sim/pipeline'
     if grep -E "$gated" "$doxlog"; then
         echo "check.sh: doxygen warnings in gated headers (above)" >&2
         exit 1

@@ -33,6 +33,25 @@ struct EngineMetrics
         globalMetrics().histogram("engine.run.dynInstrs");
 };
 
+/** Cycle-level pipeline observability (sim.pipeline.*). */
+struct PipelineMetrics
+{
+    Counter &runs = globalMetrics().counter("sim.pipeline.runs");
+    Counter &cycles = globalMetrics().counter("sim.pipeline.cycles");
+    Counter &issued = globalMetrics().counter("sim.pipeline.issued");
+    Counter &swaps = globalMetrics().counter("sim.pipeline.swaps");
+    Counter &bankConflicts =
+        globalMetrics().counter("sim.pipeline.bankConflicts");
+    Timer &run = globalMetrics().timer("sim.pipeline.run");
+};
+
+PipelineMetrics &
+pipelineMetrics()
+{
+    static PipelineMetrics m;
+    return m;
+}
+
 EngineMetrics &
 engineMetrics()
 {
@@ -197,6 +216,17 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     out.phases.dynInstrs = out.counts.instructions;
     out.energyPJ = backend.accountEnergyPJ(ctx, out.counts, em);
 
+    // ---- Perf (opt-in): cycle-level pipeline pass ----
+    if (cfg.perf && caps.pipelined && out.ok() && !cancelled()) {
+        SchemePipelineResult pr = runSchemePipeline(w, cfg, cfg.pipeline);
+        if (pr.ok()) {
+            out.perf = pr.stats;
+            out.hasPerf = true;
+        } else {
+            out.error = "pipeline: " + pr.error;
+        }
+    }
+
     // Observability only: metrics never feed back into the outcome,
     // so results stay byte-identical with any metrics state.
     EngineMetrics &mm = engineMetrics();
@@ -215,6 +245,89 @@ runScheme(const Workload &w, const ExperimentConfig &cfg)
     return out;
 }
 
+SchemePipelineResult
+runSchemePipeline(const Workload &w, const ExperimentConfig &cfg,
+                  const PipelineConfig &pcfg)
+{
+    SchemePipelineResult out;
+    const SchemeInfo *si = SchemeRegistry::instance().find(cfg.scheme);
+    if (!si) {
+        out.error = "unregistered scheme id " +
+            std::to_string(cfg.scheme.id()) + " (valid: " +
+            SchemeRegistry::instance().tokenList() + ")";
+        return out;
+    }
+    if (!si->caps.pipelined) {
+        out.error = "scheme '" + si->token +
+            "' has no pipeline accounting";
+        return out;
+    }
+
+    ExperimentCache &cache = globalExperimentCache();
+    auto cancelled = [&] { return cfg.cancel && cfg.cancel(); };
+    if (cancelled()) {
+        out.error = "cancelled";
+        return out;
+    }
+
+    // Shared memoized sub-results, exactly as runScheme gathers them.
+    std::shared_ptr<const AnalysisBundle> analyses;
+    if (si->caps.usesAnalyses)
+        analyses = cache.analyses(w.kernel);
+    std::shared_ptr<const DecodedTrace> trace =
+        cache.trace(w.kernel, w.run);
+    // The pristine-kernel decode drives the engine (latencies,
+    // scoreboard sets — annotations change neither); backends that
+    // need annotation-aware decodes build their own.
+    std::shared_ptr<const ReplayDecode> dec = cache.decode(w.kernel);
+    if (cancelled()) {
+        out.error = "cancelled";
+        return out;
+    }
+
+    // The allocator's annotated copy must outlive the run: the
+    // accounting reads annotations from it on every issue.
+    Kernel annotated;
+    const Kernel *kernel = &w.kernel;
+    if (si->caps.usesAllocator) {
+        annotated = w.kernel;
+        si->backend->allocate(annotated, cfg, analyses.get());
+        kernel = &annotated;
+        if (cancelled()) {
+            out.error = "cancelled";
+            return out;
+        }
+    }
+
+    PipelineBuildContext ctx;
+    ctx.kernel = kernel;
+    ctx.cfg = &cfg;
+    ctx.analyses = analyses.get();
+    ctx.decode = dec.get();
+    ctx.counts = &out.counts;
+    std::unique_ptr<PipelineAccounting> acct =
+        si->backend->makePipelineAccounting(ctx);
+    if (!acct) {
+        out.error = "scheme '" + si->token +
+            "' advertises pipelined caps but built no accounting";
+        return out;
+    }
+
+    Stopwatch watch;
+    PipelineResult r = runPipeline(*trace, *dec, *acct, pcfg);
+    out.stats = r.stats;
+    out.error = r.error;
+
+    PipelineMetrics &pm = pipelineMetrics();
+    pm.runs.add();
+    pm.cycles.add(r.stats.cycles);
+    pm.issued.add(r.stats.issued);
+    pm.swaps.add(r.stats.swaps);
+    pm.bankConflicts.add(r.stats.bankConflicts);
+    pm.run.addSec(watch.lap());
+    return out;
+}
+
 void
 accumulateOutcome(RunOutcome &agg, const RunOutcome &one,
                   const std::string &name)
@@ -224,6 +337,10 @@ accumulateOutcome(RunOutcome &agg, const RunOutcome &one,
     agg.energyPJ += one.energyPJ;
     agg.baselineEnergyPJ += one.baselineEnergyPJ;
     agg.phases.add(one.phases);
+    if (one.hasPerf) {
+        agg.perf.add(one.perf);
+        agg.hasPerf = true;
+    }
     if (!one.ok()) {
         if (!agg.error.empty())
             agg.error += "; ";

@@ -18,6 +18,7 @@
 #include "core/timing.h"
 #include "energy/energy_params.h"
 #include "sim/access_counters.h"
+#include "sim/pipeline.h"
 #include "workloads/registry.h"
 
 namespace rfh {
@@ -84,6 +85,16 @@ struct ExperimentConfig
      */
     ExecEngine engine = ExecEngine::AUTO;
     /**
+     * Also run the cycle-level SM pipeline (sim/pipeline.h) after a
+     * clean simulate phase and attach IPC / stall-breakdown stats to
+     * the outcome (RunOutcome::perf). Only schemes whose caps say
+     * @c pipelined participate; others ignore the flag. Off by
+     * default: the pipeline costs another pass over the trace.
+     */
+    bool perf = false;
+    /** Pipeline timing knobs used when @c perf is set. */
+    PipelineConfig pipeline;
+    /**
      * Cooperative cancellation probe, polled by runScheme between
      * phases (after analyze, after trace, after allocate). When it
      * returns true the run stops early with error "cancelled" and
@@ -109,6 +120,13 @@ struct RunOutcome
     double energyPJ = 0.0;         ///< Access + wire energy.
     double baselineEnergyPJ = 0.0; ///< Flat-MRF energy, same workload.
     std::string error;             ///< Non-empty on verification failure.
+    /**
+     * Cycle-level pipeline stats; meaningful only when @c hasPerf.
+     * Filled by runScheme when ExperimentConfig::perf is set and the
+     * scheme's caps say @c pipelined.
+     */
+    PipelineStats perf;
+    bool hasPerf = false;
     /**
      * Wall-clock spent per engine phase (aggregated across workloads
      * for runAllWorkloads outcomes). Observability only: timing is
@@ -141,6 +159,34 @@ struct RunOutcome
  * executors. Thread-safe; results are identical to an uncached run.
  */
 RunOutcome runScheme(const Workload &w, const ExperimentConfig &cfg);
+
+/** Outcome of a standalone cycle-level pipeline run. */
+struct SchemePipelineResult
+{
+    PipelineStats stats;
+    /** Accesses accounted at issue; must equal the functional counts. */
+    AccessCounts counts;
+    std::string error; ///< Non-empty on failure.
+
+    bool
+    ok() const
+    {
+        return error.empty();
+    }
+};
+
+/**
+ * Run @p w through the cycle-level SM pipeline under scheme
+ * @p cfg.scheme with timing knobs @p pcfg. The scheme's replay
+ * accounting runs at issue, so the returned counts are identical to
+ * runScheme's for the same configuration (the oracle cross-checks
+ * this for every scheme); the stats add IPC, stall breakdown, swap
+ * and bank-conflict totals on top. Fails with an error (not a crash)
+ * for schemes whose caps lack @c pipelined.
+ */
+SchemePipelineResult runSchemePipeline(const Workload &w,
+                                       const ExperimentConfig &cfg,
+                                       const PipelineConfig &pcfg = {});
 
 /**
  * Fold @p one (the outcome of workload @p name) into @p agg in

@@ -191,6 +191,27 @@ writeJson(JsonWriter &w, const RunOutcome &outcome)
     w.key("orfReadsPartial").value(outcome.alloc.orfReadsPartial);
     w.key("mrfWritesElided").value(outcome.alloc.mrfWritesElided);
     w.endObject();
+    // Emitted only when the cycle-level pipeline ran: the oracle,
+    // loadgen, and golden tests byte-compare outcome JSON, so a run
+    // without perf must serialise exactly as before.
+    if (outcome.hasPerf) {
+        w.key("perf");
+        w.beginObject();
+        w.key("cycles").value(outcome.perf.cycles);
+        w.key("instructions").value(outcome.perf.issued);
+        w.key("ipc").value(outcome.perf.ipc());
+        w.key("swaps").value(outcome.perf.swaps);
+        w.key("bankConflicts").value(outcome.perf.bankConflicts);
+        w.key("stalls");
+        w.beginObject();
+        w.key("scoreboard").value(outcome.perf.stalls.scoreboard);
+        w.key("collector").value(outcome.perf.stalls.collector);
+        w.key("execBusy").value(outcome.perf.stalls.execBusy);
+        w.key("swap").value(outcome.perf.stalls.swap);
+        w.key("drain").value(outcome.perf.stalls.drain);
+        w.endObject();
+        w.endObject();
+    }
     w.endObject();
 }
 

@@ -12,12 +12,18 @@ runLeaderboard(const ExperimentConfig &base, ThreadPool *pool)
     Leaderboard lb;
     Stopwatch wall;
 
+    // The energy sweep never pays for cycle-level timing: perf runs
+    // once per scheme at its chosen entries point, below, not for
+    // every grid cell.
+    ExperimentConfig swcfg = base;
+    swcfg.perf = false;
+
     std::vector<Scheme> swept;
     for (const SchemeInfo *si : SchemeRegistry::instance().schemes())
         if (si->caps.sweepsEntries)
             swept.push_back(si->scheme);
     std::vector<SweepPoint> points =
-        sweepEntries(swept, base, pool, &lb.timing);
+        sweepEntries(swept, swcfg, pool, &lb.timing);
     lb.baseline = aggregateBaselineCounts();
 
     for (const SchemeInfo *si : SchemeRegistry::instance().schemes()) {
@@ -32,10 +38,28 @@ runLeaderboard(const ExperimentConfig &base, ThreadPool *pool)
             row.entries = best->entries;
             row.outcome = best->outcome;
         } else {
-            ExperimentConfig cfg = base;
+            ExperimentConfig cfg = swcfg;
             cfg.scheme = si->scheme;
             row.entries = cfg.entries;
             row.outcome = runAllWorkloads(cfg, pool);
+        }
+        if (base.perf && si->caps.pipelined) {
+            ExperimentConfig pc = base;
+            pc.scheme = si->scheme;
+            pc.entries = row.entries;
+            for (const Workload &w : allWorkloads()) {
+                SchemePipelineResult pr =
+                    runSchemePipeline(w, pc, base.pipeline);
+                if (!pr.ok()) {
+                    if (!row.outcome.error.empty())
+                        row.outcome.error += "; ";
+                    row.outcome.error +=
+                        w.name + ": pipeline: " + pr.error;
+                    continue;
+                }
+                row.outcome.perf.add(pr.stats);
+                row.outcome.hasPerf = true;
+            }
         }
         row.breakdown =
             normalizeAccesses(row.outcome.counts, lb.baseline);
@@ -57,25 +81,61 @@ runLeaderboard(const ExperimentConfig &base, ThreadPool *pool)
 std::string
 renderLeaderboard(const Leaderboard &lb)
 {
-    TextTable t({"Rank", "Scheme", "Token", "Entries", "Energy",
-                 "Saved", "Reads M/O/L", "Writes M/O/L"});
+    bool perf = false;
+    for (const LeaderboardRow &row : lb.rows)
+        perf |= row.outcome.hasPerf;
+
+    std::vector<std::string> head = {"Rank", "Scheme", "Token",
+                                     "Entries", "Energy", "Saved",
+                                     "Reads M/O/L", "Writes M/O/L"};
+    if (perf) {
+        head.push_back("IPC");
+        head.push_back("Stall sb/cl/ex/sw/dr");
+    }
+    TextTable t(head);
     int rank = 0;
     for (const LeaderboardRow &row : lb.rows) {
         rank++;
         const AccessBreakdown &b = row.breakdown;
-        t.addRow({std::to_string(rank),
-                  row.display + (row.paper ? "" : " *"), row.token,
-                  row.swept ? std::to_string(row.entries)
-                            : std::to_string(row.entries) + " (fixed)",
-                  fmt(row.outcome.normalizedEnergy(), 3),
-                  pct(1.0 - row.outcome.normalizedEnergy()),
-                  pct(b.mrfReads) + "/" + pct(b.orfReads) + "/" +
-                      pct(b.lrfReads),
-                  pct(b.mrfWrites) + "/" + pct(b.orfWrites) + "/" +
-                      pct(b.lrfWrites)});
+        std::vector<std::string> cells = {
+            std::to_string(rank),
+            row.display + (row.paper ? "" : " *"), row.token,
+            row.swept ? std::to_string(row.entries)
+                      : std::to_string(row.entries) + " (fixed)",
+            fmt(row.outcome.normalizedEnergy(), 3),
+            pct(1.0 - row.outcome.normalizedEnergy()),
+            pct(b.mrfReads) + "/" + pct(b.orfReads) + "/" +
+                pct(b.lrfReads),
+            pct(b.mrfWrites) + "/" + pct(b.orfWrites) + "/" +
+                pct(b.lrfWrites)};
+        if (perf) {
+            if (row.outcome.hasPerf) {
+                const PipelineStats &p = row.outcome.perf;
+                double c = p.cycles ? static_cast<double>(p.cycles)
+                                    : 1.0;
+                const PipelineStalls &s = p.stalls;
+                cells.push_back(fmt(p.ipc(), 3));
+                cells.push_back(pct(s.scoreboard / c) + "/" +
+                                pct(s.collector / c) + "/" +
+                                pct(s.execBusy / c) + "/" +
+                                pct(s.swap / c) + "/" +
+                                pct(s.drain / c));
+            } else {
+                cells.push_back("-");
+                cells.push_back("-");
+            }
+        }
+        t.addRow(cells);
     }
-    return t.str() + "(* = contributed backend, not a paper scheme; "
-                     "M/O/L = MRF/ORF/LRF fraction of baseline)\n";
+    std::string legend =
+        "(* = contributed backend, not a paper scheme; "
+        "M/O/L = MRF/ORF/LRF fraction of baseline)\n";
+    if (perf)
+        legend +=
+            "(IPC over the workload suite; stalls as cycle fractions: "
+            "sb=scoreboard cl=collector ex=exec-busy sw=swap "
+            "dr=drain)\n";
+    return t.str() + legend;
 }
 
 std::string
@@ -115,6 +175,25 @@ leaderboardToJson(const Leaderboard &lb)
         w.endObject();
         w.key("wbReads").value(row.outcome.counts.wbReads);
         w.key("wbWrites").value(row.outcome.counts.wbWrites);
+        if (row.outcome.hasPerf) {
+            const PipelineStats &p = row.outcome.perf;
+            w.key("perf");
+            w.beginObject();
+            w.key("cycles").value(p.cycles);
+            w.key("instructions").value(p.issued);
+            w.key("ipc").value(p.ipc());
+            w.key("swaps").value(p.swaps);
+            w.key("bankConflicts").value(p.bankConflicts);
+            w.key("stalls");
+            w.beginObject();
+            w.key("scoreboard").value(p.stalls.scoreboard);
+            w.key("collector").value(p.stalls.collector);
+            w.key("execBusy").value(p.stalls.execBusy);
+            w.key("swap").value(p.stalls.swap);
+            w.key("drain").value(p.stalls.drain);
+            w.endObject();
+            w.endObject();
+        }
         if (!row.outcome.ok())
             w.key("error").value(row.outcome.error);
         w.endObject();

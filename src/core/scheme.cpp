@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/experiment.h"
+#include "sim/pipeline_account.h"
 
 namespace rfh {
 
@@ -48,6 +49,15 @@ SchemeBackend::checkConservation(const AccessCounts &,
                                  const AccessCounts &) const
 {
     return {};
+}
+
+// Out of line so scheme.h needs only a forward declaration of
+// PipelineAccounting (unique_ptr of an incomplete type cannot be
+// destroyed in an inline default).
+std::unique_ptr<PipelineAccounting>
+SchemeBackend::makePipelineAccounting(const PipelineBuildContext &) const
+{
+    return nullptr;
 }
 
 SchemeRegistry::SchemeRegistry() = default;

@@ -142,6 +142,13 @@ struct SchemeCaps
      * sweeping entries 1..kMaxOrfEntries.
      */
     bool sweepsEntries = true;
+    /**
+     * The backend implements makePipelineAccounting(), so the
+     * cycle-level SM pipeline (sim/pipeline.h) can run it: `rfhc run
+     * --perf` produces IPC and a stall breakdown, and the oracle
+     * cross-checks pipeline counts against the functional path.
+     */
+    bool pipelined = false;
 };
 
 /** ctx.engine values after AUTO resolution (mirrors ExecEngine). */
@@ -186,6 +193,30 @@ struct SchemeSimResult
     AccessCounts counts;
     /** Empty on success; else the first verification failure. */
     std::string error;
+};
+
+class PipelineAccounting;
+
+/**
+ * Inputs of SchemeBackend::makePipelineAccounting. Pointer lifetimes
+ * match SchemeRunContext: owned by the caller and valid while the
+ * returned accounting (and the pipeline run driving it) lives.
+ */
+struct PipelineBuildContext
+{
+    /**
+     * Kernel to account: the allocator-annotated private copy when
+     * caps.usesAllocator, else the pristine kernel.
+     */
+    const Kernel *kernel = nullptr;
+    /** Full experiment configuration. */
+    const ExperimentConfig *cfg = nullptr;
+    /** Analyses bundle (null unless caps.usesAnalyses). */
+    const AnalysisBundle *analyses = nullptr;
+    /** Shared per-kernel decode of the pristine kernel; may be null. */
+    const ReplayDecode *decode = nullptr;
+    /** Accumulator every warp accountant adds into; never null. */
+    AccessCounts *counts = nullptr;
 };
 
 /**
@@ -252,6 +283,16 @@ class SchemeBackend
     virtual std::vector<std::string>
     checkConservation(const AccessCounts &c,
                       const AccessCounts &baseline) const;
+
+    /**
+     * Build the per-warp accounting the cycle-level pipeline
+     * (sim/pipeline.h) drives at issue. Must replicate simulate()'s
+     * counting exactly — the verify oracle enforces identical counts
+     * per scheme and warp count. Only called when caps().pipelined;
+     * the default returns null.
+     */
+    virtual std::unique_ptr<PipelineAccounting>
+    makePipelineAccounting(const PipelineBuildContext &ctx) const;
 };
 
 /** Immutable registration record of one scheme. */

@@ -86,6 +86,7 @@ ServiceRequest::config() const
     cfg.partialRanges = partialRanges;
     cfg.readOperands = readOperands;
     cfg.engine = engine;
+    cfg.perf = perf;
     return cfg;
 }
 
@@ -218,6 +219,10 @@ parseServiceRequest(const std::string &line)
             if (value.type != JsonValue::Type::BOOL)
                 return bad("field 'read_operands' must be a boolean");
             req.readOperands = value.boolean;
+        } else if (key == "perf") {
+            if (value.type != JsonValue::Type::BOOL)
+                return bad("field 'perf' must be a boolean");
+            req.perf = value.boolean;
         } else if (key == "deadline_ms") {
             if (!value.isNumber())
                 return bad("field 'deadline_ms' must be a number");
@@ -269,6 +274,9 @@ serviceRequestToJson(const ServiceRequest &req)
     w.key("split_lrf").value(req.splitLRF);
     w.key("partial_ranges").value(req.partialRanges);
     w.key("read_operands").value(req.readOperands);
+    // Conditional like deadline_ms: legacy lines keep their bytes.
+    if (req.perf)
+        w.key("perf").value(true);
     if (req.deadlineMs)
         w.key("deadline_ms").value(*req.deadlineMs);
     w.endObject();

@@ -82,6 +82,12 @@ struct ServiceRequest
     bool splitLRF = true;
     bool partialRanges = true;
     bool readOperands = true;
+    /**
+     * Also run the cycle-level SM pipeline and attach IPC / stall
+     * stats to the result ("perf" object; schemes without pipeline
+     * accounting fail the run with EXEC_ERROR).
+     */
+    bool perf = false;
     /** Relative deadline in milliseconds; unset = no deadline. */
     std::optional<double> deadlineMs;
 

@@ -5,6 +5,7 @@
 #include "core/metrics.h"
 #include "ir/liveness.h"
 #include "sim/machine.h"
+#include "sim/pipeline_account.h"
 #include "sim/replay_arena.h"
 #include "sim/rfc_ring.h"
 #include "sim/trace.h"
@@ -69,8 +70,14 @@ class CcWarpSim
         // the erase frees the slot early and ensures a dead value
         // never reaches the eviction writeback path.
         auto read_one = [&](Reg r) {
-            counts_.read(rfc_.contains(r) ? Level::ORF : Level::MRF,
-                         dp);
+            const bool hit = rfc_.contains(r);
+            counts_.read(hit ? Level::ORF : Level::MRF, dp);
+            if (plan_) {
+                if (hit)
+                    plan_->numBypass++;
+                else
+                    plan_->mrfReg[plan_->numMrf++] = r;
+            }
         };
         for (int s = 0; s < o.nsrc; s++)
             read_one(o.src[s]);
@@ -118,6 +125,17 @@ class CcWarpSim
         counts_.instructions++;
     }
 
+    /**
+     * Capture the operand sourcing of subsequent onInstr() calls into
+     * @p plan (MRF reads vs RFC bypasses); null to stop. Timing-only:
+     * the captured plan never feeds the counters.
+     */
+    void
+    setPlan(OperandPlan *plan)
+    {
+        plan_ = plan;
+    }
+
   private:
     /** Flush everything live back to the MRF (deschedule). */
     void
@@ -140,6 +158,67 @@ class CcWarpSim
     AccessCounts &counts_;
     RfcRing rfc_;
     RegSet pending_;
+    OperandPlan *plan_ = nullptr;
+};
+
+/** Pipeline adapter: one CcWarpSim driven at issue. */
+class CcWarpAccountant final : public WarpAccountant
+{
+  public:
+    CcWarpAccountant(const ReplayDecode &dec, const CcRfcConfig &cfg,
+                     const Liveness &liveness,
+                     const std::vector<std::uint8_t> &hints,
+                     AccessCounts &counts, ReplayArena &arena)
+        : sim_(dec, cfg, liveness, hints, counts, arena)
+    {
+        sim_.beginWarp();
+    }
+
+    void
+    onIssue(int lin, bool enabled, bool /*taken*/,
+            std::int32_t /*nextLin*/, OperandPlan &plan) override
+    {
+        sim_.setPlan(&plan);
+        sim_.onInstr(lin, enabled);
+        sim_.setPlan(nullptr);
+    }
+
+  private:
+    CcWarpSim sim_;
+};
+
+/** Pipeline accounting factory for the compiler-assisted RFC. */
+class CcAccounting final : public PipelineAccounting
+{
+  public:
+    CcAccounting(const Kernel &k, const CcRfcConfig &cfg,
+                 const AnalysisBundle *analyses, const ReplayDecode *dec,
+                 AccessCounts &counts)
+        : cfg_(cfg), counts_(counts),
+          hints_(ccRfcAllocationHints(k, cfg.entries))
+    {
+        analyses_ = analyses ? analyses : &localAnalyses_.emplace(k);
+        dec_ = dec ? dec : &localDec_.emplace(k);
+    }
+
+    std::unique_ptr<WarpAccountant>
+    makeWarp(int /*warp*/) override
+    {
+        return std::make_unique<CcWarpAccountant>(
+            *dec_, cfg_, analyses_->liveness, hints_, counts_, arena_);
+    }
+
+  private:
+    CcRfcConfig cfg_;
+    AccessCounts &counts_;
+    std::vector<std::uint8_t> hints_;
+    std::optional<AnalysisBundle> localAnalyses_;
+    std::optional<ReplayDecode> localDec_;
+    const AnalysisBundle *analyses_;
+    const ReplayDecode *dec_;
+    // Private arena: warp accountants outlive any tick of the
+    // thread-local replay arena, which other code resets freely.
+    ReplayArena arena_;
 };
 
 /** Compiler-assisted-RFC observability, fed by both drivers. */
@@ -276,6 +355,14 @@ replayCcRfc(const Kernel &k, const CcRfcConfig &cfg,
     }
     noteCcRun(counts, /*replay=*/true);
     return counts;
+}
+
+std::unique_ptr<PipelineAccounting>
+makeCcRfcAccounting(const Kernel &k, const CcRfcConfig &cfg,
+                    const AnalysisBundle *analyses,
+                    const ReplayDecode *dec, AccessCounts &counts)
+{
+    return std::make_unique<CcAccounting>(k, cfg, analyses, dec, counts);
 }
 
 } // namespace rfh

@@ -27,6 +27,7 @@
 #define RFH_SIM_CC_RFC_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ir/analysis_bundle.h"
@@ -88,6 +89,20 @@ AccessCounts replayCcRfc(const Kernel &k, const CcRfcConfig &cfg,
                          const DecodedTrace &trace,
                          const AnalysisBundle *analyses = nullptr,
                          const ReplayDecode *dec = nullptr);
+
+class PipelineAccounting;
+
+/**
+ * Per-warp compiler-assisted-RFC accounting for the cycle-level
+ * pipeline (sim/pipeline.h): the same CcWarpSim state machine the
+ * executors drive, called once per dynamic instruction at issue. RFC
+ * hits become collector bypass operands. @p k, @p analyses, @p dec,
+ * and @p counts must outlive the returned object.
+ */
+std::unique_ptr<PipelineAccounting> makeCcRfcAccounting(
+    const Kernel &k, const CcRfcConfig &cfg,
+    const AnalysisBundle *analyses, const ReplayDecode *dec,
+    AccessCounts &counts);
 
 } // namespace rfh
 

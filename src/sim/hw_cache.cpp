@@ -7,6 +7,7 @@
 #include "ir/liveness.h"
 #include "ir/reaching_defs.h"
 #include "sim/machine.h"
+#include "sim/pipeline_account.h"
 #include "sim/replay_arena.h"
 #include "sim/rfc_ring.h"
 #include "sim/trace.h"
@@ -80,10 +81,16 @@ class HwWarpSim
         auto read_one = [&](Reg r) {
             if (cfg_.useLRF && !shared && lrf_valid_ && lrf_reg_ == r) {
                 counts_.read(Level::LRF, dp);
+                if (plan_)
+                    plan_->numBypass++;
             } else if (rfc_.contains(r)) {
                 counts_.read(Level::ORF, dp);
+                if (plan_)
+                    plan_->numBypass++;
             } else {
                 counts_.read(Level::MRF, dp);
+                if (plan_)
+                    plan_->mrfReg[plan_->numMrf++] = r;
             }
         };
         for (int s = 0; s < o.nsrc; s++)
@@ -141,6 +148,17 @@ class HwWarpSim
             flushAll(liveness_.liveAfter(lin));
     }
 
+    /**
+     * Capture the operand sourcing of subsequent onInstr() calls into
+     * @p plan (MRF reads vs upper-level bypasses); null to stop.
+     * Timing-only: the captured plan never feeds the counters.
+     */
+    void
+    setPlan(OperandPlan *plan)
+    {
+        plan_ = plan;
+    }
+
   private:
     /** Spill the LRF occupant into the RFC (LRF eviction path). */
     void
@@ -195,6 +213,66 @@ class HwWarpSim
     bool lrf_valid_ = false;
     Reg lrf_reg_ = 0;
     RegSet pending_;
+    OperandPlan *plan_ = nullptr;
+};
+
+/** Pipeline adapter: one HwWarpSim driven at issue. */
+class HwWarpAccountant final : public WarpAccountant
+{
+  public:
+    HwWarpAccountant(const ReplayDecode &dec, const HwCacheConfig &cfg,
+                     const Liveness &liveness, AccessCounts &counts,
+                     ReplayArena &arena)
+        : sim_(dec, cfg, liveness, counts, arena)
+    {
+        sim_.beginWarp();
+    }
+
+    void
+    onIssue(int lin, bool enabled, bool taken, std::int32_t /*nextLin*/,
+            OperandPlan &plan) override
+    {
+        sim_.setPlan(&plan);
+        sim_.onInstr(lin, enabled, taken);
+        sim_.setPlan(nullptr);
+    }
+
+  private:
+    HwWarpSim sim_;
+};
+
+/** Pipeline accounting factory for the hardware cache scheme. */
+class HwAccounting final : public PipelineAccounting
+{
+  public:
+    HwAccounting(const Kernel &k, const HwCacheConfig &cfg,
+                 const AnalysisBundle *analyses, const ReplayDecode *dec,
+                 AccessCounts &counts)
+        : cfg_(cfg), counts_(counts)
+    {
+        analyses_ = analyses ? analyses : &localAnalyses_.emplace(k);
+        dec_ = dec && dec->hasSharedConsumerInfo()
+            ? dec
+            : &localDec_.emplace(k, &analyses_->reachingDefs);
+    }
+
+    std::unique_ptr<WarpAccountant>
+    makeWarp(int /*warp*/) override
+    {
+        return std::make_unique<HwWarpAccountant>(
+            *dec_, cfg_, analyses_->liveness, counts_, arena_);
+    }
+
+  private:
+    HwCacheConfig cfg_;
+    AccessCounts &counts_;
+    std::optional<AnalysisBundle> localAnalyses_;
+    std::optional<ReplayDecode> localDec_;
+    const AnalysisBundle *analyses_;
+    const ReplayDecode *dec_;
+    // Private arena: warp accountants outlive any tick of the
+    // thread-local replay arena, which other code resets freely.
+    ReplayArena arena_;
 };
 
 /** Hardware-scheme observability, fed by both execution drivers. */
@@ -287,6 +365,14 @@ replayHwCache(const Kernel &k, const HwCacheConfig &cfg,
     }
     noteHwRun(counts, /*replay=*/true);
     return counts;
+}
+
+std::unique_ptr<PipelineAccounting>
+makeHwCacheAccounting(const Kernel &k, const HwCacheConfig &cfg,
+                      const AnalysisBundle *analyses,
+                      const ReplayDecode *dec, AccessCounts &counts)
+{
+    return std::make_unique<HwAccounting>(k, cfg, analyses, dec, counts);
 }
 
 } // namespace rfh

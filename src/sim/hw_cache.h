@@ -19,6 +19,8 @@
 #ifndef RFH_SIM_HW_CACHE_H
 #define RFH_SIM_HW_CACHE_H
 
+#include <memory>
+
 #include "ir/analysis_bundle.h"
 #include "ir/kernel.h"
 #include "sim/access_counters.h"
@@ -68,6 +70,20 @@ AccessCounts replayHwCache(const Kernel &k, const HwCacheConfig &cfg,
                            const DecodedTrace &trace,
                            const AnalysisBundle *analyses = nullptr,
                            const ReplayDecode *dec = nullptr);
+
+class PipelineAccounting;
+
+/**
+ * Per-warp hardware-cache accounting for the cycle-level pipeline
+ * (sim/pipeline.h): the same HwWarpSim state machine the executors
+ * drive, called once per dynamic instruction at issue. RFC/LRF hits
+ * become collector bypass operands. @p k, @p analyses, @p dec, and
+ * @p counts must outlive the returned object.
+ */
+std::unique_ptr<PipelineAccounting> makeHwCacheAccounting(
+    const Kernel &k, const HwCacheConfig &cfg,
+    const AnalysisBundle *analyses, const ReplayDecode *dec,
+    AccessCounts &counts);
 
 } // namespace rfh
 

@@ -1,11 +1,10 @@
 #include "sim/perf_sim.h"
 
 #include <algorithm>
-#include <deque>
 #include <vector>
 
-#include "ir/liveness.h"
-#include "sim/machine.h"
+#include "sim/pipeline.h"
+#include "sim/pipeline_account.h"
 #include "sim/trace.h"
 
 namespace rfh {
@@ -13,207 +12,44 @@ namespace rfh {
 namespace {
 
 /**
- * How a warp's instruction stream advances: live functional execution,
- * or replay of a recorded block path.
+ * Map the legacy Table-2 knobs onto the staged pipeline. activeWarps
+ * >= numWarps degenerates to flat round-robin inside the two-level
+ * scheduler (the active set never fills below the machine size), so
+ * the policy is always TWO_LEVEL here and the old flat/two-level
+ * split falls out of the set size alone.
  */
-struct WarpStream
+PipelineConfig
+pipelineConfigOf(const PerfConfig &cfg)
 {
-    // Live mode.
-    WarpContext ctx;
-    bool live = true;
-    // Replay mode.
-    const std::vector<int> *path = nullptr;
-    std::size_t pathPos = 0;
-    int replayBlock = 0;
-    int replayIdx = 0;
-    bool replayDone = false;
-
-    bool
-    done() const
-    {
-        return live ? ctx.done : replayDone;
-    }
-
-    const Instruction &
-    current(const Kernel &k) const
-    {
-        if (live)
-            return k.instr(ctx.pc(k));
-        return k.blocks[replayBlock].instrs[replayIdx];
-    }
-
-    void
-    advance(const Kernel &k)
-    {
-        if (live) {
-            step(k, ctx);
-            return;
-        }
-        replayIdx++;
-        if (replayIdx >=
-            static_cast<int>(k.blocks[replayBlock].instrs.size())) {
-            pathPos++;
-            if (path == nullptr || pathPos >= path->size()) {
-                replayDone = true;
-            } else {
-                replayBlock = (*path)[pathPos];
-                replayIdx = 0;
-            }
-        }
-    }
-};
-
-struct WarpPerfState
-{
-    WarpStream stream;
-    /** Cycle at which each register's value becomes readable. */
-    std::array<std::uint64_t, kMaxRegs> ready{};
-    /** Producing op of the last write (for deschedule decisions). */
-    std::array<bool, kMaxRegs> longProducer{};
-    std::uint64_t executed = 0;
-    std::uint64_t activatedAt = 0;
-};
-
-int
-latencyOf(const Instruction &in, const PerfConfig &cfg)
-{
-    switch (in.op) {
-      case Opcode::LD_GLOBAL: return cfg.dramLatency;
-      case Opcode::TEX: return cfg.texLatency;
-      case Opcode::LD_SHARED: return cfg.sharedMemLatency;
-      case Opcode::LD_PARAM: return cfg.sharedMemLatency;
-      case Opcode::ST_GLOBAL:
-      case Opcode::ST_SHARED: return 1;
-      case Opcode::BRA:
-      case Opcode::EXIT: return 1;
-      case Opcode::BAR: return 1;
-      default:
-        return isSharedUnit(in.unit()) ? cfg.sfuLatency
-                                       : cfg.aluLatency;
-    }
+    PipelineConfig p;
+    p.policy = SchedPolicy::TWO_LEVEL;
+    p.activeWarps = cfg.activeWarps;
+    p.aluLatency = cfg.aluLatency;
+    p.sfuLatency = cfg.sfuLatency;
+    p.sharedMemLatency = cfg.sharedMemLatency;
+    p.texLatency = cfg.texLatency;
+    p.dramLatency = cfg.dramLatency;
+    p.swapPenalty = cfg.swapPenalty;
+    p.sharedIssueInterval = cfg.sharedIssueInterval;
+    p.maxCycles = cfg.maxCycles;
+    return p;
 }
 
 PerfResult
-runModel(const Kernel &k, const PerfConfig &cfg,
-         std::vector<WarpPerfState> &warps)
+runDecoded(const Kernel &k, DecodedTrace &trace, const PerfConfig &cfg)
 {
-    PerfResult result;
-    int n = static_cast<int>(warps.size());
-    std::deque<int> active, pending;
-    int nactive = std::min(cfg.activeWarps, n);
-    for (int w = 0; w < n; w++)
-        (w < nactive ? active : pending).push_back(w);
-
-    std::uint64_t now = 0;
-    std::uint64_t shared_port_free = 0;
-    std::size_t rr = 0;  // round-robin pointer into the active set
-    int warps_left = n;
-
-    while (warps_left > 0 && now < cfg.maxCycles) {
-        bool issued = false;
-        int blocked_long = -1;  // active warp stalled on a long value
-
-        for (std::size_t i = 0; i < active.size() && !issued; i++) {
-            int wid = active[(rr + i) % active.size()];
-            WarpPerfState &w = warps[wid];
-            if (w.stream.done() || now < w.activatedAt)
-                continue;
-            const Instruction &in = w.stream.current(k);
-
-            // Structural hazard: shared units accept one op per
-            // sharedIssueInterval cycles.
-            if (isSharedUnit(in.unit()) && now < shared_port_free)
-                continue;
-
-            // Data hazards (in-order scoreboard on sources and dest).
-            bool blocked = false;
-            bool blocked_by_long = false;
-            RegSet need = usedRegs(in) | definedRegs(in);
-            for (int r = 0; r < kMaxRegs; r++) {
-                if (!need.test(r))
-                    continue;
-                if (w.ready[r] > now) {
-                    blocked = true;
-                    blocked_by_long |= w.longProducer[r];
-                }
-            }
-            if (blocked) {
-                if (blocked_by_long && blocked_long < 0)
-                    blocked_long = wid;
-                continue;
-            }
-
-            // Issue.
-            int lat = latencyOf(in, cfg);
-            if (in.dst) {
-                for (int h = 0; h < (in.wide ? 2 : 1); h++) {
-                    w.ready[*in.dst + h] = now + lat;
-                    w.longProducer[*in.dst + h] = in.longLatency();
-                }
-            }
-            if (isSharedUnit(in.unit()))
-                shared_port_free = now + cfg.sharedIssueInterval;
-            w.stream.advance(k);
-            w.executed++;
-            result.instructions++;
-            issued = true;
-            rr = (rr + i + 1) % std::max<std::size_t>(1, active.size());
-            if (w.stream.done() || w.executed >= cfg.maxInstrsPerWarp) {
-                if (!w.stream.done() && w.stream.live)
-                    w.stream.ctx.done = true;
-                else if (!w.stream.done())
-                    w.stream.replayDone = true;
-                warps_left--;
-                // Retire from the active set; promote a pending warp.
-                active.erase(std::find(active.begin(), active.end(),
-                                       wid));
-                if (!pending.empty()) {
-                    int next = pending.front();
-                    pending.pop_front();
-                    warps[next].activatedAt = now + cfg.swapPenalty;
-                    active.push_back(next);
-                }
-                rr = 0;
-            }
-        }
-
-        // Two-level scheduler: swap out a warp stalled on a
-        // long-latency dependence if a pending warp could make
-        // progress.
-        if (!issued && blocked_long >= 0 && !pending.empty()) {
-            // Prefer a pending warp that is ready to issue right away.
-            std::size_t pick = 0;
-            for (std::size_t i = 0; i < pending.size(); i++) {
-                WarpPerfState &cand = warps[pending[i]];
-                if (cand.stream.done())
-                    continue;
-                const Instruction &cin = cand.stream.current(k);
-                RegSet need = usedRegs(cin) | definedRegs(cin);
-                bool ready = true;
-                for (int r = 0; r < kMaxRegs && ready; r++)
-                    if (need.test(r) && cand.ready[r] > now)
-                        ready = false;
-                if (ready) {
-                    pick = i;
-                    break;
-                }
-            }
-            int next = pending[pick];
-            pending.erase(pending.begin() + pick);
-            active.erase(std::find(active.begin(), active.end(),
-                                   blocked_long));
-            pending.push_back(blocked_long);
-            warps[next].activatedAt = now + cfg.swapPenalty;
-            active.push_back(next);
-            result.deschedules++;
-            rr = 0;
-        }
-
-        now++;
-    }
-
-    result.cycles = now;
-    return result;
+    if (!trace.hasPlanes())
+        trace.buildPlanes(k);
+    ReplayDecode dec(k);
+    AccessCounts counts;
+    auto acct = makeFlatAccounting(k, &dec, counts);
+    PipelineResult r = runPipeline(trace, dec, *acct,
+                                   pipelineConfigOf(cfg));
+    PerfResult out;
+    out.cycles = r.stats.cycles;
+    out.instructions = r.stats.issued;
+    out.deschedules = r.stats.swaps;
+    return out;
 }
 
 } // namespace
@@ -221,32 +57,52 @@ runModel(const Kernel &k, const PerfConfig &cfg,
 PerfResult
 runPerfSim(const Kernel &k, const PerfConfig &cfg)
 {
-    std::vector<WarpPerfState> warps(cfg.numWarps);
-    for (int w = 0; w < cfg.numWarps; w++) {
-        warps[w].stream.live = true;
-        warps[w].stream.ctx.reset(static_cast<std::uint32_t>(w));
-    }
-    return runModel(k, cfg, warps);
+    RunConfig rc;
+    rc.numWarps = cfg.numWarps;
+    rc.maxInstrsPerWarp = cfg.maxInstrsPerWarp;
+    DecodedTrace trace = recordDecodedTrace(k, rc);
+    return runDecoded(k, trace, cfg);
 }
 
 PerfResult
 runPerfSimFromTrace(const Kernel &k, const KernelTrace &trace,
                     const PerfConfig &cfg)
 {
-    std::vector<WarpPerfState> warps(cfg.numWarps);
+    // Expand the recorded block paths into a decoded stream: warp w
+    // replays path (w % recorded), every instruction of every visited
+    // block unconditionally executed — the trace-based methodology of
+    // Section 5.1, where timing ignores predication.
+    DecodedTrace d;
+    d.warpBegin.assign(1, 0);
+    d.warpEndLin.reserve(cfg.numWarps);
     for (int w = 0; w < cfg.numWarps; w++) {
-        WarpStream &s = warps[w].stream;
-        s.live = false;
-        const auto &path = trace.warpPaths[w % trace.numWarps()];
-        s.path = &path;
-        s.pathPos = 0;
-        s.replayDone = path.empty();
-        if (!path.empty()) {
-            s.replayBlock = path.front();
-            s.replayIdx = 0;
+        const std::vector<int> &path =
+            trace.warpPaths[w % trace.numWarps()];
+        std::uint64_t emitted = 0;
+        std::int32_t endLin = -1;
+        for (std::size_t p = 0;
+             p < path.size() && endLin < 0; p++) {
+            int b = path[p];
+            int first = k.blockStart(b);
+            int count = static_cast<int>(k.blocks[b].instrs.size());
+            for (int i = 0; i < count; i++) {
+                if (emitted >= cfg.maxInstrsPerWarp) {
+                    // Capped mid-path: remember what would have been
+                    // next, mirroring the recorder's warpEndLin.
+                    endLin = first + i;
+                    break;
+                }
+                d.lin.push_back(first + i);
+                d.flags.push_back(kReplayExecuted);
+                emitted++;
+            }
         }
+        d.warpBegin.push_back(
+            static_cast<std::uint32_t>(d.lin.size()));
+        d.warpEndLin.push_back(endLin);
     }
-    return runModel(k, cfg, warps);
+    d.buildPlanes(k);
+    return runDecoded(k, d, cfg);
 }
 
 } // namespace rfh

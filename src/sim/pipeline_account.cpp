@@ -1,0 +1,73 @@
+#include "sim/pipeline_account.h"
+
+#include <optional>
+
+#include "sim/trace.h"
+
+namespace rfh {
+
+namespace {
+
+/** Flat-MRF accounting; counts mirror replayBaseline exactly. */
+class FlatWarpAccountant final : public WarpAccountant
+{
+  public:
+    FlatWarpAccountant(const ReplayDecode &dec, AccessCounts &counts)
+        : dec_(dec), counts_(counts)
+    {
+    }
+
+    void
+    onIssue(int lin, bool enabled, bool /*taken*/,
+            std::int32_t /*nextLin*/, OperandPlan &plan) override
+    {
+        const ReplayOp &o = dec_.op[lin];
+        const Datapath dp = static_cast<Datapath>(o.dp);
+        counts_.read(Level::MRF, dp, dec_.regReads[lin]);
+        if (enabled)
+            counts_.write(Level::MRF, dp, dec_.regWrites[lin]);
+        counts_.instructions++;
+        for (int s = 0; s < o.nsrc; s++)
+            plan.mrfReg[plan.numMrf++] = o.src[s];
+        if (o.pred >= 0)
+            plan.mrfReg[plan.numMrf++] = static_cast<Reg>(o.pred);
+    }
+
+  private:
+    const ReplayDecode &dec_;
+    AccessCounts &counts_;
+};
+
+/** Factory for FlatWarpAccountant; owns the fallback decode. */
+class FlatAccounting final : public PipelineAccounting
+{
+  public:
+    FlatAccounting(const Kernel &k, const ReplayDecode *dec,
+                   AccessCounts &counts)
+        : counts_(counts)
+    {
+        dec_ = dec ? dec : &local_.emplace(k);
+    }
+
+    std::unique_ptr<WarpAccountant>
+    makeWarp(int /*warp*/) override
+    {
+        return std::make_unique<FlatWarpAccountant>(*dec_, counts_);
+    }
+
+  private:
+    std::optional<ReplayDecode> local_;
+    const ReplayDecode *dec_;
+    AccessCounts &counts_;
+};
+
+} // namespace
+
+std::unique_ptr<PipelineAccounting>
+makeFlatAccounting(const Kernel &k, const ReplayDecode *dec,
+                   AccessCounts &counts)
+{
+    return std::make_unique<FlatAccounting>(k, dec, counts);
+}
+
+} // namespace rfh

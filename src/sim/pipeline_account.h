@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Scheme accounting driven by the staged SM pipeline.
+ *
+ * The cycle-level pipeline (sim/pipeline.h) separates *timing* from
+ * *counting*: access accounting happens once per dynamic instruction
+ * at issue, by replaying the scheme's exact per-warp hierarchy state
+ * machine — the same code path the functional executors drive — while
+ * the timing model routes the resulting operand plan through the
+ * operand collector, MRF banks, and latency pipes. Because every
+ * scheme's counting walk is a pure function of the per-warp record
+ * stream (which the scheduler never reorders within a warp) and the
+ * shared AccessCounts accumulator is additive, the pipeline's totals
+ * equal the functional trace path's totals exactly, for any scheduler
+ * policy and any interleaving — the invariant the verify oracle
+ * enforces per scheme and warp count.
+ *
+ * A WarpAccountant is the per-warp state machine; a PipelineAccounting
+ * is the per-run factory that owns everything the warps share (decode
+ * tables, hints, liveness, its own arena). Backends expose a factory
+ * through SchemeBackend::makePipelineAccounting.
+ */
+
+#ifndef RFH_SIM_PIPELINE_ACCOUNT_H
+#define RFH_SIM_PIPELINE_ACCOUNT_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "ir/kernel.h"
+#include "sim/access_counters.h"
+
+namespace rfh {
+
+struct ReplayDecode;
+
+/**
+ * Where one instruction's register operands are physically fetched
+ * from: MRF operands go through the banked operand collector (and can
+ * conflict); bypass operands are served by the scheme's upper levels
+ * (LRF/ORF/RFC), which read in a single cycle with no distribution
+ * network. Filled by WarpAccountant::onIssue; consumed only by the
+ * timing model — the plan never feeds the access counters.
+ */
+struct OperandPlan
+{
+    /** Registers fetched from the MRF (sources + predicate). */
+    std::array<Reg, kMaxSrcs + 1> mrfReg{};
+    /** Number of valid entries in mrfReg. */
+    std::uint8_t numMrf = 0;
+    /** Operands served by an upper level (LRF/ORF/RFC). */
+    std::uint8_t numBypass = 0;
+};
+
+/**
+ * Per-warp hierarchy state machine: accounts one dynamic instruction
+ * per onIssue() call, in the warp's trace order. Implementations
+ * replicate their scheme's functional accounting exactly (including
+ * deschedule counting), so driving every record of a warp through
+ * onIssue produces the same AccessCounts delta as the functional
+ * executor — regardless of how the scheduler interleaves warps.
+ */
+class WarpAccountant
+{
+  public:
+    virtual ~WarpAccountant() = default;
+
+    /**
+     * Account the dynamic instruction at linear index @p lin.
+     *
+     * @param lin static linear instruction index.
+     * @param enabled the record's kReplayExecuted flag (writeback
+     *        enabled at issue).
+     * @param taken the record's kReplayBranchTaken flag.
+     * @param nextLin linear index of the warp's next instruction along
+     *        the recorded path, or -1 when the warp terminates — the
+     *        strand-boundary lookahead of the software scheme.
+     * @param plan out-parameter: the operand sourcing plan for the
+     *        collector stage.
+     */
+    virtual void onIssue(int lin, bool enabled, bool taken,
+                         std::int32_t nextLin, OperandPlan &plan) = 0;
+
+    /**
+     * First verification failure, or empty. Checked by the pipeline
+     * after every onIssue; a failing run stops at that instruction.
+     */
+    virtual std::string_view
+    error() const
+    {
+        return {};
+    }
+};
+
+/**
+ * Per-run accounting factory: owns the state shared by every warp of
+ * one pipeline run and creates the per-warp machines. The AccessCounts
+ * accumulator passed at construction is shared by all warps (the
+ * counters are additive, so totals are interleaving-invariant).
+ */
+class PipelineAccounting
+{
+  public:
+    virtual ~PipelineAccounting() = default;
+
+    /** Create the state machine of warp @p warp, reset for a fresh run. */
+    virtual std::unique_ptr<WarpAccountant> makeWarp(int warp) = 0;
+};
+
+/**
+ * Flat single-level accounting: every register operand is an MRF
+ * access (the baseline and GREENER schemes — identical counts to
+ * replayBaseline). @p dec may be null (a private decode is built);
+ * @p k and @p counts must outlive the returned object.
+ */
+std::unique_ptr<PipelineAccounting> makeFlatAccounting(
+    const Kernel &k, const ReplayDecode *dec, AccessCounts &counts);
+
+} // namespace rfh
+
+#endif // RFH_SIM_PIPELINE_ACCOUNT_H

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Ready/valid port connecting two pipeline stages.
+ *
+ * A Port is a FIFO with explicit backpressure: the producer asks
+ * canPush() before push() (ready), the consumer asks empty() before
+ * front()/pop() (valid). A bounded port models a physical skid buffer
+ * between stages — a full port stalls the producer; an unbounded port
+ * (capacity 0) models a structure whose occupancy is limited elsewhere,
+ * such as the in-flight completion queue whose depth the issue stage
+ * already bounds.
+ *
+ * Every element pushed is popped exactly once: the port never drops,
+ * duplicates, or reorders. The pushed()/popped() lifetime counters
+ * expose that conservation law to the property tests —
+ * pushed() == popped() + size() holds at every point in time.
+ */
+
+#ifndef RFH_SIM_PORT_H
+#define RFH_SIM_PORT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rfh {
+
+/** Bounded (or unbounded when capacity 0) stage-to-stage FIFO. */
+template <typename T>
+class Port
+{
+  public:
+    /**
+     * @param capacity maximum occupancy; 0 means unbounded (the ring
+     *        grows on demand and canPush() is always true).
+     */
+    explicit Port(std::size_t capacity = 0)
+        : cap_(capacity), buf_(capacity ? capacity : 4)
+    {
+    }
+
+    /** True when a push() would be accepted this cycle. */
+    bool
+    canPush() const
+    {
+        return cap_ == 0 || count_ < cap_;
+    }
+
+    /**
+     * Enqueue @p v. @return false (dropping nothing — the value is
+     * not consumed) when the port is full; producers must treat a
+     * refused push as a stall, not a loss.
+     */
+    bool
+    push(T v)
+    {
+        if (!canPush())
+            return false;
+        if (count_ == buf_.size())
+            grow();
+        buf_[(head_ + count_) % buf_.size()] = std::move(v);
+        count_++;
+        pushed_++;
+        return true;
+    }
+
+    /** True when no element is waiting. */
+    bool
+    empty() const
+    {
+        return count_ == 0;
+    }
+
+    /** Current occupancy. */
+    std::size_t
+    size() const
+    {
+        return count_;
+    }
+
+    /** Oldest element; undefined when empty(). */
+    const T &
+    front() const
+    {
+        return buf_[head_];
+    }
+
+    /** Oldest element; undefined when empty(). */
+    T &
+    front()
+    {
+        return buf_[head_];
+    }
+
+    /** Dequeue the oldest element; undefined when empty(). */
+    void
+    pop()
+    {
+        head_ = (head_ + 1) % buf_.size();
+        count_--;
+        popped_++;
+    }
+
+    /** Lifetime count of accepted push() calls. */
+    std::uint64_t
+    pushed() const
+    {
+        return pushed_;
+    }
+
+    /** Lifetime count of pop() calls. */
+    std::uint64_t
+    popped() const
+    {
+        return popped_;
+    }
+
+  private:
+    /** Double the ring (unbounded ports only), preserving order. */
+    void
+    grow()
+    {
+        std::vector<T> bigger(buf_.size() * 2);
+        for (std::size_t i = 0; i < count_; i++)
+            bigger[i] = std::move(buf_[(head_ + i) % buf_.size()]);
+        buf_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::size_t cap_;
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::uint64_t pushed_ = 0;
+    std::uint64_t popped_ = 0;
+};
+
+} // namespace rfh
+
+#endif // RFH_SIM_PORT_H

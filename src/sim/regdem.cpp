@@ -6,6 +6,7 @@
 
 #include "core/metrics.h"
 #include "sim/machine.h"
+#include "sim/pipeline_account.h"
 #include "sim/trace.h"
 
 namespace rfh {
@@ -32,10 +33,15 @@ class RegDemWarpSim
         const Datapath dp = static_cast<Datapath>(o.dp);
 
         auto read_one = [&](Reg r) {
-            if (demoted_.test(r))
+            if (demoted_.test(r)) {
                 counts_.wbReads++;  // shared-memory spill read
-            else
+                if (plan_)
+                    plan_->numBypass++;
+            } else {
                 counts_.read(Level::MRF, dp);
+                if (plan_)
+                    plan_->mrfReg[plan_->numMrf++] = r;
+            }
         };
         for (int s = 0; s < o.nsrc; s++)
             read_one(o.src[s]);
@@ -55,10 +61,70 @@ class RegDemWarpSim
         counts_.instructions++;
     }
 
+    /**
+     * Capture the operand sourcing of subsequent onInstr() calls into
+     * @p plan (MRF reads vs spill-space bypasses); null to stop.
+     */
+    void
+    setPlan(OperandPlan *plan)
+    {
+        plan_ = plan;
+    }
+
   private:
     const ReplayDecode &dec_;
     const RegSet &demoted_;
     AccessCounts &counts_;
+    OperandPlan *plan_ = nullptr;
+};
+
+/** Pipeline adapter: stateless per warp, shared demotion set. */
+class RegDemWarpAccountant final : public WarpAccountant
+{
+  public:
+    RegDemWarpAccountant(const ReplayDecode &dec, const RegSet &demoted,
+                         AccessCounts &counts)
+        : sim_(dec, demoted, counts)
+    {
+    }
+
+    void
+    onIssue(int lin, bool enabled, bool /*taken*/,
+            std::int32_t /*nextLin*/, OperandPlan &plan) override
+    {
+        sim_.setPlan(&plan);
+        sim_.onInstr(lin, enabled);
+        sim_.setPlan(nullptr);
+    }
+
+  private:
+    RegDemWarpSim sim_;
+};
+
+/** Pipeline accounting factory for register demotion. */
+class RegDemAccounting final : public PipelineAccounting
+{
+  public:
+    RegDemAccounting(const Kernel &k, const RegDemConfig &cfg,
+                     const ReplayDecode *dec, AccessCounts &counts)
+        : counts_(counts),
+          demoted_(regdemDemotedSet(k, kRegDemRegsPerEntry * cfg.entries))
+    {
+        dec_ = dec ? dec : &localDec_.emplace(k);
+    }
+
+    std::unique_ptr<WarpAccountant>
+    makeWarp(int /*warp*/) override
+    {
+        return std::make_unique<RegDemWarpAccountant>(*dec_, demoted_,
+                                                      counts_);
+    }
+
+  private:
+    AccessCounts &counts_;
+    RegSet demoted_;
+    std::optional<ReplayDecode> localDec_;
+    const ReplayDecode *dec_;
 };
 
 /** Register-demotion observability, fed by both drivers. */
@@ -184,6 +250,13 @@ replayRegDem(const Kernel &k, const RegDemConfig &cfg,
     }
     noteRegDemRun(counts, /*replay=*/true);
     return counts;
+}
+
+std::unique_ptr<PipelineAccounting>
+makeRegDemAccounting(const Kernel &k, const RegDemConfig &cfg,
+                     const ReplayDecode *dec, AccessCounts &counts)
+{
+    return std::make_unique<RegDemAccounting>(k, cfg, dec, counts);
 }
 
 } // namespace rfh

@@ -27,6 +27,8 @@
 #ifndef RFH_SIM_REGDEM_H
 #define RFH_SIM_REGDEM_H
 
+#include <memory>
+
 #include "energy/energy_params.h"
 #include "ir/kernel.h"
 #include "ir/liveness.h"
@@ -89,6 +91,18 @@ AccessCounts runRegDem(const Kernel &k, const RegDemConfig &cfg = {},
 AccessCounts replayRegDem(const Kernel &k, const RegDemConfig &cfg,
                           const DecodedTrace &trace,
                           const ReplayDecode *dec = nullptr);
+
+class PipelineAccounting;
+
+/**
+ * Per-warp register-demotion accounting for the cycle-level pipeline
+ * (sim/pipeline.h). Demoted operands bypass the MRF banks (they live
+ * in shared-memory spill space). @p k, @p dec, and @p counts must
+ * outlive the returned object.
+ */
+std::unique_ptr<PipelineAccounting> makeRegDemAccounting(
+    const Kernel &k, const RegDemConfig &cfg, const ReplayDecode *dec,
+    AccessCounts &counts);
 
 } // namespace rfh
 

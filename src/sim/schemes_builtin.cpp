@@ -15,6 +15,7 @@
 #include "sim/cc_rfc.h"
 #include "sim/greener.h"
 #include "sim/hw_cache.h"
+#include "sim/pipeline_account.h"
 #include "sim/regdem.h"
 #include "sim/sw_exec.h"
 
@@ -32,6 +33,12 @@ class BaselineScheme : public SchemeBackend
         SchemeSimResult r;
         r.counts = *ctx.baseline;
         return r;
+    }
+
+    std::unique_ptr<PipelineAccounting>
+    makePipelineAccounting(const PipelineBuildContext &ctx) const override
+    {
+        return makeFlatAccounting(*ctx.kernel, ctx.decode, *ctx.counts);
     }
 };
 
@@ -112,6 +119,17 @@ class HwCacheScheme : public SchemeBackend
     {
         return hwConservation(c, baseline,
                               /*exactWrites=*/!threeLevel_);
+    }
+
+    std::unique_ptr<PipelineAccounting>
+    makePipelineAccounting(const PipelineBuildContext &ctx) const override
+    {
+        HwCacheConfig hc;
+        hc.rfcEntries = ctx.cfg->entries;
+        hc.useLRF = threeLevel_;
+        hc.flushOnBackwardBranch = ctx.cfg->hwFlushOnBackwardBranch;
+        return makeHwCacheAccounting(*ctx.kernel, hc, ctx.analyses,
+                                     ctx.decode, *ctx.counts);
     }
 
   private:
@@ -206,6 +224,16 @@ class SwHierarchyScheme : public SchemeBackend
         return v;
     }
 
+    std::unique_ptr<PipelineAccounting>
+    makePipelineAccounting(const PipelineBuildContext &ctx) const override
+    {
+        SwExecConfig sc;
+        sc.idealNoFlush = ctx.cfg->idealNoFlush;
+        return makeSwHierarchyAccounting(*ctx.kernel,
+                                         allocOptions(*ctx.cfg), sc,
+                                         ctx.analyses, *ctx.counts);
+    }
+
   private:
     bool threeLevel_;
 };
@@ -234,6 +262,15 @@ class CcRfcScheme : public SchemeBackend
                       const AccessCounts &baseline) const override
     {
         return hwConservation(c, baseline, /*exactWrites=*/true);
+    }
+
+    std::unique_ptr<PipelineAccounting>
+    makePipelineAccounting(const PipelineBuildContext &ctx) const override
+    {
+        CcRfcConfig cc;
+        cc.entries = ctx.cfg->entries;
+        return makeCcRfcAccounting(*ctx.kernel, cc, ctx.analyses,
+                                   ctx.decode, *ctx.counts);
     }
 };
 
@@ -297,6 +334,15 @@ class RegDemScheme : public SchemeBackend
                         "traffic");
         return v;
     }
+
+    std::unique_ptr<PipelineAccounting>
+    makePipelineAccounting(const PipelineBuildContext &ctx) const override
+    {
+        RegDemConfig rc;
+        rc.entries = ctx.cfg->entries;
+        return makeRegDemAccounting(*ctx.kernel, rc, ctx.decode,
+                                    *ctx.counts);
+    }
 };
 
 /** GREENER power-gated MRF banks: baseline traffic, scaled energy. */
@@ -342,6 +388,14 @@ class GreenerScheme : public SchemeBackend
                         "baseline");
         return v;
     }
+
+    std::unique_ptr<PipelineAccounting>
+    makePipelineAccounting(const PipelineBuildContext &ctx) const override
+    {
+        // Power gating changes no traffic: flat accounting, with the
+        // gated banks priced by accountEnergyPJ as usual.
+        return makeFlatAccounting(*ctx.kernel, ctx.decode, *ctx.counts);
+    }
 };
 
 SchemeCaps
@@ -351,6 +405,7 @@ paperBaselineCaps()
     c.usesAnalyses = false;
     c.usesTrace = false;
     c.sweepsEntries = false;
+    c.pipelined = true;
     return c;
 }
 
@@ -360,6 +415,7 @@ hwCaps()
     SchemeCaps c;
     c.wantsDecode = true;
     c.hwManaged = true;
+    c.pipelined = true;
     return c;
 }
 
@@ -369,6 +425,7 @@ swCaps()
     SchemeCaps c;
     c.usesAllocator = true;
     c.hasSimt = true;
+    c.pipelined = true;
     return c;
 }
 
@@ -432,6 +489,7 @@ registerBuiltinSchemes(SchemeRegistry &registry)
         SchemeCaps c;
         c.usesAnalyses = false;
         c.wantsDecode = true;
+        c.pipelined = true;
         registry.add(
             spec("regdem", "RegDem", "regdem",
                  "register demotion to shared-memory spill space "
@@ -444,6 +502,7 @@ registerBuiltinSchemes(SchemeRegistry &registry)
         c.usesAnalyses = false;
         c.usesTrace = false;
         c.sweepsEntries = false;
+        c.pipelined = true;
         registry.add(
             spec("greener", "GREENER", "greener",
                  "power-gated MRF banks: baseline traffic, "

@@ -8,6 +8,7 @@
 #include "core/metrics.h"
 #include "ir/liveness.h"
 #include "sim/machine.h"
+#include "sim/pipeline_account.h"
 #include "sim/replay_arena.h"
 #include "sim/replay_kernels.h"
 #include "sim/trace.h"
@@ -607,6 +608,211 @@ replaySwHierarchy(const Kernel &k, const AllocOptions &opts,
     counts.instructions = total;
     noteSwRun(result, /*replay=*/true);
     return result;
+}
+
+namespace {
+
+/**
+ * Pipeline adapter for the software hierarchy: the per-record walk of
+ * replaySwHierarchySlow, one warp per accountant, driven at issue.
+ * Annotated-MRF operands enter the collector; ORF/LRF operands bypass
+ * the banks (the single-cycle upper levels of Section 4). Structural
+ * annotation violations surface through error() with the exact message
+ * the functional executors produce.
+ */
+class SwWarpAccountant final : public WarpAccountant
+{
+  public:
+    SwWarpAccountant(const Kernel &k, const ReplayDecode &dec,
+                     const AllocOptions &opts, const SwExecConfig &cfg,
+                     const StrandAnalysis &strands, AccessCounts &counts)
+        : k_(k), dec_(dec), opts_(opts), cfg_(cfg), strands_(strands),
+          counts_(counts),
+          lrfBanks_(opts.useLRF ? (opts.splitLRF ? 3 : 1) : 0)
+    {
+    }
+
+    void
+    onIssue(int lin, bool enabled, bool /*taken*/, std::int32_t nextLin,
+            OperandPlan &plan) override
+    {
+        if (!error_.empty())
+            return;
+        const Instruction &in = dec_.instr[static_cast<std::size_t>(lin)];
+        const Datapath dp = static_cast<Datapath>(
+            dec_.datapath[static_cast<std::size_t>(lin)]);
+        const bool shared =
+            dec_.shared[static_cast<std::size_t>(lin)] != 0;
+
+        if ((dec_.touched[static_cast<std::size_t>(lin)] & pending_)
+                .any()) {
+            if (cfg_.idealNoFlush) {
+                counts_.deschedules++;
+                pending_.reset();
+            } else {
+                fail(lin, "instruction touches an outstanding "
+                     "long-latency register inside a strand");
+                return;
+            }
+        }
+
+        // ---- Operand reads: annotated level accounting ----
+        auto read_one = [&](Reg r, const ReadAnnotation &ra) {
+            switch (ra.level) {
+              case Level::MRF:
+                counts_.read(Level::MRF, dp);
+                plan.mrfReg[plan.numMrf++] = r;
+                if (ra.depositToORF)
+                    counts_.write(Level::ORF, dp);
+                break;
+              case Level::ORF:
+                counts_.read(Level::ORF, dp);
+                plan.numBypass++;
+                break;
+              case Level::LRF:
+                if (shared) {
+                    fail(lin, "shared-datapath LRF read");
+                    return;
+                }
+                if (ra.lrfBank >=
+                    static_cast<std::uint8_t>(lrfBanks_)) {
+                    fail(lin, "LRF bank out of range");
+                    return;
+                }
+                counts_.read(Level::LRF, dp);
+                plan.numBypass++;
+                break;
+            }
+        };
+        for (int s = 0; s < in.numSrcs && error_.empty(); s++)
+            if (in.srcs[s].isReg)
+                read_one(in.srcs[s].reg, in.readAnno[s]);
+        if (in.pred && error_.empty())
+            read_one(*in.pred, in.predAnno);
+        if (!error_.empty())
+            return;
+
+        counts_.instructions++;
+
+        // ---- Result writes (suppressed when predicated off) ----
+        if (in.dst && enabled) {
+            const WriteAnnotation &wa = in.writeAnno;
+            const int halves = in.wide ? 2 : 1;
+            if (in.longLatency() && wa.anyUpper() && !cfg_.idealNoFlush) {
+                fail(lin,
+                     "long-latency result annotated to an upper level");
+                return;
+            }
+            if (wa.toLRF) {
+                if (in.wide || lrfBanks_ == 0) {
+                    fail(lin, "invalid LRF write annotation");
+                    return;
+                }
+                counts_.write(Level::LRF, dp);
+            }
+            if (wa.toORF) {
+                for (int h = 0; h < halves; h++) {
+                    if (wa.orfEntry + h >= opts_.orfEntries) {
+                        fail(lin, "ORF entry out of range");
+                        return;
+                    }
+                    counts_.write(Level::ORF, dp);
+                }
+            }
+            if (wa.toLRF && wa.toORF) {
+                fail(lin, "value written to both LRF and ORF");
+                return;
+            }
+            if (wa.toMRF)
+                counts_.write(Level::MRF, dp, halves);
+            if (in.longLatency())
+                pending_ |= dec_.defined[static_cast<std::size_t>(lin)];
+        }
+
+        // ---- Strand boundary ----
+        bool crossing = false;
+        if (nextLin >= 0 && !cfg_.idealNoFlush)
+            crossing =
+                strands_.strandOf(nextLin) != strands_.strandOf(lin) ||
+                (nextLin <= lin &&
+                 opts_.strandOptions.cutAtBackwardBranch);
+        if (crossing && pending_.any()) {
+            counts_.deschedules++;
+            pending_.reset();
+        }
+    }
+
+    std::string_view
+    error() const override
+    {
+        return error_;
+    }
+
+  private:
+    void
+    fail(int lin, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << k_.name << " @lin " << lin << ": " << msg;
+        error_ = os.str();
+    }
+
+    const Kernel &k_;
+    const ReplayDecode &dec_;
+    const AllocOptions &opts_;
+    const SwExecConfig &cfg_;
+    const StrandAnalysis &strands_;
+    AccessCounts &counts_;
+    const int lrfBanks_;
+    RegSet pending_;
+    std::string error_;
+};
+
+/** Pipeline accounting factory for the software hierarchy. */
+class SwAccounting final : public PipelineAccounting
+{
+  public:
+    SwAccounting(const Kernel &k, const AllocOptions &opts,
+                 const SwExecConfig &cfg, const AnalysisBundle *analyses,
+                 AccessCounts &counts)
+        : k_(k), opts_(opts), cfg_(cfg), counts_(counts),
+          cfgGraph_(analyses ? nullptr : &localCfg_.emplace(k)),
+          strands_(k, analyses ? analyses->cfg : *cfgGraph_,
+                   opts.strandOptions),
+          // The decode must come from the *annotated* kernel: the
+          // accounting reads annotations out of the instr snapshots,
+          // which a shared cached decode does not carry.
+          dec_(k)
+    {
+    }
+
+    std::unique_ptr<WarpAccountant>
+    makeWarp(int /*warp*/) override
+    {
+        return std::make_unique<SwWarpAccountant>(k_, dec_, opts_, cfg_,
+                                                  strands_, counts_);
+    }
+
+  private:
+    const Kernel &k_;
+    AllocOptions opts_;
+    SwExecConfig cfg_;
+    AccessCounts &counts_;
+    std::optional<Cfg> localCfg_;
+    const Cfg *cfgGraph_;
+    StrandAnalysis strands_;
+    ReplayDecode dec_;
+};
+
+} // namespace
+
+std::unique_ptr<PipelineAccounting>
+makeSwHierarchyAccounting(const Kernel &k, const AllocOptions &opts,
+                          const SwExecConfig &cfg,
+                          const AnalysisBundle *analyses,
+                          AccessCounts &counts)
+{
+    return std::make_unique<SwAccounting>(k, opts, cfg, analyses, counts);
 }
 
 } // namespace rfh

@@ -14,6 +14,7 @@
 #ifndef RFH_SIM_SW_EXEC_H
 #define RFH_SIM_SW_EXEC_H
 
+#include <memory>
 #include <string>
 
 #include "compiler/allocation.h"
@@ -81,6 +82,21 @@ SwExecResult replaySwHierarchy(const Kernel &k, const AllocOptions &opts,
                                const DecodedTrace &trace,
                                const SwExecConfig &cfg = {},
                                const AnalysisBundle *analyses = nullptr);
+
+class PipelineAccounting;
+
+/**
+ * Per-warp software-hierarchy accounting for the cycle-level pipeline
+ * (sim/pipeline.h): the replay accounting walk over the *annotated*
+ * kernel @p k, called once per dynamic instruction at issue.
+ * Annotated ORF/LRF operands bypass the collector banks. Structural
+ * annotation violations stop the pipeline with the functional
+ * executors' exact error message. @p k, @p analyses, and @p counts
+ * must outlive the returned object.
+ */
+std::unique_ptr<PipelineAccounting> makeSwHierarchyAccounting(
+    const Kernel &k, const AllocOptions &opts, const SwExecConfig &cfg,
+    const AnalysisBundle *analyses, AccessCounts &counts);
 
 } // namespace rfh
 

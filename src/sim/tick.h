@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cycle-stepping framework for composable pipeline stages.
+ *
+ * A stage implements Ticked: one tick() call advances it by a single
+ * cycle at an explicit timestamp. A TickSchedule ticks its stages in a
+ * fixed registration order every cycle; the staged SM pipeline
+ * registers consumers before producers along the dataflow
+ * (execute -> writeback -> collect -> issue), so a value leaving one
+ * stage is visible to the next stage on the following cycle — exactly
+ * one pipeline register per port — while a completion's writeback and
+ * the dependent issue it unblocks land in the same cycle, like a
+ * forwarded result.
+ *
+ * tick() returns whether the stage made progress (moved, completed, or
+ * accepted work). A cycle in which no stage progresses cannot change
+ * state until some scheduled future event (a latency pipe draining, a
+ * swapped-in warp activating), which lets the driver fast-forward idle
+ * spans without simulating them cycle by cycle — the cycle counts are
+ * identical to the naive loop because idle cycles are idle by
+ * definition.
+ */
+
+#ifndef RFH_SIM_TICK_H
+#define RFH_SIM_TICK_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rfh {
+
+/** One pipeline stage advanced a cycle at a time. */
+class Ticked
+{
+  public:
+    virtual ~Ticked() = default;
+
+    /**
+     * Advance one cycle at timestamp @p now.
+     * @return true when the stage made progress this cycle (accepted,
+     *         moved, or completed at least one item).
+     */
+    virtual bool tick(std::uint64_t now) = 0;
+};
+
+/** Ticks registered stages in order, once per cycle. */
+class TickSchedule
+{
+  public:
+    /** Append @p stage (not owned; must outlive the schedule). */
+    void
+    add(Ticked *stage)
+    {
+        stages_.push_back(stage);
+    }
+
+    /**
+     * Tick every stage at @p now, in registration order.
+     * @return true when any stage made progress.
+     */
+    bool
+    tick(std::uint64_t now)
+    {
+        bool progress = false;
+        for (Ticked *s : stages_)
+            progress |= s->tick(now);
+        return progress;
+    }
+
+  private:
+    std::vector<Ticked *> stages_;
+};
+
+} // namespace rfh
+
+#endif // RFH_SIM_TICK_H

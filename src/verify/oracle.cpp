@@ -477,6 +477,38 @@ runOracle(const Kernel &k, const OracleOptions &opts)
         directCounts.emplace_back(si, direct.counts);
     }
 
+    // ---- Pipeline vs functional for every pipelined scheme ----
+    // The cycle-level pipeline accounts accesses at issue
+    // (sim/pipeline_account.h), so its totals must equal the
+    // functional path's exactly — for any scheduler interleaving.
+    // Compressed latencies keep the fuzz battery fast; counts are
+    // timing-invariant by construction, which is exactly the property
+    // under test.
+    PipelineConfig pcfg;
+    pcfg.aluLatency = 2;
+    pcfg.sfuLatency = 3;
+    pcfg.sharedMemLatency = 3;
+    pcfg.texLatency = 6;
+    pcfg.dramLatency = 6;
+    for (const auto &[si, counts] : directCounts) {
+        if (!si->caps.pipelined)
+            continue;
+        std::string tag(si->tag);
+        SchemePipelineResult pr = runSchemePipeline(
+            w, configFor(si->scheme, opts, ExecEngine::REPLAY), pcfg);
+        if (!pr.ok()) {
+            finding(FindingKind::EXEC_ERROR, tag + "/pipeline",
+                    pr.error);
+            report.pairsChecked++;
+            continue;
+        }
+        std::string diff = describeCountsDiff(pr.counts, counts);
+        if (!diff.empty())
+            finding(FindingKind::DISCREPANCY,
+                    tag + "/pipeline-vs-functional", diff);
+        report.pairsChecked++;
+    }
+
     // ---- Per-backend conservation against the flat baseline ----
     // Allocator-based schemes run their conservation check below on
     // the freshly annotated kernel; everything else checks the direct

@@ -290,5 +290,59 @@ TEST_F(GoldenFigures, Fig14ResidualEnergyIsMrfDominated)
     EXPECT_LT(lrfWire, 0.02);  // measured 0.0078
 }
 
+// ---- Section 6: the two-level scheduler claim, in pipeline form ----
+
+/**
+ * Suite-aggregate IPC of the cycle-level pipeline at 32 resident
+ * warps under the flat baseline scheme: sum(issued) / sum(cycles)
+ * over every registry workload.
+ */
+double
+suiteIpc(SchedPolicy policy, int activeWarps)
+{
+    PipelineConfig pcfg;
+    pcfg.policy = policy;
+    pcfg.activeWarps = activeWarps;
+    PipelineStats agg;
+    for (const Workload &w : allWorkloads()) {
+        Workload resident = w;
+        resident.run.numWarps = 32;
+        ExperimentConfig cfg;
+        cfg.scheme = Scheme::BASELINE;
+        SchemePipelineResult pr =
+            runSchemePipeline(resident, cfg, pcfg);
+        EXPECT_TRUE(pr.ok()) << w.name << ": " << pr.error;
+        agg.add(pr.stats);
+    }
+    return agg.ipc();
+}
+
+TEST(GoldenScheduler, EightActiveWarpsLoseNothingToFlat32)
+{
+    // The paper's claim (Section 6): a two-level scheduler holding
+    // only 8 of 32 resident warps in the active set performs like
+    // scheduling all 32 — the active set alone hides ALU latency, and
+    // swaps hide the long-latency tail.
+    double flat32 = suiteIpc(SchedPolicy::FLAT_RR, 32);
+    ASSERT_GT(flat32, 0.0);
+    for (int active : {8, 32}) {
+        double two = suiteIpc(SchedPolicy::TWO_LEVEL, active);
+        EXPECT_GE(two, 0.95 * flat32) << active << " active";
+    }
+}
+
+TEST(GoldenScheduler, IpcDegradesMonotonicallyBelowSixActiveWarps)
+{
+    // Below the latency-hiding knee the active set is the bottleneck:
+    // every active warp removed costs throughput, monotonically.
+    double prev = -1.0;
+    for (int active : {1, 2, 3, 4, 5, 6}) {
+        double ipc = suiteIpc(SchedPolicy::TWO_LEVEL, active);
+        EXPECT_GE(ipc, prev)
+            << active - 1 << " active out-performed " << active;
+        prev = ipc;
+    }
+}
+
 } // namespace
 } // namespace rfh

@@ -10,6 +10,7 @@
 #include "compiler/scheduler.h"
 #include "ir/parser.h"
 #include "sim/machine.h"
+#include "sim/perf_sim.h"
 #include "workloads/registry.h"
 #include "workloads/synthetic.h"
 
@@ -149,6 +150,25 @@ TEST(Scheduler, EquivalenceOnSyntheticKernels)
         scheduleKernel(k);
         ASSERT_EQ(k.validate(), "") << seed;
         EXPECT_EQ(finalRegs(k, 2), finalRegs(orig, 2)) << seed;
+    }
+}
+
+TEST(Scheduler, ScheduledKernelKeepsPipelineInstructionCount)
+{
+    // Instruction scheduling reorders within blocks but never adds or
+    // drops work, so the cycle-level pipeline must issue exactly the
+    // same dynamic instruction count for the scheduled kernel.
+    PerfConfig cfg;
+    cfg.numWarps = 8;
+    cfg.activeWarps = 4;
+    for (const Workload &w : allWorkloads()) {
+        Kernel k = w.kernel;
+        scheduleKernel(k);
+        ASSERT_EQ(k.validate(), "") << w.name;
+        PerfResult before = runPerfSim(w.kernel, cfg);
+        PerfResult after = runPerfSim(k, cfg);
+        EXPECT_EQ(after.instructions, before.instructions) << w.name;
+        EXPECT_GT(after.ipc(), 0.0) << w.name;
     }
 }
 

@@ -287,6 +287,8 @@ expectedOraclePairs(const OracleOptions &oo)
         if (si->caps.hwManaged && !oo.checkHwSchemes)
             continue;
         pairs++;  // direct vs replay
+        if (si->caps.pipelined)
+            pairs++;  // pipeline vs functional
         if (si->caps.usesAllocator) {
             pairs++;  // conservation on the scalar run
             if (oo.checkSimt)

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "compiler/allocator.h"
+#include "core/experiment.h"
 #include "core/memo.h"
 #include "energy/energy_params.h"
 #include "ir/parser.h"
@@ -75,6 +76,64 @@ TEST(VerifyOracle, CorpusIsClean)
         EXPECT_GT(rep.pairsChecked, 0) << name;
         EXPECT_GT(rep.invariantSites, 0) << name;
     }
+}
+
+/**
+ * The acceptance bar of the cycle-level pipeline: for every corpus
+ * kernel, every pipelined scheme, and warp counts {1, 4, 8, 32}, the
+ * pipeline's issue-time accounting must equal the functional replay
+ * path — dynamic instruction count and every per-level access total.
+ * Compressed latencies keep the sweep fast; counts are
+ * timing-invariant, which is the property under test.
+ */
+TEST(VerifyOracle, PipelineConservesCountsAcrossWarpCounts)
+{
+    auto corpus = loadCorpus();
+    ASSERT_GE(corpus.size(), 10u);
+    PipelineConfig pcfg;
+    pcfg.aluLatency = 2;
+    pcfg.sfuLatency = 3;
+    pcfg.sharedMemLatency = 3;
+    pcfg.texLatency = 6;
+    pcfg.dramLatency = 6;
+    int pairs = 0;
+    for (auto &[name, k] : corpus) {
+        for (int warps : {1, 4, 8, 32}) {
+            Workload w;
+            w.name = k.name;
+            w.suite = "corpus";
+            w.kernel = k;
+            w.run.numWarps = warps;
+            w.run.maxInstrsPerWarp = 1u << 16;
+            for (const SchemeInfo *si :
+                 SchemeRegistry::instance().schemes()) {
+                if (!si->caps.pipelined)
+                    continue;
+                ExperimentConfig cfg;
+                cfg.scheme = si->scheme;
+                cfg.engine = ExecEngine::REPLAY;
+                RunOutcome functional = runScheme(w, cfg);
+                ASSERT_TRUE(functional.ok())
+                    << name << "/" << si->token << " @" << warps
+                    << ": " << functional.error;
+                SchemePipelineResult pr =
+                    runSchemePipeline(w, cfg, pcfg);
+                ASSERT_TRUE(pr.ok())
+                    << name << "/" << si->token << " @" << warps
+                    << ": " << pr.error;
+                EXPECT_EQ(pr.stats.issued,
+                          functional.counts.instructions)
+                    << name << "/" << si->token << " @" << warps;
+                EXPECT_EQ(
+                    describeCountsDiff(pr.counts, functional.counts),
+                    "")
+                    << name << "/" << si->token << " @" << warps;
+                pairs++;
+            }
+        }
+    }
+    // Every corpus kernel contributed all scheme x warp-count pairs.
+    EXPECT_GE(pairs, static_cast<int>(corpus.size()) * 4 * 2);
 }
 
 TEST(VerifyOracle, ReportIsDeterministic)
