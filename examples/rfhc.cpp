@@ -8,6 +8,7 @@
  *   rfhc stats    <file.rptx>               strand / usage statistics
  *   rfhc bench-diff <old.json> <new.json>   compare two snapshots
  *   rfhc compare [options]                  cross-scheme leaderboard
+ *   rfhc corpus [options]                   corpus-scale population sweep
  *   rfhc fuzz [options]                     differential fuzz campaign
  *   rfhc serve [options]                    batch compile/sim service
  *   rfhc loadgen [options]                  drive a running service
@@ -45,6 +46,35 @@
  *   --active N         two-level active-set size for --perf
  *   --json             print the leaderboard JSON instead of the table
  *   --out F            also write the leaderboard JSON to F
+ *   --corpus N         also run an N-kernel scenario corpus and add a
+ *                      population confidence-band column per row
+ *
+ * Options (corpus):
+ *   --profiles P,...   scenario profiles, or "all" (default all); see
+ *                      docs/corpus.md for the builtin populations
+ *   --n N              total kernels across the resolved profiles,
+ *                      split evenly (default 512)
+ *   --schemes S,...    scheme wire tokens to aggregate (default:
+ *                      every non-baseline registered scheme)
+ *   --entries N,...    entries-per-thread points (default 1,2,3,4,6,8
+ *                      for sweeping schemes, 3 for fixed ones)
+ *   --seed S           corpus seed: same seed => same kernels and the
+ *                      same aggregate bytes (default 1)
+ *   --chunk N          kernels per replay batch slice (default 64)
+ *   --warps N          override every profile's warp count
+ *   --perf             also run the cycle-level pipeline; adds IPC
+ *                      population stats per cell
+ *   --sched P          pipeline scheduler for --perf
+ *   --active N         two-level active-set size for --perf
+ *   --resamples N      bootstrap resamples per band (default 200)
+ *   --confidence F     band confidence level (default 0.95)
+ *   --socket PATH      run via a serve/router fleet at PATH instead
+ *                      of in-process (same aggregate bytes)
+ *   --connections N    fleet client connections (default 4)
+ *   --retries N        max retries of shed fleet requests (default 8)
+ *   --json             print the rfh-corpus-v1 JSON instead of the
+ *                      summary table
+ *   --out F            also write the corpus JSON to F
  *
  * Options (fuzz):
  *   --iters N          kernels to generate and check (default 100)
@@ -120,6 +150,7 @@
 #include "compiler/regalloc.h"
 #include "compiler/scheduler.h"
 #include "core/benchdiff.h"
+#include "core/corpus.h"
 #include "core/experiment.h"
 #include "core/json.h"
 #include "core/leaderboard.h"
@@ -130,6 +161,7 @@
 #include "core/trace_events.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "service/corpus_client.h"
 #include "service/loadgen.h"
 #include "service/router.h"
 #include "service/server.h"
@@ -160,7 +192,16 @@ usage()
                  "[--threshold F]\n"
                  "       rfhc compare [--entries N] [--perf] "
                  "[--sched P] [--active N]\n"
-                 "            [--json] [--out F]\n"
+                 "            [--json] [--out F] [--corpus N]\n"
+                 "       rfhc corpus [--profiles P,...] [--n N] "
+                 "[--schemes S,...]\n"
+                 "            [--entries N,...] [--seed S] [--chunk N] "
+                 "[--warps N]\n"
+                 "            [--perf] [--sched P] [--active N] "
+                 "[--resamples N]\n"
+                 "            [--confidence F] [--socket PATH] "
+                 "[--connections N]\n"
+                 "            [--retries N] [--json] [--out F]\n"
                  "       rfhc fuzz [--iters N] [--seed S] [--shrink] "
                  "[--inject]\n"
                  "            [--dump DIR] [--out repro.rptx] "
@@ -269,6 +310,7 @@ compareMain(int argc, char **argv)
 {
     ExperimentConfig base;
     bool json = false;
+    int corpusKernels = 0;
     std::string out_path;
     for (int i = 2; i < argc; i++) {
         std::string a = argv[i];
@@ -287,6 +329,10 @@ compareMain(int argc, char **argv)
             base.pipeline.activeWarps = std::atoi(argv[++i]);
             if (base.pipeline.activeWarps < 1)
                 return usage();
+        } else if (a == "--corpus" && i + 1 < argc) {
+            corpusKernels = std::atoi(argv[++i]);
+            if (corpusKernels < 1)
+                return usage();
         } else if (a == "--out" && i + 1 < argc) {
             out_path = argv[++i];
             if (out_path.empty())
@@ -297,6 +343,20 @@ compareMain(int argc, char **argv)
     }
 
     Leaderboard lb = runLeaderboard(base);
+    if (corpusKernels > 0) {
+        CorpusConfig ccfg;
+        std::size_t nProfiles = allProfiles().size();
+        ccfg.kernelsPerProfile = static_cast<int>(
+            (static_cast<std::size_t>(corpusKernels) + nProfiles - 1) /
+            nProfiles);
+        CorpusResult corpus;
+        std::string err;
+        if (!runCorpus(ccfg, corpus, nullptr, &err)) {
+            std::fprintf(stderr, "rfhc compare: %s\n", err.c_str());
+            return 2;
+        }
+        attachCorpusBands(lb, corpus);
+    }
     std::string doc = leaderboardToJson(lb);
     if (json)
         std::printf("%s\n", doc.c_str());
@@ -318,6 +378,213 @@ compareMain(int argc, char **argv)
                  static_cast<int>(lb.rows.size()), lb.timing.wallSec,
                  lb.timing.speedup());
     return 0;
+}
+
+/** Split @p s at commas into non-empty pieces. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * `rfhc corpus`: stream a population of generated kernels from the
+ * named scenario profiles through the replay engine (or a service
+ * fleet with --socket) and print streaming population statistics per
+ * (profile, scheme, entries) cell. The rfh-corpus-v1 JSON document is
+ * byte-identical across runs, thread counts, shard layouts, and the
+ * local/fleet substrates.
+ */
+int
+corpusMain(int argc, char **argv)
+{
+    CorpusConfig cfg;
+    int totalKernels = 512;
+    std::vector<std::string> schemeTokens;
+    std::vector<int> entriesList;
+    CorpusClientOptions client;
+    bool remote = false;
+    bool json = false;
+    std::string out_path;
+    for (int i = 2; i < argc; i++) {
+        std::string a = argv[i];
+        auto next_int = [&](int &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = std::atoi(argv[++i]);
+            return out > 0;
+        };
+        auto next_str = [&](std::string &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = argv[++i];
+            return !out.empty();
+        };
+        if (a == "--profiles") {
+            std::string list;
+            if (!next_str(list))
+                return usage();
+            cfg.profiles = splitList(list);
+            if (cfg.profiles.empty())
+                return usage();
+        } else if (a == "--n") {
+            if (!next_int(totalKernels))
+                return usage();
+        } else if (a == "--schemes") {
+            std::string list;
+            if (!next_str(list))
+                return usage();
+            schemeTokens = splitList(list);
+            if (schemeTokens.empty())
+                return usage();
+        } else if (a == "--entries") {
+            std::string list;
+            if (!next_str(list))
+                return usage();
+            for (const std::string &piece : splitList(list)) {
+                int e = std::atoi(piece.c_str());
+                if (e < 1 || e > kMaxOrfEntries)
+                    return usage();
+                entriesList.push_back(e);
+            }
+            if (entriesList.empty())
+                return usage();
+        } else if (a == "--seed" && i + 1 < argc) {
+            cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--chunk") {
+            if (!next_int(cfg.chunk))
+                return usage();
+        } else if (a == "--warps") {
+            if (!next_int(cfg.warps))
+                return usage();
+        } else if (a == "--perf") {
+            cfg.perf = true;
+        } else if (a == "--sched" && i + 1 < argc) {
+            if (!parseSchedPolicy(argv[++i], cfg.pipeline.policy))
+                return usage();
+        } else if (a == "--active" && i + 1 < argc) {
+            cfg.pipeline.activeWarps = std::atoi(argv[++i]);
+            if (cfg.pipeline.activeWarps < 1)
+                return usage();
+        } else if (a == "--resamples") {
+            if (!next_int(cfg.bootstrapResamples))
+                return usage();
+        } else if (a == "--confidence" && i + 1 < argc) {
+            cfg.confidence = std::strtod(argv[++i], nullptr);
+            if (cfg.confidence <= 0.0 || cfg.confidence >= 1.0)
+                return usage();
+        } else if (a == "--socket") {
+            if (!next_str(client.socketPath))
+                return usage();
+            remote = true;
+        } else if (a == "--connections") {
+            if (!next_int(client.connections))
+                return usage();
+        } else if (a == "--retries") {
+            if (!next_int(client.maxRetries))
+                return usage();
+        } else if (a == "--json") {
+            json = true;
+        } else if (a == "--out") {
+            if (!next_str(out_path))
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+
+    // --n budgets the whole corpus; split it evenly across profiles.
+    std::vector<ScenarioProfile> resolved;
+    std::string err;
+    if (!resolveProfiles(cfg.profiles, resolved, &err)) {
+        std::fprintf(stderr, "rfhc corpus: %s\n", err.c_str());
+        return 2;
+    }
+    cfg.kernelsPerProfile = static_cast<int>(
+        (static_cast<std::size_t>(totalKernels) + resolved.size() - 1) /
+        resolved.size());
+
+    if (!schemeTokens.empty() || !entriesList.empty()) {
+        const SchemeRegistry &reg = SchemeRegistry::instance();
+        std::vector<const SchemeInfo *> schemes;
+        if (schemeTokens.empty()) {
+            for (const SchemeInfo *si : reg.schemes())
+                if (si->scheme != Scheme::BASELINE)
+                    schemes.push_back(si);
+        } else {
+            for (const std::string &token : schemeTokens) {
+                const SchemeInfo *si = reg.findToken(token);
+                if (!si) {
+                    std::fprintf(stderr,
+                                 "rfhc corpus: unknown scheme '%s' "
+                                 "(valid: %s)\n",
+                                 token.c_str(),
+                                 reg.tokenList().c_str());
+                    return 2;
+                }
+                schemes.push_back(si);
+            }
+        }
+        static const int kDefaultEntries[] = {1, 2, 3, 4, 6, 8};
+        for (const SchemeInfo *si : schemes) {
+            if (!entriesList.empty()) {
+                for (int e : entriesList)
+                    cfg.cells.push_back({si->scheme, e});
+            } else if (si->caps.sweepsEntries) {
+                for (int e : kDefaultEntries)
+                    cfg.cells.push_back({si->scheme, e});
+            } else {
+                cfg.cells.push_back({si->scheme, 3});
+            }
+        }
+    }
+
+    CorpusResult res;
+    bool ok = remote ? runCorpusRemote(cfg, client, res, &err)
+                     : runCorpus(cfg, res, nullptr, &err);
+    if (!ok) {
+        std::fprintf(stderr, "rfhc corpus: %s\n", err.c_str());
+        return 2;
+    }
+    std::string doc = corpusToJson(res);
+    if (json)
+        std::printf("%s\n", doc.c_str());
+    else
+        std::printf("%s", renderCorpusSummary(res).c_str());
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "rfhc: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << doc << "\n";
+        std::fprintf(stderr, "rfhc: wrote corpus %s\n",
+                     out_path.c_str());
+    }
+    std::fprintf(stderr,
+                 "rfhc corpus: %llu runs over %llu kernels "
+                 "(%llu errors) in %.1fs%s\n",
+                 static_cast<unsigned long long>(res.totalRuns),
+                 static_cast<unsigned long long>([&] {
+                     std::uint64_t k = 0;
+                     for (const CorpusProfileStats &ps : res.profiles)
+                         k += ps.kernels;
+                     return k;
+                 }()),
+                 static_cast<unsigned long long>(res.totalErrors),
+                 res.wallSec, remote ? " (fleet)" : "");
+    return res.totalErrors > 0 ? 1 : 0;
 }
 
 /**
@@ -741,6 +1008,8 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     if (cmd == "compare")
         return compareMain(argc, argv);
+    if (cmd == "corpus")
+        return corpusMain(argc, argv);
     if (cmd == "fuzz")
         return fuzzMain(argc, argv);
     if (cmd == "serve")

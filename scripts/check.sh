@@ -22,6 +22,7 @@
 #   scripts/check.sh --no-router  # skip the router fleet smoke
 #   scripts/check.sh --no-vec     # skip the vectorize-report gate
 #   scripts/check.sh --no-compare # skip the leaderboard smoke
+#   scripts/check.sh --no-corpus  # skip the corpus population gate
 #
 # The fuzz smoke runs a fixed-seed `rfhc fuzz` campaign (differential
 # oracle + allocator-invariant checker over generated kernels) and, in
@@ -44,6 +45,7 @@ run_serve=1
 run_router=1
 run_vec=1
 run_compare=1
+run_corpus=1
 for arg in "$@"; do
     [[ "$arg" == "--no-tsan" ]] && run_tsan=0
     [[ "$arg" == "--no-asan" ]] && run_asan=0
@@ -55,15 +57,16 @@ for arg in "$@"; do
     [[ "$arg" == "--no-router" ]] && run_router=0
     [[ "$arg" == "--no-vec" ]] && run_vec=0
     [[ "$arg" == "--no-compare" ]] && run_compare=0
+    [[ "$arg" == "--no-corpus" ]] && run_corpus=0
 done
 
 echo "== build + test (${jobs} jobs) =="
 cmake -B "$repo/build" -S "$repo" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
-# The golden and pipeline tiers run as their own gated stages below;
-# keep the main run on the unit/property/fuzz tiers.
+# The golden, pipeline, and corpus tiers run as their own gated
+# stages below; keep the main run on the unit/property/fuzz tiers.
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" \
-    -LE 'golden|pipeline'
+    -LE 'golden|pipeline|corpus'
 
 if [[ "$run_vec" == 1 ]]; then
     echo "== vectorize report: replay classification loop =="
@@ -177,6 +180,51 @@ if [[ "$run_compare" == 1 ]]; then
     rm -f "$cmpjson"
 fi
 
+if [[ "$run_corpus" == 1 ]]; then
+    echo "== corpus population gate: statistical bands + identity =="
+    # The corpus-label suite pins the population golden bands, the
+    # profile round trip, and the seed-corpus drift guard
+    # (tests/test_corpus.cpp); `--no-corpus` skips.
+    ctest --test-dir "$repo/build" --output-on-failure -L corpus
+
+    # Byte-identity smoke at the CLI: the same small corpus must
+    # produce identical aggregate JSON at 1 and 4 threads, and again
+    # when served over a Unix socket fleet.
+    c1="$(mktemp)"; c4="$(mktemp)"; cs="$(mktemp)"
+    corpus_args=(corpus --profiles balanced,divergent --n 64
+                 --schemes sw3,hw2 --entries 3 --json)
+    RFH_THREADS=1 "$repo/build/examples/rfhc" "${corpus_args[@]}" \
+        >"$c1"
+    RFH_THREADS=4 "$repo/build/examples/rfhc" "${corpus_args[@]}" \
+        >"$c4"
+    if ! cmp -s "$c1" "$c4"; then
+        rm -f "$c1" "$c4" "$cs"
+        echo "check.sh: corpus JSON differs across thread counts" >&2
+        exit 1
+    fi
+    if [[ "$run_serve" == 1 ]]; then
+        csock="$(mktemp -u /tmp/rfhc-corpus-XXXXXX.sock)"
+        "$repo/build/examples/rfhc" serve --socket "$csock" &
+        corpus_serve_pid=$!
+        if ! "$repo/build/examples/rfhc" "${corpus_args[@]}" \
+            --socket "$csock" >"$cs"; then
+            kill "$corpus_serve_pid" 2>/dev/null || true
+            rm -f "$c1" "$c4" "$cs"
+            echo "check.sh: corpus fleet run failed" >&2
+            exit 1
+        fi
+        kill "$corpus_serve_pid" 2>/dev/null || true
+        wait "$corpus_serve_pid" 2>/dev/null || true
+        rm -f "$csock"
+        if ! cmp -s "$c1" "$cs"; then
+            rm -f "$c1" "$c4" "$cs"
+            echo "check.sh: corpus JSON differs local vs fleet" >&2
+            exit 1
+        fi
+    fi
+    rm -f "$c1" "$c4" "$cs"
+fi
+
 if [[ "$run_fuzz" == 1 ]]; then
     echo "== differential fuzz smoke: 200 kernels, fixed seed =="
     # Deterministic: a finding here reproduces with the same seed, and
@@ -227,7 +275,7 @@ if command -v doxygen >/dev/null 2>&1; then
             >/dev/null)
     # New-in-this-layer headers must stay warning-free; the gate is
     # scoped so pre-existing debt elsewhere does not block CI.
-    gated='core/metrics\.|core/trace_events\.|core/manifest\.|core/benchdiff\.|sim/replay_kernels\.|sim/replay_arena\.|core/scheme\.|core/leaderboard\.|sim/cc_rfc\.|sim/regdem\.|sim/greener\.|sim/rfc_ring\.|sim/tick\.|sim/port\.|sim/pipeline'
+    gated='core/metrics\.|core/trace_events\.|core/manifest\.|core/benchdiff\.|sim/replay_kernels\.|sim/replay_arena\.|core/scheme\.|core/leaderboard\.|sim/cc_rfc\.|sim/regdem\.|sim/greener\.|sim/rfc_ring\.|sim/tick\.|sim/port\.|sim/pipeline|core/stats\.|core/corpus\.|workloads/profiles\.|service/corpus_client\.|service/net\.'
     if grep -E "$gated" "$doxlog"; then
         echo "check.sh: doxygen warnings in gated headers (above)" >&2
         exit 1

@@ -2,9 +2,34 @@
 
 #include <algorithm>
 
+#include "core/corpus.h"
 #include "core/json.h"
 
 namespace rfh {
+
+void
+attachCorpusBands(Leaderboard &lb, const CorpusResult &corpus)
+{
+    for (LeaderboardRow &row : lb.rows) {
+        // Merge the row's (token, entries) cell across every profile:
+        // the population behind the band is the whole corpus, and the
+        // exact merge makes the result independent of profile order.
+        StreamStat merged;
+        for (const CorpusProfileStats &ps : corpus.profiles)
+            for (const CorpusCellStats &cs : ps.cells)
+                if (cs.schemeToken == row.token &&
+                    cs.cell.entries == row.entries)
+                    merged.merge(cs.energyRatio);
+        if (merged.count() == 0)
+            continue;
+        row.hasPopulation = true;
+        row.populationMean = merged.mean();
+        row.populationRuns = merged.count();
+        row.populationBand = merged.bootstrapMeanBand(
+            corpus.config.confidence, corpus.config.bootstrapResamples,
+            corpus.config.seed);
+    }
+}
 
 Leaderboard
 runLeaderboard(const ExperimentConfig &base, ThreadPool *pool)
@@ -82,12 +107,17 @@ std::string
 renderLeaderboard(const Leaderboard &lb)
 {
     bool perf = false;
-    for (const LeaderboardRow &row : lb.rows)
+    bool population = false;
+    for (const LeaderboardRow &row : lb.rows) {
         perf |= row.outcome.hasPerf;
+        population |= row.hasPopulation;
+    }
 
     std::vector<std::string> head = {"Rank", "Scheme", "Token",
                                      "Entries", "Energy", "Saved",
                                      "Reads M/O/L", "Writes M/O/L"};
+    if (population)
+        head.push_back("Pop CI");
     if (perf) {
         head.push_back("IPC");
         head.push_back("Stall sb/cl/ex/sw/dr");
@@ -108,6 +138,14 @@ renderLeaderboard(const Leaderboard &lb)
                 pct(b.lrfReads),
             pct(b.mrfWrites) + "/" + pct(b.orfWrites) + "/" +
                 pct(b.lrfWrites)};
+        if (population) {
+            cells.push_back(
+                row.hasPopulation
+                    ? fmt(row.populationMean, 3) + " [" +
+                          fmt(row.populationBand.lo, 3) + "," +
+                          fmt(row.populationBand.hi, 3) + "]"
+                    : "-");
+        }
         if (perf) {
             if (row.outcome.hasPerf) {
                 const PipelineStats &p = row.outcome.perf;
@@ -130,6 +168,10 @@ renderLeaderboard(const Leaderboard &lb)
     std::string legend =
         "(* = contributed backend, not a paper scheme; "
         "M/O/L = MRF/ORF/LRF fraction of baseline)\n";
+    if (population)
+        legend += "(Pop CI = corpus population energy-ratio mean and "
+                  "bootstrap confidence band at the row's entries "
+                  "point)\n";
     if (perf)
         legend +=
             "(IPC over the workload suite; stalls as cycle fractions: "
@@ -192,6 +234,15 @@ leaderboardToJson(const Leaderboard &lb)
             w.key("swap").value(p.stalls.swap);
             w.key("drain").value(p.stalls.drain);
             w.endObject();
+            w.endObject();
+        }
+        if (row.hasPopulation) {
+            w.key("population");
+            w.beginObject();
+            w.key("runs").value(row.populationRuns);
+            w.key("mean").value(row.populationMean);
+            w.key("lo").value(row.populationBand.lo);
+            w.key("hi").value(row.populationBand.hi);
             w.endObject();
         }
         if (!row.outcome.ok())

@@ -20,9 +20,12 @@
 
 #include "core/report.h"
 #include "core/scheme.h"
+#include "core/stats.h"
 #include "core/sweep.h"
 
 namespace rfh {
+
+struct CorpusResult;
 
 /** One ranked row of the cross-scheme leaderboard. */
 struct LeaderboardRow
@@ -41,6 +44,15 @@ struct LeaderboardRow
     RunOutcome outcome;
     /** Per-level accesses as fractions of the flat baseline. */
     AccessBreakdown breakdown;
+    /**
+     * Population energy-ratio statistics from a corpus run at this
+     * row's entries point, merged across profiles (attachCorpusBands).
+     * Valid when hasPopulation.
+     */
+    bool hasPopulation = false;
+    double populationMean = 0.0;
+    StatBand populationBand;
+    std::uint64_t populationRuns = 0;
 };
 
 /** The ranked cross-scheme comparison. */
@@ -64,6 +76,15 @@ class ThreadPool;
  */
 Leaderboard runLeaderboard(const ExperimentConfig &base = {},
                            ThreadPool *pool = nullptr);
+
+/**
+ * Annotate @p lb with population energy-ratio bands from @p corpus:
+ * each row whose (token, entries) point has corpus cells gets the
+ * profile-merged streaming stat's mean and bootstrap confidence band
+ * (confidence and resample count from the corpus configuration). Rows
+ * without a matching cell are left untouched.
+ */
+void attachCorpusBands(Leaderboard &lb, const CorpusResult &corpus);
 
 /** Aligned text table of @p lb, one row per scheme. */
 std::string renderLeaderboard(const Leaderboard &lb);

@@ -14,15 +14,12 @@
 #include <tuple>
 #include <vector>
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include "core/json.h"
 #include "core/manifest.h"
 #include "core/parallel.h"
 #include "core/scheme.h"
 #include "core/timing.h"
+#include "service/net.h"
 #include "service/protocol.h"
 #include "workloads/registry.h"
 
@@ -118,69 +115,6 @@ expectedResult(const LoadgenOptions &opts, const RequestPlan &p,
         return "";
     }
     return outcomeToJson(o);
-}
-
-int
-connectSocket(const std::string &path)
-{
-    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
-        return -1;
-    // Retry briefly: check.sh starts the server in the background and
-    // the socket may not exist yet on the first attempt.
-    for (int attempt = 0; attempt < 50; attempt++) {
-        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (fd < 0)
-            return -1;
-        sockaddr_un addr = {};
-        addr.sun_family = AF_UNIX;
-        std::strncpy(addr.sun_path, path.c_str(),
-                     sizeof(addr.sun_path) - 1);
-        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof addr) == 0)
-            return fd;
-        ::close(fd);
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
-    return -1;
-}
-
-bool
-sendLine(int fd, const std::string &line)
-{
-    std::string out = line;
-    out.push_back('\n');
-    std::size_t off = 0;
-    while (off < out.size()) {
-        ssize_t n = ::send(fd, out.data() + off, out.size() - off,
-                           MSG_NOSIGNAL);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-bool
-readLine(int fd, std::string &buf, std::string &line)
-{
-    for (;;) {
-        std::size_t nl = buf.find('\n');
-        if (nl != std::string::npos) {
-            line.assign(buf, 0, nl);
-            buf.erase(0, nl + 1);
-            return true;
-        }
-        char tmp[4096];
-        ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0)
-            return false;
-        buf.append(tmp, static_cast<std::size_t>(n));
-    }
 }
 
 /** The raw bytes of the "result" member of a success envelope. */
@@ -292,7 +226,7 @@ clientLoop(const LoadgenOptions &opts, int clientIndex,
                           std::string> &expected,
            ClientResult &out)
 {
-    int fd = connectSocket(opts.socketPath);
+    int fd = netConnect(opts.socketPath);
     if (fd < 0) {
         out.transportFailed = true;
         return;
@@ -304,9 +238,9 @@ clientLoop(const LoadgenOptions &opts, int clientIndex,
         Stopwatch sw;
         bool answered = false;
         for (int attempt = 0; attempt <= opts.maxRetries; attempt++) {
-            if (!sendLine(fd, line) || !readLine(fd, buf, response)) {
+            if (!netSendLine(fd, line) || !netReadLine(fd, buf, response)) {
                 out.transportFailed = true;
-                ::close(fd);
+                netClose(fd);
                 return;
             }
             JsonParseResult parsed = parseJson(response);
@@ -371,7 +305,7 @@ clientLoop(const LoadgenOptions &opts, int clientIndex,
         if (!answered)
             out.exhausted++;
     }
-    ::close(fd);
+    netClose(fd);
 }
 
 /**
@@ -391,13 +325,13 @@ FleetStats
 queryStats(const std::string &socketPath)
 {
     FleetStats fs;
-    int fd = connectSocket(socketPath);
+    int fd = netConnect(socketPath);
     if (fd < 0)
         return fs;
     std::string buf, response;
-    bool got = sendLine(fd, R"({"id":0,"op":"stats"})") &&
-               readLine(fd, buf, response);
-    ::close(fd);
+    bool got = netSendLine(fd, R"({"id":0,"op":"stats"})") &&
+               netReadLine(fd, buf, response);
+    netClose(fd);
     if (!got)
         return fs;
     JsonParseResult parsed = parseJson(response);
@@ -549,12 +483,12 @@ runLoadgen(const LoadgenOptions &opts)
                      opts.socketPath.c_str());
 
     if (opts.shutdownAfter) {
-        int fd = connectSocket(opts.socketPath);
+        int fd = netConnect(opts.socketPath);
         if (fd >= 0) {
             std::string buf, response;
-            if (sendLine(fd, R"({"op":"shutdown"})"))
-                readLine(fd, buf, response);
-            ::close(fd);
+            if (netSendLine(fd, R"({"op":"shutdown"})"))
+                netReadLine(fd, buf, response);
+            netClose(fd);
         } else {
             std::fprintf(stderr,
                          "rfhc loadgen: could not reconnect to send "

@@ -1,0 +1,84 @@
+#include "service/net.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rfh {
+
+int
+netConnect(const std::string &path)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+        return -1;
+    // Retry briefly: check.sh starts the server in the background and
+    // the socket may not exist yet on the first attempt.
+    for (int attempt = 0; attempt < 50; attempt++) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        sockaddr_un addr = {};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) == 0)
+            return fd;
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return -1;
+}
+
+bool
+netSendLine(int fd, const std::string &line)
+{
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+        ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+netReadLine(int fd, std::string &buf, std::string &line)
+{
+    for (;;) {
+        std::size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf, 0, nl);
+            buf.erase(0, nl + 1);
+            return true;
+        }
+        char tmp[4096];
+        ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+}
+
+void
+netClose(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace rfh

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Scenario-profile space: named, registered points of the kernel
+ * generator parameter space, the corpus engine's workload aperture.
+ *
+ * A ScenarioProfile names one population of kernels: a generator (the
+ * Figure-2-calibrated synthetic generator or the grammar fuzzer), its
+ * base parameters, and a jitter amplitude. Kernel @c index of a
+ * profile is produced from deterministically jittered parameters —
+ * pressure, divergence rate, SFU density, strand-length distribution,
+ * persistence mix all vary around the profile's centre — so a profile
+ * is a *distribution* over kernels, not a single preset, and corpus
+ * statistics over it carry real population spread.
+ *
+ * Profiles are registered like schemes (core/scheme.h): a fixed
+ * builtin set enumerable in registration order, lookup by name, and
+ * unknown-name errors that list the valid names. Each profile
+ * round-trips through JSON (profileToJson / profileFromJson) so runs
+ * can be reproduced from their manifests alone.
+ */
+
+#ifndef RFH_WORKLOADS_PROFILES_H
+#define RFH_WORKLOADS_PROFILES_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verify/rptx_fuzz.h"
+#include "workloads/registry.h"
+#include "workloads/synthetic.h"
+
+namespace rfh {
+
+struct JsonValue;
+
+/** Which generator realises a profile's kernels. */
+enum class ProfileGen
+{
+    SYNTH, ///< workloads/synthetic.h (well-behaved compiler output).
+    FUZZ,  ///< verify/rptx_fuzz.h (pathological control flow).
+};
+
+/** Wire name of @p g: "synth" or "fuzz". */
+std::string_view profileGenName(ProfileGen g);
+
+/** Inverse of profileGenName. @return false for unknown names. */
+bool profileGenFromName(std::string_view name, ProfileGen &out);
+
+/** One named kernel population (see file comment). */
+struct ScenarioProfile
+{
+    /** Registry name, e.g. "balanced" — stable, used on the wire. */
+    std::string name;
+    /** One-line description for docs and error messages. */
+    std::string summary;
+    ProfileGen gen = ProfileGen::SYNTH;
+    /** Generator centre when gen == SYNTH. */
+    SynthParams synth;
+    /** Generator centre when gen == FUZZ. */
+    FuzzParams fuzz;
+    /** Warps per generated workload's run configuration. */
+    int warps = 8;
+    /**
+     * Relative jitter amplitude of the per-kernel parameter draw:
+     * each knob is scaled by a factor from [1-jitter, 1+jitter]
+     * (probabilities clamped to [0, 0.95], counts kept >= 1).
+     */
+    double jitter = 0.35;
+};
+
+/** The builtin profiles, in registration order. */
+const std::vector<ScenarioProfile> &allProfiles();
+
+/** Lookup by name; @return null when unregistered. */
+const ScenarioProfile *findProfile(std::string_view name);
+
+/**
+ * Comma-joined registered names — the "valid profiles" list quoted
+ * by unknown-profile errors (mirroring SchemeRegistry::tokenList).
+ */
+std::string profileNameList();
+
+/**
+ * Resolve @p names ("all" expands to every builtin, in order) into
+ * profiles. On an unknown name, @return false and set @p err to
+ * "unknown profile '<name>' (valid: <list>)".
+ */
+bool resolveProfiles(const std::vector<std::string> &names,
+                     std::vector<ScenarioProfile> &out,
+                     std::string *err);
+
+/** Serialise @p p as one JSON object (full parameter round-trip). */
+std::string profileToJson(const ScenarioProfile &p);
+
+/**
+ * Strict inverse of profileToJson: unknown keys, wrong types, and
+ * out-of-range values fail with a message naming the field.
+ * profileToJson(parsed) reproduces the input document byte for byte.
+ */
+bool profileFromJson(const JsonValue &v, ScenarioProfile &out,
+                     std::string *err);
+
+/**
+ * The jittered synthetic parameters of kernel @p index of @p p under
+ * corpus seed @p seed (only meaningful when p.gen == SYNTH).
+ */
+SynthParams synthParamsFor(const ScenarioProfile &p,
+                           std::uint64_t seed, int index);
+
+/** Fuzz-generator counterpart of synthParamsFor. */
+FuzzParams fuzzParamsFor(const ScenarioProfile &p, std::uint64_t seed,
+                         int index);
+
+/**
+ * Generate kernel @p index of profile @p p under corpus seed @p seed
+ * as a runnable workload (suite "corpus", name
+ * "<profile>_<seed>_<index>"). Deterministic; the kernel always
+ * passes Kernel::validate().
+ */
+Workload corpusWorkload(const ScenarioProfile &p, std::uint64_t seed,
+                        int index);
+
+/**
+ * FNV-1a digest over the printed text of the profile's first @p n
+ * kernels under corpus seed @p seed. The drift-guard tests pin these
+ * per profile, so generator or jitter changes surface as explicit
+ * test updates rather than silent population shifts.
+ */
+std::uint64_t corpusSliceFingerprint(const ScenarioProfile &p,
+                                     std::uint64_t seed, int n);
+
+} // namespace rfh
+
+#endif // RFH_WORKLOADS_PROFILES_H

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Streaming-statistics core (core/stats.h): the exact-merge, quantile,
+ * and bootstrap contracts the corpus engine's byte-identity promise
+ * rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/json.h"
+#include "core/stats.h"
+
+namespace rfh {
+namespace {
+
+/** Deterministic sample stream shared by the merge/quantile tests. */
+std::vector<double>
+lognormalSamples(int n, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::lognormal_distribution<double> dist(0.0, 1.0);
+    std::vector<double> xs(n);
+    for (double &x : xs)
+        x = dist(rng);
+    return xs;
+}
+
+StreamStat
+statOf(const std::vector<double> &xs)
+{
+    StreamStat s;
+    for (double x : xs)
+        s.add(x);
+    return s;
+}
+
+// ---- wireRound: the one quantization point ----
+
+TEST(WireRound, IsIdempotent)
+{
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> dist(0.0, 10.0);
+    for (int i = 0; i < 1000; i++) {
+        double v = dist(rng);
+        double once = wireRound(v);
+        EXPECT_EQ(once, wireRound(once)) << v;
+    }
+}
+
+TEST(WireRound, MatchesJsonWriterEncoding)
+{
+    // The definition: a wire-rounded value printed by JsonWriter reads
+    // back as itself, so samples survive a JSON round trip unchanged.
+    for (double v : {0.123456789, 1.0 / 3.0, 0.5438527891, 1e-9}) {
+        double w = wireRound(v);
+        JsonWriter jw;
+        jw.beginObject().key("v").value(w).endObject();
+        JsonParseResult p = parseJson(jw.str());
+        ASSERT_TRUE(p.ok) << p.error;
+        EXPECT_EQ(p.value.numberOr("v", -1.0), w);
+    }
+}
+
+// ---- empty and single-sample degenerate states ----
+
+TEST(StreamStat, EmptyStateIsAllZero)
+{
+    StreamStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+    StatBand b = s.bootstrapMeanBand(0.95, 100, 1);
+    EXPECT_EQ(b.lo, 0.0);
+    EXPECT_EQ(b.hi, 0.0);
+}
+
+TEST(StreamStat, SingleSampleDegeneratesToThatSample)
+{
+    StreamStat s;
+    s.add(0.75);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_NEAR(s.mean(), 0.75, 1e-7);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.75);
+    EXPECT_EQ(s.max(), 0.75);
+    StatBand b = s.bootstrapMeanBand(0.95, 100, 1);
+    EXPECT_EQ(b.lo, b.hi);
+    EXPECT_NEAR(b.lo, s.mean(), 1e-12);
+}
+
+// ---- moments against exact arithmetic ----
+
+TEST(StreamStat, MomentsMatchExactComputation)
+{
+    std::vector<double> xs = lognormalSamples(5000, 11);
+    StreamStat s = statOf(xs);
+
+    double exactMean = 0.0;
+    for (double x : xs)
+        exactMean += x;
+    exactMean /= xs.size();
+    double exactVar = 0.0;
+    for (double x : xs)
+        exactVar += (x - exactMean) * (x - exactMean);
+    exactVar /= xs.size() - 1;
+
+    // The only loss is the 2^-24 fixed-point quantization at add().
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), exactMean, 1e-6);
+    EXPECT_NEAR(s.variance(), exactVar, 1e-4 * exactVar + 1e-6);
+    EXPECT_NEAR(s.stddev(), std::sqrt(exactVar), 1e-5);
+    EXPECT_EQ(s.min(), *std::min_element(xs.begin(), xs.end()));
+    EXPECT_EQ(s.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+// ---- the exact-merge contract ----
+
+TEST(StreamStat, MergeOfSplitsEqualsSequentialFold)
+{
+    std::vector<double> xs = lognormalSamples(2000, 23);
+    StreamStat whole = statOf(xs);
+
+    // Any contiguous split, merged in order, reproduces the exact
+    // state — the fingerprint covers every bit of it.
+    std::mt19937_64 rng(31);
+    for (int trial = 0; trial < 20; trial++) {
+        int parts = 1 + int(rng() % 7);
+        std::vector<StreamStat> shard(parts);
+        for (std::size_t i = 0; i < xs.size(); i++)
+            shard[rng() % parts].add(xs[i]);
+        StreamStat merged;
+        for (const StreamStat &s : shard)
+            merged.merge(s);
+        EXPECT_EQ(merged.fingerprint(), whole.fingerprint()) << trial;
+        EXPECT_EQ(merged.count(), whole.count());
+        EXPECT_EQ(merged.mean(), whole.mean());
+    }
+}
+
+TEST(StreamStat, MergeIsCommutativeAndAssociative)
+{
+    std::vector<double> xs = lognormalSamples(900, 41);
+    StreamStat a = statOf(
+        std::vector<double>(xs.begin(), xs.begin() + 300));
+    StreamStat b = statOf(
+        std::vector<double>(xs.begin() + 300, xs.begin() + 600));
+    StreamStat c =
+        statOf(std::vector<double>(xs.begin() + 600, xs.end()));
+
+    // (a+b)+c
+    StreamStat ab = a;
+    ab.merge(b);
+    StreamStat ab_c = ab;
+    ab_c.merge(c);
+    // a+(b+c)
+    StreamStat bc = b;
+    bc.merge(c);
+    StreamStat a_bc = a;
+    a_bc.merge(bc);
+    // c+b+a
+    StreamStat cba = c;
+    cba.merge(b);
+    cba.merge(a);
+
+    EXPECT_EQ(ab_c.fingerprint(), a_bc.fingerprint());
+    EXPECT_EQ(ab_c.fingerprint(), cba.fingerprint());
+    EXPECT_EQ(ab_c.fingerprint(), statOf(xs).fingerprint());
+}
+
+TEST(StreamStat, MergeWithEmptyIsIdentity)
+{
+    StreamStat s = statOf(lognormalSamples(100, 5));
+    std::uint64_t before = s.fingerprint();
+    StreamStat empty;
+    s.merge(empty);
+    EXPECT_EQ(s.fingerprint(), before);
+    StreamStat other;
+    other.merge(s);
+    EXPECT_EQ(other.fingerprint(), before);
+}
+
+TEST(StreamStat, FingerprintSeparatesDifferentStates)
+{
+    StreamStat a, b;
+    a.add(0.5);
+    b.add(0.5);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.add(0.5);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    StreamStat c;
+    c.add(0.25);
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+// ---- histogram quantiles against an exact sort ----
+
+TEST(StreamStat, QuantilesTrackExactSortWithinBucketResolution)
+{
+    std::vector<double> xs = lognormalSamples(10000, 57);
+    StreamStat s = statOf(xs);
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+
+    // One log bucket spans a 2^(1/16) ratio; allow two buckets of
+    // slack for the off-by-one between order-statistic definitions.
+    const double kRelTol = std::pow(2.0, 2.0 / 16.0) - 1.0;
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        double exact =
+            sorted[std::min(sorted.size() - 1,
+                            std::size_t(q * sorted.size()))];
+        double approx = s.quantile(q);
+        EXPECT_NEAR(approx, exact, kRelTol * exact)
+            << "q=" << q;
+    }
+    EXPECT_LE(s.quantile(0.0), s.quantile(0.5));
+    EXPECT_LE(s.quantile(0.5), s.quantile(1.0));
+}
+
+TEST(StreamStat, QuantileHandlesNonpositivePool)
+{
+    StreamStat s;
+    for (int i = 0; i < 10; i++)
+        s.add(0.0);
+    s.add(1.0);
+    // Ten of eleven samples pool at nonpositive; the median is 0.
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 1.0);
+}
+
+// ---- bootstrap band determinism ----
+
+TEST(StreamStat, BootstrapBandIsDeterministicUnderFixedSeed)
+{
+    StreamStat s = statOf(lognormalSamples(3000, 71));
+    StatBand b1 = s.bootstrapMeanBand(0.95, 200, 42);
+    StatBand b2 = s.bootstrapMeanBand(0.95, 200, 42);
+    EXPECT_EQ(b1.lo, b2.lo);
+    EXPECT_EQ(b1.hi, b2.hi);
+
+    // A different seed draws different resamples; with 3000 samples
+    // the band must still move (if it never did, the seed is ignored).
+    StatBand b3 = s.bootstrapMeanBand(0.95, 200, 43);
+    EXPECT_TRUE(b3.lo != b1.lo || b3.hi != b1.hi);
+}
+
+TEST(StreamStat, BootstrapBandBracketsTheMeanAndNarrowsWithN)
+{
+    StreamStat small = statOf(lognormalSamples(200, 83));
+    StreamStat large = statOf(lognormalSamples(20000, 83));
+    StatBand bs = small.bootstrapMeanBand(0.95, 200, 1);
+    StatBand bl = large.bootstrapMeanBand(0.95, 200, 1);
+    EXPECT_TRUE(bs.contains(small.mean()));
+    EXPECT_TRUE(bl.contains(large.mean()));
+    EXPECT_LT(bl.hi - bl.lo, bs.hi - bs.lo);
+}
+
+TEST(StreamStat, BootstrapBandIsMergeOrderInvariant)
+{
+    // The band is a pure function of the exact state, so any shard
+    // layout that merges to the same state yields the same band.
+    std::vector<double> xs = lognormalSamples(1000, 97);
+    StreamStat seq = statOf(xs);
+    StreamStat odd, even;
+    for (std::size_t i = 0; i < xs.size(); i++)
+        (i % 2 ? odd : even).add(xs[i]);
+    StreamStat merged = odd;
+    merged.merge(even);
+    StatBand a = seq.bootstrapMeanBand(0.95, 200, 9);
+    StatBand b = merged.bootstrapMeanBand(0.95, 200, 9);
+    EXPECT_EQ(a.lo, b.lo);
+    EXPECT_EQ(a.hi, b.hi);
+}
+
+// ---- JSON summary shape ----
+
+TEST(StreamStat, WriteJsonEmitsSummaryAndOptionalBand)
+{
+    StreamStat s = statOf(lognormalSamples(500, 3));
+    JsonWriter w;
+    s.writeJson(w, 0.95, 100, 7);
+    JsonParseResult p = parseJson(w.str());
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.value.numberOr("count", -1), 500.0);
+    EXPECT_NE(p.value.find("mean"), nullptr);
+    EXPECT_NE(p.value.find("p50"), nullptr);
+    const JsonValue *band = p.value.find("band");
+    ASSERT_NE(band, nullptr);
+    EXPECT_LE(band->numberOr("lo", 1e9), band->numberOr("hi", -1e9));
+
+    JsonWriter w2;
+    s.writeJson(w2, 0.95, 0, 7);
+    JsonParseResult p2 = parseJson(w2.str());
+    ASSERT_TRUE(p2.ok) << p2.error;
+    EXPECT_EQ(p2.value.find("band"), nullptr);
+}
+
+} // namespace
+} // namespace rfh
